@@ -1,0 +1,77 @@
+// Command nomad-eval evaluates a saved model against a dataset:
+// prediction RMSE/MAE-style accuracy plus top-K ranking quality
+// (precision@K, recall@K, NDCG@K).
+//
+// Usage:
+//
+//	nomad-train -profile netflix -scale 0.002 -model model.bin
+//	nomad-eval -model model.bin -profile netflix -scale 0.002 -k 10 -relevant 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nomad"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file written by nomad-train -model")
+		input     = flag.String("input", "", "rating matrix file; empty = synthetic")
+		profile   = flag.String("profile", "netflix", "synthetic profile")
+		scale     = flag.Float64("scale", 0.002, "synthetic dataset scale")
+		testFrac  = flag.Float64("test", 0.1, "test fraction for -input files")
+		seed      = flag.Uint64("seed", 42, "random seed (must match training for synthetic data)")
+		k         = flag.Int("k", 10, "ranking cutoff K")
+		relevant  = flag.Float64("relevant", 4.0, "minimum held-out rating counted as relevant")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "nomad-eval: -model required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := nomad.LoadModel(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var ds *nomad.Dataset
+	if *input == "" {
+		ds, err = nomad.Synthesize(*profile, *scale, *seed)
+	} else {
+		var in *os.File
+		in, err = os.Open(*input)
+		if err == nil {
+			ds, err = nomad.ReadDataset(in, *testFrac, *seed)
+			in.Close()
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if model.Users() != ds.Users() || model.Items() != ds.Items() {
+		fatal(fmt.Errorf("model is %d×%d but dataset is %d×%d",
+			model.Users(), model.Items(), ds.Users(), ds.Items()))
+	}
+
+	fmt.Printf("model: rank %d over %d users × %d items\n", model.Rank(), model.Users(), model.Items())
+	fmt.Printf("test RMSE: %.6f over %d held-out ratings\n", ds.RMSE(model), ds.TestSize())
+	rq := ds.Ranking(model, *k, *relevant)
+	fmt.Printf("ranking over %d users (relevant ≥ %.1f):\n", rq.Users, *relevant)
+	fmt.Printf("  precision@%-3d %.4f\n", rq.K, rq.PrecisionK)
+	fmt.Printf("  recall@%-3d    %.4f\n", rq.K, rq.RecallK)
+	fmt.Printf("  NDCG@%-3d      %.4f\n", rq.K, rq.NDCGK)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nomad-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Cluster: the paper's headline scenario — matrix completion on a
+// commodity cluster with slow interconnect. NOMAD (asynchronous,
+// nomadic tokens) races the bulk-synchronous DSGD on the same simulated
+// 8-machine, 1 Gb/s network; compare how much RMSE each buys with the
+// same wall-clock budget.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomad"
+)
+
+func main() {
+	ds, err := nomad.Synthesize("yahoo", 0.0005, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d users × %d items, %d ratings "+
+		"(yahoo shape: few ratings per item ⇒ communication-bound)\n\n",
+		ds.Users(), ds.Items(), ds.TrainSize())
+
+	const budgetSeconds = 3.0
+	const target = 0.35 // "good enough" RMSE for this dataset
+	for _, algo := range []string{"nomad", "dsgd", "dsgdpp", "ccd"} {
+		cfg := nomad.Config{
+			Algorithm:  algo,
+			Machines:   8,
+			Workers:    2,
+			Network:    "commodity",
+			MaxSeconds: budgetSeconds,
+			Seed:       5,
+		}
+		res, err := nomad.Train(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reached := "never"
+		for _, p := range res.Trace {
+			if p.RMSE <= target {
+				reached = fmt.Sprintf("%.2fs", p.Seconds)
+				break
+			}
+		}
+		fmt.Printf("%-7s RMSE %.4f after %.1fs; reached %.2f at %-6s (%d msgs, %.1f MB on the wire)\n",
+			algo, res.TestRMSE, res.Seconds, target, reached,
+			res.MessagesSent, float64(res.BytesSent)/1e6)
+	}
+	fmt.Println("\nexpected shape (paper Fig 11): NOMAD reaches the target RMSE first;")
+	fmt.Println("the bulk-synchronous baselines pay for their synchronization steps.")
+}

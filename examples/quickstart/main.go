@@ -1,0 +1,46 @@
+// Quickstart: synthesize a small Netflix-shaped dataset, train NOMAD,
+// and predict a rating.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomad"
+)
+
+func main() {
+	// A small dataset with the Netflix shape: many users, few items,
+	// 1–5 star ratings.
+	ds, err := nomad.Synthesize("netflix", 0.001, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d users × %d items, %d train / %d test ratings\n",
+		ds.Users(), ds.Items(), ds.TrainSize(), ds.TestSize())
+
+	// Train with defaults: the NOMAD solver, 4 worker goroutines.
+	res, err := nomad.Train(ds, nomad.Config{Workers: 4, Epochs: 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nconvergence:")
+	for _, p := range res.Trace {
+		fmt.Printf("  %6.2fs  %12d updates  RMSE %.4f\n", p.Seconds, p.Updates, p.RMSE)
+	}
+	fmt.Printf("\nfinal test RMSE: %.4f (%d updates in %.2fs)\n",
+		res.TestRMSE, res.Updates, res.Seconds)
+
+	// Predict an unseen rating for user 7.
+	user := 7
+	for item := 0; item < ds.Items(); item++ {
+		if !ds.Rated(user, item) {
+			fmt.Printf("predicted rating of user %d for unseen item %d: %.2f stars\n",
+				user, item, res.Model.Predict(user, item))
+			break
+		}
+	}
+}

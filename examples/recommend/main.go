@@ -1,0 +1,45 @@
+// Recommend: the workload the paper's introduction motivates — train a
+// recommender on star ratings and produce top-N item lists per user,
+// excluding what each user has already rated.
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomad"
+)
+
+func main() {
+	ds, err := nomad.Synthesize("netflix", 0.002, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d items; audience: %d users; %d observed ratings\n",
+		ds.Items(), ds.Users(), ds.TrainSize())
+
+	res, err := nomad.Train(ds, nomad.Config{
+		Workers: 4,
+		Epochs:  12,
+		K:       16,
+		Seed:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model trained: test RMSE %.4f\n\n", res.TestRMSE)
+
+	for _, user := range []int{3, 11, 42} {
+		history := ds.UserRatings(user)
+		fmt.Printf("user %d rated %d items", user, len(history))
+		if len(history) > 0 {
+			fmt.Printf(" (e.g. item %d → %.0f stars)", history[0].Item, history[0].Value)
+		}
+		fmt.Println()
+		for rank, rec := range res.Model.Recommend(ds, user, 5) {
+			fmt.Printf("  #%d: item %-6d predicted %.2f stars\n", rank+1, rec.Item, rec.Score)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package algotest provides the shared fixtures used by every
+// algorithm package's tests: a small learnable synthetic dataset and
+// convergence assertions, so each solver is verified against the same
+// bar.
+package algotest
+
+import (
+	"testing"
+
+	"nomad/internal/dataset"
+	"nomad/internal/train"
+)
+
+// Data returns a small dataset with clear low-rank structure.
+func Data(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.Spec{
+		Name: "algotest", Rows: 300, Cols: 60, NNZ: 8000,
+		RowSkew: 0.8, ColSkew: 0.8, TrueRank: 4, NoiseSD: 0.1,
+		TestFrac: 0.15, Seed: 7,
+	}
+	ds, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// SGDConfig returns a configuration suitable for the SGD-family
+// algorithms on Data.
+func SGDConfig() train.Config {
+	return train.Config{
+		K: 8, Lambda: 0.02, Alpha: 0.08, Beta: 0.01,
+		Workers: 1, Machines: 1, Epochs: 20, EvalPoints: 5, Seed: 3,
+	}
+}
+
+// Run trains and fails the test on error.
+func Run(t testing.TB, algo train.Algorithm, ds *dataset.Dataset, cfg train.Config) *train.Result {
+	t.Helper()
+	res, err := algo.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// RequireConverged asserts the run improved markedly and reached a
+// sane absolute RMSE for Data (ratings have unit variance + 0.1 noise).
+func RequireConverged(t *testing.T, res *train.Result, maxFinal float64) {
+	t.Helper()
+	tr := res.Trace
+	if len(tr.Points) < 2 {
+		t.Fatalf("%s: trace too short: %d points", res.Algorithm, len(tr.Points))
+	}
+	first, final := tr.Points[0].RMSE, tr.Final().RMSE
+	if final > maxFinal {
+		t.Errorf("%s: final RMSE %.4f above bar %.2f (first %.4f)", res.Algorithm, final, maxFinal, first)
+	}
+	if final >= first {
+		t.Errorf("%s: no improvement: first %.4f final %.4f", res.Algorithm, first, final)
+	}
+}

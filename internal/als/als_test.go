@@ -1,0 +1,69 @@
+package als
+
+import (
+	"math"
+	"testing"
+
+	"nomad/internal/algotest"
+	"nomad/internal/metrics"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(10 * ds.Train.NNZ()) // 5 full sweeps
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestMultiWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Workers = 4
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(10 * ds.Train.NNZ())
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+// TestObjectiveMonotone: each ALS half-sweep exactly minimizes the
+// objective in its block of variables, so full sweeps never increase
+// objective (1).
+func TestObjectiveMonotone(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 0
+	perSweep := int64(2 * ds.Train.NNZ())
+	prev := math.Inf(1)
+	for sweeps := 1; sweeps <= 3; sweeps++ {
+		c := cfg
+		c.MaxUpdates = int64(sweeps) * perSweep
+		res := algotest.Run(t, New(), ds, c)
+		obj := metrics.Objective(res.Model, ds.Train, cfg.Lambda)
+		if obj > prev*(1+1e-9) {
+			t.Fatalf("objective increased at sweep %d: %v -> %v", sweeps, prev, obj)
+		}
+		prev = obj
+	}
+}
+
+// TestALSBeatsSGDPerSweep: ALS's exact row solves should reach low RMSE
+// in very few sweeps — the "rapid initial convergence per iteration"
+// property that makes it a serious baseline despite its cost.
+func TestALSFastPerSweep(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(4 * ds.Train.NNZ()) // 2 sweeps
+	res := algotest.Run(t, New(), ds, cfg)
+	if final := res.Trace.Final().RMSE; final > 0.6 {
+		t.Errorf("ALS after 2 sweeps: RMSE %.4f, expected < 0.6", final)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "als" {
+		t.Fatal("wrong name")
+	}
+}

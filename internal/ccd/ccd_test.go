@@ -1,0 +1,74 @@
+package ccd
+
+import (
+	"math"
+	"testing"
+
+	"nomad/internal/algotest"
+	"nomad/internal/metrics"
+	"nomad/internal/netsim"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(40 * ds.Train.NNZ()) // ≈ 2.5 outer iterations at k=8
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestMultiWorkerMatchesQuality(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Workers = 4
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(40 * ds.Train.NNZ())
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestDistributedBroadcasts(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Machines = 2
+	cfg.Workers = 1
+	cfg.Epochs = 0
+	cfg.MaxUpdates = int64(20 * ds.Train.NNZ())
+	cfg.Profile = netsim.Instant()
+	res := algotest.Run(t, New(), ds, cfg)
+	if res.MessagesSent == 0 {
+		t.Error("distributed CCD++ sent no column broadcasts")
+	}
+	algotest.RequireConverged(t, res, 0.7)
+}
+
+// TestObjectiveMonotone: CCD++ is a (block) coordinate-descent method
+// on objective (1); each full outer iteration must not increase it.
+func TestObjectiveMonotone(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 0
+	lambda := cfg.Lambda
+
+	// Run 1, 2, 3 outer iterations and compare objectives. One outer
+	// iteration = 2·k·nnz counted updates (u-phase + v-phase per rank).
+	perIter := int64(2 * cfg.K * ds.Train.NNZ())
+	var prev float64 = math.Inf(1)
+	for iters := 1; iters <= 3; iters++ {
+		c := cfg
+		c.MaxUpdates = int64(iters) * perIter
+		res := algotest.Run(t, New(), ds, c)
+		obj := metrics.Objective(res.Model, ds.Train, lambda)
+		if obj > prev*(1+1e-9) {
+			t.Fatalf("objective increased at iteration %d: %v -> %v", iters, prev, obj)
+		}
+		prev = obj
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "ccd" {
+		t.Fatal("wrong name")
+	}
+}

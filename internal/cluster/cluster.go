@@ -1,0 +1,164 @@
+// Package cluster provides the machine-level plumbing shared by the
+// distributed algorithms: nomadic token batching (§3.5: accumulate ~100
+// (j, hⱼ) pairs per MPI message), the queue-length gossip payload that
+// powers NOMAD's dynamic load balancing (§3.3), and a reusable barrier
+// for the bulk-synchronous baselines (DSGD, DSGD++, CCD++).
+package cluster
+
+import (
+	"sync"
+
+	"nomad/internal/netsim"
+)
+
+// Token is one nomadic item parameter in flight: the item index and
+// its current factor row hⱼ. In shared-memory mode Vec is nil and the
+// row lives in the model; in distributed mode the vector travels.
+type Token struct {
+	Item int32
+	Vec  []float64
+}
+
+// TokenBatch is the unit of network transfer between machines. QueueLen
+// carries the sender's current total queue length — the single-integer
+// payload of §3.3 that lets receivers route work away from busy peers.
+type TokenBatch struct {
+	Tokens   []Token
+	QueueLen int
+}
+
+// Sender accumulates outbound tokens per destination machine and
+// flushes them as TokenBatch messages of up to BatchSize tokens. It is
+// intended to be driven by a single sender goroutine per machine and is
+// not safe for concurrent use.
+type Sender struct {
+	net       *netsim.Network
+	machine   int
+	k         int
+	batchSize int
+	queueLen  func() int // sampled at flush time for the gossip payload
+	pending   [][]Token
+}
+
+// NewSender returns a Sender for the given machine. queueLen supplies
+// the gossip payload; it may be nil, in which case 0 is sent.
+func NewSender(net *netsim.Network, machine, k, batchSize int, queueLen func() int) *Sender {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if queueLen == nil {
+		queueLen = func() int { return 0 }
+	}
+	return &Sender{
+		net:       net,
+		machine:   machine,
+		k:         k,
+		batchSize: batchSize,
+		queueLen:  queueLen,
+		pending:   make([][]Token, net.Machines()),
+	}
+}
+
+// Add enqueues a token for dst, flushing automatically when the batch
+// for that destination is full.
+func (s *Sender) Add(dst int, t Token) {
+	s.pending[dst] = append(s.pending[dst], t)
+	if len(s.pending[dst]) >= s.batchSize {
+		s.Flush(dst)
+	}
+}
+
+// Flush sends any pending tokens for dst immediately.
+func (s *Sender) Flush(dst int) {
+	if len(s.pending[dst]) == 0 {
+		return
+	}
+	batch := TokenBatch{Tokens: s.pending[dst], QueueLen: s.queueLen()}
+	size := 8 // batch header + gossip integer
+	for range batch.Tokens {
+		size += netsim.VectorWireSize(s.k)
+	}
+	s.net.Send(s.machine, dst, size, batch)
+	s.pending[dst] = nil
+}
+
+// FlushAll sends every pending batch.
+func (s *Sender) FlushAll() {
+	for dst := range s.pending {
+		s.Flush(dst)
+	}
+}
+
+// PendingTotal reports how many tokens are buffered and unsent.
+func (s *Sender) PendingTotal() int {
+	n := 0
+	for _, p := range s.pending {
+		n += len(p)
+	}
+	return n
+}
+
+// Barrier is a reusable synchronization barrier for a fixed number of
+// participants, used by the bulk-synchronous baselines to model their
+// per-iteration synchronization points (the "curse of the last
+// reducer" the paper discusses in §4.1 arises exactly here).
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("cluster: barrier needs at least one participant")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait, then releases
+// them together. The barrier resets automatically for reuse.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// BlockMsg carries a contiguous block of factor rows between machines,
+// as exchanged by DSGD's sub-epoch shuffles and CCD++'s rank
+// broadcasts. Rows are identified by the half-open index range
+// [Lo, Hi) into the item (or user) dimension.
+type BlockMsg struct {
+	Lo, Hi int
+	Data   []float64 // (Hi-Lo)×k row-major copy
+	Tag    int       // protocol-specific (e.g. sub-epoch number or rank index)
+}
+
+// SendBlock copies rows [lo, hi) of the given flat row-major factor
+// array and sends them from machine src to machine dst with the
+// modelled wire size of the block.
+func SendBlock(net *netsim.Network, src, dst int, flat []float64, k, lo, hi, tag int) {
+	data := make([]float64, (hi-lo)*k)
+	copy(data, flat[lo*k:hi*k])
+	net.Send(src, dst, netsim.BlockWireSize(hi-lo, k), BlockMsg{Lo: lo, Hi: hi, Data: data, Tag: tag})
+}
+
+// ApplyBlock copies a received block into the flat factor array.
+func ApplyBlock(flat []float64, k int, b BlockMsg) {
+	copy(flat[b.Lo*k:b.Hi*k], b.Data)
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nomad/internal/netsim"
+)
+
+func TestSenderBatches(t *testing.T) {
+	net := netsim.New(2, netsim.Instant())
+	s := NewSender(net, 0, 4, 3, func() int { return 7 })
+	for i := 0; i < 7; i++ {
+		s.Add(1, Token{Item: int32(i)})
+	}
+	// 7 tokens with batch size 3: two automatic flushes, one pending.
+	if s.PendingTotal() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingTotal())
+	}
+	s.FlushAll()
+	if s.PendingTotal() != 0 {
+		t.Fatalf("pending after FlushAll = %d", s.PendingTotal())
+	}
+	var batches []TokenBatch
+	go net.Shutdown()
+	for msg := range net.Recv(1) {
+		batches = append(batches, msg.Payload.(TokenBatch))
+	}
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3", len(batches))
+	}
+	if len(batches[0].Tokens) != 3 || len(batches[1].Tokens) != 3 || len(batches[2].Tokens) != 1 {
+		t.Fatalf("batch sizes: %d,%d,%d", len(batches[0].Tokens), len(batches[1].Tokens), len(batches[2].Tokens))
+	}
+	// Token order must be preserved end to end.
+	next := int32(0)
+	for _, b := range batches {
+		if b.QueueLen != 7 {
+			t.Fatalf("gossip payload = %d, want 7", b.QueueLen)
+		}
+		for _, tok := range b.Tokens {
+			if tok.Item != next {
+				t.Fatalf("token order broken: got %d want %d", tok.Item, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestSenderFlushEmptyIsNoop(t *testing.T) {
+	net := netsim.New(2, netsim.Instant())
+	s := NewSender(net, 0, 4, 3, nil)
+	s.Flush(1)
+	s.FlushAll()
+	if net.MessagesSent() != 0 {
+		t.Fatal("empty flush sent messages")
+	}
+	net.Shutdown()
+}
+
+func TestSenderWireSizeModelled(t *testing.T) {
+	net := netsim.New(2, netsim.Instant())
+	k := 10
+	s := NewSender(net, 0, k, 100, nil)
+	s.Add(1, Token{Item: 1, Vec: make([]float64, k)})
+	s.Add(1, Token{Item: 2, Vec: make([]float64, k)})
+	s.FlushAll()
+	<-net.Recv(1)
+	want := int64(8 + 2*netsim.VectorWireSize(k))
+	if net.BytesSent() != want {
+		t.Fatalf("BytesSent = %d, want %d", net.BytesSent(), want)
+	}
+	net.Shutdown()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	const n = 4
+	b := NewBarrier(n)
+	var before, after atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			before.Add(1)
+			b.Wait()
+			// At release, every participant must have arrived.
+			if got := before.Load(); got != n {
+				t.Errorf("released with only %d arrivals", got)
+			}
+			after.Add(1)
+		}()
+	}
+	wg.Wait()
+	if after.Load() != n {
+		t.Fatalf("only %d participants released", after.Load())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, rounds = 3, 50
+	b := NewBarrier(n)
+	var phase atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.Wait()
+				// All goroutines must observe the same round.
+				phase.Add(1)
+				b.Wait()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("barrier deadlocked on reuse")
+	}
+	if phase.Load() != n*rounds {
+		t.Fatalf("phase = %d, want %d", phase.Load(), n*rounds)
+	}
+}
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	net := netsim.New(2, netsim.Instant())
+	k := 3
+	src := []float64{
+		0, 0, 0,
+		1, 2, 3,
+		4, 5, 6,
+		0, 0, 0,
+	}
+	SendBlock(net, 0, 1, src, k, 1, 3, 42)
+	msg := <-net.Recv(1)
+	blk := msg.Payload.(BlockMsg)
+	if blk.Lo != 1 || blk.Hi != 3 || blk.Tag != 42 {
+		t.Fatalf("block header: %+v", blk)
+	}
+	dst := make([]float64, len(src))
+	ApplyBlock(dst, k, blk)
+	for i := 3; i < 9; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+	if msg.Size != netsim.BlockWireSize(2, k) {
+		t.Fatalf("modelled size %d, want %d", msg.Size, netsim.BlockWireSize(2, k))
+	}
+	net.Shutdown()
+}
+
+func TestSendBlockCopies(t *testing.T) {
+	// Mutating the source after SendBlock must not affect the message:
+	// the block is a snapshot, as a real network send would be.
+	net := netsim.New(2, netsim.Instant())
+	src := []float64{1, 2}
+	SendBlock(net, 0, 1, src, 1, 0, 2, 0)
+	src[0] = 99
+	msg := <-net.Recv(1)
+	if msg.Payload.(BlockMsg).Data[0] != 1 {
+		t.Fatal("SendBlock aliased caller memory")
+	}
+	net.Shutdown()
+}

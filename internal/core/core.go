@@ -1,0 +1,212 @@
+// Package core implements NOMAD, the paper's primary contribution: a
+// non-locking, stochastic, multi-machine, asynchronous, decentralized
+// matrix-completion solver.
+//
+// The design follows §3 of the paper directly:
+//
+//   - Users are partitioned across workers once; their wᵢ rows never
+//     move (§3.1).
+//   - Item parameters hⱼ are *nomadic*: each lives in exactly one
+//     worker's queue at a time. A worker pops a token (j, hⱼ), runs SGD
+//     over its locally stored ratings for item j, then forwards the
+//     token to another worker — the owner-computes rule that makes the
+//     algorithm lock-free and its updates serializable.
+//   - In distributed mode, a machine circulates an incoming token
+//     through its local workers in a random permutation before sending
+//     it over the (simulated) network (§3.4), accumulating ~100 tokens
+//     per message (§3.5).
+//   - With LoadBalance enabled, token routing prefers lightly loaded
+//     recipients using queue-length gossip carried on every message
+//     (§3.3).
+//
+// Shared-memory runs (Machines == 1) keep hⱼ in the model and pass only
+// the item index, since ownership transfer makes data races impossible;
+// distributed runs physically move the vector through netsim.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/dataset"
+	"nomad/internal/factor"
+	"nomad/internal/partition"
+	"nomad/internal/queue"
+	"nomad/internal/rng"
+	"nomad/internal/sched"
+	"nomad/internal/train"
+	"nomad/internal/vecmath"
+)
+
+// NOMAD is the solver. The zero value is ready to use.
+type NOMAD struct{}
+
+// New returns a NOMAD solver.
+func New() *NOMAD { return &NOMAD{} }
+
+// Name implements train.Algorithm.
+func (*NOMAD) Name() string { return "nomad" }
+
+// Train implements train.Algorithm.
+func (*NOMAD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+	cfg, err := cfg.Normalize(ds)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Machines == 1 {
+		return trainShared(ds, cfg)
+	}
+	return trainDistributed(ds, cfg)
+}
+
+// sharedToken is the nomadic token of the shared-memory runner: just
+// the item index, since hⱼ stays in the model under the ownership
+// discipline.
+type sharedToken struct {
+	item int32
+}
+
+// trainShared runs Algorithm 1 with p worker goroutines in one process.
+func trainShared(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+	p := cfg.Workers
+	m, n := ds.Rows(), ds.Cols()
+	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
+	users := partitionUsers(ds, cfg, p)
+	local := buildLocalRatings(ds.Train, users)
+	schedule := cfg.Schedule()
+
+	// Per-worker queues, initially loaded with a random assignment of
+	// all n item tokens (Algorithm 1 lines 6–10).
+	queues := make([]queue.Queue[sharedToken], p)
+	for q := 0; q < p; q++ {
+		queues[q] = queue.New[sharedToken](cfg.QueueKind, 2*n/p+4)
+	}
+	root := rng.New(cfg.Seed)
+	for j := 0; j < n; j++ {
+		queues[root.Intn(p)].Push(sharedToken{item: int32(j)})
+	}
+
+	counter := train.NewCounter(p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for q := 0; q < p; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			runSharedWorker(q, md, local[q], queues, schedule, cfg, counter, &stop, root.Split(uint64(q)))
+		}(q)
+	}
+
+	train.Monitor(&stop, counter, cfg, rec, md)
+	wg.Wait()
+
+	// Ownership invariant: every item token must be parked in exactly
+	// one queue now that all workers have stopped. A mismatch would
+	// mean a token was lost or duplicated — i.e. the serializability
+	// discipline was broken.
+	parked := 0
+	for _, q := range queues {
+		for {
+			if _, ok := q.TryPop(); !ok {
+				break
+			}
+			parked++
+		}
+	}
+	if parked != n {
+		return nil, fmt.Errorf("core: token conservation violated: %d tokens for %d items", parked, n)
+	}
+
+	rec.Sample(md, counter.Total())
+	return &train.Result{
+		Algorithm: "nomad",
+		Model:     md,
+		Trace:     rec.Trace(),
+		Updates:   counter.Total(),
+		Elapsed:   rec.Elapsed(),
+	}, nil
+}
+
+// runSharedWorker is Algorithm 1's per-worker loop.
+func runSharedWorker(q int, md *factor.Model, lr *localRatings,
+	queues []queue.Queue[sharedToken], schedule sched.Schedule, cfg train.Config,
+	counter *train.Counter, stop *atomic.Bool, r *rng.Source) {
+
+	p := len(queues)
+	lambda := cfg.Lambda
+	lossFn := cfg.Loss
+	straggler := q == 0 && cfg.Straggle > 1
+	idleSpins := 0
+	var batch int64 // updates since last counter flush
+	for !stop.Load() {
+		tok, ok := queues[q].TryPop()
+		if !ok {
+			// Queue momentarily empty: yield; back off if persistent.
+			idleSpins++
+			if idleSpins > 64 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idleSpins = 0
+
+		// SGD over this worker's ratings for the item (lines 16–21).
+		j := int(tok.item)
+		hRow := md.ItemRow(j)
+		usersJ, vals, base := lr.itemRatings(j)
+		var began time.Time
+		if straggler {
+			began = time.Now()
+		}
+		for x, u := range usersJ {
+			t := lr.counts[base+int32(x)]
+			step := schedule.Step(int(t))
+			lr.counts[base+int32(x)] = t + 1
+			wRow := md.UserRow(int(u))
+			g := lossFn.Grad(vecmath.Dot(wRow, hRow), vals[x])
+			vecmath.SGDUpdateGrad(wRow, hRow, g, step, lambda)
+		}
+		if straggler && len(usersJ) > 0 {
+			// Simulate a slow machine: stretch this token's processing
+			// time by the configured factor (§3.3 ablation).
+			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
+		}
+		batch += int64(len(usersJ))
+		if batch >= 256 {
+			counter.Add(q, batch)
+			batch = 0
+		}
+
+		// Forward the token (lines 22–23): uniform by default, or the
+		// §3.3 least-loaded choice between two random candidates.
+		dst := r.Intn(p)
+		if cfg.LoadBalance && p > 1 {
+			alt := r.Intn(p)
+			if queues[alt].Len() < queues[dst].Len() {
+				dst = alt
+			}
+		}
+		queues[dst].Push(tok)
+	}
+	counter.Add(q, batch)
+}
+
+// partitionUsers splits users across p workers: equal user counts by
+// default, or equal rating counts when cfg.BalanceUsers is set (the
+// paper's footnote-1 alternative).
+func partitionUsers(ds *dataset.Dataset, cfg train.Config, p int) *partition.Partition {
+	if !cfg.BalanceUsers {
+		return partition.EqualRanges(ds.Rows(), p)
+	}
+	weights := make([]int, ds.Rows())
+	for i := range weights {
+		weights[i] = ds.Train.RowDegree(i)
+	}
+	return partition.EqualWeight(weights, p)
+}

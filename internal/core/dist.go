@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/cluster"
+	"nomad/internal/dataset"
+	"nomad/internal/factor"
+	"nomad/internal/netsim"
+	"nomad/internal/queue"
+	"nomad/internal/rng"
+	"nomad/internal/sched"
+	"nomad/internal/train"
+	"nomad/internal/vecmath"
+)
+
+// distToken is a nomadic token inside one machine: the traveling
+// (j, hⱼ) pair plus the list of local workers it still has to visit
+// before leaving over the network (§3.4's intra-machine circulation).
+type distToken struct {
+	tok    cluster.Token
+	visits []int8
+}
+
+// machine is one simulated machine of the hybrid architecture: Workers
+// compute goroutines plus the dedicated sender and receiver goroutines
+// the paper reserves for communication (§3.4).
+type machine struct {
+	id      int
+	workers int
+	queues  []queue.Queue[*distToken]
+	out     chan *distToken
+
+	// lastKnown[r] is the most recent queue-length gossip received
+	// from machine r (§3.3).
+	lastKnown []atomic.Int64
+}
+
+// queueLen is the machine's total backlog: worker queues plus tokens
+// waiting to be sent. This is the value gossiped to peers.
+func (mc *machine) queueLen() int {
+	n := len(mc.out)
+	for _, q := range mc.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// trainDistributed runs NOMAD across cfg.Machines simulated machines
+// connected by the configured network profile.
+func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+	M, W := cfg.Machines, cfg.Workers
+	p := M * W
+	m, n := ds.Rows(), ds.Cols()
+	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
+	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
+	local := buildLocalRatings(ds.Train, users)
+	schedule := cfg.Schedule()
+	net := netsim.New(M, cfg.Profile)
+	root := rng.New(cfg.Seed)
+
+	machines := make([]*machine, M)
+	for mcID := 0; mcID < M; mcID++ {
+		mc := &machine{
+			id:        mcID,
+			workers:   W,
+			queues:    make([]queue.Queue[*distToken], W),
+			out:       make(chan *distToken, 4*cfg.BatchSize),
+			lastKnown: make([]atomic.Int64, M),
+		}
+		for w := 0; w < W; w++ {
+			mc.queues[w] = queue.New[*distToken](cfg.QueueKind, 2*n/p+4)
+		}
+		machines[mcID] = mc
+	}
+
+	// Initial placement: every item token starts at a uniformly random
+	// machine with a fresh local visit plan (Algorithm 1 lines 6–10).
+	for j := 0; j < n; j++ {
+		vec := make([]float64, cfg.K)
+		copy(vec, md.ItemRow(j))
+		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
+		mc := machines[root.Intn(M)]
+		deliverLocal(mc, tok, cfg.Circulate, root)
+	}
+
+	counter := train.NewCounter(p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	var stop atomic.Bool
+
+	// Compute workers.
+	var workerWG sync.WaitGroup
+	for mcID := 0; mcID < M; mcID++ {
+		for w := 0; w < W; w++ {
+			workerWG.Add(1)
+			go func(mc *machine, w int) {
+				defer workerWG.Done()
+				runDistWorker(mc, w, md, local[mc.id*W+w], schedule, cfg, counter, &stop,
+					root.Split(uint64(mc.id*W+w)))
+			}(machines[mcID], w)
+		}
+	}
+
+	// Sender and receiver threads, one of each per machine.
+	var senderWG, receiverWG sync.WaitGroup
+	for mcID := 0; mcID < M; mcID++ {
+		senderWG.Add(1)
+		go func(mc *machine) {
+			defer senderWG.Done()
+			runSender(mc, net, cfg, root.Split(uint64(1000+mc.id)))
+		}(machines[mcID])
+		receiverWG.Add(1)
+		go func(mc *machine) {
+			defer receiverWG.Done()
+			runReceiver(mc, net, cfg, root.Split(uint64(2000+mc.id)))
+		}(machines[mcID])
+	}
+
+	train.Monitor(&stop, counter, cfg, rec, md)
+
+	// Orderly teardown: workers → senders → network → receivers. Each
+	// stage drains the previous one so no token is lost.
+	workerWG.Wait()
+	for _, mc := range machines {
+		close(mc.out)
+	}
+	senderWG.Wait()
+	net.Shutdown()
+	receiverWG.Wait()
+
+	// Collect every token still queued and write its vector back into
+	// the model, completing the final H state. Token conservation is
+	// the ownership invariant: each of the n items must be recovered
+	// exactly once.
+	collected := 0
+	for _, mc := range machines {
+		for _, q := range mc.queues {
+			for {
+				tok, ok := q.TryPop()
+				if !ok {
+					break
+				}
+				copy(md.ItemRow(int(tok.tok.Item)), tok.tok.Vec)
+				collected++
+			}
+		}
+	}
+	if collected != n {
+		return nil, fmt.Errorf("core: token conservation violated: collected %d tokens for %d items", collected, n)
+	}
+
+	rec.Sample(md, counter.Total())
+	return &train.Result{
+		Algorithm:    "nomad",
+		Model:        md,
+		Trace:        rec.Trace(),
+		Updates:      counter.Total(),
+		Elapsed:      rec.Elapsed(),
+		BytesSent:    net.BytesSent(),
+		MessagesSent: net.MessagesSent(),
+	}, nil
+}
+
+// deliverLocal plans a token's visits through mc's workers (Circulate
+// full permutations) and enqueues it at the first stop.
+func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source) {
+	W := mc.workers
+	perm := make([]int, W)
+	r.Perm(perm)
+	visits := tok.visits[:0]
+	for c := 0; c < circulate; c++ {
+		for _, w := range perm {
+			visits = append(visits, int8(w))
+		}
+	}
+	tok.visits = visits[1:]
+	mc.queues[perm[0]].Push(tok)
+}
+
+// runDistWorker processes tokens from its own queue: SGD on the local
+// ratings of the token's item, then hand-off to the next local worker
+// or to the sender thread.
+func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
+	schedule sched.Schedule, cfg train.Config, counter *train.Counter,
+	stop *atomic.Bool, r *rng.Source) {
+
+	gw := mc.id*mc.workers + w // global worker id (counter shard)
+	lambda := cfg.Lambda
+	lossFn := cfg.Loss
+	straggler := gw == 0 && cfg.Straggle > 1
+	idleSpins := 0
+	var batch int64
+	for !stop.Load() {
+		tok, ok := mc.queues[w].TryPop()
+		if !ok {
+			idleSpins++
+			if idleSpins > 64 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idleSpins = 0
+
+		j := int(tok.tok.Item)
+		hRow := tok.tok.Vec // the vector travels with the token
+		usersJ, vals, base := lr.itemRatings(j)
+		var began time.Time
+		if straggler {
+			began = time.Now()
+		}
+		for x, u := range usersJ {
+			t := lr.counts[base+int32(x)]
+			step := schedule.Step(int(t))
+			lr.counts[base+int32(x)] = t + 1
+			wRow := md.UserRow(int(u))
+			g := lossFn.Grad(vecmath.Dot(wRow, hRow), vals[x])
+			vecmath.SGDUpdateGrad(wRow, hRow, g, step, lambda)
+		}
+		if straggler && len(usersJ) > 0 {
+			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
+		}
+		batch += int64(len(usersJ))
+		if batch >= 256 {
+			counter.Add(gw, batch)
+			batch = 0
+		}
+		// Owner write-back so progress monitoring sees current hⱼ.
+		copy(md.ItemRow(j), hRow)
+
+		if len(tok.visits) > 0 {
+			next := tok.visits[0]
+			tok.visits = tok.visits[1:]
+			mc.queues[next].Push(tok)
+		} else {
+			mc.out <- tok
+		}
+	}
+	counter.Add(gw, batch)
+	_ = r
+}
+
+// runSender drains the machine's outbound channel, batching tokens per
+// destination (§3.5) and flushing opportunistically whenever the
+// channel runs dry so tokens never linger under low traffic.
+func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
+	M := net.Machines()
+	pick := func() int {
+		if M == 1 {
+			return 0
+		}
+		if cfg.LoadBalance {
+			// Least-loaded known peer, random tie-break (§3.3).
+			best, bestLen := -1, int64(1<<62)
+			ties := 0
+			for dst := 0; dst < M; dst++ {
+				if dst == mc.id {
+					continue
+				}
+				l := mc.lastKnown[dst].Load()
+				switch {
+				case l < bestLen:
+					best, bestLen, ties = dst, l, 1
+				case l == bestLen:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = dst
+					}
+				}
+			}
+			return best
+		}
+		dst := r.Intn(M - 1)
+		if dst >= mc.id {
+			dst++
+		}
+		return dst
+	}
+	for {
+		select {
+		case tok, ok := <-mc.out:
+			if !ok {
+				s.FlushAll()
+				return
+			}
+			s.Add(pick(), tok.tok)
+		default:
+			// Channel dry: push out partial batches, then block.
+			s.FlushAll()
+			tok, ok := <-mc.out
+			if !ok {
+				return
+			}
+			s.Add(pick(), tok.tok)
+		}
+	}
+}
+
+// runReceiver unpacks inbound token batches, records queue-length
+// gossip and starts each token's local circulation.
+func runReceiver(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+	for msg := range net.Recv(mc.id) {
+		batch, ok := msg.Payload.(cluster.TokenBatch)
+		if !ok {
+			continue
+		}
+		mc.lastKnown[msg.From].Store(int64(batch.QueueLen))
+		for _, t := range batch.Tokens {
+			deliverLocal(mc, &distToken{tok: t}, cfg.Circulate, r)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"nomad/internal/dataset"
+	"nomad/internal/loss"
+	"nomad/internal/rng"
+	"nomad/internal/sparse"
+	"nomad/internal/vecmath"
+)
+
+// binaryData builds a ±1 matrix from the sign of a low-rank product,
+// the binary matrix-completion setting of the paper's §6 extension.
+func binaryData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	const m, n, rank = 200, 50, 4
+	r := rng.New(11)
+	wTrue := make([]float64, m*rank)
+	hTrue := make([]float64, n*rank)
+	for i := range wTrue {
+		wTrue[i] = r.Normal(0, 1)
+	}
+	for i := range hTrue {
+		hTrue[i] = r.Normal(0, 1)
+	}
+	var entries []sparse.Entry
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() > 0.3 {
+				continue
+			}
+			v := -1.0
+			if vecmath.Dot(wTrue[i*rank:i*rank+rank], hTrue[j*rank:j*rank+rank]) > 0 {
+				v = 1.0
+			}
+			entries = append(entries, sparse.Entry{Row: int32(i), Col: int32(j), Val: v})
+		}
+	}
+	mtx, err := sparse.FromEntries(m, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromMatrix("binary", mtx, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestLogisticLossLearnsSigns trains NOMAD with the logistic loss on a
+// ±1 matrix and checks sign agreement on held-out entries — the §6
+// "binary logistic regression" direction running on the nomadic-token
+// machinery unchanged.
+func TestLogisticLossLearnsSigns(t *testing.T) {
+	ds := binaryData(t)
+	cfg := baseConfig()
+	cfg.Workers = 2
+	cfg.Epochs = 40
+	cfg.Alpha = 0.3
+	cfg.Lambda = 0.005
+	cfg.Loss = loss.Logistic{}
+	res := runNomad(t, ds, cfg)
+
+	correct := 0
+	for _, e := range ds.Test {
+		pred := res.Model.Predict(int(e.Row), int(e.Col))
+		if (pred > 0) == (e.Val > 0) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(ds.Test))
+	if acc < 0.75 {
+		t.Errorf("logistic NOMAD sign accuracy %.3f, want >= 0.75", acc)
+	}
+}
+
+// TestAbsoluteLossRobustToOutliers corrupts a few training ratings with
+// huge outliers; the absolute loss should end with a markedly better
+// test RMSE than the square loss on the same corrupted data.
+func TestAbsoluteLossRobustToOutliers(t *testing.T) {
+	base := testData(t)
+	entries := base.Train.Entries(nil)
+	r := rng.New(5)
+	for i := range entries {
+		if r.Float64() < 0.02 {
+			entries[i].Val += 100 // gross outlier
+		}
+	}
+	mtx, err := sparse.FromEntries(base.Train.Rows(), base.Train.Cols(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := &dataset.Dataset{Name: "corrupted", Train: mtx, Test: base.Test}
+
+	run := func(l loss.Loss, alpha float64) float64 {
+		cfg := baseConfig()
+		cfg.Epochs = 15
+		cfg.Loss = l
+		cfg.Alpha = alpha
+		res := runNomad(t, corrupted, cfg)
+		return res.Trace.Final().RMSE
+	}
+	square := run(loss.Square{}, 0.08)
+	absolute := run(loss.Absolute{}, 0.08)
+	if absolute >= square {
+		t.Errorf("absolute loss (%.4f) not more robust than square (%.4f) under outliers", absolute, square)
+	}
+}
+
+// TestBalanceUsersPartition exercises the footnote-1 equal-ratings
+// partition end to end.
+func TestBalanceUsersPartition(t *testing.T) {
+	ds := testData(t)
+	cfg := baseConfig()
+	cfg.Workers = 4
+	cfg.BalanceUsers = true
+	requireConverged(t, runNomad(t, ds, cfg))
+}

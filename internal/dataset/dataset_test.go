@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"nomad/internal/sparse"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	spec := NetflixLike(0.001)
+	d, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != spec.Rows || d.Cols() != spec.Cols {
+		t.Fatalf("shape %d×%d, want %d×%d", d.Rows(), d.Cols(), spec.Rows, spec.Cols)
+	}
+	total := d.Train.NNZ() + len(d.Test)
+	if int64(total) != spec.NNZ {
+		t.Fatalf("total entries %d, want %d", total, spec.NNZ)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := YahooLike(0.0002)
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Train.NNZ() != b.Train.NNZ() || len(a.Test) != len(b.Test) {
+		t.Fatal("same spec produced different splits")
+	}
+	ae := a.Train.Entries(nil)
+	be := b.Train.Entries(nil)
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same spec produced different entries")
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	s1 := NetflixLike(0.0005)
+	s2 := s1
+	s2.Seed = 777
+	a, _ := s1.Generate()
+	b, _ := s2.Generate()
+	ae := a.Train.Entries(nil)
+	be := b.Train.Entries(nil)
+	same := 0
+	n := len(ae)
+	if len(be) < n {
+		n = len(be)
+	}
+	for i := 0; i < n; i++ {
+		if ae[i] == be[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTestEntriesCoveredByTrain(t *testing.T) {
+	d, err := NetflixLike(0.001).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Test) == 0 {
+		t.Fatal("no test entries generated")
+	}
+	for _, e := range d.Test {
+		if d.Train.RowDegree(int(e.Row)) == 0 {
+			t.Fatalf("test user %d has no training ratings", e.Row)
+		}
+		if d.Train.ColDegree(int(e.Col)) == 0 {
+			t.Fatalf("test item %d has no training ratings", e.Col)
+		}
+	}
+}
+
+func TestQuantizedValuesAreStars(t *testing.T) {
+	d, err := NetflixLike(0.001).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(v float64) {
+		if v < 1 || v > 5 || v != math.Trunc(v) {
+			t.Fatalf("quantized rating %v not an integer star", v)
+		}
+	}
+	for _, e := range d.Train.Entries(nil) {
+		check(e.Val)
+	}
+	for _, e := range d.Test {
+		check(e.Val)
+	}
+}
+
+func TestUnquantizedValuesContinuous(t *testing.T) {
+	d, err := YahooLike(0.0002).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	integers := 0
+	ents := d.Train.Entries(nil)
+	for _, e := range ents {
+		if e.Val == math.Trunc(e.Val) {
+			integers++
+		}
+	}
+	if integers == len(ents) {
+		t.Fatal("yahoo-like data looks quantized")
+	}
+}
+
+// TestShapeRatiosPreserved is the Table 2 fidelity check: the defining
+// ratios of each profile must hold at small scale.
+func TestShapeRatiosPreserved(t *testing.T) {
+	cases := []struct {
+		spec          Spec
+		wantPerItemLo float64
+		wantPerItemHi float64
+	}{
+		// Netflix: 99.07M/17.77K ≈ 5575 ratings/item; rows and nnz both
+		// scale linearly so the ratio is preserved exactly by the spec.
+		{NetflixLike(0.001), 4000, 7000},
+		// Yahoo: ≈404/item.
+		{YahooLike(0.0002), 250, 600},
+	}
+	for _, c := range cases {
+		perItem := float64(c.spec.NNZ) / float64(c.spec.Cols)
+		if perItem < c.wantPerItemLo || perItem > c.wantPerItemHi {
+			t.Errorf("%s: ratings/item = %.0f, want in [%.0f, %.0f]",
+				c.spec.Name, perItem, c.wantPerItemLo, c.wantPerItemHi)
+		}
+		if c.spec.Rows <= c.spec.Cols {
+			t.Errorf("%s: rows %d not > cols %d", c.spec.Name, c.spec.Rows, c.spec.Cols)
+		}
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	d, err := NetflixLike(0.002).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := d.Train.ColStats()
+	// Heavy-tailed: the busiest item must be far above the mean.
+	if float64(cs.Max) < 3*cs.Mean {
+		t.Errorf("item degree distribution not skewed: max=%d mean=%.1f", cs.Max, cs.Mean)
+	}
+}
+
+func TestGroundTruthSignal(t *testing.T) {
+	// The generated values must carry low-rank signal, not pure noise:
+	// their variance should be near Var(⟨w,h⟩)+σ² ≈ 1.01.
+	d, err := YahooLike(0.0005).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := d.Train.Entries(nil)
+	var sum, sumSq float64
+	for _, e := range ents {
+		sum += e.Val
+		sumSq += e.Val * e.Val
+	}
+	n := float64(len(ents))
+	variance := sumSq/n - (sum/n)*(sum/n)
+	if variance < 0.5 || variance > 2.0 {
+		t.Errorf("rating variance %.3f outside [0.5, 2.0]; ground truth scaling broken", variance)
+	}
+}
+
+func TestGrowScalesUsersNotItems(t *testing.T) {
+	g1 := Grow(1, 0.001)
+	g4 := Grow(4, 0.001)
+	if g4.Cols != g1.Cols {
+		t.Fatalf("Grow changed item count: %d vs %d", g4.Cols, g1.Cols)
+	}
+	if g4.Rows <= g1.Rows {
+		t.Fatalf("Grow did not scale users: %d vs %d", g4.Rows, g1.Rows)
+	}
+	if g4.NNZ <= g1.NNZ {
+		t.Fatalf("Grow did not scale ratings: %d vs %d", g4.NNZ, g1.NNZ)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"netflix", "yahoo", "hugewiki"} {
+		if _, err := ByName(name, 0.01); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("movielens", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	b := sparse.NewBuilder(10, 10, 0)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if (i+j)%2 == 0 {
+				b.Add(i, j, float64(i+j))
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromMatrix("half", m, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Train.NNZ()+len(d.Test) != m.NNZ() {
+		t.Fatal("split lost entries")
+	}
+	if len(d.Test) == 0 {
+		t.Fatal("no test entries")
+	}
+}
+
+func TestFromMatrixBadFraction(t *testing.T) {
+	m, _ := sparse.FromEntries(2, 2, []sparse.Entry{{Row: 0, Col: 0, Val: 1}})
+	if _, err := FromMatrix("x", m, 1.0, 1); err == nil {
+		t.Fatal("test fraction 1.0 accepted")
+	}
+	if _, err := FromMatrix("x", m, -0.1, 1); err == nil {
+		t.Fatal("negative test fraction accepted")
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	bad := Spec{Rows: 0, Cols: 10, NNZ: 5}
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("zero-row spec accepted")
+	}
+	bad = Spec{Rows: 2, Cols: 2, NNZ: 100, TrueRank: 2}
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("overfull spec accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, err := NetflixLike(0.001).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Rows != d.Rows() || s.Cols != d.Cols() || s.TrainNNZ != d.Train.NNZ() {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+	if s.RatingsPerItem <= 0 || s.RatingsPerUser <= 0 {
+		t.Fatalf("stats degenerate: %+v", s)
+	}
+}

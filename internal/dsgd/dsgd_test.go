@@ -1,0 +1,75 @@
+package dsgd
+
+import (
+	"testing"
+
+	"nomad/internal/algotest"
+	"nomad/internal/netsim"
+	"nomad/internal/partition"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.BoldStep = 0.05
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestMultiWorkerSharedMemory(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Workers = 4
+	cfg.BoldStep = 0.05
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+	if res.MessagesSent != 0 {
+		t.Error("single machine run used the network")
+	}
+}
+
+func TestDistributedConvergesAndCommunicates(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Machines = 2
+	cfg.Workers = 2
+	cfg.BoldStep = 0.05
+	cfg.Profile = netsim.Instant()
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+	if res.MessagesSent == 0 {
+		t.Error("distributed DSGD sent no blocks")
+	}
+}
+
+func TestStrataConservationAndDisjointness(t *testing.T) {
+	ds := algotest.Data(t)
+	p := 4
+	up := partition.EqualRanges(ds.Rows(), p)
+	ip := partition.EqualRanges(ds.Cols(), p)
+	strata := buildStrata(ds, up, ip, p)
+	total := 0
+	for g := 0; g < p; g++ {
+		for s := 0; s < p; s++ {
+			blk := strata[g*p+s]
+			total += len(blk.users)
+			for x := range blk.users {
+				if up.Owner(int(blk.users[x])) != g {
+					t.Fatalf("stratum (%d,%d) holds foreign user %d", g, s, blk.users[x])
+				}
+				if ip.Owner(int(blk.items[x])) != s {
+					t.Fatalf("stratum (%d,%d) holds foreign item %d", g, s, blk.items[x])
+				}
+			}
+		}
+	}
+	if total != ds.Train.NNZ() {
+		t.Fatalf("strata hold %d ratings, train has %d", total, ds.Train.NNZ())
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "dsgd" {
+		t.Fatal("wrong name")
+	}
+}

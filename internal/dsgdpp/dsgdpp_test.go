@@ -1,0 +1,103 @@
+package dsgdpp
+
+import (
+	"testing"
+
+	"nomad/internal/algotest"
+	"nomad/internal/netsim"
+	"nomad/internal/partition"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.BoldStep = 0.05
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestDistributedConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Machines = 2
+	cfg.Workers = 2
+	cfg.BoldStep = 0.05
+	cfg.Profile = netsim.Instant()
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+	if res.MessagesSent == 0 {
+		t.Error("distributed DSGD++ sent no blocks")
+	}
+}
+
+// TestScheduleDisjointAndComplete verifies the 2p-block schedule: at
+// every sub-epoch all workers process distinct blocks, and over 2p
+// sub-epochs each worker sees every block exactly once.
+func TestScheduleDisjointAndComplete(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		bp := 2 * p
+		for s := 0; s < bp; s++ {
+			seen := map[int]bool{}
+			for g := 0; g < p; g++ {
+				b := (2*g + s) % bp
+				if seen[b] {
+					t.Fatalf("p=%d s=%d: block %d processed twice", p, s, b)
+				}
+				seen[b] = true
+			}
+		}
+		for g := 0; g < p; g++ {
+			seen := map[int]bool{}
+			for s := 0; s < bp; s++ {
+				seen[(2*g+s)%bp] = true
+			}
+			if len(seen) != bp {
+				t.Fatalf("p=%d worker %d covers only %d of %d blocks", p, g, len(seen), bp)
+			}
+		}
+	}
+}
+
+// TestPrefetchSourceFinishedEarlier verifies the overlap invariant: the
+// block prefetched for worker g at sub-epoch s was last processed at
+// sub-epoch s-1 (by worker g+1), so it is free to travel during s.
+func TestPrefetchSourceFinishedEarlier(t *testing.T) {
+	for _, p := range []int{2, 4, 5} {
+		bp := 2 * p
+		for s := 1; s < bp; s++ {
+			for g := 0; g < p; g++ {
+				fetched := (2*g + s + 1) % bp
+				// Who processes `fetched` at sub-epoch s? Nobody should.
+				for g2 := 0; g2 < p; g2++ {
+					if (2*g2+s)%bp == fetched {
+						t.Fatalf("p=%d s=%d: prefetched block %d is being computed by worker %d", p, s, fetched, g2)
+					}
+				}
+				// Worker (g+1)%p processed it at s-1.
+				holder := (g + 1) % p
+				if (2*holder+s-1)%bp != fetched {
+					t.Fatalf("p=%d s=%d g=%d: holder mismatch", p, s, g)
+				}
+			}
+		}
+	}
+}
+
+func TestStrataConservation(t *testing.T) {
+	ds := algotest.Data(t)
+	p, bp := 3, 6
+	strata := buildStrata(ds, partition.EqualRanges(ds.Rows(), p), partition.EqualRanges(ds.Cols(), bp), p, bp)
+	total := 0
+	for _, blk := range strata {
+		total += len(blk.users)
+	}
+	if total != ds.Train.NNZ() {
+		t.Fatalf("strata hold %d ratings, train has %d", total, ds.Train.NNZ())
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "dsgdpp" {
+		t.Fatal("wrong name")
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nomad/internal/core"
+	"nomad/internal/glals"
+	"nomad/internal/netsim"
+	"nomad/internal/train"
+)
+
+func init() {
+	register("fig21", Fig21)
+	register("fig22", Fig22)
+	register("fig23", Fig23)
+}
+
+// graphlabCompare is the Appendix F layout: NOMAD against the
+// GraphLab-style comparators on netflix- and yahoo-like data (the
+// paper could not run GraphLab on Hugewiki at all).
+func graphlabCompare(id, title string, machines int, profile netsim.Profile, o Options, algos []train.Algorithm) (*Result, error) {
+	res := &Result{
+		ID:    id,
+		Title: title,
+		XAxis: "seconds",
+		Notes: []string{fmt.Sprintf("machines=%d, network=%s", machines, profile.Name)},
+	}
+	for _, prof := range []string{"netflix", "yahoo"} {
+		ds, err := data(prof, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			// Equal wall-clock budgets, as in the paper's plots.
+			cfg := timedConfig(prof, o)
+			cfg.Machines = machines
+			cfg.Profile = profile
+			s, tr, err := runSeries(prof+" "+algo.Name(), algo, ds, cfg, "seconds", 1)
+			if err != nil {
+				return nil, err
+			}
+			res.Series = append(res.Series, s)
+			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: %.2fs for %d updates",
+				prof, algo.Name(), tr.Elapsed.Seconds(), tr.Updates))
+		}
+	}
+	return res, nil
+}
+
+// Fig21 reproduces Figure 21: NOMAD vs GraphLab ALS on a single
+// machine (shared memory — the emulated ALS pays no network cost here,
+// only its much higher per-sweep compute).
+func Fig21(o Options) (*Result, error) {
+	return graphlabCompare("fig21", "NOMAD vs GraphLab-style ALS (single machine)",
+		1, netsim.Instant(), o, []train.Algorithm{core.New(), glals.New()})
+}
+
+// Fig22 reproduces Figure 22: the HPC-cluster version, where the ALS
+// emulation starts paying lock/fetch round trips.
+func Fig22(o Options) (*Result, error) {
+	return graphlabCompare("fig22", "NOMAD vs GraphLab-style ALS (HPC cluster)",
+		o.Machines, netsim.HPC(), o, []train.Algorithm{core.New(), glals.New()})
+}
+
+// Fig23 reproduces Figure 23: the commodity-cluster version with
+// GraphLab biassgd added. Expected: NOMAD orders of magnitude faster
+// per unit of RMSE progress.
+func Fig23(o Options) (*Result, error) {
+	return graphlabCompare("fig23", "NOMAD vs GraphLab-style ALS and biassgd (commodity cluster)",
+		o.Machines, netsim.Commodity(), o,
+		[]train.Algorithm{core.New(), glals.New(), glals.NewBiasSGD()})
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nomad/internal/ccd"
+	"nomad/internal/core"
+	"nomad/internal/fpsgd"
+	"nomad/internal/train"
+)
+
+func init() {
+	register("fig5", Fig5)
+	register("fig6L", Fig6Updates)
+	register("fig6R", Fig6Throughput)
+	register("fig7", Fig7)
+	register("fig18", Fig18)
+}
+
+var profiles = []string{"netflix", "yahoo", "hugewiki"}
+
+// coreSweep is the {4, 8, 16, 30}-cores sweep of the paper, scaled to
+// worker-goroutine counts sensible for one process.
+var coreSweep = []int{1, 2, 4, 8}
+
+// Fig5 reproduces Figure 5: single machine, all cores, NOMAD vs
+// FPSGD** vs CCD++ on all three datasets; test RMSE vs seconds.
+func Fig5(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig5",
+		Title: "Shared memory: NOMAD vs FPSGD** vs CCD++ (test RMSE vs seconds)",
+		XAxis: "seconds",
+		Notes: []string{fmt.Sprintf("workers=%d, scale=%g; paper Fig 5 used 30 cores on Stampede", o.Workers, o.Scale)},
+	}
+	algos := []train.Algorithm{core.New(), fpsgd.New(), ccd.New()}
+	for _, prof := range profiles {
+		ds, err := data(prof, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			cfg := timedConfig(prof, o)
+			s, _, err := runSeries(prof+" "+algo.Name(), algo, ds, cfg, "seconds", 1)
+			if err != nil {
+				return nil, err
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// Fig6Updates reproduces Figure 6 (left): NOMAD's test RMSE as a
+// function of the number of updates on yahoo-like data as the worker
+// count varies. The paper's observation — more workers converge faster
+// *per update* because tokens circulate fresher information — is the
+// target shape.
+func Fig6Updates(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig6L",
+		Title: "NOMAD: test RMSE vs updates as cores vary (yahoo-like)",
+		XAxis: "updates",
+	}
+	ds, err := data("yahoo", o)
+	if err != nil {
+		return nil, err
+	}
+	for _, workers := range coreSweep {
+		cfg := baseConfig("yahoo", o)
+		cfg.Workers = workers
+		s, _, err := runSeries(fmt.Sprintf("cores=%d", workers), core.New(), ds, cfg, "updates", 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig6Throughput reproduces Figure 6 (right): NOMAD updates per core
+// per second as the core count varies, for all three datasets.
+func Fig6Throughput(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig6R",
+		Title: "NOMAD throughput: updates/core/sec vs cores",
+		Notes: []string{"host parallelism bounds wall-clock scaling; see EXPERIMENTS.md"},
+		Table: &Table{Headers: []string{"cores", "netflix", "yahoo", "hugewiki"}},
+	}
+	rows := map[int][]string{}
+	for _, workers := range coreSweep {
+		rows[workers] = []string{fmt.Sprintf("%d", workers)}
+	}
+	for _, prof := range profiles {
+		ds, err := data(prof, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, workers := range coreSweep {
+			cfg := baseConfig(prof, o)
+			cfg.Workers = workers
+			_, tr, err := runSeries("", core.New(), ds, cfg, "seconds", 1)
+			if err != nil {
+				return nil, err
+			}
+			tp := tr.Throughput(cfg).PerWorkerPerSec()
+			rows[workers] = append(rows[workers], fmt.Sprintf("%.0f", tp))
+		}
+	}
+	for _, workers := range coreSweep {
+		res.Table.Rows = append(res.Table.Rows, rows[workers])
+	}
+	return res, nil
+}
+
+// Fig7 reproduces Figure 7: test RMSE against seconds×cores. If the
+// curves for different core counts coincide, scaling is linear.
+func Fig7(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig7",
+		Title: "NOMAD: test RMSE vs seconds×cores as cores vary",
+		XAxis: "seconds×workers",
+	}
+	for _, prof := range profiles {
+		ds, err := data(prof, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, workers := range coreSweep {
+			cfg := baseConfig(prof, o)
+			cfg.Workers = workers
+			s, _, err := runSeries(fmt.Sprintf("%s cores=%d", prof, workers),
+				core.New(), ds, cfg, "seconds×workers", float64(workers))
+			if err != nil {
+				return nil, err
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// Fig18 reproduces Appendix D Figure 18: RMSE vs updates under the
+// core sweep for all three datasets (the full version of Fig 6 left).
+func Fig18(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig18",
+		Title: "NOMAD: test RMSE vs updates as cores vary (all datasets)",
+		XAxis: "updates",
+	}
+	for _, prof := range profiles {
+		ds, err := data(prof, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, workers := range coreSweep {
+			cfg := baseConfig(prof, o)
+			cfg.Workers = workers
+			s, _, err := runSeries(fmt.Sprintf("%s cores=%d", prof, workers),
+				core.New(), ds, cfg, "updates", 1)
+			if err != nil {
+				return nil, err
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+// Package factor holds the low-rank factor model W·Hᵀ shared by all
+// matrix-completion algorithms.
+//
+// W is m×k (one row per user) and H is n×k (one row per item), both
+// stored as single flat row-major float64 slices so that a row is a
+// contiguous, cache-friendly sub-slice. Following §5.1 of the NOMAD
+// paper, entries are initialized i.i.d. uniform on (0, 1/√k).
+package factor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"nomad/internal/rng"
+	"nomad/internal/vecmath"
+)
+
+// Model is a rank-k factorization candidate: A ≈ W·Hᵀ.
+type Model struct {
+	M, N, K int
+	w       []float64 // m×k row-major
+	h       []float64 // n×k row-major
+}
+
+// New returns a zero-valued model of the given shape.
+func New(m, n, k int) *Model {
+	if m <= 0 || n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("factor: invalid shape m=%d n=%d k=%d", m, n, k))
+	}
+	return &Model{M: m, N: n, K: k, w: make([]float64, m*k), h: make([]float64, n*k)}
+}
+
+// NewInit returns a model initialized like the paper's experiments:
+// every entry drawn uniformly from (0, 1/√k), using the given seed.
+func NewInit(m, n, k int, seed uint64) *Model {
+	md := New(m, n, k)
+	r := rng.New(seed)
+	hi := 1 / math.Sqrt(float64(k))
+	for i := range md.w {
+		md.w[i] = r.Uniform(0, hi)
+	}
+	for i := range md.h {
+		md.h[i] = r.Uniform(0, hi)
+	}
+	return md
+}
+
+// UserRow returns user i's factor row wᵢ. The slice aliases model
+// storage: writes through it update the model.
+func (md *Model) UserRow(i int) []float64 { return md.w[i*md.K : i*md.K+md.K] }
+
+// ItemRow returns item j's factor row hⱼ, aliasing model storage.
+func (md *Model) ItemRow(j int) []float64 { return md.h[j*md.K : j*md.K+md.K] }
+
+// Predict returns the model's estimate of rating (i, j): ⟨wᵢ, hⱼ⟩.
+func (md *Model) Predict(i, j int) float64 {
+	return vecmath.Dot(md.UserRow(i), md.ItemRow(j))
+}
+
+// Clone returns a deep copy of the model.
+func (md *Model) Clone() *Model {
+	c := New(md.M, md.N, md.K)
+	copy(c.w, md.w)
+	copy(c.h, md.h)
+	return c
+}
+
+// CopyFrom overwrites md's parameters with src's. Shapes must match.
+func (md *Model) CopyFrom(src *Model) {
+	if md.M != src.M || md.N != src.N || md.K != src.K {
+		panic("factor: CopyFrom shape mismatch")
+	}
+	copy(md.w, src.w)
+	copy(md.h, src.h)
+}
+
+// WData exposes the flat W array (m×k row-major). Intended for
+// algorithms that partition rows across workers; each worker must touch
+// only its own rows.
+func (md *Model) WData() []float64 { return md.w }
+
+// HData exposes the flat H array (n×k row-major), with the same
+// ownership discipline as WData.
+func (md *Model) HData() []float64 { return md.h }
+
+const modelMagic uint32 = 0x4e4d444d // "NMDM"
+
+// WriteBinary serializes the model.
+func (md *Model) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := struct {
+		Magic   uint32
+		_       uint32
+		M, N, K int64
+	}{Magic: modelMagic, M: int64(md.M), N: int64(md.N), K: int64(md.K)}
+	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("factor: write header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, md.w); err != nil {
+		return fmt.Errorf("factor: write W: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, md.h); err != nil {
+		return fmt.Errorf("factor: write H: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a model written by WriteBinary.
+func ReadBinary(r io.Reader) (*Model, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr struct {
+		Magic   uint32
+		_       uint32
+		M, N, K int64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("factor: read header: %w", err)
+	}
+	if hdr.Magic != modelMagic {
+		return nil, fmt.Errorf("factor: bad magic %#x", hdr.Magic)
+	}
+	if hdr.M <= 0 || hdr.N <= 0 || hdr.K <= 0 {
+		return nil, fmt.Errorf("factor: corrupt header m=%d n=%d k=%d", hdr.M, hdr.N, hdr.K)
+	}
+	md := New(int(hdr.M), int(hdr.N), int(hdr.K))
+	if err := binary.Read(br, binary.LittleEndian, md.w); err != nil {
+		return nil, fmt.Errorf("factor: read W: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, md.h); err != nil {
+		return nil, fmt.Errorf("factor: read H: %w", err)
+	}
+	return md, nil
+}

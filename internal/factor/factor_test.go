@@ -1,0 +1,142 @@
+package factor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShape(t *testing.T) {
+	md := New(5, 3, 4)
+	if len(md.WData()) != 20 || len(md.HData()) != 12 {
+		t.Fatalf("W/H lengths = %d/%d", len(md.WData()), len(md.HData()))
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		d := dims
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", d)
+				}
+			}()
+			New(d[0], d[1], d[2])
+		}()
+	}
+}
+
+func TestInitRange(t *testing.T) {
+	k := 16
+	md := NewInit(10, 10, k, 7)
+	hi := 1 / math.Sqrt(float64(k))
+	for _, v := range md.WData() {
+		if v < 0 || v >= hi {
+			t.Fatalf("W init %v out of [0, %v)", v, hi)
+		}
+	}
+	for _, v := range md.HData() {
+		if v < 0 || v >= hi {
+			t.Fatalf("H init %v out of [0, %v)", v, hi)
+		}
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	a := NewInit(6, 4, 3, 99)
+	b := NewInit(6, 4, 3, 99)
+	for i := range a.WData() {
+		if a.WData()[i] != b.WData()[i] {
+			t.Fatal("same seed produced different W")
+		}
+	}
+}
+
+func TestRowsAliasStorage(t *testing.T) {
+	md := New(3, 3, 2)
+	md.UserRow(1)[0] = 42
+	if md.WData()[2] != 42 {
+		t.Fatal("UserRow does not alias WData")
+	}
+	md.ItemRow(2)[1] = 7
+	if md.HData()[5] != 7 {
+		t.Fatal("ItemRow does not alias HData")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	md := New(2, 2, 2)
+	copy(md.UserRow(0), []float64{1, 2})
+	copy(md.ItemRow(1), []float64{3, 4})
+	if got := md.Predict(0, 1); got != 11 {
+		t.Fatalf("Predict = %v, want 11", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewInit(4, 4, 2, 1)
+	b := a.Clone()
+	b.UserRow(0)[0] = 1e9
+	if a.UserRow(0)[0] == 1e9 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewInit(4, 4, 2, 1)
+	b := New(4, 4, 2)
+	b.CopyFrom(a)
+	for i := range a.WData() {
+		if a.WData()[i] != b.WData()[i] {
+			t.Fatal("CopyFrom missed W data")
+		}
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2, 2).CopyFrom(New(3, 2, 2))
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		md := NewInit(3+int(seed%5), 2+int(seed%7), 1+int(seed%4), seed)
+		var buf bytes.Buffer
+		if err := md.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.M != md.M || got.N != md.N || got.K != md.K {
+			return false
+		}
+		for i := range md.WData() {
+			if got.WData()[i] != md.WData()[i] {
+				return false
+			}
+		}
+		for i := range md.HData() {
+			if got.HData()[i] != md.HData()[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("garbage here not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package fpsgd
+
+import (
+	"testing"
+
+	"nomad/internal/algotest"
+	"nomad/internal/partition"
+	"nomad/internal/rng"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	res := algotest.Run(t, New(), ds, algotest.SGDConfig())
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestMultiWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Workers = 4
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.6)
+}
+
+func TestManagerExclusivity(t *testing.T) {
+	pp := 4
+	tm := &manager{
+		pp:       pp,
+		rowBusy:  make([]bool, pp),
+		colBusy:  make([]bool, pp),
+		updates:  make([]int, pp*pp),
+		nonEmpty: make([]bool, pp*pp),
+	}
+	for i := range tm.nonEmpty {
+		tm.nonEmpty[i] = true
+	}
+	r := rng.New(1)
+	held := map[int]bool{}
+	// Acquire up to pp blocks; all must have distinct rows and cols.
+	rows := map[int]bool{}
+	cols := map[int]bool{}
+	for i := 0; i < pp; i++ {
+		id := tm.acquire(r)
+		if id < 0 {
+			t.Fatalf("acquire %d returned none", i)
+		}
+		a, b := id/pp, id%pp
+		if rows[a] || cols[b] {
+			t.Fatalf("block (%d,%d) conflicts with held blocks", a, b)
+		}
+		rows[a], cols[b] = true, true
+		held[id] = true
+	}
+	// Grid is saturated: next acquire must fail.
+	if id := tm.acquire(r); id >= 0 {
+		t.Fatalf("acquired %d from saturated grid", id)
+	}
+	// Release one; a block in the freed row/col becomes available.
+	for id := range held {
+		tm.release(id)
+		break
+	}
+	if id := tm.acquire(r); id < 0 {
+		t.Fatal("no block available after release")
+	}
+}
+
+func TestManagerPrefersLeastUpdated(t *testing.T) {
+	pp := 2
+	tm := &manager{
+		pp:       pp,
+		rowBusy:  make([]bool, pp),
+		colBusy:  make([]bool, pp),
+		updates:  []int{5, 3, 2, 9},
+		nonEmpty: []bool{true, true, true, true},
+	}
+	r := rng.New(1)
+	if id := tm.acquire(r); id != 2 {
+		t.Fatalf("acquired block %d, want least-updated block 2", id)
+	}
+}
+
+func TestBuildBlocksConservation(t *testing.T) {
+	ds := algotest.Data(t)
+	pp := 6
+	blocks := buildBlocks(ds, partition.EqualRanges(ds.Rows(), pp), partition.EqualRanges(ds.Cols(), pp), pp)
+	total := 0
+	for _, b := range blocks {
+		total += len(b.users)
+	}
+	if total != ds.Train.NNZ() {
+		t.Fatalf("blocks hold %d ratings, train has %d", total, ds.Train.NNZ())
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "fpsgd" {
+		t.Fatal("wrong name")
+	}
+}

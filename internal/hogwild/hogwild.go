@@ -1,0 +1,93 @@
+// Package hogwild implements Hogwild!-style asynchronous SGD (Recht et
+// al. 2011), the paper's §4.2/§4.3 point of contrast: fully
+// asynchronous like NOMAD, but *not serializable* — workers sample
+// ratings uniformly at random and update shared factor rows without any
+// coordination, so two workers can race on the same wᵢ or hⱼ.
+//
+// The paper argues (and the serializability ablation benchmark
+// measures) that NOMAD's race-free update ordering converges faster;
+// this package exists to make that comparison runnable.
+package hogwild
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nomad/internal/dataset"
+	"nomad/internal/factor"
+	"nomad/internal/rng"
+	"nomad/internal/train"
+	"nomad/internal/vecmath"
+)
+
+// Hogwild is the solver. The zero value is ready to use.
+type Hogwild struct{}
+
+// New returns a Hogwild solver.
+func New() *Hogwild { return &Hogwild{} }
+
+// Name implements train.Algorithm.
+func (*Hogwild) Name() string { return "hogwild" }
+
+// Train implements train.Algorithm. Machines is treated as additional
+// worker multiplicity: Hogwild has no distributed story (that is the
+// point), so all workers share one memory image.
+func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+	cfg, err := cfg.Normalize(ds)
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.TotalWorkers()
+	md := factor.NewInit(ds.Rows(), ds.Cols(), cfg.K, cfg.Seed)
+	schedule := cfg.Schedule()
+
+	// Flatten the training entries for O(1) uniform sampling.
+	entries := ds.Train.Entries(nil)
+	nnz := len(entries)
+	// Per-rating update counts for eq. (11). Increments race between
+	// workers — deliberately: Hogwild takes no locks anywhere.
+	counts := make([]int32, nnz)
+
+	lossFn := cfg.Loss
+	counter := train.NewCounter(p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	var stop atomic.Bool
+	root := rng.New(cfg.Seed)
+	var wg sync.WaitGroup
+	for q := 0; q < p; q++ {
+		wg.Add(1)
+		go func(q int, r *rng.Source) {
+			defer wg.Done()
+			var batch int64
+			for !stop.Load() {
+				x := r.Intn(nnz)
+				e := entries[x]
+				t := counts[x]
+				counts[x] = t + 1 // racy by design
+				step := schedule.Step(int(t))
+				wRow := md.UserRow(int(e.Row))
+				hRow := md.ItemRow(int(e.Col))
+				g := lossFn.Grad(vecmath.Dot(wRow, hRow), e.Val)
+				vecmath.SGDUpdateGrad(wRow, hRow, g, step, cfg.Lambda)
+				batch++
+				if batch >= 256 {
+					counter.Add(q, batch)
+					batch = 0
+				}
+			}
+			counter.Add(q, batch)
+		}(q, root.Split(uint64(q)))
+	}
+
+	train.Monitor(&stop, counter, cfg, rec, md)
+	wg.Wait()
+	rec.Sample(md, counter.Total())
+
+	return &train.Result{
+		Algorithm: "hogwild",
+		Model:     md,
+		Trace:     rec.Trace(),
+		Updates:   counter.Total(),
+		Elapsed:   rec.Elapsed(),
+	}, nil
+}

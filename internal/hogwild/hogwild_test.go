@@ -1,0 +1,47 @@
+package hogwild
+
+import (
+	"testing"
+
+	"nomad/internal/algotest"
+)
+
+func TestSingleWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	res := algotest.Run(t, New(), ds, algotest.SGDConfig())
+	algotest.RequireConverged(t, res, 0.6)
+	if res.BytesSent != 0 {
+		t.Error("hogwild should not touch the network")
+	}
+}
+
+func TestMultiWorkerConverges(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Workers = 4
+	res := algotest.Run(t, New(), ds, cfg)
+	algotest.RequireConverged(t, res, 0.7)
+}
+
+func TestUpdateCountPlausible(t *testing.T) {
+	ds := algotest.Data(t)
+	cfg := algotest.SGDConfig()
+	cfg.Epochs = 5
+	res := algotest.Run(t, New(), ds, cfg)
+	want := int64(5 * ds.Train.NNZ())
+	if res.Updates < want {
+		t.Errorf("updates %d below configured work %d", res.Updates, want)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "hogwild" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestRejectsNilDataset(t *testing.T) {
+	if _, err := New().Train(nil, algotest.SGDConfig()); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}

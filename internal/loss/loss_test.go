@@ -1,0 +1,99 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareMatchesPaperGradient(t *testing.T) {
+	var s Square
+	// eq. (9): gradient factor is the residual A_ij − ⟨w,h⟩.
+	if g := s.Grad(1.5, 4.0); g != 2.5 {
+		t.Fatalf("square grad = %v, want 2.5", g)
+	}
+	if v := s.Value(1.5, 4.0); v != 2.5*2.5/2 {
+		t.Fatalf("square value = %v", v)
+	}
+}
+
+func TestAbsoluteGrad(t *testing.T) {
+	var a Absolute
+	if a.Grad(0, 1) != 1 || a.Grad(1, 0) != -1 || a.Grad(2, 2) != 0 {
+		t.Fatal("absolute grad signs wrong")
+	}
+	if a.Value(3, 1) != 2 {
+		t.Fatal("absolute value wrong")
+	}
+}
+
+func TestLogisticValueStable(t *testing.T) {
+	var l Logistic
+	// Large-margin correct prediction: loss ≈ 0, no overflow.
+	if v := l.Value(100, 1); v > 1e-6 || math.IsNaN(v) {
+		t.Fatalf("logistic value at large margin = %v", v)
+	}
+	// Large-margin wrong prediction: loss ≈ |pred|, no overflow.
+	if v := l.Value(100, -1); math.Abs(v-100) > 1e-6 {
+		t.Fatalf("logistic value at large negative margin = %v", v)
+	}
+	if v := l.Value(0, 1); math.Abs(v-math.Log(2)) > 1e-12 {
+		t.Fatalf("logistic value at 0 = %v, want ln 2", v)
+	}
+}
+
+// TestGradIsNegativeDerivative verifies each loss's Grad against a
+// numerical derivative of Value, property-based over random points.
+func TestGradIsNegativeDerivative(t *testing.T) {
+	losses := []Loss{Square{}, Logistic{}}
+	err := quick.Check(func(predRaw, actualRaw int16, pickLogistic bool) bool {
+		pred := float64(predRaw) / 1000
+		var actual float64
+		var l Loss
+		if pickLogistic {
+			l = losses[1]
+			actual = 1.0
+			if actualRaw < 0 {
+				actual = -1.0
+			}
+		} else {
+			l = losses[0]
+			actual = float64(actualRaw) / 1000
+		}
+		const h = 1e-6
+		numeric := -(l.Value(pred+h, actual) - l.Value(pred-h, actual)) / (2 * h)
+		return math.Abs(numeric-l.Grad(pred, actual)) < 1e-4
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	for _, z := range []float64{-700, -10, 0, 10, 700} {
+		s := sigmoid(z)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("sigmoid(%v) = %v", z, s)
+		}
+	}
+	if sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "square", "absolute", "logistic"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("hinge"); err == nil {
+		t.Error("unknown loss accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Square{}).Name() != "square" || (Absolute{}).Name() != "absolute" || (Logistic{}).Name() != "logistic" {
+		t.Fatal("names wrong")
+	}
+}

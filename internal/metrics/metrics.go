@@ -1,0 +1,200 @@
+// Package metrics evaluates matrix-completion models: test RMSE (the
+// paper's comparison metric, §5.1), the regularized training objective
+// J(W,H) of eq. (1) (used by the bold-driver schedule), and time-series
+// traces of RMSE versus wall-clock time and update count, which are the
+// axes of every convergence figure in the paper.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"nomad/internal/factor"
+	"nomad/internal/sparse"
+	"nomad/internal/vecmath"
+)
+
+// RMSE returns the root-mean-square error of the model on the given
+// rating entries, computed in parallel. It returns NaN for an empty
+// test set.
+func RMSE(md *factor.Model, test []sparse.Entry) float64 {
+	if len(test) == 0 {
+		return math.NaN()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(test) {
+		workers = 1
+	}
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(test) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(test) {
+			hi = len(test)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for _, e := range test[lo:hi] {
+				d := e.Val - md.Predict(int(e.Row), int(e.Col))
+				s += d * d
+			}
+			partials[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return math.Sqrt(total / float64(len(test)))
+}
+
+// Objective returns the regularized training objective of paper
+// eq. (1) in its simplified per-rating form:
+//
+//	J(W,H) = ½ Σ_{(i,j)∈Ω} [ (A_ij − ⟨wᵢ,hⱼ⟩)² + λ(‖wᵢ‖² + ‖hⱼ‖²) ]
+//
+// which is exactly the weighted-regularization objective because each
+// row's regularizer is counted once per rating.
+func Objective(md *factor.Model, train *sparse.Matrix, lambda float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	rows := train.Rows()
+	if workers > rows {
+		workers = 1
+	}
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				wRow := md.UserRow(i)
+				wNorm := vecmath.Norm2Sq(wRow)
+				cols, vals := train.Row(i)
+				for x, j := range cols {
+					d := vals[x] - vecmath.Dot(wRow, md.ItemRow(int(j)))
+					s += d*d + lambda*(wNorm+vecmath.Norm2Sq(md.ItemRow(int(j))))
+				}
+			}
+			partials[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total / 2
+}
+
+// MAE returns the mean absolute error on the test entries.
+func MAE(md *factor.Model, test []sparse.Entry) float64 {
+	if len(test) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, e := range test {
+		s += math.Abs(e.Val - md.Predict(int(e.Row), int(e.Col)))
+	}
+	return s / float64(len(test))
+}
+
+// Point is one sample of a convergence trace.
+type Point struct {
+	Seconds float64 // wall-clock seconds since the run started
+	Updates int64   // cumulative SGD updates (or equivalent work unit)
+	RMSE    float64 // test RMSE at that moment
+}
+
+// Trace is a convergence time series. The zero value is ready to use.
+// Trace is not safe for concurrent mutation; algorithms record from a
+// single monitor goroutine.
+type Trace struct {
+	Points []Point
+}
+
+// Add appends a sample.
+func (t *Trace) Add(seconds float64, updates int64, rmse float64) {
+	t.Points = append(t.Points, Point{Seconds: seconds, Updates: updates, RMSE: rmse})
+}
+
+// Final returns the last sample, or a zero Point if empty.
+func (t *Trace) Final() Point {
+	if len(t.Points) == 0 {
+		return Point{RMSE: math.NaN()}
+	}
+	return t.Points[len(t.Points)-1]
+}
+
+// Best returns the sample with the lowest RMSE, or a zero Point if empty.
+func (t *Trace) Best() Point {
+	if len(t.Points) == 0 {
+		return Point{RMSE: math.NaN()}
+	}
+	best := t.Points[0]
+	for _, p := range t.Points[1:] {
+		if p.RMSE < best.RMSE {
+			best = p
+		}
+	}
+	return best
+}
+
+// TimeToRMSE returns the first wall-clock time at which the trace
+// reached or beat the target RMSE, and whether it ever did. This is the
+// "time to quality" summary used when comparing solvers.
+func (t *Trace) TimeToRMSE(target float64) (float64, bool) {
+	for _, p := range t.Points {
+		if p.RMSE <= target {
+			return p.Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// WriteTSV writes the trace as "seconds<tab>updates<tab>rmse" lines.
+func (t *Trace) WriteTSV(w io.Writer) error {
+	for _, p := range t.Points {
+		if _, err := fmt.Fprintf(w, "%.3f\t%d\t%.6f\n", p.Seconds, p.Updates, p.RMSE); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Throughput summarizes update rates for the scaling figures (6, 10, 16).
+type Throughput struct {
+	Updates float64 // total updates performed
+	Seconds float64 // wall-clock duration
+	Workers int     // worker threads (cores × machines)
+}
+
+// PerWorkerPerSec returns updates per worker per second, the y-axis of
+// the paper's throughput plots.
+func (tp Throughput) PerWorkerPerSec() float64 {
+	if tp.Seconds == 0 || tp.Workers == 0 {
+		return 0
+	}
+	return tp.Updates / tp.Seconds / float64(tp.Workers)
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nomad/internal/factor"
+	"nomad/internal/sparse"
+)
+
+func exactModel(t *testing.T) (*factor.Model, []sparse.Entry) {
+	t.Helper()
+	md := factor.New(2, 2, 2)
+	copy(md.UserRow(0), []float64{1, 0})
+	copy(md.UserRow(1), []float64{0, 1})
+	copy(md.ItemRow(0), []float64{2, 0})
+	copy(md.ItemRow(1), []float64{0, 3})
+	test := []sparse.Entry{
+		{Row: 0, Col: 0, Val: 2}, // predicted exactly
+		{Row: 1, Col: 1, Val: 3}, // predicted exactly
+	}
+	return md, test
+}
+
+func TestRMSEZeroForExactModel(t *testing.T) {
+	md, test := exactModel(t)
+	if got := RMSE(md, test); got != 0 {
+		t.Fatalf("RMSE = %v, want 0", got)
+	}
+}
+
+func TestRMSEKnownValue(t *testing.T) {
+	md, _ := exactModel(t)
+	test := []sparse.Entry{
+		{Row: 0, Col: 0, Val: 4}, // error 2
+		{Row: 1, Col: 1, Val: 3}, // error 0
+	}
+	want := math.Sqrt((4.0 + 0.0) / 2.0)
+	if got := RMSE(md, test); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSEEmptyTestSet(t *testing.T) {
+	md, _ := exactModel(t)
+	if got := RMSE(md, nil); !math.IsNaN(got) {
+		t.Fatalf("RMSE on empty set = %v, want NaN", got)
+	}
+}
+
+func TestRMSELargeParallelMatchesSerial(t *testing.T) {
+	md := factor.NewInit(100, 50, 8, 3)
+	var test []sparse.Entry
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 50; j += 7 {
+			test = append(test, sparse.Entry{Row: int32(i), Col: int32(j), Val: 1.0})
+		}
+	}
+	var serial float64
+	for _, e := range test {
+		d := e.Val - md.Predict(int(e.Row), int(e.Col))
+		serial += d * d
+	}
+	serial = math.Sqrt(serial / float64(len(test)))
+	if got := RMSE(md, test); math.Abs(got-serial) > 1e-12 {
+		t.Fatalf("parallel RMSE %v != serial %v", got, serial)
+	}
+}
+
+func TestObjectiveHandComputed(t *testing.T) {
+	md, _ := exactModel(t)
+	train, err := sparse.FromEntries(2, 2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 3}, // error 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.5
+	// J = 1/2 [ (3-2)^2 + 0.5*(|w0|^2 + |h0|^2) ] = 1/2 [1 + 0.5*(1+4)]
+	want := 0.5 * (1 + 0.5*5)
+	if got := Objective(md, train, lambda); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Objective = %v, want %v", got, want)
+	}
+}
+
+func TestObjectiveNonNegative(t *testing.T) {
+	md := factor.NewInit(30, 20, 4, 9)
+	b := sparse.NewBuilder(30, 20, 0)
+	for i := 0; i < 30; i++ {
+		b.Add(i, i%20, float64(i%5))
+	}
+	train, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Objective(md, train, 0.1); got < 0 {
+		t.Fatalf("Objective negative: %v", got)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	md, _ := exactModel(t)
+	test := []sparse.Entry{
+		{Row: 0, Col: 0, Val: 4}, // abs error 2
+		{Row: 1, Col: 1, Val: 2}, // abs error 1
+	}
+	if got := MAE(md, test); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1.5", got)
+	}
+	if !math.IsNaN(MAE(md, nil)) {
+		t.Fatal("MAE on empty set should be NaN")
+	}
+}
+
+func TestTraceFinalBest(t *testing.T) {
+	var tr Trace
+	if !math.IsNaN(tr.Final().RMSE) || !math.IsNaN(tr.Best().RMSE) {
+		t.Fatal("empty trace should report NaN")
+	}
+	tr.Add(1, 100, 0.95)
+	tr.Add(2, 200, 0.91)
+	tr.Add(3, 300, 0.93)
+	if tr.Final().RMSE != 0.93 {
+		t.Fatalf("Final = %+v", tr.Final())
+	}
+	if tr.Best().RMSE != 0.91 || tr.Best().Seconds != 2 {
+		t.Fatalf("Best = %+v", tr.Best())
+	}
+}
+
+func TestTraceTimeToRMSE(t *testing.T) {
+	var tr Trace
+	tr.Add(1, 0, 0.95)
+	tr.Add(2, 0, 0.92)
+	tr.Add(3, 0, 0.90)
+	if s, ok := tr.TimeToRMSE(0.92); !ok || s != 2 {
+		t.Fatalf("TimeToRMSE(0.92) = %v,%v", s, ok)
+	}
+	if _, ok := tr.TimeToRMSE(0.5); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+}
+
+func TestTraceWriteTSV(t *testing.T) {
+	var tr Trace
+	tr.Add(1.5, 10, 0.9)
+	var sb strings.Builder
+	if err := tr.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "1.500\t10\t0.900000\n" {
+		t.Fatalf("TSV = %q", sb.String())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Updates: 1000, Seconds: 2, Workers: 5}
+	if got := tp.PerWorkerPerSec(); got != 100 {
+		t.Fatalf("PerWorkerPerSec = %v, want 100", got)
+	}
+	if (Throughput{}).PerWorkerPerSec() != 0 {
+		t.Fatal("zero throughput should be 0")
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"nomad/internal/factor"
+	"nomad/internal/sparse"
+)
+
+// RankingReport summarizes top-N recommendation quality on a test set:
+// for each test user, the model ranks the items it was not trained on,
+// and the user's held-out highly rated items count as relevant.
+type RankingReport struct {
+	Users      int     // test users evaluated
+	PrecisionK float64 // mean fraction of top-K that is relevant
+	RecallK    float64 // mean fraction of relevant items found in top-K
+	NDCGK      float64 // mean normalized discounted cumulative gain
+	K          int
+}
+
+// Ranking evaluates top-K recommendation quality. An item is relevant
+// to a user if their held-out test rating for it is at least relevant
+// (e.g. 4.0 on a 5-star scale, or 0 for centered data). Items in the
+// user's training row are excluded from the candidate list, mirroring
+// deployment. Users with no relevant test items are skipped.
+func Ranking(md *factor.Model, train *sparse.Matrix, test []sparse.Entry, k int, relevant float64) RankingReport {
+	if k <= 0 {
+		k = 10
+	}
+	// Group relevant test items per user.
+	relevantBy := make(map[int32][]int32)
+	for _, e := range test {
+		if e.Val >= relevant {
+			relevantBy[e.Row] = append(relevantBy[e.Row], e.Col)
+		}
+	}
+	rep := RankingReport{K: k}
+	type scored struct {
+		item  int32
+		score float64
+	}
+	candidates := make([]scored, 0, md.N)
+	for user, rel := range relevantBy {
+		// Rank all items the user has not rated in training.
+		candidates = candidates[:0]
+		trainCols, _ := train.Row(int(user))
+		rated := make(map[int32]bool, len(trainCols))
+		for _, j := range trainCols {
+			rated[j] = true
+		}
+		for j := 0; j < md.N; j++ {
+			if rated[int32(j)] {
+				continue
+			}
+			candidates = append(candidates, scored{item: int32(j), score: md.Predict(int(user), j)})
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].score != candidates[b].score {
+				return candidates[a].score > candidates[b].score
+			}
+			return candidates[a].item < candidates[b].item
+		})
+		top := candidates
+		if len(top) > k {
+			top = top[:k]
+		}
+		relSet := make(map[int32]bool, len(rel))
+		for _, j := range rel {
+			relSet[j] = true
+		}
+		hits := 0
+		var dcg float64
+		for rank, c := range top {
+			if relSet[c.item] {
+				hits++
+				dcg += 1 / math.Log2(float64(rank)+2)
+			}
+		}
+		var idcg float64
+		ideal := len(rel)
+		if ideal > k {
+			ideal = k
+		}
+		for rank := 0; rank < ideal; rank++ {
+			idcg += 1 / math.Log2(float64(rank)+2)
+		}
+		rep.Users++
+		rep.PrecisionK += float64(hits) / float64(len(top))
+		rep.RecallK += float64(hits) / float64(len(rel))
+		if idcg > 0 {
+			rep.NDCGK += dcg / idcg
+		}
+	}
+	if rep.Users > 0 {
+		rep.PrecisionK /= float64(rep.Users)
+		rep.RecallK /= float64(rep.Users)
+		rep.NDCGK /= float64(rep.Users)
+	}
+	return rep
+}

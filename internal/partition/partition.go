@@ -1,0 +1,152 @@
+// Package partition assigns users (or items) to workers.
+//
+// NOMAD (§3.1) splits the m users into p disjoint sets I₁…I_p of
+// approximately equal size, or — the footnoted alternative — of
+// approximately equal rating count. The partition of the rows of A is
+// induced from that, and never changes during a run. The same machinery
+// partitions items for the bulk-synchronous baselines (DSGD's p×p
+// blocking, DSGD++'s 2p item blocks, FPSGD**'s p′×p′ grid).
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition maps n indices onto p parts.
+type Partition struct {
+	p     int
+	owner []int32 // owner[i] = part of index i
+	parts [][]int32
+}
+
+// P returns the number of parts.
+func (pt *Partition) P() int { return pt.p }
+
+// N returns the number of partitioned indices.
+func (pt *Partition) N() int { return len(pt.owner) }
+
+// Owner returns the part that owns index i.
+func (pt *Partition) Owner(i int) int { return int(pt.owner[i]) }
+
+// Part returns the indices owned by part q, in increasing order. The
+// slice aliases internal storage and must not be modified.
+func (pt *Partition) Part(q int) []int32 { return pt.parts[q] }
+
+// Size returns the number of indices in part q.
+func (pt *Partition) Size(q int) int { return len(pt.parts[q]) }
+
+// fromOwner builds the parts lists from an owner array.
+func fromOwner(p int, owner []int32) *Partition {
+	pt := &Partition{p: p, owner: owner, parts: make([][]int32, p)}
+	counts := make([]int, p)
+	for _, o := range owner {
+		counts[o]++
+	}
+	for q := 0; q < p; q++ {
+		pt.parts[q] = make([]int32, 0, counts[q])
+	}
+	for i, o := range owner {
+		pt.parts[o] = append(pt.parts[o], int32(i))
+	}
+	return pt
+}
+
+// EqualRanges splits indices 0..n-1 into p contiguous ranges whose
+// sizes differ by at most one. This is the paper's default "sets of
+// approximately equal size".
+func EqualRanges(n, p int) *Partition {
+	mustValid(n, p)
+	owner := make([]int32, n)
+	base := n / p
+	extra := n % p
+	idx := 0
+	for q := 0; q < p; q++ {
+		size := base
+		if q < extra {
+			size++
+		}
+		for c := 0; c < size; c++ {
+			owner[idx] = int32(q)
+			idx++
+		}
+	}
+	return fromOwner(p, owner)
+}
+
+// EqualWeight splits indices into p parts of approximately equal total
+// weight (the footnote-1 alternative: equal rating counts). It greedily
+// assigns indices in decreasing weight order to the currently lightest
+// part, a standard LPT bin-packing heuristic.
+func EqualWeight(weights []int, p int) *Partition {
+	n := len(weights)
+	mustValid(n, p)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, p)
+	owner := make([]int32, n)
+	for _, i := range order {
+		q := 0
+		for c := 1; c < p; c++ {
+			if load[c] < load[q] {
+				q = c
+			}
+		}
+		owner[i] = int32(q)
+		load[q] += int64(weights[i])
+	}
+	return fromOwner(p, owner)
+}
+
+// Random assigns each index to a uniformly random part, using the
+// provided random stream. NOMAD initializes item-token placement this
+// way (Algorithm 1 lines 7–10).
+func Random(n, p int, intn func(int) int) *Partition {
+	mustValid(n, p)
+	owner := make([]int32, n)
+	for i := range owner {
+		owner[i] = int32(intn(p))
+	}
+	return fromOwner(p, owner)
+}
+
+// Validate checks the structural invariants: every index owned by
+// exactly one part and every part list consistent with the owner map.
+// It is used by tests and by paranoid callers.
+func (pt *Partition) Validate() error {
+	seen := make([]bool, len(pt.owner))
+	total := 0
+	for q, part := range pt.parts {
+		for _, i := range part {
+			if int(i) < 0 || int(i) >= len(pt.owner) {
+				return fmt.Errorf("partition: part %d contains out-of-range index %d", q, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("partition: index %d in multiple parts", i)
+			}
+			seen[i] = true
+			if pt.owner[i] != int32(q) {
+				return fmt.Errorf("partition: owner[%d]=%d but found in part %d", i, pt.owner[i], q)
+			}
+			total++
+		}
+	}
+	if total != len(pt.owner) {
+		return fmt.Errorf("partition: parts cover %d of %d indices", total, len(pt.owner))
+	}
+	return nil
+}
+
+func mustValid(n, p int) {
+	if n < 0 || p <= 0 {
+		panic(fmt.Sprintf("partition: invalid n=%d p=%d", n, p))
+	}
+}

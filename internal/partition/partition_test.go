@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nomad/internal/rng"
+)
+
+func TestEqualRangesSizes(t *testing.T) {
+	pt := EqualRanges(10, 3)
+	if pt.P() != 3 || pt.N() != 10 {
+		t.Fatalf("P/N = %d/%d", pt.P(), pt.N())
+	}
+	sizes := []int{pt.Size(0), pt.Size(1), pt.Size(2)}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualRangesContiguous(t *testing.T) {
+	pt := EqualRanges(100, 7)
+	for q := 0; q < 7; q++ {
+		part := pt.Part(q)
+		for x := 1; x < len(part); x++ {
+			if part[x] != part[x-1]+1 {
+				t.Fatalf("part %d not contiguous at %d", q, x)
+			}
+		}
+	}
+}
+
+func TestEqualRangesProperty(t *testing.T) {
+	err := quick.Check(func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 500)
+		p := int(pRaw%20) + 1
+		pt := EqualRanges(n, p)
+		if pt.Validate() != nil {
+			return false
+		}
+		// Sizes differ by at most one.
+		min, max := n, 0
+		for q := 0; q < p; q++ {
+			s := pt.Size(q)
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return max-min <= 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualWeightBalances(t *testing.T) {
+	// Heavily skewed weights; LPT should spread them evenly.
+	weights := make([]int, 100)
+	r := rng.New(5)
+	total := 0
+	for i := range weights {
+		weights[i] = 1 + r.Intn(1000)
+		total += weights[i]
+	}
+	p := 4
+	pt := EqualWeight(weights, p)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int, p)
+	for q := 0; q < p; q++ {
+		for _, i := range pt.Part(q) {
+			loads[q] += weights[i]
+		}
+	}
+	ideal := total / p
+	for q, l := range loads {
+		if l < ideal*7/10 || l > ideal*13/10 {
+			t.Errorf("part %d load %d too far from ideal %d", q, l, ideal)
+		}
+	}
+}
+
+func TestEqualWeightSingleHeavy(t *testing.T) {
+	// One giant weight should own a part alone (p=2).
+	weights := []int{1000, 1, 1, 1, 1}
+	pt := EqualWeight(weights, 2)
+	heavy := pt.Owner(0)
+	if pt.Size(heavy) != 1 {
+		t.Fatalf("heavy part has %d members, want 1", pt.Size(heavy))
+	}
+}
+
+func TestRandomCoverAndValidate(t *testing.T) {
+	r := rng.New(11)
+	pt := Random(1000, 8, r.Intn)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With 1000 indices over 8 parts, each part should be non-empty
+	// with overwhelming probability.
+	for q := 0; q < 8; q++ {
+		if pt.Size(q) == 0 {
+			t.Fatalf("part %d empty", q)
+		}
+	}
+}
+
+func TestOwnerPartConsistency(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		p := 1 + r.Intn(10)
+		pt := Random(n, p, r.Intn)
+		for q := 0; q < p; q++ {
+			for _, i := range pt.Part(q) {
+				if pt.Owner(int(i)) != q {
+					return false
+				}
+			}
+		}
+		return pt.Validate() == nil
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroIndices(t *testing.T) {
+	pt := EqualRanges(0, 3)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pt.N() != 0 {
+		t.Fatal("expected empty partition")
+	}
+}
+
+func TestPanicsOnInvalidP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EqualRanges(10, 0)
+}

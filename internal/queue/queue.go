@@ -1,0 +1,230 @@
+// Package queue provides the concurrent work queues that carry NOMAD's
+// nomadic item tokens between workers.
+//
+// The original implementation used Intel TBB's concurrent_queue, which
+// the paper notes is "technically not lock-free" but scales nearly
+// linearly (§3.5). This package offers three interchangeable
+// implementations so the choice can be ablated:
+//
+//   - Mutex: a mutex-protected growable ring buffer (the default; like
+//     TBB's queue it takes a lock but the critical section is tiny),
+//   - LockFree: a Michael–Scott linked queue built on atomic pointers,
+//   - Chan: a buffered Go channel.
+//
+// All of them are multi-producer multi-consumer and report an
+// approximate length, which NOMAD's dynamic load balancing (§3.3) uses
+// to route tokens toward lightly loaded workers.
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a concurrent FIFO queue of T.
+type Queue[T any] interface {
+	// Push appends v.
+	Push(v T)
+	// TryPop removes and returns the oldest element, or reports false
+	// if the queue is (momentarily) empty.
+	TryPop() (T, bool)
+	// Len returns the current number of elements. The value is
+	// approximate under concurrency and intended for load balancing.
+	Len() int
+}
+
+// Kind selects a Queue implementation.
+type Kind int
+
+const (
+	// KindMutex is the mutex-protected ring buffer (default).
+	KindMutex Kind = iota
+	// KindLockFree is the Michael–Scott CAS-based linked queue.
+	KindLockFree
+	// KindChan is a buffered channel.
+	KindChan
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindMutex:
+		return "mutex"
+	case KindLockFree:
+		return "lockfree"
+	case KindChan:
+		return "chan"
+	default:
+		return "unknown"
+	}
+}
+
+// New returns a new queue of the given kind. capacityHint sizes the
+// initial ring buffer or channel; the mutex and lock-free queues grow
+// without bound, while the channel queue blocks producers at 4× the
+// hint (so the hint should be generous for KindChan).
+func New[T any](kind Kind, capacityHint int) Queue[T] {
+	if capacityHint < 4 {
+		capacityHint = 4
+	}
+	switch kind {
+	case KindLockFree:
+		return newLockFree[T]()
+	case KindChan:
+		c := 4 * capacityHint
+		if c < 1024 {
+			c = 1024
+		}
+		return &chanQueue[T]{ch: make(chan T, c)}
+	default:
+		return &mutexQueue[T]{buf: make([]T, capacityHint)}
+	}
+}
+
+// mutexQueue is a growable ring buffer guarded by a mutex.
+type mutexQueue[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head int
+	n    int
+}
+
+// Push implements Queue.
+func (q *mutexQueue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.mu.Unlock()
+}
+
+// grow doubles the ring capacity. Caller holds the lock.
+func (q *mutexQueue[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// TryPop implements Queue.
+func (q *mutexQueue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	return v, true
+}
+
+// Len implements Queue.
+func (q *mutexQueue[T]) Len() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}
+
+// lockFree is a Michael–Scott two-lock-free linked queue.
+type lockFree[T any] struct {
+	head atomic.Pointer[lfNode[T]]
+	tail atomic.Pointer[lfNode[T]]
+	size atomic.Int64
+}
+
+type lfNode[T any] struct {
+	next atomic.Pointer[lfNode[T]]
+	val  T
+}
+
+func newLockFree[T any]() *lockFree[T] {
+	q := &lockFree[T]{}
+	sentinel := &lfNode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Push implements Queue.
+func (q *lockFree[T]) Push(v T) {
+	n := &lfNode[T]{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// TryPop implements Queue.
+func (q *lockFree[T]) TryPop() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return zero, false
+		}
+		if head == tail {
+			// Tail lagging behind; help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len implements Queue.
+func (q *lockFree[T]) Len() int { return int(q.size.Load()) }
+
+// chanQueue adapts a buffered channel to the Queue interface. Push
+// blocks if the channel is full, which bounds memory but can deadlock
+// pathological routing patterns; it exists for the ablation benchmark.
+type chanQueue[T any] struct {
+	ch chan T
+}
+
+// Push implements Queue.
+func (q *chanQueue[T]) Push(v T) { q.ch <- v }
+
+// TryPop implements Queue.
+func (q *chanQueue[T]) TryPop() (T, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Len implements Queue.
+func (q *chanQueue[T]) Len() int { return len(q.ch) }

@@ -1,0 +1,205 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+var kinds = []Kind{KindMutex, KindLockFree, KindChan}
+
+func TestFIFOSingleThread(t *testing.T) {
+	for _, k := range kinds {
+		q := New[int](k, 8)
+		for i := 0; i < 100; i++ {
+			q.Push(i)
+		}
+		if q.Len() != 100 {
+			t.Fatalf("%v: Len = %d, want 100", k, q.Len())
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != i {
+				t.Fatalf("%v: pop %d => %v,%v", k, i, v, ok)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("%v: pop from empty succeeded", k)
+		}
+	}
+}
+
+func TestEmptyPop(t *testing.T) {
+	for _, k := range kinds {
+		q := New[string](k, 4)
+		if v, ok := q.TryPop(); ok || v != "" {
+			t.Fatalf("%v: empty queue returned %q,%v", k, v, ok)
+		}
+	}
+}
+
+func TestRingGrowth(t *testing.T) {
+	q := New[int](KindMutex, 4)
+	// Interleave pushes and pops so head wraps, then force growth.
+	for i := 0; i < 3; i++ {
+		q.Push(i)
+	}
+	q.TryPop()
+	q.TryPop()
+	for i := 3; i < 50; i++ {
+		q.Push(i)
+	}
+	want := 2
+	for q.Len() > 0 {
+		v, _ := q.TryPop()
+		if v != want {
+			t.Fatalf("after growth: got %d want %d", v, want)
+		}
+		want++
+	}
+	if want != 50 {
+		t.Fatalf("drained %d elements, want 48", want-2)
+	}
+}
+
+// TestNoLostElements hammers each queue with concurrent producers and
+// consumers and checks that every pushed element is popped exactly once.
+func TestNoLostElements(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 5000
+	for _, k := range kinds {
+		q := New[int](k, producers*perProducer)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					q.Push(p*perProducer + i)
+				}
+			}(p)
+		}
+		results := make(chan int, producers*perProducer)
+		var cg sync.WaitGroup
+		done := make(chan struct{})
+		for c := 0; c < consumers; c++ {
+			cg.Add(1)
+			go func() {
+				defer cg.Done()
+				for {
+					if v, ok := q.TryPop(); ok {
+						results <- v
+						continue
+					}
+					select {
+					case <-done:
+						// Final drain after producers finish.
+						for {
+							v, ok := q.TryPop()
+							if !ok {
+								return
+							}
+							results <- v
+						}
+					default:
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(done)
+		cg.Wait()
+		close(results)
+		seen := make([]bool, producers*perProducer)
+		count := 0
+		for v := range results {
+			if seen[v] {
+				t.Fatalf("%v: element %d popped twice", k, v)
+			}
+			seen[v] = true
+			count++
+		}
+		if count != producers*perProducer {
+			t.Fatalf("%v: popped %d of %d elements", k, count, producers*perProducer)
+		}
+	}
+}
+
+// TestPerProducerOrder verifies FIFO order is preserved per producer
+// even under concurrency (a property both ring and MS queues give).
+func TestPerProducerOrder(t *testing.T) {
+	for _, k := range kinds {
+		q := New[[2]int](k, 1<<14)
+		const producers, perProducer = 3, 3000
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					q.Push([2]int{p, i})
+				}
+			}(p)
+		}
+		wg.Wait()
+		last := make([]int, producers)
+		for i := range last {
+			last[i] = -1
+		}
+		for {
+			v, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if v[1] <= last[v[0]] {
+				t.Fatalf("%v: producer %d out of order: %d after %d", k, v[0], v[1], last[v[0]])
+			}
+			last[v[0]] = v[1]
+		}
+		for p, l := range last {
+			if l != perProducer-1 {
+				t.Fatalf("%v: producer %d only drained to %d", k, p, l)
+			}
+		}
+	}
+}
+
+func TestLenTracksApproximately(t *testing.T) {
+	for _, k := range kinds {
+		q := New[int](k, 64)
+		for i := 0; i < 10; i++ {
+			q.Push(i)
+		}
+		if q.Len() != 10 {
+			t.Fatalf("%v: Len = %d want 10", k, q.Len())
+		}
+		q.TryPop()
+		if q.Len() != 9 {
+			t.Fatalf("%v: Len = %d want 9", k, q.Len())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindMutex.String() != "mutex" || KindLockFree.String() != "lockfree" ||
+		KindChan.String() != "chan" || Kind(99).String() != "unknown" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func benchQueue(b *testing.B, k Kind) {
+	q := New[int](k, 1<<16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				q.Push(i)
+			} else {
+				q.TryPop()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkMutexQueue(b *testing.B)    { benchQueue(b, KindMutex) }
+func BenchmarkLockFreeQueue(b *testing.B) { benchQueue(b, KindLockFree) }
+func BenchmarkChanQueue(b *testing.B)     { benchQueue(b, KindChan) }

@@ -1,0 +1,83 @@
+// Package sched provides the step-size schedules used by the SGD-based
+// algorithms.
+//
+// NOMAD uses the schedule of paper eq. (11),
+//
+//	s_t = α / (1 + β·t^1.5),
+//
+// where t counts the updates already applied to the specific (i,j)
+// rating. DSGD and DSGD++ instead use the "bold driver" heuristic: the
+// step size grows slightly while the training objective decreases and
+// is cut sharply when it increases.
+package sched
+
+import "math"
+
+// Schedule maps an update count t (for one rating) to a step size.
+type Schedule interface {
+	// Step returns the step size for the t-th update, t starting at 0.
+	Step(t int) float64
+}
+
+// Power is the paper's eq. (11) schedule s_t = α/(1+β·t^1.5).
+type Power struct {
+	Alpha, Beta float64
+}
+
+// Step implements Schedule.
+func (p Power) Step(t int) float64 {
+	tf := float64(t)
+	return p.Alpha / (1 + p.Beta*tf*math.Sqrt(tf))
+}
+
+// Constant is a fixed step size, useful in tests and ablations.
+type Constant float64
+
+// Step implements Schedule.
+func (c Constant) Step(int) float64 { return float64(c) }
+
+// InverseTime is the classical Robbins-Monro s_t = α/(1+β·t) schedule.
+type InverseTime struct {
+	Alpha, Beta float64
+}
+
+// Step implements Schedule.
+func (s InverseTime) Step(t int) float64 { return s.Alpha / (1 + s.Beta*float64(t)) }
+
+// BoldDriver adapts a global step size from epoch to epoch by watching
+// the training objective: if the objective decreased, the step size is
+// multiplied by Grow (>1); if it increased, by Shrink (<1). This is the
+// strategy Gemulla et al. use for DSGD (§5.1 of the NOMAD paper).
+//
+// BoldDriver is not safe for concurrent use; the bulk-synchronous
+// algorithms call it once per epoch from their coordinator.
+type BoldDriver struct {
+	Step          float64 // current step size
+	Grow, Shrink  float64
+	prevObjective float64
+	primed        bool
+}
+
+// NewBoldDriver returns a driver starting at step with the customary
+// 1.05× growth and 0.5× shrink factors.
+func NewBoldDriver(step float64) *BoldDriver {
+	return &BoldDriver{Step: step, Grow: 1.05, Shrink: 0.5}
+}
+
+// Observe reports the training objective after an epoch and adapts the
+// step size. The first observation only primes the reference value.
+// It returns the step size to use for the next epoch.
+func (b *BoldDriver) Observe(objective float64) float64 {
+	if !b.primed {
+		b.primed = true
+		b.prevObjective = objective
+		return b.Step
+	}
+	if objective <= b.prevObjective {
+		b.Step *= b.Grow
+	} else {
+		b.Step *= b.Shrink
+	}
+	b.prevObjective = objective
+	return b.Step
+}

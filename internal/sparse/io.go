@@ -1,0 +1,175 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Binary format:
+//
+//	magic  uint32 = 0x4e4d4446 ("NMDF")
+//	rows   int64
+//	cols   int64
+//	nnz    int64
+//	then nnz records of (row int32, col int32, val float64)
+//
+// all little-endian.
+const binaryMagic uint32 = 0x4e4d4446
+
+// WriteBinary writes m in the repository's binary matrix format.
+func (m *Matrix) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := struct {
+		Magic           uint32
+		_               uint32
+		Rows, Cols, NNZ int64
+	}{Magic: binaryMagic, Rows: int64(m.rows), Cols: int64(m.cols), NNZ: int64(m.nnz)}
+	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("sparse: write header: %w", err)
+	}
+	rec := struct {
+		Row, Col int32
+		Val      float64
+	}{}
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			rec.Row, rec.Col, rec.Val = int32(i), m.colIdx[p], m.vals[p]
+			if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
+				return fmt.Errorf("sparse: write entry: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a Matrix written by WriteBinary.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr struct {
+		Magic           uint32
+		_               uint32
+		Rows, Cols, NNZ int64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("sparse: read header: %w", err)
+	}
+	if hdr.Magic != binaryMagic {
+		return nil, fmt.Errorf("sparse: bad magic %#x", hdr.Magic)
+	}
+	if hdr.Rows <= 0 || hdr.Cols <= 0 || hdr.NNZ < 0 {
+		return nil, fmt.Errorf("sparse: corrupt header %d×%d nnz=%d", hdr.Rows, hdr.Cols, hdr.NNZ)
+	}
+	entries := make([]Entry, hdr.NNZ)
+	var rec struct {
+		Row, Col int32
+		Val      float64
+	}
+	for i := range entries {
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("sparse: read entry %d: %w", i, err)
+		}
+		entries[i] = Entry{Row: rec.Row, Col: rec.Col, Val: rec.Val}
+	}
+	return FromEntries(int(hdr.Rows), int(hdr.Cols), entries)
+}
+
+// WriteText writes m as "row col value" lines, one entry per line,
+// preceded by a "%d %d %d" header line of rows, cols, nnz.
+func (m *Matrix) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.rows, m.cols, m.nnz); err != nil {
+		return err
+	}
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", i, m.colIdx[p], m.vals[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads the text format written by WriteText.
+func ReadText(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty input")
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("sparse: bad header %q: %w", sc.Text(), err)
+	}
+	entries := make([]Entry, 0, nnz)
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if len(txt) == 0 {
+			continue
+		}
+		var i, j int
+		var v float64
+		f1, f2, f3, ok := splitThree(txt)
+		if !ok {
+			return nil, fmt.Errorf("sparse: line %d: want 3 fields, got %q", line, txt)
+		}
+		var err error
+		if i, err = strconv.Atoi(f1); err != nil {
+			return nil, fmt.Errorf("sparse: line %d row: %w", line, err)
+		}
+		if j, err = strconv.Atoi(f2); err != nil {
+			return nil, fmt.Errorf("sparse: line %d col: %w", line, err)
+		}
+		if v, err = strconv.ParseFloat(f3, 64); err != nil {
+			return nil, fmt.Errorf("sparse: line %d val: %w", line, err)
+		}
+		entries = append(entries, Entry{Row: int32(i), Col: int32(j), Val: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) != nnz {
+		return nil, fmt.Errorf("sparse: header declared %d entries, found %d", nnz, len(entries))
+	}
+	return FromEntries(rows, cols, entries)
+}
+
+// splitThree splits s into exactly three space-separated fields without
+// allocating a slice, the hot path of ReadText.
+func splitThree(s string) (a, b, c string, ok bool) {
+	i := 0
+	next := func() (string, bool) {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(s) && s[i] != ' ' {
+			i++
+		}
+		if start == i {
+			return "", false
+		}
+		return s[start:i], true
+	}
+	if a, ok = next(); !ok {
+		return
+	}
+	if b, ok = next(); !ok {
+		return
+	}
+	if c, ok = next(); !ok {
+		return
+	}
+	for i < len(s) && s[i] == ' ' {
+		i++
+	}
+	if i != len(s) {
+		return "", "", "", false
+	}
+	return a, b, c, true
+}

@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nomad/internal/rng"
+)
+
+func mustMatrix(t *testing.T, rows, cols int, entries []Entry) *Matrix {
+	t.Helper()
+	m, err := FromEntries(rows, cols, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func smallMatrix(t *testing.T) *Matrix {
+	// 3×4:
+	//   [ 1 . 2 . ]
+	//   [ . 3 . . ]
+	//   [ 4 . 5 6 ]
+	return mustMatrix(t, 3, 4, []Entry{
+		{0, 0, 1}, {0, 2, 2},
+		{1, 1, 3},
+		{2, 0, 4}, {2, 2, 5}, {2, 3, 6},
+	})
+}
+
+func TestShapeAndNNZ(t *testing.T) {
+	m := smallMatrix(t)
+	if m.Rows() != 3 || m.Cols() != 4 || m.NNZ() != 6 {
+		t.Fatalf("shape/nnz = %d×%d/%d", m.Rows(), m.Cols(), m.NNZ())
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	m := smallMatrix(t)
+	cols, vals := m.Row(2)
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 2 || cols[2] != 3 {
+		t.Fatalf("row 2 cols = %v", cols)
+	}
+	if vals[0] != 4 || vals[1] != 5 || vals[2] != 6 {
+		t.Fatalf("row 2 vals = %v", vals)
+	}
+	cols, _ = m.Row(1)
+	if len(cols) != 1 || cols[0] != 1 {
+		t.Fatalf("row 1 cols = %v", cols)
+	}
+}
+
+func TestColAccessAndCSRPositions(t *testing.T) {
+	m := smallMatrix(t)
+	rows, pos := m.Col(2)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Fatalf("col 2 rows = %v", rows)
+	}
+	if m.ValAt(pos[0]) != 2 || m.ValAt(pos[1]) != 5 {
+		t.Fatalf("col 2 values via CSR positions = %v, %v", m.ValAt(pos[0]), m.ValAt(pos[1]))
+	}
+	rows, _ = m.Col(1)
+	if len(rows) != 1 || rows[0] != 1 {
+		t.Fatalf("col 1 rows = %v", rows)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	m := smallMatrix(t)
+	if m.RowDegree(0) != 2 || m.RowDegree(1) != 1 || m.RowDegree(2) != 3 {
+		t.Fatal("row degrees wrong")
+	}
+	if m.ColDegree(0) != 2 || m.ColDegree(1) != 1 || m.ColDegree(2) != 2 || m.ColDegree(3) != 1 {
+		t.Fatal("col degrees wrong")
+	}
+}
+
+func TestAt(t *testing.T) {
+	m := smallMatrix(t)
+	if v, ok := m.At(2, 3); !ok || v != 6 {
+		t.Fatalf("At(2,3) = %v,%v", v, ok)
+	}
+	if _, ok := m.At(0, 1); ok {
+		t.Fatal("At(0,1) should be absent")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := smallMatrix(t)
+	rs := m.RowStats()
+	if rs.Min != 1 || rs.Max != 3 || rs.Mean != 2 {
+		t.Fatalf("row stats = %+v", rs)
+	}
+	cs := m.ColStats()
+	if cs.Min != 1 || cs.Max != 2 || cs.Mean != 1.5 {
+		t.Fatalf("col stats = %+v", cs)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	_, err := FromEntries(2, 2, []Entry{{0, 0, 1}, {0, 0, 2}})
+	if err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	for _, e := range []Entry{{-1, 0, 1}, {0, -1, 1}, {2, 0, 1}, {0, 2, 1}} {
+		if _, err := FromEntries(2, 2, []Entry{e}); err == nil {
+			t.Fatalf("entry %+v accepted", e)
+		}
+	}
+}
+
+func TestInvalidShapeRejected(t *testing.T) {
+	if _, err := FromEntries(0, 3, nil); err == nil {
+		t.Fatal("0 rows accepted")
+	}
+	if _, err := FromEntries(3, 0, nil); err == nil {
+		t.Fatal("0 cols accepted")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(2, 2, 4)
+	b.Add(0, 1, 1.5)
+	b.Add(1, 0, -2)
+	if b.Len() != 2 {
+		t.Fatalf("builder len = %d", b.Len())
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.At(0, 1); !ok || v != 1.5 {
+		t.Fatal("builder lost entry")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := smallMatrix(t)
+	tr := m.Transpose()
+	if tr.Rows() != m.Cols() || tr.Cols() != m.Rows() || tr.NNZ() != m.NNZ() {
+		t.Fatal("transpose shape wrong")
+	}
+	ents := m.Entries(nil)
+	for _, e := range ents {
+		v, ok := tr.At(int(e.Col), int(e.Row))
+		if !ok || v != e.Val {
+			t.Fatalf("transpose missing (%d,%d)", e.Col, e.Row)
+		}
+	}
+}
+
+// TestCSRandCSCConsistency is the central invariant: both layouts must
+// describe exactly the same set of entries, checked on random matrices.
+func TestCSRandCSCConsistency(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := 1 + r.Intn(20)
+		cols := 1 + r.Intn(20)
+		used := map[[2]int32]bool{}
+		var entries []Entry
+		n := r.Intn(rows * cols)
+		for len(entries) < n {
+			e := Entry{Row: int32(r.Intn(rows)), Col: int32(r.Intn(cols)), Val: r.Uniform(-5, 5)}
+			key := [2]int32{e.Row, e.Col}
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			entries = append(entries, e)
+		}
+		m, err := FromEntries(rows, cols, entries)
+		if err != nil {
+			return false
+		}
+		// Every CSC entry must match the CSR value it points at, and
+		// column walks must enumerate exactly NNZ entries.
+		var count int
+		for j := 0; j < cols; j++ {
+			rws, pos := m.Col(j)
+			for x, i := range rws {
+				v, ok := m.At(int(i), j)
+				if !ok || v != m.ValAt(pos[x]) {
+					return false
+				}
+				count++
+			}
+		}
+		return count == m.NNZ()
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := smallMatrix(t)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatrices(t, m, m2)
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := smallMatrix(t)
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatrices(t, m, m2)
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a matrix file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadTextRejectsBadLines(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"1 1 1\n0 0\n",
+		"1 1 1\nx 0 1\n",
+		"1 1 2\n0 0 1\n", // nnz mismatch
+	} {
+		if _, err := ReadText(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func assertEqualMatrices(t *testing.T, a, b *Matrix) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.NNZ() != b.NNZ() {
+		t.Fatalf("shape mismatch: %d×%d/%d vs %d×%d/%d",
+			a.Rows(), a.Cols(), a.NNZ(), b.Rows(), b.Cols(), b.NNZ())
+	}
+	ae := a.Entries(nil)
+	be := b.Entries(nil)
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	rows, cols := 2000, 500
+	entries := make([]Entry, 0, 50000)
+	used := map[[2]int32]bool{}
+	for len(entries) < 50000 {
+		e := Entry{Row: int32(r.Intn(rows)), Col: int32(r.Intn(cols)), Val: 1}
+		key := [2]int32{e.Row, e.Col}
+		if used[key] {
+			continue
+		}
+		used[key] = true
+		entries = append(entries, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ents := append([]Entry(nil), entries...)
+		if _, err := FromEntries(rows, cols, ents); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

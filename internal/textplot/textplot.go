@@ -1,0 +1,176 @@
+// Package textplot renders convergence curves as ASCII line charts so
+// cmd/nomad-bench can show each regenerated figure directly in the
+// terminal, the way the paper shows RMSE-versus-time plots.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 12)
+	XLabel string
+	YLabel string
+}
+
+// markers distinguish overlapping series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into an ASCII chart. Series with fewer than
+// two finite points are skipped. It returns an error only if the
+// writer fails; degenerate data produces an empty chart.
+func Render(w io.Writer, series []Series, opt Options) error {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 12
+	}
+
+	// Bounds over all finite points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		pts := 0
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+		if pts >= 2 {
+			usable++
+		}
+	}
+	if usable == 0 {
+		_, err := fmt.Fprintln(w, "(no plottable series)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	// Plot with linear interpolation between consecutive points so
+	// sparse traces still read as lines.
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		var prevC, prevR int
+		havePrev := false
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				havePrev = false
+				continue
+			}
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(opt.Width-1)))
+			r := opt.Height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(opt.Height-1)))
+			if havePrev {
+				drawLine(grid, prevC, prevR, c, r, mark)
+			} else {
+				grid[clamp(r, 0, opt.Height-1)][clamp(c, 0, opt.Width-1)] = mark
+			}
+			prevC, prevR = c, r
+			havePrev = true
+		}
+	}
+
+	// Frame with y-axis labels on the first, middle and last rows.
+	yLab := func(row int) string {
+		frac := float64(opt.Height-1-row) / float64(opt.Height-1)
+		return fmt.Sprintf("%8.4g", minY+frac*(maxY-minY))
+	}
+	for r := 0; r < opt.Height; r++ {
+		lab := strings.Repeat(" ", 8)
+		if r == 0 || r == opt.Height/2 || r == opt.Height-1 {
+			lab = yLab(r)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", lab, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", opt.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g  %s\n",
+		strings.Repeat(" ", 8), opt.Width/2, minX, opt.Width-opt.Width/2, maxX, opt.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", 8), markers[si%len(markers)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawLine rasterizes a segment with the Bresenham algorithm.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, mark byte) {
+	h, w := len(grid), len(grid[0])
+	dc := abs(c1 - c0)
+	dr := -abs(r1 - r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	for {
+		grid[clamp(r0, 0, h-1)][clamp(c0, 0, w-1)] = mark
+		if c0 == c1 && r0 == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c0 += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r0 += sr
+		}
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, series []Series, opt Options) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Render(&sb, series, opt); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderBasicShape(t *testing.T) {
+	s := []Series{{
+		Label: "rmse",
+		X:     []float64{0, 1, 2, 3},
+		Y:     []float64{2.0, 1.0, 0.6, 0.5},
+	}}
+	out := render(t, s, Options{Width: 40, Height: 8, XLabel: "seconds"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 8 plot rows + axis + x labels + 1 legend line.
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "seconds") || !strings.Contains(out, "rmse") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no data marks:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneCurveOrientation(t *testing.T) {
+	// A strictly decreasing curve must mark the top-left and
+	// bottom-right regions, not the reverse.
+	s := []Series{{Label: "d", X: []float64{0, 1}, Y: []float64{10, 0}}}
+	out := render(t, s, Options{Width: 20, Height: 6})
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	bottom := lines[5]
+	if !strings.Contains(top[10:], "*") {
+		t.Fatalf("top row missing start mark:\n%s", out)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("bottom row missing end mark:\n%s", out)
+	}
+	// Top row's mark must be left of bottom row's mark.
+	if strings.IndexByte(top, '*') > strings.IndexByte(bottom, '*') {
+		t.Fatalf("curve orientation wrong:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Label: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}
+	out := render(t, s, Options{Width: 24, Height: 6})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	s := []Series{{
+		Label: "gap",
+		X:     []float64{0, 1, 2},
+		Y:     []float64{1, math.NaN(), 0},
+	}}
+	out := render(t, s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("NaN broke rendering:\n%s", out)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	out := render(t, []Series{{Label: "single", X: []float64{1}, Y: []float64{1}}}, Options{})
+	if !strings.Contains(out, "no plottable series") {
+		t.Fatalf("degenerate input not handled:\n%s", out)
+	}
+	out = render(t, nil, Options{})
+	if !strings.Contains(out, "no plottable series") {
+		t.Fatalf("empty input not handled:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Constant Y must not divide by zero.
+	s := []Series{{Label: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}
+	out := render(t, s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series vanished:\n%s", out)
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	s := []Series{{Label: "d", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := render(t, s, Options{}) // default 64×12
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12+2+1 {
+		t.Fatalf("default geometry wrong: %d lines", len(lines))
+	}
+}

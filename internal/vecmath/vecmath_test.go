@@ -1,0 +1,272 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nomad/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2Sq(t *testing.T) {
+	if got := Norm2Sq([]float64{3, 4}); got != 25 {
+		t.Fatalf("Norm2Sq = %v, want 25", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{1, -2, 4}
+	Scale(0.5, x)
+	want := []float64{0.5, -1, 2}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Scale = %v, want %v", x, want)
+		}
+	}
+}
+
+// TestSGDUpdateReducesError checks the defining property of the SGD
+// step: for a small enough step size, the squared prediction error on
+// the touched rating decreases.
+func TestSGDUpdateReducesError(t *testing.T) {
+	r := rng.New(1)
+	err := quick.Check(func(seed uint64) bool {
+		rr := rng.New(seed)
+		k := 4 + rr.Intn(12)
+		w := make([]float64, k)
+		h := make([]float64, k)
+		for i := range w {
+			w[i] = rr.Uniform(-1, 1)
+			h[i] = rr.Uniform(-1, 1)
+		}
+		rating := rr.Uniform(-5, 5)
+		before := rating - Dot(w, h)
+		SGDUpdate(w, h, rating, 0.01, 0.001)
+		after := rating - Dot(w, h)
+		return math.Abs(after) <= math.Abs(before)+1e-12
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+// TestSGDUpdateMatchesGradient verifies that the update equals an exact
+// simultaneous gradient step computed independently.
+func TestSGDUpdateMatchesGradient(t *testing.T) {
+	w := []float64{0.5, -0.25, 0.75}
+	h := []float64{-0.1, 0.4, 0.2}
+	w0 := append([]float64(nil), w...)
+	h0 := append([]float64(nil), h...)
+	rating, step, lambda := 1.3, 0.05, 0.02
+
+	e := rating - Dot(w0, h0)
+	wantW := make([]float64, 3)
+	wantH := make([]float64, 3)
+	for l := 0; l < 3; l++ {
+		wantW[l] = w0[l] + step*(e*h0[l]-lambda*w0[l])
+		wantH[l] = h0[l] + step*(e*w0[l]-lambda*h0[l])
+	}
+	gotE := SGDUpdate(w, h, rating, step, lambda)
+	if !almostEqual(gotE, e, 1e-15) {
+		t.Fatalf("returned error %v, want %v", gotE, e)
+	}
+	for l := 0; l < 3; l++ {
+		if !almostEqual(w[l], wantW[l], 1e-15) || !almostEqual(h[l], wantH[l], 1e-15) {
+			t.Fatalf("update mismatch at %d: w=%v h=%v", l, w[l], h[l])
+		}
+	}
+}
+
+func TestSGDUpdateRegularizationShrinks(t *testing.T) {
+	// With rating exactly predicted, the only force is the regularizer,
+	// which must shrink both rows.
+	w := []float64{1, 0}
+	h := []float64{1, 0}
+	rating := Dot(w, h)
+	SGDUpdate(w, h, rating, 0.1, 0.5)
+	if w[0] >= 1 || h[0] >= 1 {
+		t.Fatalf("regularizer did not shrink: w=%v h=%v", w, h)
+	}
+}
+
+func TestAddOuterScaledAndSymmetrize(t *testing.T) {
+	k := 3
+	g := make([]float64, k*k)
+	x := []float64{1, 2, 3}
+	AddOuterScaled(g, x, 2, k)
+	SymmetrizeLower(g, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			want := 2 * x[i] * x[j]
+			if g[i*k+j] != want {
+				t.Fatalf("g[%d,%d] = %v, want %v", i, j, g[i*k+j], want)
+			}
+		}
+	}
+}
+
+// TestCholeskySolveRandomSPD builds random SPD systems A = BᵀB + I and
+// verifies the solver inverts them: property-based via testing/quick.
+func TestCholeskySolveRandomSPD(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 2 + r.Intn(10)
+		// A = BᵀB + I (SPD by construction).
+		b := make([]float64, k*k)
+		for i := range b {
+			b[i] = r.Uniform(-1, 1)
+		}
+		a := make([]float64, k*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				var s float64
+				for l := 0; l < k; l++ {
+					s += b[l*k+i] * b[l*k+j]
+				}
+				if i == j {
+					s++
+				}
+				a[i*k+j] = s
+			}
+		}
+		aCopy := append([]float64(nil), a...)
+		xTrue := make([]float64, k)
+		for i := range xTrue {
+			xTrue[i] = r.Uniform(-2, 2)
+		}
+		rhs := make([]float64, k)
+		MatVec(aCopy, xTrue, rhs, k)
+		if err := CholeskySolve(a, rhs, k); err != nil {
+			return false
+		}
+		for i := range rhs {
+			if !almostEqual(rhs[i], xTrue[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolveIdentity(t *testing.T) {
+	k := 4
+	a := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		a[i*k+i] = 1
+	}
+	b := []float64{1, 2, 3, 4}
+	if err := CholeskySolve(a, b, k); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if !almostEqual(v, float64(i+1), 1e-12) {
+			t.Fatalf("identity solve wrong: %v", b)
+		}
+	}
+}
+
+func TestCholeskySolveRejectsIndefinite(t *testing.T) {
+	k := 2
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1: not PD
+	b := []float64{1, 1}
+	if err := CholeskySolve(a, b, k); err != ErrNotPositiveDefinite {
+		t.Fatalf("got err=%v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	x := []float64{5, 6}
+	y := make([]float64, 2)
+	MatVec(a, x, y, 2)
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MatVec = %v, want [17 39]", y)
+	}
+}
+
+func BenchmarkDotK100(b *testing.B) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(100 - i)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkSGDUpdateK100(b *testing.B) {
+	w := make([]float64, 100)
+	h := make([]float64, 100)
+	for i := range w {
+		w[i] = 0.05
+		h[i] = 0.05
+	}
+	for i := 0; i < b.N; i++ {
+		SGDUpdate(w, h, 3.5, 0.001, 0.05)
+	}
+}
+
+func BenchmarkCholeskySolveK100(b *testing.B) {
+	k := 100
+	base := make([]float64, k*k)
+	r := rng.New(1)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			v := r.Uniform(-0.1, 0.1)
+			base[i*k+j] = v
+			base[j*k+i] = v
+		}
+		base[i*k+i] += float64(k)
+	}
+	a := make([]float64, k*k)
+	rhs := make([]float64, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, base)
+		for j := range rhs {
+			rhs[j] = float64(j)
+		}
+		if err := CholeskySolve(a, rhs, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

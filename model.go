@@ -1,0 +1,71 @@
+package nomad
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nomad/internal/factor"
+)
+
+// Model is a trained low-rank factorization: the predicted rating of
+// (user, item) is the inner product of their latent factor rows.
+type Model struct {
+	inner *factor.Model
+}
+
+// Predict returns the model's estimate of user's rating for item.
+func (m *Model) Predict(user, item int) float64 { return m.inner.Predict(user, item) }
+
+// Rank returns the latent dimension.
+func (m *Model) Rank() int { return m.inner.K }
+
+// Users returns the number of user rows.
+func (m *Model) Users() int { return m.inner.M }
+
+// Items returns the number of item rows.
+func (m *Model) Items() int { return m.inner.N }
+
+// Recommendation is one scored item.
+type Recommendation struct {
+	Item  int
+	Score float64
+}
+
+// Recommend returns the topN highest-predicted items for the user,
+// excluding items the user already rated in d's training set. Pass a
+// nil dataset to rank over all items.
+func (m *Model) Recommend(d *Dataset, user, topN int) []Recommendation {
+	if topN <= 0 {
+		return nil
+	}
+	recs := make([]Recommendation, 0, m.inner.N)
+	for j := 0; j < m.inner.N; j++ {
+		if d != nil && d.Rated(user, j) {
+			continue
+		}
+		recs = append(recs, Recommendation{Item: j, Score: m.Predict(user, j)})
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].Score != recs[b].Score {
+			return recs[a].Score > recs[b].Score
+		}
+		return recs[a].Item < recs[b].Item
+	})
+	if len(recs) > topN {
+		recs = recs[:topN]
+	}
+	return recs
+}
+
+// Save serializes the model in the repository's binary format.
+func (m *Model) Save(w io.Writer) error { return m.inner.WriteBinary(w) }
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	inner, err := factor.ReadBinary(r)
+	if err != nil {
+		return nil, fmt.Errorf("nomad: %w", err)
+	}
+	return &Model{inner: inner}, nil
+}
