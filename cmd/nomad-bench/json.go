@@ -1,0 +1,240 @@
+package main
+
+// The -json mode emits a machine-readable benchmark record so the
+// repository's hot-path performance is tracked as data, not prose.
+// BENCH_hotpath.json at the repository root is the committed
+// trajectory: each perf PR re-runs
+//
+//	go run ./cmd/nomad-bench -json BENCH_hotpath.json
+//
+// and commits the result. One invocation measures BOTH sides of the
+// hot-path A/B — the reference kernels ("baseline") and the fused
+// kernels ("after") — interleaved rep by rep in one process, because
+// the benchmark boxes are small shared VMs whose speed drifts between
+// invocations: interleaving lands both sides under the same machine
+// conditions, which two separate runs cannot guarantee. The measured
+// workload is fixed (the BenchmarkTrainNomadEpoch hot path, plus the
+// fig5/fig6 experiments on the shipping fused path) so records stay
+// comparable across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	nomad "nomad"
+	"nomad/internal/experiments"
+	"nomad/internal/vecmath"
+)
+
+// benchRecord is one measured side of the A/B.
+type benchRecord struct {
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Kernels is "reference" for the baseline label, "fused" for after.
+	Kernels string `json:"kernels"`
+	// Options are the experiment options the fig5/fig6 runs were
+	// measured under — always jsonOptions, recorded so the file is
+	// self-describing. Empty for the baseline record, which measures
+	// only the hot path.
+	Options     *experiments.Options `json:"options,omitempty"`
+	Hotpath     hotpathStats         `json:"hotpath"`
+	Experiments []expRecord          `json:"experiments,omitempty"`
+}
+
+// hotpathStats measures the BenchmarkTrainNomadEpoch workload: NOMAD
+// shared-memory training on the benchmark dataset through the public
+// API. Epoch* fields replicate the benchmark exactly (one epoch,
+// setup included); Steady* fields amortize setup over several epochs,
+// which is the per-update throughput the paper's claims are about.
+type hotpathStats struct {
+	Dataset           string  `json:"dataset"`
+	Scale             float64 `json:"scale"`
+	Workers           int     `json:"workers"`
+	Seed              uint64  `json:"seed"`
+	Reps              int     `json:"reps"`
+	EpochUpdates      int64   `json:"epoch_updates"`
+	EpochBestUPS      float64 `json:"epoch_best_updates_per_sec"`
+	EpochMeanUPS      float64 `json:"epoch_mean_updates_per_sec"`
+	SteadyEpochs      int     `json:"steady_epochs"`
+	SteadyUpdates     int64   `json:"steady_updates"`
+	SteadyBestUPS     float64 `json:"steady_best_updates_per_sec"`
+	SteadyMeanUPS     float64 `json:"steady_mean_updates_per_sec"`
+	SteadyNsPerUpdate float64 `json:"steady_wall_ns_per_update"`
+	FinalRMSE         float64 `json:"final_rmse"`
+}
+
+// expRecord summarizes one experiment's outcome: final RMSE per series
+// (convergence figures) or the raw table (throughput figures).
+type expRecord struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Series map[string]float64 `json:"series_final_rmse,omitempty"`
+	Table  [][]string         `json:"table,omitempty"`
+}
+
+// jsonExperiments is the fixed experiment set of the record.
+var jsonExperiments = []string{"fig5", "fig6L", "fig6R"}
+
+// jsonOptions returns the pinned experiment options of the record.
+// The -scale/-workers/... flags deliberately do not apply here:
+// records are only useful if every PR measures the same thing.
+func jsonOptions() experiments.Options {
+	return experiments.Options{}.WithDefaults()
+}
+
+// runJSON measures both sides of the A/B and merges them into path as
+// "baseline" and "after".
+func runJSON(path string) error {
+	// Validate the merge target before spending minutes measuring.
+	doc, err := loadDoc(path)
+	if err != nil {
+		return err
+	}
+
+	base := newRecord("reference")
+	after := newRecord("fused")
+	if err := measureHotpathAB(&base.Hotpath, &after.Hotpath); err != nil {
+		return fmt.Errorf("hotpath: %w", err)
+	}
+
+	// Figure regressions are tracked on the shipping (fused) path.
+	vecmath.SetReferenceOnly(false)
+	opts := jsonOptions()
+	after.Options = &opts
+	for _, id := range jsonExperiments {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		er := expRecord{ID: res.ID, Title: res.Title}
+		if len(res.Series) > 0 {
+			er.Series = make(map[string]float64, len(res.Series))
+			for _, s := range res.Series {
+				er.Series[s.Label] = s.Final()
+			}
+		}
+		if res.Table != nil {
+			er.Table = append([][]string{res.Table.Headers}, res.Table.Rows...)
+		}
+		after.Experiments = append(after.Experiments, er)
+		fmt.Printf("   [json: %s done]\n", id)
+	}
+
+	return writeDoc(path, doc, map[string]benchRecord{"baseline": base, "after": after})
+}
+
+func newRecord(kernels string) benchRecord {
+	return benchRecord{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Kernels:   kernels,
+	}
+}
+
+// measureHotpathAB runs the BenchmarkTrainNomadEpoch workload on both
+// hot paths, alternating sides within each rep so machine-speed drift
+// cancels out of the comparison.
+func measureHotpathAB(base, after *hotpathStats) error {
+	// Best-of-9 on each workload: the best rep is the least-disturbed
+	// one — the standard way to compare compute-bound code under noise.
+	const (
+		profile = "netflix"
+		scale   = 0.0005
+		workers = 2
+		seed    = 7
+		reps    = 9
+		steadyE = 5
+	)
+	for _, st := range []*hotpathStats{base, after} {
+		*st = hotpathStats{Dataset: profile, Scale: scale, Workers: workers,
+			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
+	}
+	ds, err := nomad.Synthesize(profile, scale, seed)
+	if err != nil {
+		return err
+	}
+	train := func(epochs int) (*nomad.Result, error) {
+		return nomad.Train(ds, nomad.Config{Epochs: epochs, Workers: workers, Seed: seed})
+	}
+	// Warm-up rep: first-run effects (page faults, scheduler ramp-up)
+	// belong to neither side of the A/B.
+	if _, err := train(1); err != nil {
+		return err
+	}
+	for i := 0; i < reps; i++ {
+		for side, st := range []*hotpathStats{base, after} {
+			vecmath.SetReferenceOnly(side == 0)
+			res, err := train(1)
+			if err != nil {
+				return err
+			}
+			ups := float64(res.Updates) / res.Seconds
+			st.EpochMeanUPS += ups / reps
+			if ups > st.EpochBestUPS {
+				st.EpochBestUPS = ups
+				st.EpochUpdates = res.Updates
+			}
+
+			sres, err := train(steadyE)
+			if err != nil {
+				return err
+			}
+			sups := float64(sres.Updates) / sres.Seconds
+			st.SteadyMeanUPS += sups / reps
+			if sups > st.SteadyBestUPS {
+				st.SteadyBestUPS = sups
+				st.SteadyUpdates = sres.Updates
+				st.SteadyNsPerUpdate = 1e9 * sres.Seconds / float64(sres.Updates)
+				st.FinalRMSE = sres.TestRMSE
+			}
+		}
+	}
+	vecmath.SetReferenceOnly(false)
+	for _, rec := range []struct {
+		name string
+		st   *hotpathStats
+	}{{"baseline", base}, {"after", after}} {
+		fmt.Printf("   [json: hotpath %s: best %.2fM updates/s steady (%.1f ns/update), %.2fM single-epoch, final RMSE %.4f]\n",
+			rec.name, rec.st.SteadyBestUPS/1e6, rec.st.SteadyNsPerUpdate,
+			rec.st.EpochBestUPS/1e6, rec.st.FinalRMSE)
+	}
+	return nil
+}
+
+// loadDoc reads the JSON object at path (empty if absent), so labels
+// from other runs survive a re-measure.
+func loadDoc(path string) (map[string]json.RawMessage, error) {
+	doc := map[string]json.RawMessage{}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+	}
+	return doc, nil
+}
+
+// writeDoc stores the records under their labels and rewrites path,
+// preserving any other labels in doc.
+func writeDoc(path string, doc map[string]json.RawMessage, recs map[string]benchRecord) error {
+	for label, rec := range recs {
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		doc[label] = enc
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -7,10 +7,17 @@
 //	nomad-bench -exp fig5
 //	nomad-bench -exp fig8,fig11 -scale 0.005 -machines 8
 //	nomad-bench -exp all
+//	nomad-bench -json BENCH_hotpath.json
 //
 // Each experiment prints its convergence series (test RMSE against the
 // figure's x-axis) or its table. See DESIGN.md for the experiment
 // index and EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// The -json mode instead measures the fixed hot-path benchmark set
+// (the BenchmarkTrainNomadEpoch workload on both sides of the kernel
+// A/B, plus fig5/fig6) and merges machine-readable records into the
+// given file; see json.go and the committed BENCH_hotpath.json for
+// the protocol.
 package main
 
 import (
@@ -36,6 +43,7 @@ func main() {
 		machines = flag.Int("machines", 4, "machines for distributed experiments")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		tsvDir   = flag.String("tsv", "", "also write each series as a TSV file into this directory")
+		jsonPath = flag.String("json", "", "measure the fixed hot-path A/B benchmark set (baseline + after, interleaved) and merge the records into this JSON file")
 	)
 	flag.Parse()
 
@@ -44,10 +52,6 @@ func main() {
 			fmt.Println(id)
 		}
 		return
-	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "nomad-bench: -exp required (or -list); e.g. -exp fig5")
-		os.Exit(2)
 	}
 
 	opts := experiments.Options{
@@ -58,6 +62,32 @@ func main() {
 		Workers:  *workers,
 		Machines: *machines,
 		Seed:     *seed,
+	}
+
+	if *jsonPath != "" {
+		// The -json set is pinned so records stay comparable across
+		// PRs; reject any tuning flag rather than silently ignore it.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name != "json" {
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -json measures a pinned benchmark set and cannot be combined with %s\n",
+				strings.Join(clash, ", "))
+			os.Exit(2)
+		}
+		if err := runJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   [json baseline+after records written to %s]\n", *jsonPath)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "nomad-bench: -exp required (or -list, -json); e.g. -exp fig5")
+		os.Exit(2)
 	}
 
 	var ids []string

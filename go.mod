@@ -1,0 +1,3 @@
+module nomad
+
+go 1.24

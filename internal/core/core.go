@@ -33,6 +33,7 @@ import (
 
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
+	"nomad/internal/loss"
 	"nomad/internal/partition"
 	"nomad/internal/queue"
 	"nomad/internal/rng"
@@ -131,14 +132,80 @@ func trainShared(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
 	}, nil
 }
 
+// hotPath is the per-run selection every SGD worker loop shares:
+// kernels, the devirtualized loss fast-path, the tabulated schedule
+// and the batched item-pass kernel — all chosen once per run, never
+// per rating. Both the shared-memory and distributed workers build one
+// and call itemSGD per token.
+type hotPath struct {
+	md       *factor.Model
+	wData    []float64
+	schedule sched.Schedule
+	table    *sched.Table // non-nil when schedule is tabulated
+	kern     vecmath.Kernel
+	lossFn   loss.Loss
+	fused    bool // square loss: skip Grad dispatch entirely
+	itemPass vecmath.ItemPassFunc
+	steps    []float64
+	slow     func(int) float64
+	lambda   float64
+}
+
+func newHotPath(md *factor.Model, schedule sched.Schedule, cfg train.Config) hotPath {
+	hp := hotPath{
+		md:       md,
+		wData:    md.WData(),
+		schedule: schedule,
+		kern:     vecmath.KernelFor(cfg.K),
+		lossFn:   cfg.Loss,
+		fused:    loss.UseFused(cfg.Loss),
+		lambda:   cfg.Lambda,
+	}
+	hp.table, _ = schedule.(*sched.Table)
+	// Square loss with a tabulated schedule takes the batched kernel:
+	// one call per token covers the item's whole rating list.
+	if hp.fused && hp.table != nil && hp.kern.ItemPass != nil {
+		hp.itemPass = hp.kern.ItemPass
+		hp.steps = hp.table.Steps()
+		hp.slow = hp.table.Fallback().Step
+	}
+	return hp
+}
+
+// itemSGD runs the SGD updates for one item's rating list (hRow is the
+// item row, shared across the list).
+func (hp *hotPath) itemSGD(usersJ []int32, vals []float64, counts []int32, hRow []float64) {
+	if hp.itemPass != nil {
+		hp.itemPass(hp.wData, usersJ, vals, counts, hRow, hp.lambda, hp.steps, hp.slow)
+		return
+	}
+	for x, u := range usersJ {
+		t := counts[x]
+		counts[x] = t + 1
+		var step float64
+		if hp.table != nil {
+			step = hp.table.Step(int(t)) // direct, inlinable lookup
+		} else {
+			step = hp.schedule.Step(int(t))
+		}
+		wRow := hp.md.UserRow(int(u))
+		if hp.fused {
+			hp.kern.Step(wRow, hRow, vals[x], step, hp.lambda)
+		} else {
+			g := hp.lossFn.Grad(hp.kern.Dot(wRow, hRow), vals[x])
+			hp.kern.Grad(wRow, hRow, g, step, hp.lambda)
+		}
+	}
+}
+
 // runSharedWorker is Algorithm 1's per-worker loop.
 func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 	queues []queue.Queue[sharedToken], schedule sched.Schedule, cfg train.Config,
 	counter *train.Counter, stop *atomic.Bool, r *rng.Source) {
 
 	p := len(queues)
-	lambda := cfg.Lambda
-	lossFn := cfg.Loss
+	hp := newHotPath(md, schedule, cfg)
+	loadBalance := cfg.LoadBalance && p > 1
 	straggler := q == 0 && cfg.Straggle > 1
 	idleSpins := 0
 	var batch int64 // updates since last counter flush
@@ -159,19 +226,12 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 		// SGD over this worker's ratings for the item (lines 16–21).
 		j := int(tok.item)
 		hRow := md.ItemRow(j)
-		usersJ, vals, base := lr.itemRatings(j)
+		usersJ, vals, counts := lr.itemRatings(j)
 		var began time.Time
 		if straggler {
 			began = time.Now()
 		}
-		for x, u := range usersJ {
-			t := lr.counts[base+int32(x)]
-			step := schedule.Step(int(t))
-			lr.counts[base+int32(x)] = t + 1
-			wRow := md.UserRow(int(u))
-			g := lossFn.Grad(vecmath.Dot(wRow, hRow), vals[x])
-			vecmath.SGDUpdateGrad(wRow, hRow, g, step, lambda)
-		}
+		hp.itemSGD(usersJ, vals, counts, hRow)
 		if straggler && len(usersJ) > 0 {
 			// Simulate a slow machine: stretch this token's processing
 			// time by the configured factor (§3.3 ablation).
@@ -184,13 +244,18 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 		}
 
 		// Forward the token (lines 22–23): uniform by default, or the
-		// §3.3 least-loaded choice between two random candidates.
-		dst := r.Intn(p)
-		if cfg.LoadBalance && p > 1 {
-			alt := r.Intn(p)
+		// §3.3 least-loaded choice between two random candidates. With
+		// one worker there is nowhere else to go — skip the RNG draw;
+		// with load balancing, both candidates come from a single draw.
+		dst := 0
+		if loadBalance {
+			var alt int
+			dst, alt = r.Pair(p)
 			if queues[alt].Len() < queues[dst].Len() {
 				dst = alt
 			}
+		} else if p > 1 {
+			dst = r.Intn(p)
 		}
 		queues[dst].Push(tok)
 	}

@@ -15,7 +15,6 @@ import (
 	"nomad/internal/rng"
 	"nomad/internal/sched"
 	"nomad/internal/train"
-	"nomad/internal/vecmath"
 )
 
 // distToken is a nomadic token inside one machine: the traveling
@@ -80,12 +79,13 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 
 	// Initial placement: every item token starts at a uniformly random
 	// machine with a fresh local visit plan (Algorithm 1 lines 6–10).
+	permScratch := make([]int, W)
 	for j := 0; j < n; j++ {
 		vec := make([]float64, cfg.K)
 		copy(vec, md.ItemRow(j))
 		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
 		mc := machines[root.Intn(M)]
-		deliverLocal(mc, tok, cfg.Circulate, root)
+		deliverLocal(mc, tok, cfg.Circulate, root, permScratch)
 	}
 
 	counter := train.NewCounter(p)
@@ -166,10 +166,20 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 }
 
 // deliverLocal plans a token's visits through mc's workers (Circulate
-// full permutations) and enqueues it at the first stop.
-func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source) {
+// full permutations) and enqueues it at the first stop. scratch is a
+// caller-owned permutation buffer of length ≥ W, reused across tokens
+// so the receive path allocates nothing per token (beyond growing the
+// token's own visit plan once).
+func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source, scratch []int) {
 	W := mc.workers
-	perm := make([]int, W)
+	if W == 1 && circulate == 1 {
+		// Single local worker: the only plan is "visit worker 0 once" —
+		// no permutation, no RNG draw.
+		tok.visits = tok.visits[:0]
+		mc.queues[0].Push(tok)
+		return
+	}
+	perm := scratch[:W]
 	r.Perm(perm)
 	visits := tok.visits[:0]
 	for c := 0; c < circulate; c++ {
@@ -189,8 +199,7 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 	stop *atomic.Bool, r *rng.Source) {
 
 	gw := mc.id*mc.workers + w // global worker id (counter shard)
-	lambda := cfg.Lambda
-	lossFn := cfg.Loss
+	hp := newHotPath(md, schedule, cfg)
 	straggler := gw == 0 && cfg.Straggle > 1
 	idleSpins := 0
 	var batch int64
@@ -209,19 +218,12 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 
 		j := int(tok.tok.Item)
 		hRow := tok.tok.Vec // the vector travels with the token
-		usersJ, vals, base := lr.itemRatings(j)
+		usersJ, vals, counts := lr.itemRatings(j)
 		var began time.Time
 		if straggler {
 			began = time.Now()
 		}
-		for x, u := range usersJ {
-			t := lr.counts[base+int32(x)]
-			step := schedule.Step(int(t))
-			lr.counts[base+int32(x)] = t + 1
-			wRow := md.UserRow(int(u))
-			g := lossFn.Grad(vecmath.Dot(wRow, hRow), vals[x])
-			vecmath.SGDUpdateGrad(wRow, hRow, g, step, lambda)
-		}
+		hp.itemSGD(usersJ, vals, counts, hRow)
 		if straggler && len(usersJ) > 0 {
 			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 		}
@@ -305,6 +307,7 @@ func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source
 // runReceiver unpacks inbound token batches, records queue-length
 // gossip and starts each token's local circulation.
 func runReceiver(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+	scratch := make([]int, mc.workers)
 	for msg := range net.Recv(mc.id) {
 		batch, ok := msg.Payload.(cluster.TokenBatch)
 		if !ok {
@@ -312,7 +315,7 @@ func runReceiver(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Sour
 		}
 		mc.lastKnown[msg.From].Store(int64(batch.QueueLen))
 		for _, t := range batch.Tokens {
-			deliverLocal(mc, &distToken{tok: t}, cfg.Circulate, r)
+			deliverLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
 		}
 	}
 }

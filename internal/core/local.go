@@ -18,11 +18,13 @@ type localRatings struct {
 	counts []int32 // updates applied to this (i,j) so far
 }
 
-// itemRatings returns the users and values of worker-local ratings on
-// item j, plus the base offset for addressing counts.
-func (lr *localRatings) itemRatings(j int) (users []int32, vals []float64, base int32) {
+// itemRatings returns the users, values and per-rating update counts
+// of worker-local ratings on item j. Returning the counts window
+// directly keeps the hot loop's accesses at a plain counts[x] instead
+// of re-deriving base+x offsets into the full array per rating.
+func (lr *localRatings) itemRatings(j int) (users []int32, vals []float64, counts []int32) {
 	lo, hi := lr.colPtr[j], lr.colPtr[j+1]
-	return lr.users[lo:hi], lr.vals[lo:hi], lo
+	return lr.users[lo:hi], lr.vals[lo:hi], lr.counts[lo:hi]
 }
 
 // nnz returns the number of worker-local ratings.

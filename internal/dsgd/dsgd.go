@@ -69,6 +69,7 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 
 	driver := sched.NewBoldDriver(cfg.BoldStep)
 	step := driver.Step
+	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
 	counter := train.NewCounter(p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md)
 	start := time.Now()
@@ -87,7 +88,7 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 			parallel.For(p, p, func(_, lo, hi int) {
 				for g := lo; g < hi; g++ {
 					blk := strata[g*p+(g+s)%p]
-					losses[g] = sgdPass(blk, md, step, cfg.Lambda, workerRNG[g])
+					losses[g] = sgdPass(blk, md, kern, step, cfg.Lambda, workerRNG[g])
 					counter.Add(g, int64(len(blk.perm)))
 					updates.Add(int64(len(blk.perm)))
 				}
@@ -121,14 +122,16 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 
 // sgdPass runs one randomized SGD sweep over a stratum and returns the
 // sum of squared pre-update errors (the bold driver's loss signal).
-func sgdPass(blk *stratum, md *factor.Model, step, lambda float64, r *rng.Source) float64 {
+// DSGD implements the paper's square loss, so every update goes
+// through the fused kernel.
+func sgdPass(blk *stratum, md *factor.Model, kern vecmath.Kernel, step, lambda float64, r *rng.Source) float64 {
 	for i := range blk.perm {
 		blk.perm[i] = int32(i)
 	}
 	r.Shuffle(len(blk.perm), func(i, j int) { blk.perm[i], blk.perm[j] = blk.perm[j], blk.perm[i] })
 	var loss float64
 	for _, x := range blk.perm {
-		e := vecmath.SGDUpdate(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
+		e := kern.Step(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
 			blk.vals[x], step, lambda)
 		loss += e * e
 	}

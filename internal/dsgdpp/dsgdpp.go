@@ -64,6 +64,7 @@ func (*DSGDPP) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, erro
 
 	driver := sched.NewBoldDriver(cfg.BoldStep)
 	step := driver.Step
+	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
 	counter := train.NewCounter(p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md)
 	start := time.Now()
@@ -86,7 +87,7 @@ func (*DSGDPP) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, erro
 			parallel.For(p, p, func(_, lo, hi int) {
 				for g := lo; g < hi; g++ {
 					blk := strata[g*bp+(2*g+s)%bp]
-					losses[g] = sgdPass(blk, md, step, cfg.Lambda, workerRNG[g])
+					losses[g] = sgdPass(blk, md, kern, step, cfg.Lambda, workerRNG[g])
 					counter.Add(g, int64(len(blk.perm)))
 					updates.Add(int64(len(blk.perm)))
 				}
@@ -148,15 +149,16 @@ func prefetch(net *netsim.Network, itemPart *partition.Partition,
 	return expected
 }
 
-// sgdPass runs one randomized SGD sweep over a stratum; see dsgd.
-func sgdPass(blk *stratum, md *factor.Model, step, lambda float64, r *rng.Source) float64 {
+// sgdPass runs one randomized SGD sweep over a stratum; see dsgd. The
+// square loss routes through the fused kernel selected once per run.
+func sgdPass(blk *stratum, md *factor.Model, kern vecmath.Kernel, step, lambda float64, r *rng.Source) float64 {
 	for i := range blk.perm {
 		blk.perm[i] = int32(i)
 	}
 	r.Shuffle(len(blk.perm), func(i, j int) { blk.perm[i], blk.perm[j] = blk.perm[j], blk.perm[i] })
 	var loss float64
 	for _, x := range blk.perm {
-		e := vecmath.SGDUpdate(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
+		e := kern.Step(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
 			blk.vals[x], step, lambda)
 		loss += e * e
 	}

@@ -138,6 +138,7 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 
 	counter := train.NewCounter(p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
 	var stop atomic.Bool
 	root := rng.New(cfg.Seed)
 	var wg sync.WaitGroup
@@ -145,7 +146,7 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		wg.Add(1)
 		go func(q int, r *rng.Source) {
 			defer wg.Done()
-			runWorker(q, md, blocks, tm, schedule, cfg.Lambda, counter, &stop, r)
+			runWorker(q, md, blocks, tm, kern, schedule, cfg.Lambda, counter, &stop, r)
 		}(q, root.Split(uint64(q)))
 	}
 
@@ -163,11 +164,13 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 }
 
 // runWorker repeatedly leases a free block from the manager and runs
-// one randomized SGD pass over it.
+// one randomized SGD pass over it. FPSGD** implements the paper's
+// square loss, so every update goes through the fused kernel.
 func runWorker(q int, md *factor.Model, blocks []*block, tm *manager,
-	schedule sched.Schedule, lambda float64, counter *train.Counter,
-	stop *atomic.Bool, r *rng.Source) {
+	kern vecmath.Kernel, schedule sched.Schedule, lambda float64,
+	counter *train.Counter, stop *atomic.Bool, r *rng.Source) {
 
+	table, _ := schedule.(*sched.Table)
 	for !stop.Load() {
 		id := tm.acquire(r)
 		if id < 0 {
@@ -183,8 +186,13 @@ func runWorker(q int, md *factor.Model, blocks []*block, tm *manager,
 		for _, x := range blk.perm {
 			t := blk.counts[x]
 			blk.counts[x] = t + 1
-			step := schedule.Step(int(t))
-			vecmath.SGDUpdate(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
+			var step float64
+			if table != nil {
+				step = table.Step(int(t)) // direct, inlinable lookup
+			} else {
+				step = schedule.Step(int(t))
+			}
+			kern.Step(md.UserRow(int(blk.users[x])), md.ItemRow(int(blk.items[x])),
 				blk.vals[x], step, lambda)
 		}
 		counter.Add(q, int64(len(blk.perm)))

@@ -127,6 +127,11 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	}
 
 	schedule := cfg.Schedule()
+	// Kernels, selected once per run: predictions run over the full
+	// kk = k+2 augmented rows; the factor-coordinate update covers only
+	// the first k dims (the bias coordinates follow their own rule).
+	dotKK := vecmath.DotKernel(kk)
+	gradK := vecmath.KernelFor(k).Grad
 	counter := train.NewCounter(p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md)
 	start := time.Now()
@@ -179,13 +184,9 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 					}
 					for x, u := range lc.users {
 						wRow := md.UserRow(int(u))
-						e := lc.vals[x] - vecmath.Dot(wRow, hRow)
+						e := lc.vals[x] - dotKK(wRow, hRow)
 						se, sl := step*e, step*cfg.Lambda
-						for l := 0; l < k; l++ {
-							wl, hl := wRow[l], hRow[l]
-							wRow[l] = wl + se*hl - sl*wl
-							hRow[l] = hl + se*wl - sl*hl
-						}
+						gradK(wRow[:k], hRow[:k], e, step, cfg.Lambda)
 						// Bias coordinates: the partner side is pinned
 						// to 1 and must not move.
 						wRow[k] += se - sl*wRow[k]     // bᵢ

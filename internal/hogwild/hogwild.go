@@ -15,7 +15,9 @@ import (
 
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
+	"nomad/internal/loss"
 	"nomad/internal/rng"
+	"nomad/internal/sched"
 	"nomad/internal/train"
 	"nomad/internal/vecmath"
 )
@@ -49,6 +51,10 @@ func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	counts := make([]int32, nnz)
 
 	lossFn := cfg.Loss
+	kern := vecmath.KernelFor(cfg.K)
+	fused := loss.UseFused(lossFn) // devirtualize the default loss
+	table, _ := schedule.(*sched.Table)
+	lambda := cfg.Lambda
 	counter := train.NewCounter(p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md)
 	var stop atomic.Bool
@@ -64,11 +70,20 @@ func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 				e := entries[x]
 				t := counts[x]
 				counts[x] = t + 1 // racy by design
-				step := schedule.Step(int(t))
+				var step float64
+				if table != nil {
+					step = table.Step(int(t)) // direct, inlinable lookup
+				} else {
+					step = schedule.Step(int(t))
+				}
 				wRow := md.UserRow(int(e.Row))
 				hRow := md.ItemRow(int(e.Col))
-				g := lossFn.Grad(vecmath.Dot(wRow, hRow), e.Val)
-				vecmath.SGDUpdateGrad(wRow, hRow, g, step, cfg.Lambda)
+				if fused {
+					kern.Step(wRow, hRow, e.Val, step, lambda)
+				} else {
+					g := lossFn.Grad(kern.Dot(wRow, hRow), e.Val)
+					kern.Grad(wRow, hRow, g, step, lambda)
+				}
 				batch++
 				if batch >= 256 {
 					counter.Add(q, batch)

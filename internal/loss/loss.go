@@ -14,6 +14,8 @@ package loss
 import (
 	"fmt"
 	"math"
+
+	"nomad/internal/vecmath"
 )
 
 // Loss is a separable per-rating loss f(pred, actual) with the scalar
@@ -99,6 +101,30 @@ func sigmoid(z float64) float64 {
 	}
 	e := math.Exp(z)
 	return e / (1 + e)
+}
+
+// IsSquare reports whether l is the square loss (or nil, which every
+// solver defaults to square). The SGD solvers use it to devirtualize
+// the hot path: for the square loss, g = actual − pred is exactly the
+// residual the fused vecmath kernels compute internally, so the
+// per-rating Grad interface dispatch can be skipped entirely.
+// Non-square losses keep the generic Grad path.
+func IsSquare(l Loss) bool {
+	if l == nil {
+		return true
+	}
+	_, ok := l.(Square)
+	return ok
+}
+
+// UseFused is the one predicate behind the square-loss fast path: the
+// fused kernels replace Grad dispatch only for the square loss, and
+// never when the reference hot path is forced (the A/B baseline must
+// pay the dispatch cost the fused path eliminates). Every solver that
+// devirtualizes consults this, so the switch semantics live in one
+// place.
+func UseFused(l Loss) bool {
+	return IsSquare(l) && !vecmath.ReferenceOnly()
 }
 
 // ByName returns the named loss.

@@ -92,6 +92,15 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestIsSquare(t *testing.T) {
+	if !IsSquare(Square{}) || !IsSquare(nil) {
+		t.Fatal("IsSquare must accept Square and nil (the default)")
+	}
+	if IsSquare(Absolute{}) || IsSquare(Logistic{}) {
+		t.Fatal("IsSquare must reject non-square losses")
+	}
+}
+
 func TestNames(t *testing.T) {
 	if (Square{}).Name() != "square" || (Absolute{}).Name() != "absolute" || (Logistic{}).Name() != "logistic" {
 		t.Fatal("names wrong")

@@ -28,6 +28,7 @@ func RMSE(md *factor.Model, test []sparse.Entry) float64 {
 	if workers > len(test) {
 		workers = 1
 	}
+	dot := vecmath.DotKernel(md.K) // specialized prediction kernel, chosen once
 	partials := make([]float64, workers)
 	var wg sync.WaitGroup
 	chunk := (len(test) + workers - 1) / workers
@@ -45,7 +46,7 @@ func RMSE(md *factor.Model, test []sparse.Entry) float64 {
 			defer wg.Done()
 			var s float64
 			for _, e := range test[lo:hi] {
-				d := e.Val - md.Predict(int(e.Row), int(e.Col))
+				d := e.Val - dot(md.UserRow(int(e.Row)), md.ItemRow(int(e.Col)))
 				s += d * d
 			}
 			partials[w] = s
@@ -87,13 +88,14 @@ func Objective(md *factor.Model, train *sparse.Matrix, lambda float64) float64 {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			dot := vecmath.DotKernel(md.K)
 			var s float64
 			for i := lo; i < hi; i++ {
 				wRow := md.UserRow(i)
 				wNorm := vecmath.Norm2Sq(wRow)
 				cols, vals := train.Row(i)
 				for x, j := range cols {
-					d := vals[x] - vecmath.Dot(wRow, md.ItemRow(int(j)))
+					d := vals[x] - dot(wRow, md.ItemRow(int(j)))
 					s += d*d + lambda*(wNorm+vecmath.Norm2Sq(md.ItemRow(int(j))))
 				}
 			}

@@ -30,6 +30,57 @@ func (p Power) Step(t int) float64 {
 	return p.Alpha / (1 + p.Beta*tf*math.Sqrt(tf))
 }
 
+// Table precomputes another schedule's first maxT step sizes so the
+// per-update hot path pays one slice load instead of recomputing the
+// schedule formula — for Power that formula costs a math.Sqrt and a
+// divide per rating, by far the most expensive scalar work in the SGD
+// inner loop. Past the table it falls back to the exact schedule, so a
+// Table is observationally identical to the schedule it wraps: every
+// entry is produced by calling Step, hence matches bit for bit.
+//
+// t counts the updates applied to one specific rating, which in
+// practice is the number of training sweeps, so a few thousand entries
+// cover any realistic run.
+//
+// Solvers that hold a concrete *Table (rather than the Schedule
+// interface) get a direct, inlinable call with no dynamic dispatch.
+type Table struct {
+	steps []float64
+	exact Schedule
+}
+
+// NewTable tabulates s.Step(t) for t in [0, maxT).
+func NewTable(s Schedule, maxT int) *Table {
+	if maxT < 0 {
+		maxT = 0
+	}
+	t := &Table{steps: make([]float64, maxT), exact: s}
+	for i := range t.steps {
+		t.steps[i] = s.Step(i)
+	}
+	return t
+}
+
+// Step implements Schedule: a table lookup inside [0, maxT), the exact
+// schedule beyond it.
+func (tb *Table) Step(t int) float64 {
+	if uint(t) < uint(len(tb.steps)) {
+		return tb.steps[t]
+	}
+	return tb.exact.Step(t)
+}
+
+// Len returns the number of tabulated steps.
+func (tb *Table) Len() int { return len(tb.steps) }
+
+// Steps exposes the precomputed table so batched kernels
+// (vecmath.ItemPassFunc) can index it directly: steps[t] == Step(t)
+// for t < Len(). Callers must not mutate it.
+func (tb *Table) Steps() []float64 { return tb.steps }
+
+// Fallback returns the wrapped exact schedule used past the table.
+func (tb *Table) Fallback() Schedule { return tb.exact }
+
 // Constant is a fixed step size, useful in tests and ablations.
 type Constant float64
 

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableMatchesPowerExactly: every tabulated entry is produced by
+// calling the wrapped schedule's Step, and lookups past the table fall
+// back to the same call, so Table must equal Power bit for bit for all
+// t — including across the table boundary.
+func TestTableMatchesPowerExactly(t *testing.T) {
+	p := Power{Alpha: 0.05, Beta: 0.02}
+	tb := NewTable(p, 64)
+	if tb.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tb.Len())
+	}
+	for i := 0; i < 300; i++ {
+		if got, want := tb.Step(i), p.Step(i); got != want {
+			t.Fatalf("Step(%d) = %v, want %v (table boundary at 64)", i, got, want)
+		}
+	}
+}
+
+func TestTableNegativeAndEmpty(t *testing.T) {
+	p := Power{Alpha: 0.1, Beta: 0.5}
+	tb := NewTable(p, 0)
+	for _, i := range []int{0, 1, 17} {
+		if got, want := tb.Step(i), p.Step(i); got != want {
+			t.Fatalf("empty table Step(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Negative t is out of schedule domain but must not panic on the
+	// table any more than on Power itself (Power yields NaN there).
+	tb = NewTable(p, 8)
+	got, want := tb.Step(-1), p.Step(-1)
+	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Fatalf("Step(-1) = %v, want %v", got, want)
+	}
+}
+
+func TestTableWrapsAnySchedule(t *testing.T) {
+	tb := NewTable(Constant(0.25), 4)
+	for i := 0; i < 10; i++ {
+		if tb.Step(i) != 0.25 {
+			t.Fatalf("Step(%d) = %v, want 0.25", i, tb.Step(i))
+		}
+	}
+}
+
+func BenchmarkPowerStep(b *testing.B) {
+	p := Power{Alpha: 0.05, Beta: 0.02}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = p.Step(i & 1023)
+	}
+	_ = sink
+}
+
+func BenchmarkTableStep(b *testing.B) {
+	tb := NewTable(Power{Alpha: 0.05, Beta: 0.02}, 1024)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = tb.Step(i & 1023)
+	}
+	_ = sink
+}

@@ -18,6 +18,7 @@ import (
 	"nomad/internal/queue"
 	"nomad/internal/sched"
 	"nomad/internal/sparse"
+	"nomad/internal/vecmath"
 )
 
 // Config carries every tunable of a training run. Zero values are
@@ -132,9 +133,23 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 	return c, nil
 }
 
-// Schedule returns the per-rating SGD step-size schedule of eq. (11).
+// stepTableSize tabulates this many step sizes (32 KiB of float64s).
+// t counts updates per individual rating — roughly the epoch count —
+// so 4096 entries cover any realistic run; later t falls back to the
+// exact formula.
+const stepTableSize = 4096
+
+// Schedule returns the per-rating SGD step-size schedule of eq. (11),
+// precomputed into a sched.Table so the hot path replaces the
+// per-update Sqrt with a slice load. With NOMAD_REFERENCE_KERNELS set
+// the raw Power schedule is returned instead, alongside the reference
+// vecmath kernels (the in-tree A/B switch for benchmarking).
 func (c Config) Schedule() sched.Schedule {
-	return sched.Power{Alpha: c.Alpha, Beta: c.Beta}
+	p := sched.Power{Alpha: c.Alpha, Beta: c.Beta}
+	if vecmath.ReferenceOnly() {
+		return p
+	}
+	return sched.NewTable(p, stepTableSize)
 }
 
 // TotalWorkers returns machines × workers-per-machine.

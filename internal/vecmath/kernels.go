@@ -1,0 +1,418 @@
+// Hot-path SGD kernels: width-specialized inner products and fused
+// square-loss update steps.
+//
+// The functions in vecmath.go are the *reference* implementations —
+// simple, obviously correct, and the ground truth the kernel
+// equivalence tests compare against. The kernels here trade a little
+// code size for throughput on the per-rating hot path that every
+// SGD-family solver (nomad, hogwild, dsgd, dsgd++, fpsgd, biassgd)
+// spends most of its time in:
+//
+//   - Multi-accumulator dot products break the sequential-add
+//     dependency chain of the reference Dot, letting the CPU retire
+//     several multiply-adds per cycle.
+//   - Fully unrolled variants for the common ranks K = 8, 16 and 32
+//     work through slice→array-pointer conversion, which proves the
+//     width to the compiler: one length check per call, zero
+//     per-element bounds checks, zero loop overhead.
+//   - FusedSGDStep folds residual computation and the simultaneous
+//     row update into one call, replacing the reference path's
+//     Dot + loss.Grad + SGDUpdateGrad triple (two slice traversals,
+//     one interface dispatch) for the square loss.
+//
+// A solver selects its kernels once per run with KernelFor(k) — never
+// per rating — and calls through plain function values from then on.
+//
+// Reassociated summation changes low-order bits: the specialized dots
+// agree with the reference Dot to within standard summation error
+// bounds (see kernels_test.go), and the per-element update arithmetic
+// is kept expression-for-expression identical to the reference so
+// that, at equal residual, updates match bit for bit.
+//
+// Setting NOMAD_REFERENCE_KERNELS=1 in the environment makes KernelFor
+// hand back the reference implementations instead, which gives an
+// in-tree A/B switch for benchmarking and for bisecting numerical
+// differences (cmd/nomad-bench -json records which side it measured).
+package vecmath
+
+import "os"
+
+// referenceOnly pins every kernel selector to the reference
+// implementations. Read once at startup; flipping the environment
+// mid-process has no effect.
+var referenceOnly = os.Getenv("NOMAD_REFERENCE_KERNELS") != ""
+
+// ReferenceOnly reports whether the reference hot path is forced:
+// reference kernels here, the raw Power schedule in internal/train,
+// and the square loss's original Grad-dispatch path in the solvers.
+// Worker-loop restructuring (token routing, hoisted lookups) is
+// structural and is not reverted.
+func ReferenceOnly() bool { return referenceOnly }
+
+// SetReferenceOnly overrides the NOMAD_REFERENCE_KERNELS switch at
+// run time. cmd/nomad-bench uses it to measure both sides of the A/B
+// interleaved in one process, so machine noise hits them equally. The
+// switch is consulted when a run selects its kernels and schedule —
+// never flip it while a training run is active.
+func SetReferenceOnly(v bool) { referenceOnly = v }
+
+// DotFunc computes the inner product of two equal-length rows.
+type DotFunc func(a, b []float64) float64
+
+// StepFunc performs one fused square-loss SGD step on rows w and h
+// (the update of SGDUpdate) and returns the pre-update residual
+// e = rating − ⟨w, h⟩.
+type StepFunc func(w, h []float64, rating, step, lambda float64) float64
+
+// GradFunc applies the generic separable-loss step of SGDUpdateGrad
+// with the negative-gradient scalar g already computed by a loss.Loss.
+type GradFunc func(w, h []float64, g, step, lambda float64)
+
+// ItemPassFunc is the batched fused kernel shaped for NOMAD's
+// owner-computes discipline: one call runs the square-loss step over
+// every rating of a single item. h is the item row, shared (and
+// sequentially updated) across all the item's ratings; users[x] indexes
+// the x-th rating's user row inside the flat row-major wData; vals[x]
+// is its rating and counts[x] its per-rating update count t, which is
+// incremented in place. The step size for count t is steps[t], falling
+// back to slow(t) past the table (sched.Table supplies both halves).
+//
+// Batching the whole item pass hoists every per-rating overhead the
+// caller would otherwise pay — kernel dispatch, schedule branch, row
+// slicing — out of the inner loop.
+type ItemPassFunc func(wData []float64, users []int32, vals []float64,
+	counts []int32, h []float64, lambda float64, steps []float64, slow func(int) float64)
+
+// Kernel bundles the hot-path kernels specialized for one rank. Select
+// it once per run with KernelFor and reuse it for every rating.
+type Kernel struct {
+	K    int
+	Dot  DotFunc
+	Step StepFunc
+	Grad GradFunc
+	// ItemPass is the batched fused square-loss kernel; see
+	// ItemPassFunc. It is nil under NOMAD_REFERENCE_KERNELS (callers
+	// fall back to their per-rating loops).
+	ItemPass ItemPassFunc
+}
+
+// KernelFor returns the kernels specialized for rank k: fully unrolled
+// variants for K = 8, 16 and 32, and unrolled-by-4 generic fallbacks
+// otherwise. With NOMAD_REFERENCE_KERNELS set it returns the reference
+// implementations.
+func KernelFor(k int) Kernel {
+	if referenceOnly {
+		return Kernel{K: k, Dot: Dot, Step: SGDUpdate, Grad: SGDUpdateGrad}
+	}
+	switch k {
+	case 8:
+		return Kernel{K: 8, Dot: dot8, Step: step8, Grad: gradAny, ItemPass: itemPass8}
+	case 16:
+		return Kernel{K: 16, Dot: dot16, Step: step16, Grad: gradAny, ItemPass: itemPass16}
+	case 32:
+		return Kernel{K: 32, Dot: dot32, Step: step32, Grad: gradAny, ItemPass: itemPass32}
+	default:
+		return Kernel{K: k, Dot: DotUnrolled, Step: FusedSGDStep, Grad: gradAny,
+			ItemPass: itemPassGeneric(k)}
+	}
+}
+
+// DotKernel returns just the inner-product kernel for rank k, for
+// callers (model evaluation, the bias-augmented solvers) that need fast
+// predictions without the update half.
+func DotKernel(k int) DotFunc {
+	return KernelFor(k).Dot
+}
+
+// FusedSGDStep is the generic-width fused square-loss kernel: one call
+// computes the residual with the unrolled dot and applies the
+// simultaneous SGDUpdate step. It matches SGDUpdate up to the dot
+// product's summation order and returns the residual e.
+func FusedSGDStep(w, h []float64, rating, step, lambda float64) float64 {
+	if len(w) != len(h) {
+		panic("vecmath: FusedSGDStep length mismatch")
+	}
+	e := rating - DotUnrolled(w, h)
+	applyStep(w, h, step*e, step*lambda)
+	return e
+}
+
+// DotUnrolled is the generic-width multi-accumulator inner product:
+// four independent partial sums over array-pointer chunks, plus a
+// scalar tail. It panics if lengths differ.
+func DotUnrolled(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		aa := (*[4]float64)(a)
+		bb := (*[4]float64)(b)
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
+		a = a[4:]
+		b = b[4:]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// gradAny is Kernel.Grad for every width: the reference per-element
+// arithmetic, unrolled by 4.
+func gradAny(w, h []float64, g, step, lambda float64) {
+	if len(w) != len(h) {
+		panic("vecmath: SGDUpdateGrad length mismatch")
+	}
+	applyStep(w, h, step*g, step*lambda)
+}
+
+// applyStep applies the simultaneous per-element update
+//
+//	w[l] = w[l] + sg·h[l] − sl·w[l]
+//	h[l] = h[l] + sg·w_old[l] − sl·h[l]
+//
+// in 4-wide array-pointer chunks. The expressions are kept identical
+// to the reference SGDUpdate/SGDUpdateGrad loops so that, given the
+// same sg and sl, the results agree bit for bit.
+func applyStep(w, h []float64, sg, sl float64) {
+	for len(w) >= 4 && len(h) >= 4 {
+		ww := (*[4]float64)(w)
+		hh := (*[4]float64)(h)
+		upd4(ww, hh, sg, sl)
+		w = w[4:]
+		h = h[4:]
+	}
+	for l, wl := range w {
+		hl := h[l]
+		w[l] = wl + sg*hl - sl*wl
+		h[l] = hl + sg*wl - sl*hl
+	}
+}
+
+// upd4 updates one 4-element block of both rows.
+func upd4(w, h *[4]float64, sg, sl float64) {
+	w0, h0 := w[0], h[0]
+	w1, h1 := w[1], h[1]
+	w2, h2 := w[2], h[2]
+	w3, h3 := w[3], h[3]
+	w[0] = w0 + sg*h0 - sl*w0
+	h[0] = h0 + sg*w0 - sl*h0
+	w[1] = w1 + sg*h1 - sl*w1
+	h[1] = h1 + sg*w1 - sl*h1
+	w[2] = w2 + sg*h2 - sl*w2
+	h[2] = h2 + sg*w2 - sl*h2
+	w[3] = w3 + sg*h3 - sl*w3
+	h[3] = h3 + sg*w3 - sl*h3
+}
+
+// upd8 updates one 8-element block of both rows, fully unrolled.
+func upd8(w, h *[8]float64, sg, sl float64) {
+	w0, h0 := w[0], h[0]
+	w1, h1 := w[1], h[1]
+	w2, h2 := w[2], h[2]
+	w3, h3 := w[3], h[3]
+	w4, h4 := w[4], h[4]
+	w5, h5 := w[5], h[5]
+	w6, h6 := w[6], h[6]
+	w7, h7 := w[7], h[7]
+	w[0] = w0 + sg*h0 - sl*w0
+	h[0] = h0 + sg*w0 - sl*h0
+	w[1] = w1 + sg*h1 - sl*w1
+	h[1] = h1 + sg*w1 - sl*h1
+	w[2] = w2 + sg*h2 - sl*w2
+	h[2] = h2 + sg*w2 - sl*h2
+	w[3] = w3 + sg*h3 - sl*w3
+	h[3] = h3 + sg*w3 - sl*h3
+	w[4] = w4 + sg*h4 - sl*w4
+	h[4] = h4 + sg*w4 - sl*h4
+	w[5] = w5 + sg*h5 - sl*w5
+	h[5] = h5 + sg*w5 - sl*h5
+	w[6] = w6 + sg*h6 - sl*w6
+	h[6] = h6 + sg*w6 - sl*h6
+	w[7] = w7 + sg*h7 - sl*w7
+	h[7] = h7 + sg*w7 - sl*h7
+}
+
+// stepAt looks the step size up in the table, falling back to the
+// exact schedule past it. t never goes negative (counts start at 0).
+func stepAt(t int32, steps []float64, slow func(int) float64) float64 {
+	if int(t) < len(steps) {
+		return steps[t]
+	}
+	return slow(int(t))
+}
+
+// itemPassGeneric returns the batched fused kernel for an uncommon
+// width k.
+func itemPassGeneric(k int) ItemPassFunc {
+	return func(wData []float64, users []int32, vals []float64,
+		counts []int32, h []float64, lambda float64, steps []float64, slow func(int) float64) {
+		if len(h) != k {
+			panic("vecmath: ItemPass width mismatch")
+		}
+		vals = vals[:len(users)]
+		counts = counts[:len(users)]
+		for x := range users {
+			t := counts[x]
+			counts[x] = t + 1
+			step := stepAt(t, steps, slow)
+			o := int(users[x]) * k
+			w := wData[o : o+k]
+			e := vals[x] - DotUnrolled(w, h)
+			applyStep(w, h, step*e, step*lambda)
+		}
+	}
+}
+
+// --- K = 8 ----------------------------------------------------------
+
+func dotA8(a, b *[8]float64) float64 {
+	s0 := a[0]*b[0] + a[4]*b[4]
+	s1 := a[1]*b[1] + a[5]*b[5]
+	s2 := a[2]*b[2] + a[6]*b[6]
+	s3 := a[3]*b[3] + a[7]*b[7]
+	return (s0 + s1) + (s2 + s3)
+}
+
+func dot8(a, b []float64) float64 {
+	if len(a) != 8 || len(b) != 8 {
+		panic("vecmath: dot8 length mismatch")
+	}
+	return dotA8((*[8]float64)(a), (*[8]float64)(b))
+}
+
+func step8(w, h []float64, rating, step, lambda float64) float64 {
+	if len(w) != 8 || len(h) != 8 {
+		panic("vecmath: step8 length mismatch")
+	}
+	ww := (*[8]float64)(w)
+	hh := (*[8]float64)(h)
+	e := rating - dotA8(ww, hh)
+	upd8(ww, hh, step*e, step*lambda)
+	return e
+}
+
+func itemPass8(wData []float64, users []int32, vals []float64,
+	counts []int32, h []float64, lambda float64, steps []float64, slow func(int) float64) {
+	hh := (*[8]float64)(h) // one width check for the whole pass
+	vals = vals[:len(users)]
+	counts = counts[:len(users)]
+	for x := range users {
+		t := counts[x]
+		counts[x] = t + 1
+		step := stepAt(t, steps, slow)
+		o := int(users[x]) * 8
+		ww := (*[8]float64)(wData[o : o+8])
+		e := vals[x] - dotA8(ww, hh)
+		upd8(ww, hh, step*e, step*lambda)
+	}
+}
+
+// --- K = 16 ---------------------------------------------------------
+
+func dotA16(a, b *[16]float64) float64 {
+	s0 := a[0]*b[0] + a[4]*b[4] + a[8]*b[8] + a[12]*b[12]
+	s1 := a[1]*b[1] + a[5]*b[5] + a[9]*b[9] + a[13]*b[13]
+	s2 := a[2]*b[2] + a[6]*b[6] + a[10]*b[10] + a[14]*b[14]
+	s3 := a[3]*b[3] + a[7]*b[7] + a[11]*b[11] + a[15]*b[15]
+	return (s0 + s1) + (s2 + s3)
+}
+
+func dot16(a, b []float64) float64 {
+	if len(a) != 16 || len(b) != 16 {
+		panic("vecmath: dot16 length mismatch")
+	}
+	return dotA16((*[16]float64)(a), (*[16]float64)(b))
+}
+
+func step16(w, h []float64, rating, step, lambda float64) float64 {
+	if len(w) != 16 || len(h) != 16 {
+		panic("vecmath: step16 length mismatch")
+	}
+	ww := (*[16]float64)(w)
+	hh := (*[16]float64)(h)
+	e := rating - dotA16(ww, hh)
+	sg, sl := step*e, step*lambda
+	upd8((*[8]float64)(ww[0:8]), (*[8]float64)(hh[0:8]), sg, sl)
+	upd8((*[8]float64)(ww[8:16]), (*[8]float64)(hh[8:16]), sg, sl)
+	return e
+}
+
+func itemPass16(wData []float64, users []int32, vals []float64,
+	counts []int32, h []float64, lambda float64, steps []float64, slow func(int) float64) {
+	hh := (*[16]float64)(h) // one width check for the whole pass
+	vals = vals[:len(users)]
+	counts = counts[:len(users)]
+	for x := range users {
+		t := counts[x]
+		counts[x] = t + 1
+		step := stepAt(t, steps, slow)
+		o := int(users[x]) * 16
+		ww := (*[16]float64)(wData[o : o+16])
+		e := vals[x] - dotA16(ww, hh)
+		sg, sl := step*e, step*lambda
+		upd8((*[8]float64)(ww[0:8]), (*[8]float64)(hh[0:8]), sg, sl)
+		upd8((*[8]float64)(ww[8:16]), (*[8]float64)(hh[8:16]), sg, sl)
+	}
+}
+
+// --- K = 32 ---------------------------------------------------------
+
+func dotA32(a, b *[32]float64) float64 {
+	s0 := a[0]*b[0] + a[4]*b[4] + a[8]*b[8] + a[12]*b[12] +
+		a[16]*b[16] + a[20]*b[20] + a[24]*b[24] + a[28]*b[28]
+	s1 := a[1]*b[1] + a[5]*b[5] + a[9]*b[9] + a[13]*b[13] +
+		a[17]*b[17] + a[21]*b[21] + a[25]*b[25] + a[29]*b[29]
+	s2 := a[2]*b[2] + a[6]*b[6] + a[10]*b[10] + a[14]*b[14] +
+		a[18]*b[18] + a[22]*b[22] + a[26]*b[26] + a[30]*b[30]
+	s3 := a[3]*b[3] + a[7]*b[7] + a[11]*b[11] + a[15]*b[15] +
+		a[19]*b[19] + a[23]*b[23] + a[27]*b[27] + a[31]*b[31]
+	return (s0 + s1) + (s2 + s3)
+}
+
+func dot32(a, b []float64) float64 {
+	if len(a) != 32 || len(b) != 32 {
+		panic("vecmath: dot32 length mismatch")
+	}
+	return dotA32((*[32]float64)(a), (*[32]float64)(b))
+}
+
+func step32(w, h []float64, rating, step, lambda float64) float64 {
+	if len(w) != 32 || len(h) != 32 {
+		panic("vecmath: step32 length mismatch")
+	}
+	ww := (*[32]float64)(w)
+	hh := (*[32]float64)(h)
+	e := rating - dotA32(ww, hh)
+	sg, sl := step*e, step*lambda
+	upd8((*[8]float64)(ww[0:8]), (*[8]float64)(hh[0:8]), sg, sl)
+	upd8((*[8]float64)(ww[8:16]), (*[8]float64)(hh[8:16]), sg, sl)
+	upd8((*[8]float64)(ww[16:24]), (*[8]float64)(hh[16:24]), sg, sl)
+	upd8((*[8]float64)(ww[24:32]), (*[8]float64)(hh[24:32]), sg, sl)
+	return e
+}
+
+func itemPass32(wData []float64, users []int32, vals []float64,
+	counts []int32, h []float64, lambda float64, steps []float64, slow func(int) float64) {
+	hh := (*[32]float64)(h) // one width check for the whole pass
+	vals = vals[:len(users)]
+	counts = counts[:len(users)]
+	for x := range users {
+		t := counts[x]
+		counts[x] = t + 1
+		step := stepAt(t, steps, slow)
+		o := int(users[x]) * 32
+		ww := (*[32]float64)(wData[o : o+32])
+		e := vals[x] - dotA32(ww, hh)
+		sg, sl := step*e, step*lambda
+		upd8((*[8]float64)(ww[0:8]), (*[8]float64)(hh[0:8]), sg, sl)
+		upd8((*[8]float64)(ww[8:16]), (*[8]float64)(hh[8:16]), sg, sl)
+		upd8((*[8]float64)(ww[16:24]), (*[8]float64)(hh[16:24]), sg, sl)
+		upd8((*[8]float64)(ww[24:32]), (*[8]float64)(hh[24:32]), sg, sl)
+	}
+}

@@ -1,0 +1,297 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"nomad/internal/rng"
+)
+
+// kernelWidths covers every specialization boundary: below, at and
+// above each unroll width, plus the tail cases of the generic kernel.
+var kernelWidths = []int{1, 7, 8, 15, 16, 32, 33}
+
+// fill populates a with uniform values in [-1, 1), the magnitude range
+// of factor entries in this repository.
+func fill(r *rng.Source, a []float64) {
+	for i := range a {
+		a[i] = r.Uniform(-1, 1)
+	}
+}
+
+// dotTolerance bounds how far a reassociated dot product may sit from
+// the reference sequential one. Both orderings have forward error at
+// most (n−1)·u·Σ|aᵢbᵢ| with u = 2⁻⁵³ (standard recursive-summation
+// analysis, e.g. Higham, "Accuracy and Stability of Numerical
+// Algorithms", §4.2 — blocked summation is strictly tighter), so their
+// difference is at most twice that. The bound is exact arithmetic, not
+// a fudge factor: a kernel that reorders products any further fails.
+func dotTolerance(a, b []float64) float64 {
+	const u = 0x1p-53
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] * b[i])
+	}
+	return 2 * float64(len(a)) * u * s
+}
+
+// TestDotKernelsMatchReference checks every specialized dot against
+// the reference Dot across widths and random inputs, within the
+// summation-error tolerance above (bit-for-bit equality is not
+// required only because the accumulators reassociate the sum).
+func TestDotKernelsMatchReference(t *testing.T) {
+	r := rng.New(11)
+	for _, k := range kernelWidths {
+		kern := KernelFor(k)
+		if kern.K != k {
+			t.Fatalf("KernelFor(%d).K = %d", k, kern.K)
+		}
+		for trial := 0; trial < 200; trial++ {
+			a := make([]float64, k)
+			b := make([]float64, k)
+			fill(r, a)
+			fill(r, b)
+			want := Dot(a, b)
+			got := kern.Dot(a, b)
+			if tol := dotTolerance(a, b); math.Abs(got-want) > tol {
+				t.Fatalf("K=%d trial %d: kernel dot %v, reference %v, |diff| %g > tol %g",
+					k, trial, got, want, math.Abs(got-want), tol)
+			}
+			if g2 := DotKernel(k)(a, b); g2 != got {
+				t.Fatalf("K=%d: DotKernel disagrees with KernelFor.Dot", k)
+			}
+			if gen := DotUnrolled(a, b); math.Abs(gen-want) > dotTolerance(a, b) {
+				t.Fatalf("K=%d: DotUnrolled %v vs reference %v", k, gen, want)
+			}
+		}
+	}
+}
+
+// TestGradKernelBitIdentical: the specialized grad step uses
+// expression-for-expression the same per-element arithmetic as the
+// reference SGDUpdateGrad (only the dot product reassociates, and
+// there is no dot product here), so given the same g the results must
+// match bit for bit.
+func TestGradKernelBitIdentical(t *testing.T) {
+	r := rng.New(12)
+	for _, k := range kernelWidths {
+		kern := KernelFor(k)
+		for trial := 0; trial < 100; trial++ {
+			w := make([]float64, k)
+			h := make([]float64, k)
+			fill(r, w)
+			fill(r, h)
+			wRef := append([]float64(nil), w...)
+			hRef := append([]float64(nil), h...)
+			g := r.Uniform(-2, 2)
+			step := r.Uniform(0, 0.1)
+			lambda := r.Uniform(0, 0.2)
+			SGDUpdateGrad(wRef, hRef, g, step, lambda)
+			kern.Grad(w, h, g, step, lambda)
+			for l := 0; l < k; l++ {
+				if w[l] != wRef[l] || h[l] != hRef[l] {
+					t.Fatalf("K=%d trial %d elem %d: kernel (%v,%v) != reference (%v,%v)",
+						k, trial, l, w[l], h[l], wRef[l], hRef[l])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedStepDecomposition pins down the fused kernel exactly: its
+// residual equals rating − Dot_kernel(w,h) bit for bit, and its row
+// update is bit-identical to SGDUpdateGrad applied with that residual.
+func TestFusedStepDecomposition(t *testing.T) {
+	r := rng.New(13)
+	for _, k := range kernelWidths {
+		kern := KernelFor(k)
+		for trial := 0; trial < 100; trial++ {
+			w := make([]float64, k)
+			h := make([]float64, k)
+			fill(r, w)
+			fill(r, h)
+			wRef := append([]float64(nil), w...)
+			hRef := append([]float64(nil), h...)
+			rating := r.Uniform(-5, 5)
+			step := r.Uniform(0, 0.1)
+			lambda := r.Uniform(0, 0.2)
+
+			wantE := rating - kern.Dot(w, h)
+			e := kern.Step(w, h, rating, step, lambda)
+			if e != wantE {
+				t.Fatalf("K=%d: fused residual %v != rating − kernel dot %v", k, e, wantE)
+			}
+			SGDUpdateGrad(wRef, hRef, e, step, lambda)
+			for l := 0; l < k; l++ {
+				if w[l] != wRef[l] || h[l] != hRef[l] {
+					t.Fatalf("K=%d trial %d elem %d: fused (%v,%v) != reference-at-same-e (%v,%v)",
+						k, trial, l, w[l], h[l], wRef[l], hRef[l])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedStepMatchesSGDUpdate compares the fused kernel end to end
+// against the reference SGDUpdate. The residuals differ only by the
+// dot reassociation, so each updated element differs by at most
+// step·|δe|·|partner| plus one rounding of that perturbation.
+func TestFusedStepMatchesSGDUpdate(t *testing.T) {
+	r := rng.New(14)
+	for _, k := range kernelWidths {
+		kern := KernelFor(k)
+		for trial := 0; trial < 100; trial++ {
+			w := make([]float64, k)
+			h := make([]float64, k)
+			fill(r, w)
+			fill(r, h)
+			wRef := append([]float64(nil), w...)
+			hRef := append([]float64(nil), h...)
+			rating := r.Uniform(-5, 5)
+			step := r.Uniform(0, 0.1)
+			lambda := r.Uniform(0, 0.2)
+
+			deltaE := dotTolerance(w, h)
+			eRef := SGDUpdate(wRef, hRef, rating, step, lambda)
+			e := kern.Step(w, h, rating, step, lambda)
+			if math.Abs(e-eRef) > deltaE {
+				t.Fatalf("K=%d: fused residual %v vs reference %v beyond dot tolerance %g",
+					k, e, eRef, deltaE)
+			}
+			for l := 0; l < k; l++ {
+				// |w − wRef| ≤ step·δe·|h_old| + rounding; h_old here is
+				// bounded by the post-update value's neighbourhood, so a
+				// couple of ULPs of headroom covers the final rounding.
+				tol := step*deltaE*(math.Abs(hRef[l])+1) + 4*math.Abs(wRef[l])*0x1p-53
+				if math.Abs(w[l]-wRef[l]) > tol {
+					t.Fatalf("K=%d elem %d: fused w %v vs reference %v (tol %g)", k, l, w[l], wRef[l], tol)
+				}
+				tol = step*deltaE*(math.Abs(wRef[l])+1) + 4*math.Abs(hRef[l])*0x1p-53
+				if math.Abs(h[l]-hRef[l]) > tol {
+					t.Fatalf("K=%d elem %d: fused h %v vs reference %v (tol %g)", k, l, h[l], hRef[l], tol)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedSGDStepGeneric covers the exported generic fused kernel on
+// its own (KernelFor routes non-common widths to it, but it is part of
+// the public surface and must hold for the common widths too).
+func TestFusedSGDStepGeneric(t *testing.T) {
+	r := rng.New(15)
+	for _, k := range kernelWidths {
+		w := make([]float64, k)
+		h := make([]float64, k)
+		fill(r, w)
+		fill(r, h)
+		wRef := append([]float64(nil), w...)
+		hRef := append([]float64(nil), h...)
+		rating := r.Uniform(-5, 5)
+
+		wantE := rating - DotUnrolled(w, h)
+		e := FusedSGDStep(w, h, rating, 0.05, 0.01)
+		if e != wantE {
+			t.Fatalf("K=%d: FusedSGDStep residual %v, want %v", k, e, wantE)
+		}
+		SGDUpdateGrad(wRef, hRef, e, 0.05, 0.01)
+		for l := 0; l < k; l++ {
+			if w[l] != wRef[l] || h[l] != hRef[l] {
+				t.Fatalf("K=%d elem %d: FusedSGDStep diverges from reference at equal e", k, l)
+			}
+		}
+	}
+}
+
+// TestItemPassMatchesPerRatingLoop: the batched kernel must be
+// bit-identical to calling Kernel.Step per rating with the step size
+// looked up from the same table — it is the same arithmetic with the
+// per-rating overheads hoisted, so exact equality is required.
+func TestItemPassMatchesPerRatingLoop(t *testing.T) {
+	if ReferenceOnly() {
+		t.Skip("reference mode has no batched kernel by design")
+	}
+	r := rng.New(16)
+	for _, k := range kernelWidths {
+		kern := KernelFor(k)
+		if kern.ItemPass == nil {
+			t.Fatalf("K=%d: ItemPass missing", k)
+		}
+		const nUsers, nRatings = 12, 40
+		steps := make([]float64, 5) // short table to exercise the slow fallback
+		for i := range steps {
+			steps[i] = r.Uniform(0.001, 0.1)
+		}
+		slowCalls := 0
+		slow := func(t int) float64 { slowCalls++; return 0.01 / float64(t+1) }
+
+		wData := make([]float64, nUsers*k)
+		h := make([]float64, k)
+		fill(r, wData)
+		fill(r, h)
+		users := make([]int32, nRatings)
+		vals := make([]float64, nRatings)
+		counts := make([]int32, nRatings)
+		for x := range users {
+			users[x] = int32(r.Intn(nUsers))
+			vals[x] = r.Uniform(-3, 3)
+			counts[x] = int32(r.Intn(8)) // some past the table boundary
+		}
+
+		wRef := append([]float64(nil), wData...)
+		hRef := append([]float64(nil), h...)
+		countsRef := append([]int32(nil), counts...)
+		for x := range users {
+			tc := countsRef[x]
+			countsRef[x] = tc + 1
+			var step float64
+			if int(tc) < len(steps) {
+				step = steps[tc]
+			} else {
+				step = 0.01 / float64(int(tc)+1)
+			}
+			o := int(users[x]) * k
+			kern.Step(wRef[o:o+k], hRef, vals[x], step, 0.02)
+		}
+
+		kern.ItemPass(wData, users, vals, counts, h, 0.02, steps, slow)
+		if slowCalls == 0 {
+			t.Fatalf("K=%d: slow fallback never exercised", k)
+		}
+		for i := range wData {
+			if wData[i] != wRef[i] {
+				t.Fatalf("K=%d: wData[%d] = %v, per-rating loop %v", k, i, wData[i], wRef[i])
+			}
+		}
+		for i := range h {
+			if h[i] != hRef[i] {
+				t.Fatalf("K=%d: h[%d] = %v, per-rating loop %v", k, i, h[i], hRef[i])
+			}
+		}
+		for i := range counts {
+			if counts[i] != countsRef[i] {
+				t.Fatalf("K=%d: counts[%d] = %d, want %d", k, i, counts[i], countsRef[i])
+			}
+		}
+	}
+}
+
+func TestKernelPanicsOnMismatch(t *testing.T) {
+	for _, fn := range []func(){
+		func() { dot8(make([]float64, 7), make([]float64, 8)) },
+		func() { dot16(make([]float64, 16), make([]float64, 15)) },
+		func() { dot32(make([]float64, 31), make([]float64, 32)) },
+		func() { DotUnrolled(make([]float64, 3), make([]float64, 4)) },
+		func() { FusedSGDStep(make([]float64, 3), make([]float64, 4), 1, 0.1, 0.1) },
+		func() { gradAny(make([]float64, 3), make([]float64, 4), 1, 0.1, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on length mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}
