@@ -18,6 +18,7 @@ package main
 // comparable across PRs.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -158,7 +159,16 @@ func measureHotpathAB(base, after *hotpathStats) error {
 		return err
 	}
 	train := func(epochs int) (*nomad.Result, error) {
-		return nomad.Train(ds, nomad.Config{Epochs: epochs, Workers: workers, Seed: seed})
+		// A fresh Session per rep: the pinned benchmark measures cold
+		// runs, not resumed continuations.
+		s, err := nomad.NewSession(ds,
+			nomad.WithWorkers(workers),
+			nomad.WithSeed(seed),
+			nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(context.Background())
 	}
 	// Warm-up rep: first-run effects (page faults, scheduler ramp-up)
 	// belong to neither side of the A/B.

@@ -1,6 +1,6 @@
 // Command nomad-train fits a matrix-completion model to a rating file
-// (or a synthetic dataset) with any of the implemented solvers and
-// reports the convergence trace.
+// (or a synthetic dataset) with any of the implemented solvers,
+// streaming the convergence trace live as the run progresses.
 //
 // Usage:
 //
@@ -8,37 +8,55 @@
 //	nomad-train -input ratings.txt -algo dsgd -machines 4 -network commodity
 //	nomad-train -profile yahoo -scale 0.001 -model out.bin
 //
+// Training runs are first-class jobs: Ctrl-C stops the run gracefully
+// (workers park their tokens, the partial model is kept), and with
+// -checkpoint the full training state is written on exit so a later
+// invocation with -resume picks up exactly where the run stopped:
+//
+//	nomad-train -profile netflix -epochs 20 -checkpoint run.ckpt
+//	^C                            # interrupted mid-run; run.ckpt written
+//	nomad-train -profile netflix -epochs 20 -checkpoint run.ckpt -resume run.ckpt
+//
 // The input file uses the text format "rows cols nnz" header followed
 // by "user item value" lines.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nomad"
 )
 
 func main() {
 	var (
-		input    = flag.String("input", "", "rating matrix file (text format); empty = synthetic")
-		profile  = flag.String("profile", "netflix", "synthetic profile: netflix, yahoo, hugewiki")
-		scale    = flag.Float64("scale", 0.002, "synthetic dataset scale")
-		algo     = flag.String("algo", "nomad", "algorithm: "+fmt.Sprint(nomad.Algorithms()))
-		k        = flag.Int("k", 16, "latent dimension")
-		lambda   = flag.Float64("lambda", 0.05, "regularization")
-		alpha    = flag.Float64("alpha", 0.05, "step size α (eq. 11)")
-		beta     = flag.Float64("beta", 0.02, "step decay β (eq. 11)")
-		workers  = flag.Int("workers", 4, "worker threads per machine")
-		machines = flag.Int("machines", 1, "simulated machines")
-		network  = flag.String("network", "instant", "network profile: instant, hpc, commodity")
-		balance  = flag.Bool("balance", false, "enable §3.3 dynamic load balancing")
-		epochs   = flag.Int("epochs", 10, "training epochs")
-		seconds  = flag.Float64("seconds", 0, "wall-clock budget (0 = epochs only)")
-		testFrac = flag.Float64("test", 0.1, "test fraction for -input files")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		modelOut = flag.String("model", "", "write the trained model to this file")
+		input      = flag.String("input", "", "rating matrix file (text format); empty = synthetic")
+		profile    = flag.String("profile", "netflix", "synthetic profile: netflix, yahoo, hugewiki")
+		scale      = flag.Float64("scale", 0.002, "synthetic dataset scale")
+		algo       = flag.String("algo", "nomad", "algorithm: "+fmt.Sprint(nomad.Algorithms()))
+		k          = flag.Int("k", 16, "latent dimension")
+		lambda     = flag.Float64("lambda", 0.05, "regularization")
+		alpha      = flag.Float64("alpha", 0.05, "step size α (eq. 11)")
+		beta       = flag.Float64("beta", 0.02, "step decay β (eq. 11)")
+		workers    = flag.Int("workers", 4, "worker threads per machine")
+		machines   = flag.Int("machines", 1, "simulated machines")
+		network    = flag.String("network", "instant", "network profile: instant, hpc, commodity")
+		balance    = flag.Bool("balance", false, "enable §3.3 dynamic load balancing")
+		epochs     = flag.Int("epochs", 10, "training epochs (cumulative across -resume segments)")
+		seconds    = flag.Float64("seconds", 0, "wall-clock budget (0 = epochs only)")
+		testFrac   = flag.Float64("test", 0.1, "test fraction for -input files")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		modelOut   = flag.String("model", "", "write the trained model to this file")
+		checkpoint = flag.String("checkpoint", "", "write the full training state to this file on exit")
+		resume     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		quiet      = flag.Bool("quiet", false, "suppress the live event stream")
 	)
 	flag.Parse()
 
@@ -49,50 +67,120 @@ func main() {
 	fmt.Printf("dataset: %d users × %d items, %d train / %d test ratings\n",
 		ds.Users(), ds.Items(), ds.TrainSize(), ds.TestSize())
 
-	cfg := nomad.Config{
-		Algorithm:   *algo,
-		K:           *k,
-		Lambda:      *lambda,
-		Alpha:       *alpha,
-		Beta:        *beta,
-		Workers:     *workers,
-		Machines:    *machines,
-		Network:     *network,
-		LoadBalance: *balance,
-		Epochs:      *epochs,
-		MaxSeconds:  *seconds,
-		Seed:        *seed,
+	opts := []nomad.Option{
+		nomad.WithAlgorithm(*algo),
+		nomad.WithRank(*k),
+		nomad.WithLambda(*lambda),
+		nomad.WithSchedule(*alpha, *beta),
+		nomad.WithWorkers(*workers),
+		nomad.WithCluster(*machines, *network),
+		nomad.WithSeed(*seed),
 	}
-	res, err := nomad.Train(ds, cfg)
+	if *balance {
+		opts = append(opts, nomad.WithLoadBalance())
+	}
+	stops := []nomad.StopCondition{nomad.MaxEpochs(*epochs)}
+	if *seconds > 0 {
+		stops = append(stops, nomad.MaxDuration(time.Duration(*seconds*float64(time.Second))))
+	}
+	opts = append(opts, nomad.WithStopConditions(stops...))
+
+	s, err := nomad.NewSession(ds, opts...)
 	if err != nil {
 		fatal(err)
 	}
-
-	fmt.Printf("%-10s %-12s %s\n", "seconds", "updates", "testRMSE")
-	for _, p := range res.Trace {
-		fmt.Printf("%-10.3f %-12d %.6f\n", p.Seconds, p.Updates, p.RMSE)
-	}
-	fmt.Printf("\n%s: final test RMSE %.6f after %d updates in %.2fs",
-		res.Algorithm, res.TestRMSE, res.Updates, res.Seconds)
-	if res.MessagesSent > 0 {
-		fmt.Printf(" (%d messages, %d bytes over %s network)",
-			res.MessagesSent, res.BytesSent, *network)
-	}
-	fmt.Println()
-
-	if *modelOut != "" {
-		f, err := os.Create(*modelOut)
+	if *resume != "" {
+		f, err := os.Open(*resume)
 		if err != nil {
 			fatal(err)
 		}
-		if err := res.Model.Save(f); err != nil {
+		err = s.Resume(f)
+		f.Close()
+		if err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
+		fmt.Printf("resumed from %s\n", *resume)
+	}
+
+	// Stream events live: trace samples as they are taken, epoch
+	// boundaries, network accounting for distributed runs.
+	done := make(chan struct{})
+	cancelSub := func() {}
+	if *quiet {
+		close(done)
+	} else {
+		var events <-chan nomad.Event
+		events, cancelSub = s.Subscribe(256)
+		fmt.Printf("%-10s %-12s %s\n", "seconds", "updates", "testRMSE")
+		go func() {
+			defer close(done)
+			for e := range events {
+				switch ev := e.(type) {
+				case nomad.TraceEvent:
+					fmt.Printf("%-10.3f %-12d %.6f\n", ev.Seconds, ev.Updates, ev.RMSE)
+				case nomad.EpochEvent:
+					fmt.Printf("          [epoch %d complete at %d updates]\n", ev.Epoch, ev.Updates)
+				}
+			}
+		}()
+	}
+
+	// Ctrl-C (or SIGTERM) cancels the run's context; every solver
+	// stops promptly and hands back its partial state.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	res, err := s.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	cancel()
+	cancelSub() // closes the event channel so the printer drains and exits
+	<-done      // flush pending event output before the summary
+
+	if interrupted {
+		fmt.Printf("\ninterrupted: %s stopped gracefully after %d updates in %.2fs (test RMSE %.6f)\n",
+			res.Algorithm, res.Updates, res.Seconds, res.TestRMSE)
+	} else {
+		fmt.Printf("\n%s: final test RMSE %.6f after %d updates in %.2fs",
+			res.Algorithm, res.TestRMSE, res.Updates, res.Seconds)
+		if res.MessagesSent > 0 {
+			fmt.Printf(" (%d messages, %d bytes over %s network)",
+				res.MessagesSent, res.BytesSent, *network)
+		}
+		fmt.Println()
+	}
+
+	if *checkpoint != "" {
+		if err := writeFile(*checkpoint, s.Checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("training state written to %s", *checkpoint)
+		if interrupted {
+			fmt.Printf(" (resume with -resume %s)", *checkpoint)
+		}
+		fmt.Println()
+	}
+	if *modelOut != "" {
+		if err := writeFile(*modelOut, res.Model.Save); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("model written to %s\n", *modelOut)
 	}
+}
+
+// writeFile creates path and streams write(f) into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadDataset(input, profile string, scale, testFrac float64, seed uint64) (*nomad.Dataset, error) {

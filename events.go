@@ -1,0 +1,62 @@
+package nomad
+
+// Typed events streamed by a running Session. Subscribe with
+// Session.Subscribe; every event is one of the concrete types below.
+//
+// Events are emitted from training-internal goroutines and delivered
+// over buffered channels without blocking: a subscriber that falls
+// behind loses the oldest pending events rather than stalling the run
+// (training throughput is the product's headline number and is never
+// sacrificed to observability).
+
+// Event is a typed notification from a running training session.
+// Switch on the concrete type:
+//
+//	switch e := ev.(type) {
+//	case nomad.TraceEvent:   // convergence sample
+//	case nomad.EpochEvent:   // sweep boundary
+//	case nomad.BalanceEvent: // §3.3 load-balance routing decision
+//	case nomad.NetworkEvent: // simulated-network accounting
+//	}
+type Event interface {
+	event() // sealed: only this package defines events
+}
+
+// TraceEvent is one convergence sample — the axes of every figure in
+// the paper: wall-clock seconds since Run started, cumulative SGD
+// updates (spanning resumed segments), and test RMSE.
+type TraceEvent struct {
+	Seconds float64
+	Updates int64
+	RMSE    float64
+}
+
+// EpochEvent marks the completion of (approximately) one sweep over
+// the training ratings. Synchronous solvers emit it at their true
+// epoch barrier; asynchronous solvers when the update count crosses an
+// epoch-sized multiple.
+type EpochEvent struct {
+	Epoch   int // 1-based
+	Updates int64
+}
+
+// BalanceEvent records one §3.3 dynamic load-balancing decision on the
+// distributed token-routing path: machine From routed its next token
+// batch to the least-loaded known peer To, whose last gossiped queue
+// length was QueueLen.
+type BalanceEvent struct {
+	From, To int
+	QueueLen int64
+}
+
+// NetworkEvent reports cumulative simulated-network accounting for
+// multi-machine runs.
+type NetworkEvent struct {
+	BytesSent    int64
+	MessagesSent int64
+}
+
+func (TraceEvent) event()   {}
+func (EpochEvent) event()   {}
+func (BalanceEvent) event() {}
+func (NetworkEvent) event() {}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"nomad"
 )
@@ -23,18 +25,20 @@ func main() {
 		"(yahoo shape: few ratings per item ⇒ communication-bound)\n\n",
 		ds.Users(), ds.Items(), ds.TrainSize())
 
-	const budgetSeconds = 3.0
+	const budget = 3 * time.Second
 	const target = 0.35 // "good enough" RMSE for this dataset
 	for _, algo := range []string{"nomad", "dsgd", "dsgdpp", "ccd"} {
-		cfg := nomad.Config{
-			Algorithm:  algo,
-			Machines:   8,
-			Workers:    2,
-			Network:    "commodity",
-			MaxSeconds: budgetSeconds,
-			Seed:       5,
+		s, err := nomad.NewSession(ds,
+			nomad.WithAlgorithm(algo),
+			nomad.WithCluster(8, "commodity"),
+			nomad.WithWorkers(2),
+			nomad.WithSeed(5),
+			nomad.WithStopConditions(nomad.MaxDuration(budget)),
+		)
+		if err != nil {
+			log.Fatal(err)
 		}
-		res, err := nomad.Train(ds, cfg)
+		res, err := s.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"nomad"
 )
@@ -21,7 +23,7 @@ func main() {
 	fmt.Printf("dataset: %d users × %d items, %d ratings; worker 0 runs 4× slower\n\n",
 		ds.Users(), ds.Items(), ds.TrainSize())
 
-	const budgetSeconds = 2.0
+	const budget = 2 * time.Second
 	type outcome struct {
 		label   string
 		rmse    float64
@@ -29,25 +31,29 @@ func main() {
 	}
 	var results []outcome
 	for _, balance := range []bool{false, true} {
-		cfg := nomad.Config{
-			Workers:     4,
-			Straggle:    4,
-			LoadBalance: balance,
-			MaxSeconds:  budgetSeconds,
-			Seed:        5,
-		}
-		res, err := nomad.Train(ds, cfg)
-		if err != nil {
-			log.Fatal(err)
+		opts := []nomad.Option{
+			nomad.WithWorkers(4),
+			nomad.WithStraggler(4),
+			nomad.WithSeed(5),
+			nomad.WithStopConditions(nomad.MaxDuration(budget)),
 		}
 		label := "uniform routing     "
 		if balance {
+			opts = append(opts, nomad.WithLoadBalance())
 			label = "load-balanced (§3.3)"
+		}
+		s, err := nomad.NewSession(ds, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
 		}
 		results = append(results, outcome{label, res.TestRMSE, res.Updates})
 	}
 	for _, r := range results {
-		fmt.Printf("%s  RMSE %.4f  %12d updates in %.0fs\n", r.label, r.rmse, r.updates, budgetSeconds)
+		fmt.Printf("%s  RMSE %.4f  %12d updates in %.0fs\n", r.label, r.rmse, r.updates, budget.Seconds())
 	}
 	if results[1].updates > results[0].updates {
 		fmt.Println("\nload balancing routed work away from the straggler: more updates,")

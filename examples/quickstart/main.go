@@ -1,10 +1,12 @@
-// Quickstart: synthesize a small Netflix-shaped dataset, train NOMAD,
-// and predict a rating.
+// Quickstart: synthesize a small Netflix-shaped dataset, train NOMAD
+// through the Session API with a live event stream, and predict a
+// rating.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,16 +23,37 @@ func main() {
 	fmt.Printf("dataset: %d users × %d items, %d train / %d test ratings\n",
 		ds.Users(), ds.Items(), ds.TrainSize(), ds.TestSize())
 
-	// Train with defaults: the NOMAD solver, 4 worker goroutines.
-	res, err := nomad.Train(ds, nomad.Config{Workers: 4, Epochs: 10, Seed: 1})
+	// A Session is a first-class training run: options instead of a
+	// config struct, context cancellation, streamed progress events.
+	s, err := nomad.NewSession(ds,
+		nomad.WithWorkers(4),
+		nomad.WithSeed(1),
+		nomad.WithStopConditions(nomad.MaxEpochs(10)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("\nconvergence:")
-	for _, p := range res.Trace {
-		fmt.Printf("  %6.2fs  %12d updates  RMSE %.4f\n", p.Seconds, p.Updates, p.RMSE)
+	// Watch convergence live instead of reading a post-hoc trace.
+	events, cancel := s.Subscribe(64)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fmt.Println("\nconvergence:")
+		for e := range events {
+			if p, ok := e.(nomad.TraceEvent); ok {
+				fmt.Printf("  %6.2fs  %12d updates  RMSE %.4f\n", p.Seconds, p.Updates, p.RMSE)
+			}
+		}
+	}()
+
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
+	cancel()
+	<-done
 	fmt.Printf("\nfinal test RMSE: %.4f (%d updates in %.2fs)\n",
 		res.TestRMSE, res.Updates, res.Seconds)
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,12 +21,16 @@ func main() {
 	fmt.Printf("catalog: %d items; audience: %d users; %d observed ratings\n",
 		ds.Items(), ds.Users(), ds.TrainSize())
 
-	res, err := nomad.Train(ds, nomad.Config{
-		Workers: 4,
-		Epochs:  12,
-		K:       16,
-		Seed:    3,
-	})
+	s, err := nomad.NewSession(ds,
+		nomad.WithWorkers(4),
+		nomad.WithRank(16),
+		nomad.WithSeed(3),
+		nomad.WithStopConditions(nomad.MaxEpochs(12)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,6 +43,8 @@ func main() {
 			fmt.Printf(" (e.g. item %d → %.0f stars)", history[0].Item, history[0].Value)
 		}
 		fmt.Println()
+		// Recommend streams all items through a bounded top-N heap —
+		// the serving-path shape (catalog ≫ list length).
 		for rank, rec := range res.Model.Recommend(ds, user, 5) {
 			fmt.Printf("  #%d: item %-6d predicted %.2f stars\n", rank+1, rec.Item, rec.Score)
 		}

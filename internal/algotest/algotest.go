@@ -5,6 +5,7 @@
 package algotest
 
 import (
+	"context"
 	"testing"
 
 	"nomad/internal/dataset"
@@ -38,7 +39,7 @@ func SGDConfig() train.Config {
 // Run trains and fails the test on error.
 func Run(t testing.TB, algo train.Algorithm, ds *dataset.Dataset, cfg train.Config) *train.Result {
 	t.Helper()
-	res, err := algo.Train(ds, cfg)
+	res, err := algo.Train(context.Background(), ds, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

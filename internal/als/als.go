@@ -12,6 +12,7 @@
 package als
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -33,21 +34,39 @@ func (*ALS) Name() string { return "als" }
 
 // Train implements train.Algorithm. Machines is folded into the worker
 // count; for network-cost modelling of distributed ALS use glals.
-func (*ALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*ALS) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Resume.Validate("als", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := cfg.TotalWorkers()
 	m, n := ds.Rows(), ds.Cols()
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
+	// ALS carries no cross-sweep state beyond the factors: a resume is
+	// a warm start from the restored model and update total.
+	var md *factor.Model
+	var resumed int64
+	sweeps := 0
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		resumed = st.Updates
+		sweeps = int(st.Ring) // EpochEvent numbering continues
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+	}
 	k := cfg.K
 	tr := ds.Train
 
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	start := time.Now()
 	var updates atomic.Int64
+	updates.Store(resumed)
 
 	// Per-worker scratch: Gram matrix and right-hand side.
 	grams := make([][]float64, p)
@@ -57,7 +76,7 @@ func (*ALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 		rhss[q] = make([]float64, k)
 	}
 
-	for !train.StopCheck(cfg, start, updates.Load()) {
+	for !train.StopCheck(ctx, cfg, start, updates.Load()) {
 		// User sweep.
 		parallel.For(p, m, func(worker, lo, hi int) {
 			var touched int64
@@ -99,6 +118,8 @@ func (*ALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 			counter.Add(worker, touched)
 			updates.Add(touched)
 		})
+		sweeps++
+		hooks.EmitEpoch(train.EpochEvent{Epoch: sweeps, Updates: updates.Load()})
 		if rec.Due(updates.Load()) {
 			rec.Sample(md, updates.Load())
 		}
@@ -111,7 +132,14 @@ func (*ALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 		Trace:     rec.Trace(),
 		Updates:   updates.Load(),
 		Elapsed:   rec.Elapsed(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "als",
+			Seed:      cfg.Seed,
+			Updates:   updates.Load(),
+			Ring:      int64(sweeps),
+			Model:     md,
+		},
+	}, ctx.Err()
 }
 
 // solveRow solves one user row's normal equations in place and returns

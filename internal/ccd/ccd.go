@@ -19,6 +19,7 @@
 package ccd
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -44,15 +45,33 @@ func (*CCD) Name() string { return "ccd" }
 // iteration (all k ranks) touches each rating 4k times (add-back,
 // u-phase, v-phase, subtract), of which the 2k solve touches are
 // counted as updates.
-func (*CCD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*CCD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Resume.Validate("ccd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := cfg.TotalWorkers()
 	m, n := ds.Rows(), ds.Cols()
 	tr := ds.Train
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
+	// CCD++'s only cross-iteration state is the model itself: the
+	// residual is a function of (A, W, H) and is rebuilt below, so a
+	// resumed run needs just the restored factors and update total.
+	var md *factor.Model
+	var resumed int64
+	outer := 0
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		resumed = st.Updates
+		outer = int(st.Ring) // EpochEvent numbering continues
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+	}
 	k := cfg.K
 
 	net := netsim.New(cfg.Machines, cfg.Profile)
@@ -75,12 +94,13 @@ func (*CCD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 
 	w := md.WData()
 	h := md.HData()
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	start := time.Now()
 	var updates atomic.Int64
+	updates.Store(resumed)
 
-	for !train.StopCheck(cfg, start, updates.Load()) {
+	for !train.StopCheck(ctx, cfg, start, updates.Load()) {
 		for l := 0; l < k; l++ {
 			// R̂ = R + u vᵀ over observed entries (CSR walk).
 			parallel.For(p, m, func(_, lo, hi int) {
@@ -150,9 +170,14 @@ func (*CCD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 					}
 				}
 			})
-			if train.StopCheck(cfg, start, updates.Load()) {
+			if train.StopCheck(ctx, cfg, start, updates.Load()) {
 				break
 			}
+		}
+		outer++
+		hooks.EmitEpoch(train.EpochEvent{Epoch: outer, Updates: updates.Load()})
+		if cfg.Machines > 1 {
+			hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
 		}
 		if rec.Due(updates.Load()) {
 			rec.Sample(md, updates.Load())
@@ -168,7 +193,14 @@ func (*CCD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) 
 		Elapsed:      rec.Elapsed(),
 		BytesSent:    net.BytesSent(),
 		MessagesSent: net.MessagesSent(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "ccd",
+			Seed:      cfg.Seed,
+			Updates:   updates.Load(),
+			Ring:      int64(outer),
+			Model:     md,
+		},
+	}, ctx.Err()
 }
 
 // broadcastColumn models the all-to-all exchange of one freshly

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,15 +53,21 @@ func New() *NOMAD { return &NOMAD{} }
 func (*NOMAD) Name() string { return "nomad" }
 
 // Train implements train.Algorithm.
-func (*NOMAD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*NOMAD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Machines == 1 {
-		return trainShared(ds, cfg)
+	if err := cfg.Resume.Validate("nomad", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
 	}
-	return trainDistributed(ds, cfg)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Machines == 1 {
+		return trainShared(ctx, ds, cfg, hooks)
+	}
+	return trainDistributed(ctx, ds, cfg, hooks)
 }
 
 // sharedToken is the nomadic token of the shared-memory runner: just
@@ -70,51 +77,74 @@ type sharedToken struct {
 	item int32
 }
 
-// trainShared runs Algorithm 1 with p worker goroutines in one process.
-func trainShared(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+// trainShared runs Algorithm 1 with p worker goroutines in one
+// process. With cfg.Resume set it restores the checkpointed model,
+// per-rating schedule counts, RNG streams and token ownership instead
+// of initializing fresh; for a single worker the continuation is
+// bit-compatible with an uninterrupted run, because the token order,
+// schedule position and stop decision are all deterministic.
+func trainShared(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	p := cfg.Workers
 	m, n := ds.Rows(), ds.Cols()
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
 	users := partitionUsers(ds, cfg, p)
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
+	root := rng.New(cfg.Seed)
 
-	// Per-worker queues, initially loaded with a random assignment of
-	// all n item tokens (Algorithm 1 lines 6–10).
+	var md *factor.Model
+	workerRNG := make([]*rng.Source, p)
 	queues := make([]queue.Queue[sharedToken], p)
 	for q := 0; q < p; q++ {
 		queues[q] = queue.New[sharedToken](cfg.QueueKind, 2*n/p+4)
 	}
-	root := rng.New(cfg.Seed)
-	for j := 0; j < n; j++ {
-		queues[root.Intn(p)].Push(sharedToken{item: int32(j)})
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
+		st.RestoreStreams(root, workerRNG)
+		if err := restoreQueues(queues, st.Queues, n, root); err != nil {
+			return nil, err
+		}
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		// Initial token placement: a random assignment of all n item
+		// tokens over the worker queues (Algorithm 1 lines 6–10).
+		for j := 0; j < n; j++ {
+			queues[root.Intn(p)].Push(sharedToken{item: int32(j)})
+		}
+		for q := 0; q < p; q++ {
+			workerRNG[q] = root.Split(uint64(q))
+		}
 	}
 
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for q := 0; q < p; q++ {
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
-			runSharedWorker(q, md, local[q], queues, schedule, cfg, counter, &stop, root.Split(uint64(q)))
+			runSharedWorker(q, md, local[q], queues, schedule, cfg, counter, &stop, workerRNG[q])
 		}(q)
 	}
 
-	train.Monitor(&stop, counter, cfg, rec, md)
+	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
 	wg.Wait()
 
 	// Ownership invariant: every item token must be parked in exactly
 	// one queue now that all workers have stopped. A mismatch would
 	// mean a token was lost or duplicated — i.e. the serializability
-	// discipline was broken.
+	// discipline was broken. The drained tokens, in pop order, are the
+	// checkpoint's token-ownership map.
 	parked := 0
-	for _, q := range queues {
+	parkedQueues := make([][]int32, p)
+	for qi, q := range queues {
 		for {
-			if _, ok := q.TryPop(); !ok {
+			tok, ok := q.TryPop()
+			if !ok {
 				break
 			}
+			parkedQueues[qi] = append(parkedQueues[qi], tok.item)
 			parked++
 		}
 	}
@@ -129,7 +159,16 @@ func trainShared(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
 		Trace:     rec.Trace(),
 		Updates:   counter.Total(),
 		Elapsed:   rec.Elapsed(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "nomad",
+			Seed:      cfg.Seed,
+			Updates:   counter.Total(),
+			Model:     md,
+			Counts:    exportCounts(ds.Train, users, local),
+			RNG:       train.CaptureStreams(root, workerRNG),
+			Queues:    parkedQueues,
+		},
+	}, runErr
 }
 
 // hotPath is the per-run selection every SGD worker loop shares:
@@ -241,6 +280,14 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 		if batch >= 256 {
 			counter.Add(q, batch)
 			batch = 0
+			// Worker-side budget check: stops the run at a token
+			// boundary as soon as the flushed total crosses the update
+			// budget, instead of waiting for the monitor's next poll.
+			// For a single worker this makes the stop point — and hence
+			// checkpoint/resume — fully deterministic.
+			if counter.Total() >= cfg.MaxUpdates {
+				stop.Store(true)
+			}
 		}
 
 		// Forward the token (lines 22–23): uniform by default, or the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nomad/internal/dataset"
@@ -35,7 +36,7 @@ func baseConfig() train.Config {
 
 func runNomad(t testing.TB, ds *dataset.Dataset, cfg train.Config) *train.Result {
 	t.Helper()
-	res, err := New().Train(ds, cfg)
+	res, err := New().Train(context.Background(), ds, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestDeadlineStopsRun(t *testing.T) {
 }
 
 func TestTrainRejectsEmptyDataset(t *testing.T) {
-	if _, err := New().Train(nil, baseConfig()); err == nil {
+	if _, err := New().Train(context.Background(), nil, baseConfig(), nil); err == nil {
 		t.Fatal("nil dataset accepted")
 	}
 }

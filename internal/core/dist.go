@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,17 +51,31 @@ func (mc *machine) queueLen() int {
 }
 
 // trainDistributed runs NOMAD across cfg.Machines simulated machines
-// connected by the configured network profile.
-func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+// connected by the configured network profile. Resume restores the
+// model, per-rating schedule counts and RNG streams; tokens (folded
+// into the model when the previous run tore down) are re-scattered.
+func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	M, W := cfg.Machines, cfg.Workers
 	p := M * W
 	m, n := ds.Rows(), ds.Cols()
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
 	net := netsim.New(M, cfg.Profile)
 	root := rng.New(cfg.Seed)
+
+	var md *factor.Model
+	workerRNG := make([]*rng.Source, p)
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
+		st.RestoreStreams(root, workerRNG)
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		for q := 0; q < p; q++ {
+			workerRNG[q] = root.Split(uint64(q))
+		}
+	}
 
 	machines := make([]*machine, M)
 	for mcID := 0; mcID < M; mcID++ {
@@ -88,8 +103,8 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		deliverLocal(mc, tok, cfg.Circulate, root, permScratch)
 	}
 
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
 
 	// Compute workers.
@@ -100,7 +115,7 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 			go func(mc *machine, w int) {
 				defer workerWG.Done()
 				runDistWorker(mc, w, md, local[mc.id*W+w], schedule, cfg, counter, &stop,
-					root.Split(uint64(mc.id*W+w)))
+					workerRNG[mc.id*W+w])
 			}(machines[mcID], w)
 		}
 	}
@@ -111,7 +126,7 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		senderWG.Add(1)
 		go func(mc *machine) {
 			defer senderWG.Done()
-			runSender(mc, net, cfg, root.Split(uint64(1000+mc.id)))
+			runSender(mc, net, cfg, root.Split(uint64(1000+mc.id)), hooks)
 		}(machines[mcID])
 		receiverWG.Add(1)
 		go func(mc *machine) {
@@ -120,7 +135,7 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		}(machines[mcID])
 	}
 
-	train.Monitor(&stop, counter, cfg, rec, md)
+	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
 
 	// Orderly teardown: workers → senders → network → receivers. Each
 	// stage drains the previous one so no token is lost.
@@ -154,6 +169,7 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	}
 
 	rec.Sample(md, counter.Total())
+	hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
 	return &train.Result{
 		Algorithm:    "nomad",
 		Model:        md,
@@ -162,7 +178,17 @@ func trainDistributed(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		Elapsed:      rec.Elapsed(),
 		BytesSent:    net.BytesSent(),
 		MessagesSent: net.MessagesSent(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "nomad",
+			Seed:      cfg.Seed,
+			Updates:   counter.Total(),
+			Model:     md,
+			Counts:    exportCounts(ds.Train, users, local),
+			RNG:       train.CaptureStreams(root, workerRNG),
+			// Queues deliberately nil: tokens were folded back into the
+			// model above; a resume re-scatters them.
+		},
+	}, runErr
 }
 
 // deliverLocal plans a token's visits through mc's workers (Circulate
@@ -231,6 +257,10 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 		if batch >= 256 {
 			counter.Add(gw, batch)
 			batch = 0
+			// Worker-side budget check; see runSharedWorker.
+			if counter.Total() >= cfg.MaxUpdates {
+				stop.Store(true)
+			}
 		}
 		// Owner write-back so progress monitoring sees current hⱼ.
 		copy(md.ItemRow(j), hRow)
@@ -249,8 +279,9 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 
 // runSender drains the machine's outbound channel, batching tokens per
 // destination (§3.5) and flushing opportunistically whenever the
-// channel runs dry so tokens never linger under low traffic.
-func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+// channel runs dry so tokens never linger under low traffic. Each §3.3
+// least-loaded routing decision is reported as a BalanceEvent.
+func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source, hooks *train.Hooks) {
 	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
 	M := net.Machines()
 	pick := func() int {
@@ -276,6 +307,7 @@ func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source
 					}
 				}
 			}
+			hooks.EmitBalance(train.BalanceEvent{From: mc.id, To: best, QueueLen: bestLen})
 			return best
 		}
 		dst := r.Intn(M - 1)

@@ -1,0 +1,85 @@
+package core
+
+// Checkpoint plumbing for NOMAD: translating between the run's
+// worker-local layout (per-worker item-grouped rating stores, parked
+// token queues, split RNG streams) and the flat, layout-independent
+// train.State a checkpoint carries.
+
+import (
+	"fmt"
+
+	"nomad/internal/partition"
+	"nomad/internal/queue"
+	"nomad/internal/rng"
+	"nomad/internal/sparse"
+)
+
+// exportCounts flattens the per-worker, per-rating update counts into
+// the training matrix's canonical CSC entry order. Worker-local stores
+// are built by one CSC traversal (buildLocalRatings), so replaying
+// that traversal visits each worker's array exactly in storage order.
+func exportCounts(tr *sparse.Matrix, users *partition.Partition, local []*localRatings) []int32 {
+	out := make([]int32, 0, tr.NNZ())
+	cur := make([]int32, len(local))
+	for j := 0; j < tr.Cols(); j++ {
+		rows, _ := tr.Col(j)
+		for _, i := range rows {
+			q := users.Owner(int(i))
+			out = append(out, local[q].counts[cur[q]])
+			cur[q]++
+		}
+	}
+	return out
+}
+
+// importCounts is the inverse of exportCounts: it scatters canonical
+// CSC-ordered counts back into the freshly built worker-local stores.
+func importCounts(tr *sparse.Matrix, users *partition.Partition, local []*localRatings, counts []int32) {
+	cur := make([]int32, len(local))
+	x := 0
+	for j := 0; j < tr.Cols(); j++ {
+		rows, _ := tr.Col(j)
+		for _, i := range rows {
+			q := users.Owner(int(i))
+			local[q].counts[cur[q]] = counts[x]
+			cur[q]++
+			x++
+		}
+	}
+}
+
+// restoreQueues reloads the checkpointed token-ownership map: each
+// worker queue gets its parked tokens back in pop order. Every item
+// must appear exactly once across the queues — a duplicate would put
+// one item row in two workers' hands and break the single-owner
+// discipline that makes NOMAD race-free, so it is rejected up front.
+// When the map is missing (distributed checkpoints fold tokens into
+// the model) or was taken with a different worker count, all n tokens
+// are scattered uniformly instead.
+func restoreQueues(queues []queue.Queue[sharedToken], saved [][]int32, n int, root *rng.Source) error {
+	if len(saved) != len(queues) {
+		for j := 0; j < n; j++ {
+			queues[root.Intn(len(queues))].Push(sharedToken{item: int32(j)})
+		}
+		return nil
+	}
+	seen := make([]bool, n)
+	parked := 0
+	for qi, items := range saved {
+		for _, j := range items {
+			if int(j) < 0 || int(j) >= n {
+				return fmt.Errorf("core: checkpoint token %d out of range [0,%d)", j, n)
+			}
+			if seen[j] {
+				return fmt.Errorf("core: checkpoint parks item token %d twice", j)
+			}
+			seen[j] = true
+			queues[qi].Push(sharedToken{item: j})
+			parked++
+		}
+	}
+	if parked != n {
+		return fmt.Errorf("core: checkpoint holds %d tokens for %d items", parked, n)
+	}
+	return nil
+}

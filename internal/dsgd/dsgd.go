@@ -18,6 +18,7 @@
 package dsgd
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -51,14 +52,19 @@ type stratum struct {
 }
 
 // Train implements train.Algorithm.
-func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*DSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Resume.Validate("dsgd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := cfg.TotalWorkers()
 	m, n := ds.Rows(), ds.Cols()
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
 	userPart := partition.EqualRanges(m, p)
 	itemPart := partition.EqualRanges(n, p)
 	strata := buildStrata(ds, userPart, itemPart, p)
@@ -68,20 +74,33 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 	machineOf := func(g int) int { return g / cfg.Workers }
 
 	driver := sched.NewBoldDriver(cfg.BoldStep)
-	step := driver.Step
-	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
-	start := time.Now()
 	root := rng.New(cfg.Seed)
 	workerRNG := make([]*rng.Source, p)
-	for g := range workerRNG {
-		workerRNG[g] = root.Split(uint64(g))
-	}
-
+	var md *factor.Model
 	var updates atomic.Int64
-	s := 0 // ring position persists across epochs
-	for !train.StopCheck(cfg, start, updates.Load()) {
+	s := 0 // ring position persists across epochs (and checkpoints)
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		updates.Store(st.Updates)
+		s = int(st.Ring)
+		if st.Bold != nil {
+			driver.Restore(st.Bold.Step, st.Bold.Prev, st.Bold.Primed)
+		}
+		st.RestoreStreams(root, workerRNG)
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		for g := range workerRNG {
+			workerRNG[g] = root.Split(uint64(g))
+		}
+	}
+	step := driver.Step
+	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
+	start := time.Now()
+
+	epoch := cfg.EpochsDone(updates.Load())
+	for !train.StopCheck(ctx, cfg, start, updates.Load()) {
 		var epochLoss float64
 		for sub := 0; sub < p; sub++ {
 			losses := make([]float64, p)
@@ -98,17 +117,23 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 			}
 			exchangeBlocks(net, md, itemPart, machineOf, p, s, cfg.K)
 			s++
-			if train.StopCheck(cfg, start, updates.Load()) {
+			if train.StopCheck(ctx, cfg, start, updates.Load()) {
 				break
 			}
 		}
 		step = driver.Observe(epochLoss)
+		epoch++
+		hooks.EmitEpoch(train.EpochEvent{Epoch: epoch, Updates: updates.Load()})
+		if cfg.Machines > 1 {
+			hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+		}
 		if rec.Due(updates.Load()) {
 			rec.Sample(md, updates.Load())
 		}
 	}
 	rec.Sample(md, updates.Load())
 
+	boldStep, boldPrev, boldPrimed := driver.Snapshot()
 	return &train.Result{
 		Algorithm:    "dsgd",
 		Model:        md,
@@ -117,7 +142,16 @@ func (*DSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error)
 		Elapsed:      rec.Elapsed(),
 		BytesSent:    net.BytesSent(),
 		MessagesSent: net.MessagesSent(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "dsgd",
+			Seed:      cfg.Seed,
+			Updates:   updates.Load(),
+			Ring:      int64(s),
+			Bold:      &train.BoldState{Step: boldStep, Prev: boldPrev, Primed: boldPrimed},
+			Model:     md,
+			RNG:       train.CaptureStreams(root, workerRNG),
+		},
+	}, ctx.Err()
 }
 
 // sgdPass runs one randomized SGD sweep over a stratum and returns the

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -199,7 +200,7 @@ func timedConfig(profile string, o Options) train.Config {
 // runSeries trains one algorithm and converts its trace to a Series
 // with the requested x-axis.
 func runSeries(label string, algo train.Algorithm, ds *dataset.Dataset, cfg train.Config, xAxis string, scaleX float64) (Series, *train.Result, error) {
-	res, err := algo.Train(ds, cfg)
+	res, err := algo.Train(context.Background(), ds, cfg, nil)
 	if err != nil {
 		return Series{}, nil, fmt.Errorf("%s: %w", label, err)
 	}

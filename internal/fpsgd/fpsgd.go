@@ -16,6 +16,7 @@
 package fpsgd
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"nomad/internal/partition"
 	"nomad/internal/rng"
 	"nomad/internal/sched"
+	"nomad/internal/sparse"
 	"nomad/internal/train"
 	"nomad/internal/vecmath"
 )
@@ -108,10 +110,16 @@ func (tm *manager) release(id int) {
 
 // Train implements train.Algorithm. FPSGD** is a shared-memory
 // algorithm; Machines is folded into the worker count.
-func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*FPSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
+	}
+	if err := cfg.Resume.Validate("fpsgd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	p := cfg.TotalWorkers()
 	pp := 2 * p // grid side: strictly more blocks than workers
@@ -119,11 +127,24 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		pp = 2
 	}
 	m, n := ds.Rows(), ds.Cols()
-	md := factor.NewInit(m, n, cfg.K, cfg.Seed)
 	schedule := cfg.Schedule()
 	userPart := partition.EqualRanges(m, pp)
 	itemPart := partition.EqualRanges(n, pp)
 	blocks := buildBlocks(ds, userPart, itemPart, pp)
+
+	var md *factor.Model
+	root := rng.New(cfg.Seed)
+	workerRNG := make([]*rng.Source, p)
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		importCounts(ds.Train, userPart, itemPart, blocks, pp, st.CountsFor(ds.Train.NNZ()))
+		st.RestoreStreams(root, workerRNG)
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		for q := 0; q < p; q++ {
+			workerRNG[q] = root.Split(uint64(q))
+		}
+	}
 
 	tm := &manager{
 		pp:       pp,
@@ -136,21 +157,20 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		tm.nonEmpty[id] = len(blk.users) > 0
 	}
 
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	kern := vecmath.KernelFor(cfg.K) // square loss: fused kernel, chosen once
 	var stop atomic.Bool
-	root := rng.New(cfg.Seed)
 	var wg sync.WaitGroup
 	for q := 0; q < p; q++ {
 		wg.Add(1)
 		go func(q int, r *rng.Source) {
 			defer wg.Done()
-			runWorker(q, md, blocks, tm, kern, schedule, cfg.Lambda, counter, &stop, r)
-		}(q, root.Split(uint64(q)))
+			runWorker(q, md, blocks, tm, kern, schedule, cfg, counter, &stop, r)
+		}(q, workerRNG[q])
 	}
 
-	train.Monitor(&stop, counter, cfg, rec, md)
+	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
 	wg.Wait()
 	rec.Sample(md, counter.Total())
 
@@ -160,16 +180,25 @@ func (*FPSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		Trace:     rec.Trace(),
 		Updates:   counter.Total(),
 		Elapsed:   rec.Elapsed(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "fpsgd",
+			Seed:      cfg.Seed,
+			Updates:   counter.Total(),
+			Model:     md,
+			Counts:    exportCounts(ds.Train, userPart, itemPart, blocks, pp),
+			RNG:       train.CaptureStreams(root, workerRNG),
+		},
+	}, runErr
 }
 
 // runWorker repeatedly leases a free block from the manager and runs
 // one randomized SGD pass over it. FPSGD** implements the paper's
 // square loss, so every update goes through the fused kernel.
 func runWorker(q int, md *factor.Model, blocks []*block, tm *manager,
-	kern vecmath.Kernel, schedule sched.Schedule, lambda float64,
+	kern vecmath.Kernel, schedule sched.Schedule, cfg train.Config,
 	counter *train.Counter, stop *atomic.Bool, r *rng.Source) {
 
+	lambda := cfg.Lambda
 	table, _ := schedule.(*sched.Table)
 	for !stop.Load() {
 		id := tm.acquire(r)
@@ -196,7 +225,48 @@ func runWorker(q int, md *factor.Model, blocks []*block, tm *manager,
 				blk.vals[x], step, lambda)
 		}
 		counter.Add(q, int64(len(blk.perm)))
+		// Worker-side budget check: stop promptly at a block boundary
+		// once the counted total crosses the update budget.
+		if counter.Total() >= cfg.MaxUpdates {
+			stop.Store(true)
+		}
 		tm.release(id)
+	}
+}
+
+// exportCounts flattens the per-block, per-rating update counts into
+// the training matrix's canonical CSR entry order. Blocks are built by
+// one CSR traversal (buildBlocks), so replaying that traversal visits
+// each block's array exactly in storage order.
+func exportCounts(tr *sparse.Matrix, userPart, itemPart *partition.Partition, blocks []*block, pp int) []int32 {
+	out := make([]int32, 0, tr.NNZ())
+	cur := make([]int32, len(blocks))
+	for i := 0; i < tr.Rows(); i++ {
+		a := userPart.Owner(i)
+		cols, _ := tr.Row(i)
+		for _, j := range cols {
+			id := a*pp + itemPart.Owner(int(j))
+			out = append(out, blocks[id].counts[cur[id]])
+			cur[id]++
+		}
+	}
+	return out
+}
+
+// importCounts is the inverse of exportCounts: it scatters canonical
+// CSR-ordered counts back into freshly built blocks.
+func importCounts(tr *sparse.Matrix, userPart, itemPart *partition.Partition, blocks []*block, pp int, counts []int32) {
+	cur := make([]int32, len(blocks))
+	x := 0
+	for i := 0; i < tr.Rows(); i++ {
+		a := userPart.Owner(i)
+		cols, _ := tr.Row(i)
+		for _, j := range cols {
+			id := a*pp + itemPart.Owner(int(j))
+			blocks[id].counts[cur[id]] = counts[x]
+			cur[id]++
+			x++
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package glals
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,10 @@ func NewBiasSGD() *BiasSGD { return &BiasSGD{} }
 // Name implements train.Algorithm.
 func (*BiasSGD) Name() string { return "biassgd" }
 
+// StorageRank implements train.StorageRanker: the stored model
+// carries two extra dimensions — the bias and its pinned-one partner.
+func (*BiasSGD) StorageRank(k int) int { return k + 2 }
+
 // itemReq asks item j's owner for its current row; itemRep answers;
 // writeBack returns an updated row to the owner (one-way).
 type itemReq struct {
@@ -61,10 +66,16 @@ type writeBack struct {
 }
 
 // Train implements train.Algorithm.
-func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*BiasSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
+	}
+	if err := cfg.Resume.Validate("biassgd", ds.Rows(), ds.Cols(), (*BiasSGD)(nil).StorageRank(cfg.K)); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	M, W := cfg.Machines, cfg.Workers
 	p := M * W
@@ -80,24 +91,31 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	}
 	mu /= float64(tr.NNZ())
 
-	md := factor.New(m, n, kk)
-	initRNG := rng.New(cfg.Seed)
-	hi := 1 / math.Sqrt(float64(k))
-	for i := 0; i < m; i++ {
-		row := md.UserRow(i)
-		for l := 0; l < k; l++ {
-			row[l] = initRNG.Uniform(0, hi)
+	var md *factor.Model
+	var resumed int64
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		resumed = st.Updates
+	} else {
+		md = factor.New(m, n, kk)
+		initRNG := rng.New(cfg.Seed)
+		hi := 1 / math.Sqrt(float64(k))
+		for i := 0; i < m; i++ {
+			row := md.UserRow(i)
+			for l := 0; l < k; l++ {
+				row[l] = initRNG.Uniform(0, hi)
+			}
+			row[k] = mu / 2 // bᵢ
+			row[k+1] = 1    // pinned
 		}
-		row[k] = mu / 2 // bᵢ
-		row[k+1] = 1    // pinned
-	}
-	for j := 0; j < n; j++ {
-		row := md.ItemRow(j)
-		for l := 0; l < k; l++ {
-			row[l] = initRNG.Uniform(0, hi)
+		for j := 0; j < n; j++ {
+			row := md.ItemRow(j)
+			for l := 0; l < k; l++ {
+				row[l] = initRNG.Uniform(0, hi)
+			}
+			row[k] = 1        // pinned
+			row[k+1] = mu / 2 // cⱼ
 		}
-		row[k] = 1        // pinned
-		row[k+1] = mu / 2 // cⱼ
 	}
 
 	userPart := partition.EqualRanges(m, p) // one user block per worker
@@ -132,11 +150,15 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	// the first k dims (the bias coordinates follow their own rule).
 	dotKK := vecmath.DotKernel(kk)
 	gradK := vecmath.KernelFor(k).Grad
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	start := time.Now()
 	var updates atomic.Int64
+	updates.Store(resumed)
 	root := rng.New(cfg.Seed + 1)
+	if st := cfg.Resume; st != nil && len(st.RNG) > 0 {
+		root = rng.FromState(st.RNG[0])
+	}
 
 	// Per-worker item-grouped rating lists, so each item visit costs
 	// one fetch regardless of how many local ratings it covers.
@@ -159,12 +181,22 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 	}
 
 	pass := 0
-	for !train.StopCheck(cfg, start, updates.Load()) {
+	if st := cfg.Resume; st != nil {
+		pass = int(st.Ring) // continue the per-pass step schedule
+	}
+	for !train.StopCheck(ctx, cfg, start, updates.Load()) {
 		pass++
+		// Derive this pass's per-worker streams before the parallel
+		// region: Split mutates the shared root, so concurrent workers
+		// must not call it (it raced in earlier versions).
+		passRNG := make([]*rng.Source, p)
+		for q := 0; q < p; q++ {
+			passRNG[q] = root.Split(uint64(q)*1_000_003 + uint64(pass))
+		}
 		parallel.For(p, p, func(_, qLo, qHi int) {
 			for q := qLo; q < qHi; q++ {
 				mc := q / W
-				r := root.Split(uint64(q)*1_000_003 + uint64(pass))
+				r := passRNG[q]
 				order := make([]int, n)
 				r.Perm(order)
 				var touched int64
@@ -201,6 +233,10 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 				updates.Add(touched)
 			}
 		})
+		hooks.EmitEpoch(train.EpochEvent{Epoch: pass, Updates: updates.Load()})
+		if M > 1 {
+			hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+		}
 		if rec.Due(updates.Load()) {
 			rec.Sample(md, updates.Load())
 		}
@@ -215,5 +251,13 @@ func (*BiasSGD) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		Elapsed:      rec.Elapsed(),
 		BytesSent:    net.BytesSent(),
 		MessagesSent: net.MessagesSent(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "biassgd",
+			Seed:      cfg.Seed,
+			Updates:   updates.Load(),
+			Ring:      int64(pass),
+			Model:     md,
+			RNG:       [][4]uint64{root.State()},
+		},
+	}, ctx.Err()
 }

@@ -16,6 +16,7 @@
 package glals
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -113,16 +114,33 @@ func (f *fabric) fetch(from, owner, worker int, items bool, ids []int32) []float
 
 // Train implements train.Algorithm: synchronous ALS sweeps where every
 // remote row read pays a network round trip.
-func (*GLALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*GLALS) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
+	}
+	if err := cfg.Resume.Validate("glals", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	M, W := cfg.Machines, cfg.Workers
 	p := M * W
 	m, n := ds.Rows(), ds.Cols()
 	k := cfg.K
-	md := factor.NewInit(m, n, k, cfg.Seed)
+	// Like plain ALS, the factors and update total are the whole
+	// cross-sweep state.
+	var md *factor.Model
+	var resumed int64
+	sweeps := 0
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		resumed = st.Updates
+		sweeps = int(st.Ring) // EpochEvent numbering continues
+	} else {
+		md = factor.NewInit(m, n, k, cfg.Seed)
+	}
 	tr := ds.Train
 	userPart := partition.EqualRanges(m, M)
 	itemPart := partition.EqualRanges(n, M)
@@ -131,10 +149,11 @@ func (*GLALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 	f := newFabric(net, md, k, M, W)
 	defer net.Shutdown()
 
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	start := time.Now()
 	var updates atomic.Int64
+	updates.Store(resumed)
 
 	// Scratch per worker.
 	grams := make([][]float64, p)
@@ -145,7 +164,7 @@ func (*GLALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		rhss[q] = make([]float64, k)
 	}
 
-	for !train.StopCheck(cfg, start, updates.Load()) {
+	for !train.StopCheck(ctx, cfg, start, updates.Load()) {
 		// User sweep: machines update their own users in parallel;
 		// remote item rows are fetched through the fabric.
 		sweep(f, md, tr, userPart, itemPart, M, W, true, cfg.Lambda, k,
@@ -153,6 +172,11 @@ func (*GLALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		// Item sweep: symmetric.
 		sweep(f, md, tr, itemPart, userPart, M, W, false, cfg.Lambda, k,
 			grams, rhss, rows, counter, &updates)
+		sweeps++
+		hooks.EmitEpoch(train.EpochEvent{Epoch: sweeps, Updates: updates.Load()})
+		if M > 1 {
+			hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+		}
 		if rec.Due(updates.Load()) {
 			rec.Sample(md, updates.Load())
 		}
@@ -167,7 +191,14 @@ func (*GLALS) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error
 		Elapsed:      rec.Elapsed(),
 		BytesSent:    net.BytesSent(),
 		MessagesSent: net.MessagesSent(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "glals",
+			Seed:      cfg.Seed,
+			Updates:   updates.Load(),
+			Ring:      int64(sweeps),
+			Model:     md,
+		},
+	}, ctx.Err()
 }
 
 // sweep updates one side's rows (users if userSide, else items) with

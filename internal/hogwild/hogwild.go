@@ -10,6 +10,7 @@
 package hogwild
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -34,31 +35,51 @@ func (*Hogwild) Name() string { return "hogwild" }
 // Train implements train.Algorithm. Machines is treated as additional
 // worker multiplicity: Hogwild has no distributed story (that is the
 // point), so all workers share one memory image.
-func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, error) {
+func (*Hogwild) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	cfg, err := cfg.Normalize(ds)
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Resume.Validate("hogwild", ds.Rows(), ds.Cols(), cfg.K); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := cfg.TotalWorkers()
-	md := factor.NewInit(ds.Rows(), ds.Cols(), cfg.K, cfg.Seed)
 	schedule := cfg.Schedule()
 
 	// Flatten the training entries for O(1) uniform sampling.
 	entries := ds.Train.Entries(nil)
 	nnz := len(entries)
-	// Per-rating update counts for eq. (11). Increments race between
-	// workers — deliberately: Hogwild takes no locks anywhere.
-	counts := make([]int32, nnz)
+
+	// Per-rating update counts for eq. (11), in the entries' canonical
+	// order — which is also their checkpoint order. Increments race
+	// between workers — deliberately: Hogwild takes no locks anywhere.
+	var md *factor.Model
+	var counts []int32
+	root := rng.New(cfg.Seed)
+	workerRNG := make([]*rng.Source, p)
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		counts = st.CountsFor(nnz)
+		st.RestoreStreams(root, workerRNG)
+	} else {
+		md = factor.NewInit(ds.Rows(), ds.Cols(), cfg.K, cfg.Seed)
+		counts = make([]int32, nnz)
+		for q := 0; q < p; q++ {
+			workerRNG[q] = root.Split(uint64(q))
+		}
+	}
 
 	lossFn := cfg.Loss
 	kern := vecmath.KernelFor(cfg.K)
 	fused := loss.UseFused(lossFn) // devirtualize the default loss
 	table, _ := schedule.(*sched.Table)
 	lambda := cfg.Lambda
-	counter := train.NewCounter(p)
-	rec := train.NewRecorderFor(cfg, ds.Test, md)
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
-	root := rng.New(cfg.Seed)
 	var wg sync.WaitGroup
 	for q := 0; q < p; q++ {
 		wg.Add(1)
@@ -88,13 +109,18 @@ func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 				if batch >= 256 {
 					counter.Add(q, batch)
 					batch = 0
+					// Worker-side budget check: stop promptly once the
+					// flushed total crosses the update budget.
+					if counter.Total() >= cfg.MaxUpdates {
+						stop.Store(true)
+					}
 				}
 			}
 			counter.Add(q, batch)
-		}(q, root.Split(uint64(q)))
+		}(q, workerRNG[q])
 	}
 
-	train.Monitor(&stop, counter, cfg, rec, md)
+	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
 	wg.Wait()
 	rec.Sample(md, counter.Total())
 
@@ -104,5 +130,13 @@ func (*Hogwild) Train(ds *dataset.Dataset, cfg train.Config) (*train.Result, err
 		Trace:     rec.Trace(),
 		Updates:   counter.Total(),
 		Elapsed:   rec.Elapsed(),
-	}, nil
+		Final: &train.State{
+			Algorithm: "hogwild",
+			Seed:      cfg.Seed,
+			Updates:   counter.Total(),
+			Model:     md,
+			Counts:    counts,
+			RNG:       train.CaptureStreams(root, workerRNG),
+		},
+	}, runErr
 }

@@ -1,6 +1,7 @@
 package hogwild
 
 import (
+	"context"
 	"testing"
 
 	"nomad/internal/algotest"
@@ -41,7 +42,7 @@ func TestName(t *testing.T) {
 }
 
 func TestRejectsNilDataset(t *testing.T) {
-	if _, err := New().Train(nil, algotest.SGDConfig()); err == nil {
+	if _, err := New().Train(context.Background(), nil, algotest.SGDConfig(), nil); err == nil {
 		t.Fatal("nil dataset accepted")
 	}
 }

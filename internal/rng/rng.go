@@ -48,6 +48,21 @@ func (r *Source) Split(i uint64) *Source {
 	return New(r.Uint64() ^ (i+1)*0xd1342543de82ef95)
 }
 
+// State captures the generator's exact position in its stream, so a
+// paused training run can serialize its RNG sources and resume them
+// bit-compatibly (see train.State).
+func (r *Source) State() [4]uint64 { return [4]uint64{r.s0, r.s1, r.s2, r.s3} }
+
+// FromState reconstructs a Source at the exact position captured by
+// State: the restored source produces the same stream the original
+// would have produced from that point on.
+func FromState(s [4]uint64) *Source {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15 // all-zero state is the one forbidden state
+	}
+	return &Source{s0: s[0], s1: s[1], s2: s[2], s3: s[3]}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

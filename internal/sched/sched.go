@@ -115,6 +115,17 @@ func NewBoldDriver(step float64) *BoldDriver {
 	return &BoldDriver{Step: step, Grow: 1.05, Shrink: 0.5}
 }
 
+// Snapshot returns the driver's adaptive state for checkpointing.
+func (b *BoldDriver) Snapshot() (step, prevObjective float64, primed bool) {
+	return b.Step, b.prevObjective, b.primed
+}
+
+// Restore sets the driver's adaptive state from a checkpoint, so a
+// resumed run continues the same growth/shrink trajectory.
+func (b *BoldDriver) Restore(step, prevObjective float64, primed bool) {
+	b.Step, b.prevObjective, b.primed = step, prevObjective, primed
+}
+
 // Observe reports the training objective after an epoch and adapts the
 // step size. The first observation only primes the reference value.
 // It returns the step size to use for the next epoch.

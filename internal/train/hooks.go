@@ -1,0 +1,85 @@
+package train
+
+// This file defines the observer side of a training run. A run is a
+// long-lived asynchronous process (the paper's figures are all traces
+// sampled mid-flight), so instead of only returning a post-hoc Trace,
+// every solver receives a *Hooks and emits typed events as it goes:
+// convergence trace points, epoch boundaries, §3.3 load-balance
+// decisions and simulated-network accounting. The facade fans these
+// out to subscribers.
+
+// TraceEvent is one convergence sample: the axes of every figure in
+// the paper (wall-clock seconds, cumulative updates, test RMSE).
+type TraceEvent struct {
+	Seconds float64
+	Updates int64
+	RMSE    float64
+}
+
+// EpochEvent marks the completion of (approximately) one sweep over
+// the training ratings. Synchronous solvers emit it at their true
+// epoch barrier; for asynchronous solvers the monitor emits it when
+// the update count crosses an epoch-sized multiple.
+type EpochEvent struct {
+	Epoch   int // 1-based
+	Updates int64
+}
+
+// BalanceEvent records one §3.3 dynamic load-balancing decision on the
+// distributed token-routing path: machine From chose the least-loaded
+// known peer To, whose last gossiped queue length was QueueLen.
+// (Shared-memory two-choice routing is per-token and far too hot to
+// observe per decision.)
+type BalanceEvent struct {
+	From, To int
+	QueueLen int64
+}
+
+// NetworkEvent reports cumulative simulated-network accounting. Zero
+// for single-machine runs.
+type NetworkEvent struct {
+	BytesSent    int64
+	MessagesSent int64
+}
+
+// Hooks carries the event callbacks a training run reports through.
+// A nil *Hooks, or any nil callback, disables that event — solvers
+// always emit through the nil-safe Emit helpers. Callbacks are invoked
+// from solver-internal goroutines (the monitor, the coordinator, a
+// machine's sender) and must not block: a stalled subscriber would
+// stall training.
+type Hooks struct {
+	Trace   func(TraceEvent)
+	Epoch   func(EpochEvent)
+	Balance func(BalanceEvent)
+	Network func(NetworkEvent)
+}
+
+// EmitTrace reports a convergence sample; safe on a nil receiver.
+func (h *Hooks) EmitTrace(e TraceEvent) {
+	if h != nil && h.Trace != nil {
+		h.Trace(e)
+	}
+}
+
+// EmitEpoch reports a completed epoch; safe on a nil receiver.
+func (h *Hooks) EmitEpoch(e EpochEvent) {
+	if h != nil && h.Epoch != nil {
+		h.Epoch(e)
+	}
+}
+
+// EmitBalance reports a load-balance routing decision; safe on a nil
+// receiver.
+func (h *Hooks) EmitBalance(e BalanceEvent) {
+	if h != nil && h.Balance != nil {
+		h.Balance(e)
+	}
+}
+
+// EmitNetwork reports network accounting; safe on a nil receiver.
+func (h *Hooks) EmitNetwork(e NetworkEvent) {
+	if h != nil && h.Network != nil {
+		h.Network(e)
+	}
+}

@@ -5,6 +5,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -70,6 +71,14 @@ type Config struct {
 	// EvalPoints is how many RMSE samples the convergence trace should
 	// hold (sampled evenly over the run; default 16).
 	EvalPoints int
+
+	// Resume, when non-nil, continues a previous run from its captured
+	// State: the model, per-rating schedule position, RNG streams and
+	// (for NOMAD) token ownership are restored, and Updates counts from
+	// the state's total — so Epochs/MaxUpdates budgets span the
+	// original run plus the resumed one. The state must come from the
+	// same algorithm and a dataset of the same shape (State.Validate).
+	Resume *State
 
 	Seed uint64
 }
@@ -166,6 +175,11 @@ type Result struct {
 	// Network accounting (zero for shared-memory runs).
 	BytesSent    int64
 	MessagesSent int64
+
+	// Final is the resumable snapshot captured when the run stopped —
+	// after completion or cancellation alike. Feed it back through
+	// Config.Resume (or serialize it) to continue the run.
+	Final *State
 }
 
 // Throughput summarizes the run's update rate per worker.
@@ -177,12 +191,34 @@ func (r *Result) Throughput(cfg Config) metrics.Throughput {
 	}
 }
 
+// StorageRanker is implemented by solvers whose stored model rank
+// differs from the configured latent dimension (biassgd stores k+2:
+// the factors plus a bias and a pinned-one coordinate). Callers
+// validating a resume state against a configured k should consult it;
+// solvers that do not implement it store exactly k.
+type StorageRanker interface {
+	StorageRank(k int) int
+}
+
+// StorageRankOf returns the rank algo physically stores for a
+// configured latent dimension k.
+func StorageRankOf(algo Algorithm, k int) int {
+	if sr, ok := algo.(StorageRanker); ok {
+		return sr.StorageRank(k)
+	}
+	return k
+}
+
 // Algorithm is a trainable matrix-completion solver.
 type Algorithm interface {
 	// Name returns the solver's short identifier (e.g. "nomad", "dsgd").
 	Name() string
-	// Train fits a model to the dataset under the given configuration.
-	Train(ds *dataset.Dataset, cfg Config) (*Result, error)
+	// Train fits a model to the dataset under the given configuration,
+	// reporting progress through hooks (which may be nil). It honours
+	// ctx end-to-end: when ctx is cancelled or its deadline passes, the
+	// solver stops all workers promptly and returns the partial Result
+	// — including its resumable Final state — alongside ctx.Err().
+	Train(ctx context.Context, ds *dataset.Dataset, cfg Config, hooks *Hooks) (*Result, error)
 }
 
 // Paper Table 1 hyper-parameters, keyed by dataset profile.
@@ -238,6 +274,42 @@ func NewCounter(workers int) *Counter {
 	return &Counter{shards: make([]paddedInt64, workers)}
 }
 
+// NewCounterFor returns a per-worker counter seeded with the resumed
+// run's update total (if any), so stop budgets and the trace's update
+// axis continue across checkpoint/resume segments.
+func NewCounterFor(cfg Config, workers int) *Counter {
+	c := NewCounter(workers)
+	if cfg.Resume != nil {
+		c.shards[0].v.Store(cfg.Resume.Updates)
+	}
+	return c
+}
+
+// StartUpdates returns the update count a run begins at: zero for a
+// fresh run, the captured total for a resumed one.
+func (c Config) StartUpdates() int64 {
+	if c.Resume != nil {
+		return c.Resume.Updates
+	}
+	return 0
+}
+
+// EpochsDone converts an update count into completed budget-derived
+// epochs (MaxUpdates divided into Epochs sweeps), for numbering
+// emitted EpochEvents on resumed runs. It returns 0 when the budget
+// does not define an epoch size — Epochs unset, a deadline-only run,
+// or an explicit MaxUpdates smaller than the epoch count.
+func (c Config) EpochsDone(updates int64) int {
+	if c.Epochs <= 0 || c.MaxUpdates >= math.MaxInt64 {
+		return 0
+	}
+	size := c.MaxUpdates / int64(c.Epochs)
+	if size <= 0 {
+		return 0
+	}
+	return int(updates / size)
+}
+
 // Add adds delta to the given worker's shard.
 func (c *Counter) Add(worker int, delta int64) { c.shards[worker].v.Add(delta) }
 
@@ -262,6 +334,7 @@ type Recorder struct {
 	start time.Time
 	test  []sparse.Entry
 	trace metrics.Trace
+	hooks *Hooks // trace points double as streamed TraceEvents
 
 	// Evaluation thresholds in update counts.
 	next  int64
@@ -296,8 +369,22 @@ func NewRecorder(test []sparse.Entry, totalUpdates int64, points int, md *factor
 // NewRecorderFor builds a Recorder from a normalized Config: samples
 // are spaced over the update budget, or over the wall-clock deadline
 // for deadline-driven runs (where the update budget is unbounded).
-func NewRecorderFor(cfg Config, test []sparse.Entry, md *factor.Model) *Recorder {
-	r := NewRecorder(test, cfg.MaxUpdates, cfg.EvalPoints, md)
+// Trace points are mirrored to hooks as TraceEvents. For resumed runs
+// the first sample is taken at the restored update count and the
+// thresholds continue from there; the wall clock restarts at zero.
+func NewRecorderFor(cfg Config, test []sparse.Entry, md *factor.Model, hooks *Hooks) *Recorder {
+	r := NewRecorder(test, cfg.MaxUpdates, cfg.EvalPoints, nil)
+	r.hooks = hooks
+	if start := cfg.StartUpdates(); start > 0 {
+		for r.next <= start {
+			r.next += r.step
+		}
+		if md != nil {
+			r.record(md, start)
+		}
+	} else if md != nil {
+		r.record(md, 0)
+	}
 	if cfg.Deadline > 0 {
 		r.every = cfg.Deadline / time.Duration(cfg.EvalPoints)
 		r.lastSample = r.start
@@ -319,11 +406,23 @@ func (r *Recorder) Due(updates int64) bool {
 // Sample evaluates the model and appends a trace point, advancing the
 // next sampling threshold past the given update count.
 func (r *Recorder) Sample(md *factor.Model, updates int64) {
-	r.trace.Add(time.Since(r.start).Seconds(), updates, metrics.RMSE(md, r.test))
+	r.record(md, updates)
 	for r.next <= updates {
 		r.next += r.step
 	}
 	r.lastSample = time.Now()
+}
+
+// record evaluates the model, appends the trace point and mirrors it
+// to the hooks as a TraceEvent.
+func (r *Recorder) record(md *factor.Model, updates int64) {
+	e := TraceEvent{
+		Seconds: time.Since(r.start).Seconds(),
+		Updates: updates,
+		RMSE:    metrics.RMSE(md, r.test),
+	}
+	r.trace.Add(e.Seconds, e.Updates, e.RMSE)
+	r.hooks.EmitTrace(e)
 }
 
 // Elapsed returns the wall-clock time since the recorder was created.
@@ -332,21 +431,44 @@ func (r *Recorder) Elapsed() time.Duration { return time.Since(r.start) }
 // Trace returns the recorded trace.
 func (r *Recorder) Trace() metrics.Trace { return r.trace }
 
-// Monitor polls until the run's stop condition (update cap or wall
-// deadline) is met, sampling the convergence trace on the way, then
-// raises the stop flag and returns. Asynchronous algorithms run their
-// workers concurrently with this loop; the model reads used for trace
-// samples are deliberately unlocked progress snapshots.
-func Monitor(stop *atomic.Bool, counter *Counter, cfg Config, rec *Recorder, md *factor.Model) {
+// Monitor polls until the run's stop condition (update cap, wall
+// deadline, or context cancellation) is met, sampling the convergence
+// trace and emitting epoch-boundary events on the way, then raises the
+// stop flag and returns — ctx.Err() if the context ended the run, nil
+// otherwise. Asynchronous algorithms run their workers concurrently
+// with this loop; the model reads used for trace samples are
+// deliberately unlocked progress snapshots.
+func Monitor(ctx context.Context, stop *atomic.Bool, counter *Counter, cfg Config, rec *Recorder, md *factor.Model, hooks *Hooks) error {
 	deadline := time.Time{}
 	if cfg.Deadline > 0 {
 		deadline = time.Now().Add(cfg.Deadline)
 	}
+	// Epoch boundaries for event emission: the update budget divided
+	// into cfg.Epochs sweeps (resumed runs continue mid-sequence).
+	var epochSize int64
+	if cfg.Epochs > 0 && cfg.MaxUpdates < math.MaxInt64 {
+		epochSize = cfg.MaxUpdates / int64(cfg.Epochs)
+	}
+	epoch := int64(0)
+	if epochSize > 0 {
+		epoch = cfg.StartUpdates() / epochSize
+	}
+	done := ctx.Done()
 	for {
+		select {
+		case <-done:
+			stop.Store(true)
+			return ctx.Err()
+		default:
+		}
 		total := counter.Total()
+		for epochSize > 0 && (epoch+1)*epochSize <= total {
+			epoch++
+			hooks.EmitEpoch(EpochEvent{Epoch: int(epoch), Updates: total})
+		}
 		if total >= cfg.MaxUpdates || (!deadline.IsZero() && time.Now().After(deadline)) {
 			stop.Store(true)
-			return
+			return nil
 		}
 		if rec.Due(total) {
 			rec.Sample(md, total)
@@ -356,8 +478,13 @@ func Monitor(stop *atomic.Bool, counter *Counter, cfg Config, rec *Recorder, md 
 }
 
 // StopCheck tells synchronous (epoch-driven) algorithms whether to end
-// the run after the current epoch, given the work done so far.
-func StopCheck(cfg Config, start time.Time, updates int64) bool {
+// the run after the current epoch, given the work done so far. Context
+// cancellation is a stop condition like any other; the caller
+// distinguishes it by checking ctx.Err() once the loop exits.
+func StopCheck(ctx context.Context, cfg Config, start time.Time, updates int64) bool {
+	if ctx.Err() != nil {
+		return true
+	}
 	if updates >= cfg.MaxUpdates {
 		return true
 	}

@@ -1,0 +1,548 @@
+package nomad
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"nomad/internal/loss"
+	"nomad/internal/metrics"
+	"nomad/internal/netsim"
+	"nomad/internal/train"
+)
+
+// A Session is a first-class training run: cancellable, observable,
+// checkpointable and resumable. Where the legacy Train function blocks
+// until done and returns only a post-hoc trace, a Session is built
+// once from functional options and then driven:
+//
+//	s, err := nomad.NewSession(ds,
+//		nomad.WithAlgorithm("nomad"),
+//		nomad.WithRank(16),
+//		nomad.WithLambda(0.05),
+//		nomad.WithWorkers(4),
+//		nomad.WithStopConditions(nomad.MaxEpochs(20)),
+//	)
+//	events, cancel := s.Subscribe(64)
+//	go func() { for e := range events { ... } }()
+//	res, err := s.Run(ctx) // honours ctx cancellation end-to-end
+//	defer cancel()
+//
+// Run may be interrupted by cancelling ctx: every solver stops
+// promptly and Run returns the partial result alongside ctx.Err().
+// The session then holds the run's full training state — factors,
+// step-schedule position, RNG streams, token ownership — which
+// Checkpoint serializes and Resume restores, so a killed run restarts
+// where it left off (bit-compatibly for deterministic configurations;
+// see TestCheckpointResume*). Calling Run again on a stopped session
+// likewise continues in-memory from that state until the configured
+// stop conditions are met.
+//
+// A Session is safe for concurrent use, but only one Run may be in
+// flight at a time.
+type Session struct {
+	ds        *Dataset
+	algorithm string
+	algo      train.Algorithm
+	base      train.Config
+
+	mu      sync.Mutex
+	running bool
+	state   *train.State
+	result  *Result
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// ErrRunning is returned when an operation requires a stopped session
+// (Checkpoint, Resume, a second Run) while a Run is in flight.
+var ErrRunning = errors.New("nomad: session is running")
+
+// ErrNoState is returned by Checkpoint before any Run has produced
+// resumable state.
+var ErrNoState = errors.New("nomad: session has no training state yet (Run first)")
+
+// settings is the resolved form of the functional options. Pointer
+// fields distinguish "never set" from "explicitly zero" — the
+// ambiguity that made the flat Config struct rewrite Lambda: 0 into
+// 0.05 behind the caller's back.
+type settings struct {
+	algorithm    string
+	rank         *int
+	lambda       *float64
+	alpha, beta  *float64
+	workers      *int
+	machines     *int
+	network      string
+	lossName     string
+	loadBalance  bool
+	balanceUsers bool
+	batchSize    *int
+	straggle     *float64
+	seed         *uint64
+	evalPoints   *int
+	epochs       *int
+	maxDuration  *time.Duration
+	maxUpdates   *int64
+}
+
+// Option configures a Session at construction. Options are applied in
+// order; later options override earlier ones.
+type Option func(*settings) error
+
+// WithAlgorithm selects the solver by name — one of Algorithms().
+// Default "nomad".
+func WithAlgorithm(name string) Option {
+	return func(st *settings) error {
+		if _, ok := registry()[name]; !ok {
+			return fmt.Errorf("nomad: unknown algorithm %q (have %v)", name, Algorithms())
+		}
+		st.algorithm = name
+		return nil
+	}
+}
+
+// WithRank sets the latent dimension k (paper Table 1). Default 16.
+func WithRank(k int) Option {
+	return func(st *settings) error {
+		if k <= 0 {
+			return fmt.Errorf("nomad: rank must be positive, got %d", k)
+		}
+		st.rank = &k
+		return nil
+	}
+}
+
+// WithLambda sets the regularization λ. Unlike the legacy Config,
+// WithLambda(0) really means zero regularization. Default 0.05.
+func WithLambda(l float64) Option {
+	return func(st *settings) error {
+		if l < 0 {
+			return fmt.Errorf("nomad: lambda must be non-negative, got %v", l)
+		}
+		st.lambda = &l
+		return nil
+	}
+}
+
+// WithSchedule sets the SGD step-size schedule s_t = α/(1+β·t^1.5) of
+// paper eq. (11). Defaults α=0.05, β=0.02 (tuned for the synthetic
+// datasets). β=0 — a constant step — is expressible.
+func WithSchedule(alpha, beta float64) Option {
+	return func(st *settings) error {
+		if alpha <= 0 {
+			return fmt.Errorf("nomad: schedule alpha must be positive, got %v", alpha)
+		}
+		if beta < 0 {
+			return fmt.Errorf("nomad: schedule beta must be non-negative, got %v", beta)
+		}
+		st.alpha, st.beta = &alpha, &beta
+		return nil
+	}
+}
+
+// WithWorkers sets the worker threads per machine. Default 1.
+func WithWorkers(n int) Option {
+	return func(st *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("nomad: workers must be positive, got %d", n)
+		}
+		st.workers = &n
+		return nil
+	}
+}
+
+// WithCluster runs on `machines` simulated machines connected by the
+// named network profile: "instant", "hpc" or "commodity". Default is a
+// single machine (no network).
+func WithCluster(machines int, network string) Option {
+	return func(st *settings) error {
+		if machines <= 0 {
+			return fmt.Errorf("nomad: machines must be positive, got %d", machines)
+		}
+		switch network {
+		case "", "instant", "hpc", "commodity":
+		default:
+			return fmt.Errorf("nomad: unknown network %q (instant, hpc, commodity)", network)
+		}
+		st.machines = &machines
+		st.network = network
+		return nil
+	}
+}
+
+// WithLoss selects the per-rating loss: "square" (default, paper
+// eq. 1), "absolute", or "logistic" for ±1 binary matrices (the §6
+// generalization). Honoured by "nomad" and "hogwild".
+func WithLoss(name string) Option {
+	return func(st *settings) error {
+		if _, err := loss.ByName(name); err != nil {
+			return fmt.Errorf("nomad: %w", err)
+		}
+		st.lossName = name
+		return nil
+	}
+}
+
+// WithLoadBalance enables NOMAD's §3.3 dynamic load balancing.
+func WithLoadBalance() Option {
+	return func(st *settings) error { st.loadBalance = true; return nil }
+}
+
+// WithBalancedUsers partitions users by rating volume instead of by
+// count (the paper's footnote-1 alternative).
+func WithBalancedUsers() Option {
+	return func(st *settings) error { st.balanceUsers = true; return nil }
+}
+
+// WithBatchSize sets the tokens-per-message accumulation of §3.5.
+// Default 100.
+func WithBatchSize(n int) Option {
+	return func(st *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("nomad: batch size must be positive, got %d", n)
+		}
+		st.batchSize = &n
+		return nil
+	}
+}
+
+// WithStraggler slows worker 0 by the given factor (>1) to exercise
+// heterogeneous-cluster behaviour (§3.3 ablation).
+func WithStraggler(factor float64) Option {
+	return func(st *settings) error {
+		if factor < 1 {
+			return fmt.Errorf("nomad: straggle factor must be ≥ 1, got %v", factor)
+		}
+		st.straggle = &factor
+		return nil
+	}
+}
+
+// WithSeed fixes the run's random seed. Default 1.
+func WithSeed(seed uint64) Option {
+	return func(st *settings) error { st.seed = &seed; return nil }
+}
+
+// WithEvalPoints sets how many RMSE samples the convergence trace
+// holds (default 16).
+func WithEvalPoints(n int) Option {
+	return func(st *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("nomad: eval points must be positive, got %d", n)
+		}
+		st.evalPoints = &n
+		return nil
+	}
+}
+
+// StopCondition bounds a run; see WithStopConditions.
+type StopCondition func(*settings)
+
+// MaxEpochs stops after about n sweeps over the training ratings.
+func MaxEpochs(n int) StopCondition {
+	return func(st *settings) { st.epochs = &n }
+}
+
+// MaxDuration stops after the given wall-clock budget.
+func MaxDuration(d time.Duration) StopCondition {
+	return func(st *settings) { st.maxDuration = &d }
+}
+
+// MaxUpdates stops after the given number of SGD updates (cumulative
+// across resumed segments).
+func MaxUpdates(n int64) StopCondition {
+	return func(st *settings) { st.maxUpdates = &n }
+}
+
+// WithStopConditions bounds the run: it ends when any of the given
+// conditions is met. Default: MaxEpochs(10).
+func WithStopConditions(conds ...StopCondition) Option {
+	return func(st *settings) error {
+		if len(conds) == 0 {
+			return fmt.Errorf("nomad: WithStopConditions needs at least one condition")
+		}
+		st.epochs, st.maxDuration, st.maxUpdates = nil, nil, nil
+		for _, c := range conds {
+			c(st)
+		}
+		return nil
+	}
+}
+
+// NewSession validates the dataset and options and returns a Session
+// ready to Run. All configuration errors surface here, not mid-run.
+func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
+	if ds == nil || ds.inner == nil {
+		return nil, fmt.Errorf("nomad: nil dataset")
+	}
+	if ds.inner.Train == nil || ds.inner.Train.NNZ() == 0 {
+		return nil, fmt.Errorf("nomad: empty dataset (no training ratings)")
+	}
+	st := settings{algorithm: "nomad"}
+	for _, opt := range opts {
+		if err := opt(&st); err != nil {
+			return nil, err
+		}
+	}
+	cfg, err := st.trainConfig()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		ds:        ds,
+		algorithm: st.algorithm,
+		algo:      registry()[st.algorithm],
+		base:      cfg,
+		subs:      make(map[int]chan Event),
+	}, nil
+}
+
+// trainConfig resolves the settings into the internal configuration,
+// applying facade-level defaults for anything unset.
+func (st *settings) trainConfig() (train.Config, error) {
+	cfg := train.Config{
+		K:      16,
+		Lambda: 0.05,
+		Alpha:  0.05,
+		Beta:   0.02,
+	}
+	if st.rank != nil {
+		cfg.K = *st.rank
+	}
+	if st.lambda != nil {
+		cfg.Lambda = *st.lambda
+	}
+	if st.alpha != nil {
+		cfg.Alpha, cfg.Beta = *st.alpha, *st.beta
+	}
+	if st.workers != nil {
+		cfg.Workers = *st.workers
+	}
+	if st.machines != nil {
+		cfg.Machines = *st.machines
+	}
+	switch st.network {
+	case "", "instant":
+		cfg.Profile = netsim.Instant()
+	case "hpc":
+		cfg.Profile = netsim.HPC()
+	case "commodity":
+		cfg.Profile = netsim.Commodity()
+	}
+	lossFn, err := loss.ByName(st.lossName)
+	if err != nil {
+		return cfg, fmt.Errorf("nomad: %w", err)
+	}
+	cfg.Loss = lossFn
+	cfg.LoadBalance = st.loadBalance
+	cfg.BalanceUsers = st.balanceUsers
+	if st.batchSize != nil {
+		cfg.BatchSize = *st.batchSize
+	}
+	if st.straggle != nil {
+		cfg.Straggle = *st.straggle
+	}
+	if st.seed != nil {
+		cfg.Seed = *st.seed
+	}
+	if st.evalPoints != nil {
+		cfg.EvalPoints = *st.evalPoints
+	}
+	if st.epochs != nil {
+		cfg.Epochs = *st.epochs
+	}
+	if st.maxDuration != nil {
+		cfg.Deadline = *st.maxDuration
+	}
+	if st.maxUpdates != nil {
+		cfg.MaxUpdates = *st.maxUpdates
+	}
+	return cfg, nil
+}
+
+// Run trains until a stop condition is met or ctx ends the run. It
+// returns the (possibly partial) result; when ctx was cancelled or
+// expired, the error is ctx.Err() and the session retains the partial
+// state, so a later Run, or Checkpoint + Resume in a new process,
+// continues the run. Only one Run may be in flight per session.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return nil, ErrRunning
+	}
+	s.running = true
+	cfg := s.base
+	cfg.Resume = s.state
+	s.mu.Unlock()
+
+	res, err := s.algo.Train(ctx, s.ds.inner, cfg, s.hooks())
+
+	s.mu.Lock()
+	s.running = false
+	if res != nil {
+		s.state = res.Final
+		s.result = newResult(res, s.ds)
+	}
+	out := s.result
+	s.mu.Unlock()
+
+	if err != nil {
+		if res == nil {
+			return nil, err
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// Result returns the most recent Run's result, or nil before any run.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result
+}
+
+// Subscribe registers an event channel with the given buffer (minimum
+// 16). Events stream while Run is in flight; a slow subscriber loses
+// old events instead of stalling training. The returned cancel
+// function closes the channel and releases the subscription — call it
+// when done, and drain the channel until closed.
+func (s *Session) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 16 {
+		buffer = 16
+	}
+	ch := make(chan Event, buffer)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+}
+
+// publish fans an event out to all subscribers. Sends never block: a
+// full buffer drops its oldest pending event to make room.
+func (s *Session) publish(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			select { // drop the oldest, then retry once
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+	}
+}
+
+// hooks bridges the internal training events to the public ones.
+func (s *Session) hooks() *train.Hooks {
+	return &train.Hooks{
+		Trace: func(e train.TraceEvent) {
+			s.publish(TraceEvent{Seconds: e.Seconds, Updates: e.Updates, RMSE: e.RMSE})
+		},
+		Epoch: func(e train.EpochEvent) {
+			s.publish(EpochEvent{Epoch: e.Epoch, Updates: e.Updates})
+		},
+		Balance: func(e train.BalanceEvent) {
+			s.publish(BalanceEvent{From: e.From, To: e.To, QueueLen: e.QueueLen})
+		},
+		Network: func(e train.NetworkEvent) {
+			s.publish(NetworkEvent{BytesSent: e.BytesSent, MessagesSent: e.MessagesSent})
+		},
+	}
+}
+
+// Checkpoint serializes the session's full training state — factors,
+// step-schedule position, RNG streams, token ownership and update
+// total — so a later session can Resume it. The session must be
+// stopped (between or after runs) and must have run at least once.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return ErrRunning
+	}
+	if s.state == nil {
+		return ErrNoState
+	}
+	return s.state.WriteBinary(w)
+}
+
+// Resume loads a checkpoint written by Checkpoint into this session:
+// the next Run continues from the restored state until the session's
+// stop conditions (which count cumulatively — e.g. MaxEpochs(10) means
+// ten epochs total across all segments) are met. The checkpoint must
+// come from the same algorithm and a dataset of the same shape; it
+// replaces any state from previous runs of this session.
+func (s *Session) Resume(r io.Reader) error {
+	st, err := train.ReadState(r)
+	if err != nil {
+		return err
+	}
+	k := s.base.K
+	if k <= 0 {
+		k = 16
+	}
+	// Solvers with augmented storage (biassgd's bias dims) report their
+	// physical rank through train.StorageRanker.
+	k = train.StorageRankOf(s.algo, k)
+	if err := st.Validate(s.algorithm, s.ds.Users(), s.ds.Items(), k); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return ErrRunning
+	}
+	s.state = st
+	return nil
+}
+
+// secondsToDuration converts a float seconds budget to a Duration.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// newResult converts an internal training result to the public shape,
+// evaluating the final model on the dataset's test split. The model
+// is snapshotted: the session's live training state (which a later
+// Run continues to mutate) and the returned Result.Model are
+// independent, so a caller can keep serving Predict/Recommend from
+// one result while the session trains on.
+func newResult(res *train.Result, d *Dataset) *Result {
+	out := &Result{
+		Algorithm:    res.Algorithm,
+		Model:        &Model{inner: res.Model.Clone()},
+		TestRMSE:     metrics.RMSE(res.Model, d.inner.Test),
+		Updates:      res.Updates,
+		Seconds:      res.Elapsed.Seconds(),
+		BytesSent:    res.BytesSent,
+		MessagesSent: res.MessagesSent,
+	}
+	for _, p := range res.Trace.Points {
+		out.Trace = append(out.Trace, TracePoint{Seconds: p.Seconds, Updates: p.Updates, RMSE: p.RMSE})
+	}
+	return out
+}
