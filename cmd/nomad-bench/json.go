@@ -8,14 +8,15 @@ package main
 //	go run ./cmd/nomad-bench -json BENCH_hotpath.json
 //
 // and commits the result. One invocation measures BOTH sides of the
-// hot-path A/B — the reference kernels ("baseline") and the fused
-// kernels ("after") — interleaved rep by rep in one process, because
-// the benchmark boxes are small shared VMs whose speed drifts between
-// invocations: interleaving lands both sides under the same machine
-// conditions, which two separate runs cannot guarantee. The measured
-// workload is fixed (the BenchmarkTrainNomadEpoch hot path, plus the
-// fig5/fig6 experiments on the shipping fused path) so records stay
-// comparable across PRs.
+// current PR's hot-path A/B — since the transport PR that is the
+// legacy mutex token transport ("baseline") against the batched SPSC
+// ring mesh ("after"), both on the fused kernels — interleaved rep by
+// rep in one process, because the benchmark boxes are small shared VMs
+// whose speed drifts between invocations: interleaving lands both
+// sides under the same machine conditions, which two separate runs
+// cannot guarantee. The measured workload is fixed (the
+// BenchmarkTrainNomadEpoch hot path, plus the fig5/fig6 experiments on
+// the shipping configuration) so records stay comparable across PRs.
 
 import (
 	"context"
@@ -26,7 +27,7 @@ import (
 
 	nomad "nomad"
 	"nomad/internal/experiments"
-	"nomad/internal/vecmath"
+	"nomad/internal/queue"
 )
 
 // benchRecord is one measured side of the A/B.
@@ -34,15 +35,26 @@ type benchRecord struct {
 	GoVersion string `json:"go"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	// Kernels is "reference" for the baseline label, "fused" for after.
-	Kernels string `json:"kernels"`
+	// Kernels records the vecmath side in use ("fused" on both sides
+	// since the transport A/B of PR 3; PR 1's records had "reference"
+	// baselines). Transport is the token-transport side: "mutex" for
+	// the baseline label, "spsc" for after.
+	Kernels   string `json:"kernels"`
+	Transport string `json:"transport"`
 	// Options are the experiment options the fig5/fig6 runs were
 	// measured under — always jsonOptions, recorded so the file is
 	// self-describing. Empty for the baseline record, which measures
 	// only the hot path.
-	Options     *experiments.Options `json:"options,omitempty"`
-	Hotpath     hotpathStats         `json:"hotpath"`
-	Experiments []expRecord          `json:"experiments,omitempty"`
+	Options *experiments.Options `json:"options,omitempty"`
+	Hotpath hotpathStats         `json:"hotpath"`
+	// TokenBound is the transport-bound companion workload: the
+	// longtail profile's ≈4.5 ratings/item make per-token transport
+	// cost, not SGD arithmetic, the worker loop's dominant term —
+	// the regime the batched SPSC mesh exists for. (The pinned netflix
+	// hotpath has ≈2.8K ratings/item, so there the transport is ≈0.1%
+	// of the work and the A/B reads as parity; see EXPERIMENTS.md.)
+	TokenBound  hotpathStats `json:"hotpath_token_transport"`
+	Experiments []expRecord  `json:"experiments,omitempty"`
 }
 
 // hotpathStats measures the BenchmarkTrainNomadEpoch workload: NOMAD
@@ -95,14 +107,14 @@ func runJSON(path string) error {
 		return err
 	}
 
-	base := newRecord("reference")
-	after := newRecord("fused")
-	if err := measureHotpathAB(&base.Hotpath, &after.Hotpath); err != nil {
+	base := newRecord("fused", "mutex")
+	after := newRecord("fused", "spsc")
+	if err := measureHotpathAB(&base, &after); err != nil {
 		return fmt.Errorf("hotpath: %w", err)
 	}
 
-	// Figure regressions are tracked on the shipping (fused) path.
-	vecmath.SetReferenceOnly(false)
+	// Figure regressions are tracked on the shipping configuration.
+	queue.SetReferenceTransport(false)
 	opts := jsonOptions()
 	after.Options = &opts
 	for _, id := range jsonExperiments {
@@ -127,38 +139,50 @@ func runJSON(path string) error {
 	return writeDoc(path, doc, map[string]benchRecord{"baseline": base, "after": after})
 }
 
-func newRecord(kernels string) benchRecord {
+func newRecord(kernels, transport string) benchRecord {
 	return benchRecord{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Kernels:   kernels,
+		Transport: transport,
 	}
 }
 
-// measureHotpathAB runs the BenchmarkTrainNomadEpoch workload on both
-// hot paths, alternating sides within each rep so machine-speed drift
-// cancels out of the comparison.
-func measureHotpathAB(base, after *hotpathStats) error {
+// measureHotpathAB runs the BenchmarkTrainNomadEpoch workload plus
+// the token-transport-bound longtail workload on both transports,
+// alternating sides within each rep so machine-speed drift cancels
+// out of the comparison.
+func measureHotpathAB(base, after *benchRecord) error {
 	// Best-of-9 on each workload: the best rep is the least-disturbed
 	// one — the standard way to compare compute-bound code under noise.
 	const (
-		profile = "netflix"
-		scale   = 0.0005
-		workers = 2
-		seed    = 7
-		reps    = 9
-		steadyE = 5
+		profile   = "netflix"
+		scale     = 0.0005
+		ltProfile = "longtail"
+		ltScale   = 0.05
+		workers   = 2
+		seed      = 7
+		reps      = 9
+		steadyE   = 5
 	)
-	for _, st := range []*hotpathStats{base, after} {
+	for _, st := range []*hotpathStats{&base.Hotpath, &after.Hotpath} {
 		*st = hotpathStats{Dataset: profile, Scale: scale, Workers: workers,
+			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
+	}
+	for _, st := range []*hotpathStats{&base.TokenBound, &after.TokenBound} {
+		*st = hotpathStats{Dataset: ltProfile, Scale: ltScale, Workers: workers,
 			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
 	}
 	ds, err := nomad.Synthesize(profile, scale, seed)
 	if err != nil {
 		return err
 	}
-	train := func(epochs int) (*nomad.Result, error) {
+	lt, err := nomad.Synthesize(ltProfile, ltScale, seed)
+	if err != nil {
+		return err
+	}
+	train := func(ds *nomad.Dataset, epochs int) (*nomad.Result, error) {
 		// A fresh Session per rep: the pinned benchmark measures cold
 		// runs, not resumed continuations.
 		s, err := nomad.NewSession(ds,
@@ -170,47 +194,72 @@ func measureHotpathAB(base, after *hotpathStats) error {
 		}
 		return s.Run(context.Background())
 	}
-	// Warm-up rep: first-run effects (page faults, scheduler ramp-up)
-	// belong to neither side of the A/B.
-	if _, err := train(1); err != nil {
+	// Warm-up reps: first-run effects (page faults, scheduler ramp-up)
+	// belong to neither side of the A/B. Each rep measures, per side:
+	// netflix single-epoch + steady, then longtail single-epoch + steady.
+	if _, err := train(ds, 1); err != nil {
 		return err
 	}
+	if _, err := train(lt, 1); err != nil {
+		return err
+	}
+	steady := func(ds *nomad.Dataset, st *hotpathStats) error {
+		sres, err := train(ds, steadyE)
+		if err != nil {
+			return err
+		}
+		sups := float64(sres.Updates) / sres.Seconds
+		st.SteadyMeanUPS += sups / reps
+		if sups > st.SteadyBestUPS {
+			st.SteadyBestUPS = sups
+			st.SteadyUpdates = sres.Updates
+			st.SteadyNsPerUpdate = 1e9 * sres.Seconds / float64(sres.Updates)
+			st.FinalRMSE = sres.TestRMSE
+		}
+		return nil
+	}
 	for i := 0; i < reps; i++ {
-		for side, st := range []*hotpathStats{base, after} {
-			vecmath.SetReferenceOnly(side == 0)
-			res, err := train(1)
+		for side, rec := range []*benchRecord{base, after} {
+			queue.SetReferenceTransport(side == 0)
+			res, err := train(ds, 1)
 			if err != nil {
 				return err
 			}
 			ups := float64(res.Updates) / res.Seconds
-			st.EpochMeanUPS += ups / reps
-			if ups > st.EpochBestUPS {
-				st.EpochBestUPS = ups
-				st.EpochUpdates = res.Updates
+			rec.Hotpath.EpochMeanUPS += ups / reps
+			if ups > rec.Hotpath.EpochBestUPS {
+				rec.Hotpath.EpochBestUPS = ups
+				rec.Hotpath.EpochUpdates = res.Updates
 			}
-
-			sres, err := train(steadyE)
+			if err := steady(ds, &rec.Hotpath); err != nil {
+				return err
+			}
+			ltres, err := train(lt, 1)
 			if err != nil {
 				return err
 			}
-			sups := float64(sres.Updates) / sres.Seconds
-			st.SteadyMeanUPS += sups / reps
-			if sups > st.SteadyBestUPS {
-				st.SteadyBestUPS = sups
-				st.SteadyUpdates = sres.Updates
-				st.SteadyNsPerUpdate = 1e9 * sres.Seconds / float64(sres.Updates)
-				st.FinalRMSE = sres.TestRMSE
+			ltups := float64(ltres.Updates) / ltres.Seconds
+			rec.TokenBound.EpochMeanUPS += ltups / reps
+			if ltups > rec.TokenBound.EpochBestUPS {
+				rec.TokenBound.EpochBestUPS = ltups
+				rec.TokenBound.EpochUpdates = ltres.Updates
+			}
+			if err := steady(lt, &rec.TokenBound); err != nil {
+				return err
 			}
 		}
 	}
-	vecmath.SetReferenceOnly(false)
+	queue.SetReferenceTransport(false)
 	for _, rec := range []struct {
 		name string
-		st   *hotpathStats
+		r    *benchRecord
 	}{{"baseline", base}, {"after", after}} {
 		fmt.Printf("   [json: hotpath %s: best %.2fM updates/s steady (%.1f ns/update), %.2fM single-epoch, final RMSE %.4f]\n",
-			rec.name, rec.st.SteadyBestUPS/1e6, rec.st.SteadyNsPerUpdate,
-			rec.st.EpochBestUPS/1e6, rec.st.FinalRMSE)
+			rec.name, rec.r.Hotpath.SteadyBestUPS/1e6, rec.r.Hotpath.SteadyNsPerUpdate,
+			rec.r.Hotpath.EpochBestUPS/1e6, rec.r.Hotpath.FinalRMSE)
+		fmt.Printf("   [json: token-bound %s (%s): best %.2fM updates/s steady (%.1f ns/update), final RMSE %.4f]\n",
+			rec.name, rec.r.TokenBound.Dataset, rec.r.TokenBound.SteadyBestUPS/1e6,
+			rec.r.TokenBound.SteadyNsPerUpdate, rec.r.TokenBound.FinalRMSE)
 	}
 	return nil
 }

@@ -7,17 +7,20 @@
 //	nomad-bench -exp fig5
 //	nomad-bench -exp fig8,fig11 -scale 0.005 -machines 8
 //	nomad-bench -exp all
+//	nomad-bench -exp fig6R -transport mutex
 //	nomad-bench -json BENCH_hotpath.json
+//	nomad-bench -sweep BENCH_scaling.json
 //
 // Each experiment prints its convergence series (test RMSE against the
 // figure's x-axis) or its table. See DESIGN.md for the experiment
 // index and EXPERIMENTS.md for recorded paper-vs-measured comparisons.
 //
 // The -json mode instead measures the fixed hot-path benchmark set
-// (the BenchmarkTrainNomadEpoch workload on both sides of the kernel
-// A/B, plus fig5/fig6) and merges machine-readable records into the
-// given file; see json.go and the committed BENCH_hotpath.json for
-// the protocol.
+// (the BenchmarkTrainNomadEpoch workload on both sides of the token-
+// transport A/B, plus fig5/fig6) and merges machine-readable records
+// into the given file; see json.go and the committed BENCH_hotpath.json
+// for the protocol. The -sweep mode records worker scaling; see
+// sweep.go and BENCH_scaling.json.
 package main
 
 import (
@@ -29,21 +32,26 @@ import (
 	"time"
 
 	"nomad/internal/experiments"
+	"nomad/internal/queue"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		scale    = flag.Float64("scale", 0.002, "dataset scale (fraction of the paper's Table 2 sizes)")
-		epochs   = flag.Int("epochs", 10, "training epochs per run (NOMAD scaling figures)")
-		seconds  = flag.Float64("seconds", 1.5, "wall-clock budget per run (solver comparison figures)")
-		k        = flag.Int("k", 16, "latent dimension")
-		workers  = flag.Int("workers", 4, "worker threads per machine")
-		machines = flag.Int("machines", 4, "machines for distributed experiments")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		tsvDir   = flag.String("tsv", "", "also write each series as a TSV file into this directory")
-		jsonPath = flag.String("json", "", "measure the fixed hot-path A/B benchmark set (baseline + after, interleaved) and merge the records into this JSON file")
+		exp       = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		scale     = flag.Float64("scale", 0.002, "dataset scale (fraction of the paper's Table 2 sizes)")
+		epochs    = flag.Int("epochs", 10, "training epochs per run (NOMAD scaling figures)")
+		seconds   = flag.Float64("seconds", 1.5, "wall-clock budget per run (solver comparison figures)")
+		k         = flag.Int("k", 16, "latent dimension")
+		workers   = flag.Int("workers", 4, "worker threads per machine")
+		machines  = flag.Int("machines", 4, "machines for distributed experiments")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		tsvDir    = flag.String("tsv", "", "also write each series as a TSV file into this directory")
+		jsonPath  = flag.String("json", "", "measure the fixed hot-path A/B benchmark set (baseline + after, interleaved) and merge the records into this JSON file")
+		transport = flag.String("transport", "", "token transport for -exp runs: auto, spsc, mutex, lockfree, chan")
+		sweepPath = flag.String("sweep", "", "measure the worker-scaling sweep (updates/s vs workers per transport, plus the transport tokens/s microbench) and write it to this JSON file")
+		sweepWkrs = flag.String("sweepworkers", "1,2,4", "comma-separated worker counts for -sweep")
+		sweepReps = flag.Int("sweepreps", 3, "measured reps per -sweep point (plus one warm-up)")
 	)
 	flag.Parse()
 
@@ -54,16 +62,55 @@ func main() {
 		return
 	}
 
+	kind, err := queue.KindByName(*transport)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nomad-bench: %v\n", err)
+		os.Exit(2)
+	}
 	opts := experiments.Options{
-		Scale:    *scale,
-		Epochs:   *epochs,
-		Seconds:  *seconds,
-		K:        *k,
-		Workers:  *workers,
-		Machines: *machines,
-		Seed:     *seed,
+		Scale:     *scale,
+		Epochs:    *epochs,
+		Seconds:   *seconds,
+		K:         *k,
+		Workers:   *workers,
+		Machines:  *machines,
+		Seed:      *seed,
+		Transport: kind,
 	}
 
+	if *sweepPath != "" {
+		// Like -json, the sweep's training protocol is pinned so records
+		// stay comparable; reject tuning flags rather than silently
+		// ignore them. Only the worker list and rep count are knobs.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sweep", "sweepworkers", "sweepreps":
+			default:
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -sweep measures a pinned protocol and cannot be combined with %s\n",
+				strings.Join(clash, ", "))
+			os.Exit(2)
+		}
+		wl, err := parseWorkerList(*sweepWkrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -sweepworkers: %v\n", err)
+			os.Exit(2)
+		}
+		if *sweepReps < 1 {
+			fmt.Fprintln(os.Stderr, "nomad-bench: -sweepreps must be ≥ 1")
+			os.Exit(2)
+		}
+		if err := runSweep(*sweepPath, wl, *sweepReps); err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   [sweep record written to %s]\n", *sweepPath)
+		return
+	}
 	if *jsonPath != "" {
 		// The -json set is pinned so records stay comparable across
 		// PRs; reject any tuning flag rather than silently ignore it.

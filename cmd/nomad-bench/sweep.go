@@ -1,0 +1,292 @@
+package main
+
+// The -sweep mode emits BENCH_scaling.json: NOMAD's shared-memory
+// worker-scaling record — steady updates/s as the worker count varies,
+// per transport — plus a pure transport microbenchmark (tokens moved
+// per second through each queue kind, no SGD). It is the shared-memory
+// analog of the paper's Figure 4 scaling study, tracked as data so a
+// transport regression is visible in review, not just in prose.
+//
+//	go run ./cmd/nomad-bench -sweep BENCH_scaling.json
+//	go run ./cmd/nomad-bench -sweep out.json -sweepworkers 1,2,4,8 -sweepreps 5
+//
+// Unlike -json (a pinned two-sided A/B), the sweep's worker list and
+// rep count are adjustable: CI smokes it with a tiny configuration so
+// the harness cannot rot, while perf PRs record the full sweep.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	nomad "nomad"
+	"nomad/internal/queue"
+)
+
+// sweepDoc is the BENCH_scaling.json shape.
+type sweepDoc struct {
+	GoVersion string         `json:"go"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Protocol  sweepProtocol  `json:"protocol"`
+	Scaling   []scalingPoint `json:"scaling"`
+	Transport []microPoint   `json:"transport_microbench"`
+}
+
+type sweepProtocol struct {
+	// Datasets maps profile name to scale: netflix (≈2.8K ratings per
+	// item token — arithmetic-bound) and longtail (≈4.5 — transport-
+	// bound), so the sweep shows scaling in both regimes.
+	Datasets map[string]float64 `json:"datasets"`
+	K        int                `json:"k"`
+	Seed     uint64             `json:"seed"`
+	Epochs   int                `json:"epochs"`
+	Reps     int                `json:"reps"`
+}
+
+// scalingPoint is one (dataset, workers, transport) training
+// measurement.
+type scalingPoint struct {
+	Dataset      string  `json:"dataset"`
+	Workers      int     `json:"workers"`
+	Transport    string  `json:"transport"`
+	BestUPS      float64 `json:"steady_best_updates_per_sec"`
+	MeanUPS      float64 `json:"steady_mean_updates_per_sec"`
+	PerWorkerUPS float64 `json:"steady_best_updates_per_sec_per_worker"`
+	FinalRMSE    float64 `json:"final_rmse"`
+	TotalUpdates int64   `json:"updates"`
+}
+
+// microPoint is one (workers, kind) transport-only measurement: p
+// endpoints circulating tokens with no SGD between pops.
+type microPoint struct {
+	Workers      int     `json:"workers"`
+	Kind         string  `json:"kind"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+}
+
+// sweepTransports are the training-sweep sides: the shipping batched
+// transport and the legacy default it replaced.
+var sweepTransports = []queue.Kind{queue.KindSPSC, queue.KindMutex}
+
+// microKinds is every transport in the tokens/s microbench.
+var microKinds = []queue.Kind{queue.KindSPSC, queue.KindMutex, queue.KindLockFree, queue.KindChan}
+
+// runSweep measures the worker sweep and writes doc to path.
+func runSweep(path string, workerList []int, reps int) error {
+	const (
+		seed   = 7
+		epochs = 4
+	)
+	profiles := []struct {
+		name  string
+		scale float64
+	}{{"netflix", 0.0005}, {"longtail", 0.05}}
+	doc := sweepDoc{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Protocol: sweepProtocol{Datasets: map[string]float64{}, K: 16, Seed: seed,
+			Epochs: epochs, Reps: reps},
+	}
+	for _, prof := range profiles {
+		doc.Protocol.Datasets[prof.name] = prof.scale
+		ds, err := nomad.Synthesize(prof.name, prof.scale, seed)
+		if err != nil {
+			return err
+		}
+		for _, workers := range workerList {
+			for _, kind := range sweepTransports {
+				pt := scalingPoint{Dataset: prof.name, Workers: workers, Transport: kind.String()}
+				for rep := 0; rep < reps+1; rep++ {
+					s, err := nomad.NewSession(ds,
+						nomad.WithWorkers(workers),
+						nomad.WithSeed(seed),
+						nomad.WithTransport(kind.String()),
+						nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
+					if err != nil {
+						return err
+					}
+					res, err := s.Run(context.Background())
+					if err != nil {
+						return err
+					}
+					if rep == 0 {
+						continue // warm-up rep (page faults, scheduler ramp-up)
+					}
+					ups := float64(res.Updates) / res.Seconds
+					pt.MeanUPS += ups / float64(reps)
+					if ups > pt.BestUPS {
+						pt.BestUPS = ups
+						pt.FinalRMSE = res.TestRMSE
+						pt.TotalUpdates = res.Updates
+					}
+				}
+				pt.PerWorkerUPS = pt.BestUPS / float64(workers)
+				doc.Scaling = append(doc.Scaling, pt)
+				fmt.Printf("   [sweep: %s p=%d %s: best %.2fM updates/s (%.2fM/worker), rmse %.4f]\n",
+					prof.name, workers, pt.Transport, pt.BestUPS/1e6, pt.PerWorkerUPS/1e6, pt.FinalRMSE)
+			}
+		}
+	}
+	for _, workers := range workerList {
+		for _, kind := range microKinds {
+			tps := transportTokensPerSec(kind, workers)
+			doc.Transport = append(doc.Transport, microPoint{
+				Workers: workers, Kind: kind.String(), TokensPerSec: tps})
+			fmt.Printf("   [sweep: transport micro p=%d %s: %.1fM tokens/s]\n",
+				workers, kind.String(), tps/1e6)
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// transportTokensPerSec circulates tokens among p endpoints through
+// the given transport with no work between pop and re-push — the pure
+// per-token transport cost that the SGD loop pays on top of its
+// arithmetic. Routing uses a cheap LCG on all kinds so the comparison
+// isolates the queues themselves.
+func transportTokensPerSec(kind queue.Kind, p int) float64 {
+	const tokens = 1 << 10
+	const movesPerWorker = 1 << 17
+	totalMoves := int64(p) * movesPerWorker
+
+	if kind.Resolve() == queue.KindSPSC {
+		return meshTokensPerSec(p, tokens, totalMoves)
+	}
+	queues := make([]queue.Queue[int32], p)
+	for q := 0; q < p; q++ {
+		queues[q] = queue.New[int32](kind, 4*tokens)
+	}
+	for t := 0; t < tokens; t++ {
+		queues[t%p].Push(int32(t))
+	}
+	var wg sync.WaitGroup
+	var moved paddedCounter
+	start := time.Now()
+	for q := 0; q < p; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rnd := uint64(q + 1)
+			for n := int64(0); moved.load() < totalMoves; {
+				tok, ok := queues[q].TryPop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				queues[int(rnd>>33)%p].Push(tok)
+				n++
+				if n%256 == 0 {
+					moved.add(256)
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	return float64(totalMoves) / time.Since(start).Seconds()
+}
+
+// meshTokensPerSec is the SPSC side of the microbench: block pops,
+// per-destination out-buffers, block flushes — the worker loop's
+// transport pattern without the SGD.
+func meshTokensPerSec(p, tokens int, totalMoves int64) float64 {
+	const block = 64
+	mesh := queue.NewMesh[int32](p, 4*tokens)
+	for t := 0; t < tokens; t++ {
+		mesh.Send(t%p, t%p, int32(t))
+	}
+	var wg sync.WaitGroup
+	var moved paddedCounter
+	start := time.Now()
+	for q := 0; q < p; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			var in [block]int32
+			out := make([][]int32, p)
+			for d := range out {
+				out[d] = make([]int32, 0, 2*block)
+			}
+			flush := func(d int) {
+				if len(out[d]) == 0 {
+					return
+				}
+				acc := mesh.SendBatch(q, d, out[d])
+				rest := copy(out[d], out[d][acc:])
+				out[d] = out[d][:rest]
+			}
+			rnd := uint64(q + 1)
+			for n := int64(0); moved.load() < totalMoves; {
+				k := mesh.RecvBatch(q, in[:])
+				if k == 0 {
+					for d := 0; d < p; d++ {
+						flush(d)
+					}
+					runtime.Gosched()
+					continue
+				}
+				for i := 0; i < k; i++ {
+					rnd = rnd*6364136223846793005 + 1442695040888963407
+					d := int(rnd>>33) % p
+					out[d] = append(out[d], in[i])
+					if len(out[d]) >= block {
+						flush(d)
+					}
+				}
+				n += int64(k)
+				if n >= 256 {
+					moved.add(n)
+					n = 0
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	return float64(totalMoves) / time.Since(start).Seconds()
+}
+
+// paddedCounter is a cache-line-padded atomic for the microbench's
+// global move count, so the counter itself doesn't false-share.
+type paddedCounter struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [64]byte
+}
+
+func (c *paddedCounter) add(n int64) { c.v.Add(n) }
+func (c *paddedCounter) load() int64 { return c.v.Load() }
+
+// parseWorkerList parses "1,2,4" into worker counts, in input order.
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}

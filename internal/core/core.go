@@ -27,7 +27,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +83,9 @@ type sharedToken struct {
 // bit-compatible with an uninterrupted run, because the token order,
 // schedule position and stop decision are all deterministic.
 func trainShared(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	if cfg.QueueKind.Resolve() == queue.KindSPSC {
+		return trainSharedMesh(ctx, ds, cfg, hooks)
+	}
 	p := cfg.Workers
 	m, n := ds.Rows(), ds.Cols()
 	users := partitionUsers(ds, cfg, p)
@@ -246,21 +248,16 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 	hp := newHotPath(md, schedule, cfg)
 	loadBalance := cfg.LoadBalance && p > 1
 	straggler := q == 0 && cfg.Straggle > 1
-	idleSpins := 0
+	var idle idleBackoff
 	var batch int64 // updates since last counter flush
 	for !stop.Load() {
 		tok, ok := queues[q].TryPop()
 		if !ok {
-			// Queue momentarily empty: yield; back off if persistent.
-			idleSpins++
-			if idleSpins > 64 {
-				time.Sleep(20 * time.Microsecond)
-			} else {
-				runtime.Gosched()
-			}
+			// Queue momentarily empty: yield, then back off.
+			idle.wait()
 			continue
 		}
-		idleSpins = 0
+		idle.reset()
 
 		// SGD over this worker's ratings for the item (lines 16–21).
 		j := int(tok.item)
@@ -271,9 +268,10 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 			began = time.Now()
 		}
 		hp.itemSGD(usersJ, vals, counts, hRow)
-		if straggler && len(usersJ) > 0 {
+		if straggler && len(usersJ) > 0 && !stop.Load() {
 			// Simulate a slow machine: stretch this token's processing
-			// time by the configured factor (§3.3 ablation).
+			// time by the configured factor (§3.3 ablation). Skipped once
+			// stop is set so cancellation stays prompt.
 			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 		}
 		batch += int64(len(usersJ))

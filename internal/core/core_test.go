@@ -7,7 +7,6 @@ import (
 	"nomad/internal/dataset"
 	"nomad/internal/netsim"
 	"nomad/internal/partition"
-	"nomad/internal/queue"
 	"nomad/internal/sparse"
 	"nomad/internal/train"
 )
@@ -90,7 +89,7 @@ func TestSharedLoadBalanceConverges(t *testing.T) {
 
 func TestSharedAllQueueKinds(t *testing.T) {
 	ds := testData(t)
-	for _, kind := range []queue.Kind{queue.KindMutex, queue.KindLockFree, queue.KindChan} {
+	for _, kind := range allKinds {
 		cfg := baseConfig()
 		cfg.Workers = 2
 		cfg.Epochs = 6

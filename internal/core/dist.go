@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +54,9 @@ func (mc *machine) queueLen() int {
 // model, per-rating schedule counts and RNG streams; tokens (folded
 // into the model when the previous run tore down) are re-scattered.
 func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	if cfg.QueueKind.Resolve() == queue.KindSPSC {
+		return trainDistributedMesh(ctx, ds, cfg, hooks)
+	}
 	M, W := cfg.Machines, cfg.Workers
 	p := M * W
 	m, n := ds.Rows(), ds.Cols()
@@ -191,19 +193,18 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	}, runErr
 }
 
-// deliverLocal plans a token's visits through mc's workers (Circulate
-// full permutations) and enqueues it at the first stop. scratch is a
-// caller-owned permutation buffer of length ≥ W, reused across tokens
-// so the receive path allocates nothing per token (beyond growing the
-// token's own visit plan once).
-func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source, scratch []int) {
-	W := mc.workers
+// planVisits fills tok's visit plan — Circulate full permutations of
+// the W local workers, with the first stop consumed into the return
+// value — and returns that first worker. scratch is a caller-owned
+// permutation buffer of length ≥ W, reused across tokens so the
+// receive path allocates nothing per token (beyond growing the token's
+// own visit plan once). Both transports' delivery paths share it.
+func planVisits(tok *distToken, W, circulate int, r *rng.Source, scratch []int) (first int) {
 	if W == 1 && circulate == 1 {
 		// Single local worker: the only plan is "visit worker 0 once" —
 		// no permutation, no RNG draw.
 		tok.visits = tok.visits[:0]
-		mc.queues[0].Push(tok)
-		return
+		return 0
 	}
 	perm := scratch[:W]
 	r.Perm(perm)
@@ -214,7 +215,13 @@ func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source, scr
 		}
 	}
 	tok.visits = visits[1:]
-	mc.queues[perm[0]].Push(tok)
+	return perm[0]
+}
+
+// deliverLocal plans a token's visits through mc's workers and
+// enqueues it at the first stop.
+func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source, scratch []int) {
+	mc.queues[planVisits(tok, mc.workers, circulate, r, scratch)].Push(tok)
 }
 
 // runDistWorker processes tokens from its own queue: SGD on the local
@@ -227,20 +234,15 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 	gw := mc.id*mc.workers + w // global worker id (counter shard)
 	hp := newHotPath(md, schedule, cfg)
 	straggler := gw == 0 && cfg.Straggle > 1
-	idleSpins := 0
+	var idle idleBackoff
 	var batch int64
 	for !stop.Load() {
 		tok, ok := mc.queues[w].TryPop()
 		if !ok {
-			idleSpins++
-			if idleSpins > 64 {
-				time.Sleep(20 * time.Microsecond)
-			} else {
-				runtime.Gosched()
-			}
+			idle.wait()
 			continue
 		}
-		idleSpins = 0
+		idle.reset()
 
 		j := int(tok.tok.Item)
 		hRow := tok.tok.Vec // the vector travels with the token
@@ -250,7 +252,8 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 			began = time.Now()
 		}
 		hp.itemSGD(usersJ, vals, counts, hRow)
-		if straggler && len(usersJ) > 0 {
+		if straggler && len(usersJ) > 0 && !stop.Load() {
+			// Straggler stretch, skipped once stop is set (prompt stop).
 			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 		}
 		batch += int64(len(usersJ))
@@ -283,39 +286,7 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 // least-loaded routing decision is reported as a BalanceEvent.
 func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source, hooks *train.Hooks) {
 	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
-	M := net.Machines()
-	pick := func() int {
-		if M == 1 {
-			return 0
-		}
-		if cfg.LoadBalance {
-			// Least-loaded known peer, random tie-break (§3.3).
-			best, bestLen := -1, int64(1<<62)
-			ties := 0
-			for dst := 0; dst < M; dst++ {
-				if dst == mc.id {
-					continue
-				}
-				l := mc.lastKnown[dst].Load()
-				switch {
-				case l < bestLen:
-					best, bestLen, ties = dst, l, 1
-				case l == bestLen:
-					ties++
-					if r.Intn(ties) == 0 {
-						best = dst
-					}
-				}
-			}
-			hooks.EmitBalance(train.BalanceEvent{From: mc.id, To: best, QueueLen: bestLen})
-			return best
-		}
-		dst := r.Intn(M - 1)
-		if dst >= mc.id {
-			dst++
-		}
-		return dst
-	}
+	pick := machinePicker(mc.id, net.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
 	for {
 		select {
 		case tok, ok := <-mc.out:

@@ -1,0 +1,432 @@
+package core
+
+// The distributed runner on the batched SPSC transport: each machine's
+// W workers plus its sender and receiver threads share a (W+1)-endpoint
+// mesh whose last endpoint — the "network port" — is produced into by
+// the receiver (inbound tokens starting their §3.4 local circulation)
+// and consumed from by the sender (tokens whose visit plan is
+// exhausted). Every lane keeps the single-producer single-consumer
+// discipline, so the intra-machine transport is identical to the
+// shared-memory one and the network batching of §3.5 starts from
+// already-batched port reads.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/cluster"
+	"nomad/internal/dataset"
+	"nomad/internal/factor"
+	"nomad/internal/netsim"
+	"nomad/internal/queue"
+	"nomad/internal/rng"
+	"nomad/internal/sched"
+	"nomad/internal/train"
+)
+
+// meshMachine is one simulated machine on the batched transport.
+type meshMachine struct {
+	id      int
+	workers int
+	mesh    *queue.Mesh[*distToken]
+
+	// pending holds receiver-delivered tokens whose worker lane was
+	// momentarily full; retried on the next inbound message and folded
+	// into the final collection at teardown.
+	pending [][]*distToken
+
+	// lastKnown[r] is the most recent queue-length gossip received
+	// from machine r (§3.3).
+	lastKnown []atomic.Int64
+}
+
+// port is the mesh endpoint owned by the communication threads.
+func (mc *meshMachine) port() int { return mc.workers }
+
+// queueLen is the machine's total backlog, gossiped to peers. All
+// reads are single atomic loads — §3.3 gossip never takes a lock.
+func (mc *meshMachine) queueLen() int {
+	n := 0
+	for d := 0; d <= mc.workers; d++ {
+		n += mc.mesh.ApproxLen(d)
+	}
+	return n
+}
+
+// retryPending re-offers tokens whose lane was full when the receiver
+// first delivered them.
+func (mc *meshMachine) retryPending() {
+	for d, toks := range mc.pending {
+		if len(toks) == 0 {
+			continue
+		}
+		acc := mc.mesh.SendBatch(mc.port(), d, toks)
+		if acc > 0 {
+			rest := copy(toks, toks[acc:])
+			for i := rest; i < len(toks); i++ {
+				toks[i] = nil // release for GC
+			}
+			mc.pending[d] = toks[:rest]
+		}
+	}
+}
+
+// machinePicker returns the outbound-destination chooser shared by
+// both sender implementations: uniform over peers, or the §3.3
+// least-loaded known peer with random tie-break, reported as a
+// BalanceEvent.
+func machinePicker(id, M int, loadBalance bool, lastKnown []atomic.Int64, r *rng.Source, hooks *train.Hooks) func() int {
+	return func() int {
+		if M == 1 {
+			return 0
+		}
+		if loadBalance {
+			best, bestLen := -1, int64(1<<62)
+			ties := 0
+			for dst := 0; dst < M; dst++ {
+				if dst == id {
+					continue
+				}
+				l := lastKnown[dst].Load()
+				switch {
+				case l < bestLen:
+					best, bestLen, ties = dst, l, 1
+				case l == bestLen:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = dst
+					}
+				}
+			}
+			hooks.EmitBalance(train.BalanceEvent{From: id, To: best, QueueLen: bestLen})
+			return best
+		}
+		dst := r.Intn(M - 1)
+		if dst >= id {
+			dst++
+		}
+		return dst
+	}
+}
+
+// trainDistributedMesh is trainDistributed on the batched transport.
+func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	M, W := cfg.Machines, cfg.Workers
+	p := M * W
+	m, n := ds.Rows(), ds.Cols()
+	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
+	local := buildLocalRatings(ds.Train, users)
+	schedule := cfg.Schedule()
+	net := netsim.New(M, cfg.Profile)
+	root := rng.New(cfg.Seed)
+
+	var md *factor.Model
+	workerRNG := make([]*rng.Source, p)
+	if st := cfg.Resume; st != nil {
+		md = st.Model
+		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
+		st.RestoreStreams(root, workerRNG)
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		for q := 0; q < p; q++ {
+			workerRNG[q] = root.Split(uint64(q))
+		}
+	}
+
+	machines := make([]*meshMachine, M)
+	for mcID := 0; mcID < M; mcID++ {
+		mc := &meshMachine{
+			id:        mcID,
+			workers:   W,
+			mesh:      queue.NewMesh[*distToken](W+1, meshRingCap(n, M*W)),
+			pending:   make([][]*distToken, W+1),
+			lastKnown: make([]atomic.Int64, M),
+		}
+		machines[mcID] = mc
+	}
+
+	// Initial placement: every item token starts at a uniformly random
+	// machine with a fresh local visit plan (Algorithm 1 lines 6–10).
+	permScratch := make([]int, W)
+	for j := 0; j < n; j++ {
+		vec := make([]float64, cfg.K)
+		copy(vec, md.ItemRow(j))
+		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
+		mc := machines[root.Intn(M)]
+		deliverMeshLocal(mc, tok, cfg.Circulate, root, permScratch)
+	}
+
+	counter := train.NewCounterFor(cfg, p)
+	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
+	var stop atomic.Bool
+
+	// Compute workers. residual[mc][w] keeps each worker's unflushed
+	// out-buffers for the final collection.
+	residual := make([][][][]*distToken, M)
+	var workerWG sync.WaitGroup
+	for mcID := 0; mcID < M; mcID++ {
+		residual[mcID] = make([][][]*distToken, W)
+		for w := 0; w < W; w++ {
+			workerWG.Add(1)
+			go func(mc *meshMachine, w int) {
+				defer workerWG.Done()
+				residual[mc.id][w] = runDistWorkerMesh(mc, w, md, local[mc.id*W+w], schedule, cfg,
+					counter, &stop, workerRNG[mc.id*W+w])
+			}(machines[mcID], w)
+		}
+	}
+
+	// Sender and receiver threads, one of each per machine. Senders
+	// exit once workersDone is raised and their port row is dry.
+	var workersDone atomic.Bool
+	var senderWG, receiverWG sync.WaitGroup
+	for mcID := 0; mcID < M; mcID++ {
+		senderWG.Add(1)
+		go func(mc *meshMachine) {
+			defer senderWG.Done()
+			runMeshSender(mc, net, cfg, root.Split(uint64(1000+mc.id)), hooks, &workersDone)
+		}(machines[mcID])
+		receiverWG.Add(1)
+		go func(mc *meshMachine) {
+			defer receiverWG.Done()
+			runMeshReceiver(mc, net, cfg, root.Split(uint64(2000+mc.id)))
+		}(machines[mcID])
+	}
+
+	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
+
+	// Orderly teardown: workers → senders → network → receivers. The
+	// workers' exit flushes are published by workerWG.Wait, so a sender
+	// observing workersDone drains a complete port row.
+	workerWG.Wait()
+	workersDone.Store(true)
+	senderWG.Wait()
+	net.Shutdown()
+	receiverWG.Wait()
+
+	// Collect every token still held anywhere — mesh lanes, receiver
+	// overflow, worker residual buffers — and write its vector back
+	// into the model. Token conservation is the ownership invariant.
+	collected := 0
+	collect := func(tok *distToken) {
+		copy(md.ItemRow(int(tok.tok.Item)), tok.tok.Vec)
+		collected++
+	}
+	for _, mc := range machines {
+		for d := 0; d <= mc.workers; d++ {
+			mc.mesh.Drain(d, collect)
+			for _, tok := range mc.pending[d] {
+				collect(tok)
+			}
+		}
+	}
+	for _, perWorker := range residual {
+		for _, outs := range perWorker {
+			for _, toks := range outs {
+				for _, tok := range toks {
+					collect(tok)
+				}
+			}
+		}
+	}
+	if collected != n {
+		return nil, fmt.Errorf("core: token conservation violated: collected %d tokens for %d items", collected, n)
+	}
+
+	rec.Sample(md, counter.Total())
+	hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+	return &train.Result{
+		Algorithm:    "nomad",
+		Model:        md,
+		Trace:        rec.Trace(),
+		Updates:      counter.Total(),
+		Elapsed:      rec.Elapsed(),
+		BytesSent:    net.BytesSent(),
+		MessagesSent: net.MessagesSent(),
+		Final: &train.State{
+			Algorithm: "nomad",
+			Seed:      cfg.Seed,
+			Updates:   counter.Total(),
+			Model:     md,
+			Counts:    exportCounts(ds.Train, users, local),
+			RNG:       train.CaptureStreams(root, workerRNG),
+			// Queues deliberately nil: tokens were folded back into the
+			// model above; a resume re-scatters them.
+		},
+	}, runErr
+}
+
+// deliverMeshLocal plans a token's visits through mc's workers and
+// offers it to the first stop's lane, parking it in pending when the
+// lane is full. The producer is always the port endpoint (init runs
+// before any thread starts, the receiver owns it afterwards).
+func deliverMeshLocal(mc *meshMachine, tok *distToken, circulate int, r *rng.Source, scratch []int) {
+	first := planVisits(tok, mc.workers, circulate, r, scratch)
+	if !mc.mesh.Send(mc.port(), first, tok) {
+		mc.pending[first] = append(mc.pending[first], tok)
+	}
+}
+
+// runDistWorkerMesh processes token blocks from its own mesh row: SGD
+// on the local ratings of each token's item, then hand-off to the next
+// local worker's lane or the port. It returns its unflushed
+// out-buffers for the coordinator's final collection.
+func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRatings,
+	schedule sched.Schedule, cfg train.Config, counter *train.Counter,
+	stop *atomic.Bool, r *rng.Source) [][]*distToken {
+
+	gw := mc.id*mc.workers + w // global worker id (counter shard)
+	hp := newHotPath(md, schedule, cfg)
+	straggler := gw == 0 && cfg.Straggle > 1
+	port := mc.port()
+	threshold := meshFlushThreshold(md.N, cfg.Machines*mc.workers)
+
+	var in [meshBlock]*distToken
+	out := make([][]*distToken, port+1)
+	for d := range out {
+		out[d] = make([]*distToken, 0, 2*meshBlock)
+	}
+	flush := func(d int) bool {
+		if len(out[d]) == 0 {
+			return false
+		}
+		acc := mc.mesh.SendBatch(w, d, out[d])
+		if acc == 0 {
+			return false
+		}
+		rest := copy(out[d], out[d][acc:])
+		for i := rest; i < len(out[d]); i++ {
+			out[d][i] = nil // release for GC
+		}
+		out[d] = out[d][:rest]
+		return true
+	}
+
+	var idle idleBackoff
+	var batch int64
+	for !stop.Load() {
+		k := mc.mesh.RecvBatch(w, in[:])
+		if k == 0 {
+			moved := false
+			for d := 0; d <= port; d++ {
+				if flush(d) {
+					moved = true
+				}
+			}
+			if moved {
+				idle.reset()
+			} else {
+				idle.wait()
+			}
+			continue
+		}
+		idle.reset()
+		for i := 0; i < k; i++ {
+			tok := in[i]
+			in[i] = nil
+
+			j := int(tok.tok.Item)
+			hRow := tok.tok.Vec // the vector travels with the token
+			usersJ, vals, counts := lr.itemRatings(j)
+			var began time.Time
+			if straggler {
+				began = time.Now()
+			}
+			hp.itemSGD(usersJ, vals, counts, hRow)
+			if straggler && len(usersJ) > 0 && !stop.Load() {
+				time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
+			}
+			batch += int64(len(usersJ))
+			if batch >= 256 {
+				counter.Add(gw, batch)
+				batch = 0
+				// Worker-side budget check; see runSharedWorker.
+				if counter.Total() >= cfg.MaxUpdates {
+					stop.Store(true)
+				}
+			}
+			// Owner write-back so progress monitoring sees current hⱼ.
+			copy(md.ItemRow(j), hRow)
+
+			dst := port
+			if len(tok.visits) > 0 {
+				dst = int(tok.visits[0])
+				tok.visits = tok.visits[1:]
+			}
+			out[dst] = append(out[dst], tok)
+			if len(out[dst]) >= threshold {
+				flush(dst)
+			}
+		}
+	}
+	counter.Add(gw, batch)
+
+	// Final flush; leftovers go back to the coordinator.
+	for d := 0; d <= port; d++ {
+		flush(d)
+	}
+	return out
+}
+
+// runMeshSender drains the machine's port row in blocks, batching
+// tokens per destination machine (§3.5) and flushing opportunistically
+// whenever the row runs dry so tokens never linger under low traffic.
+func runMeshSender(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rng.Source,
+	hooks *train.Hooks, workersDone *atomic.Bool) {
+
+	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
+	pick := machinePicker(mc.id, net.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
+	port := mc.port()
+	var buf [meshBlock]*distToken
+	var idle idleBackoff
+	for {
+		k := mc.mesh.RecvBatch(port, buf[:])
+		if k == 0 {
+			// Row dry: push out partial batches, then back off.
+			s.FlushAll()
+			if workersDone.Load() {
+				// All workers have exited and flushed; one final sweep
+				// cannot race a producer, so the row is drained for good.
+				for {
+					k := mc.mesh.RecvBatch(port, buf[:])
+					if k == 0 {
+						break
+					}
+					for i := 0; i < k; i++ {
+						s.Add(pick(), buf[i].tok)
+						buf[i] = nil
+					}
+				}
+				s.FlushAll()
+				return
+			}
+			idle.wait()
+			continue
+		}
+		idle.reset()
+		for i := 0; i < k; i++ {
+			s.Add(pick(), buf[i].tok)
+			buf[i] = nil
+		}
+	}
+}
+
+// runMeshReceiver unpacks inbound token batches, records queue-length
+// gossip and starts each token's local circulation through the mesh.
+func runMeshReceiver(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+	scratch := make([]int, mc.workers)
+	for msg := range net.Recv(mc.id) {
+		batch, ok := msg.Payload.(cluster.TokenBatch)
+		if !ok {
+			continue
+		}
+		mc.lastKnown[msg.From].Store(int64(batch.QueueLen))
+		mc.retryPending()
+		for _, t := range batch.Tokens {
+			deliverMeshLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
+		}
+	}
+}

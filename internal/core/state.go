@@ -48,21 +48,12 @@ func importCounts(tr *sparse.Matrix, users *partition.Partition, local []*localR
 	}
 }
 
-// restoreQueues reloads the checkpointed token-ownership map: each
-// worker queue gets its parked tokens back in pop order. Every item
-// must appear exactly once across the queues — a duplicate would put
-// one item row in two workers' hands and break the single-owner
-// discipline that makes NOMAD race-free, so it is rejected up front.
-// When the map is missing (distributed checkpoints fold tokens into
-// the model) or was taken with a different worker count, all n tokens
-// are scattered uniformly instead.
-func restoreQueues(queues []queue.Queue[sharedToken], saved [][]int32, n int, root *rng.Source) error {
-	if len(saved) != len(queues) {
-		for j := 0; j < n; j++ {
-			queues[root.Intn(len(queues))].Push(sharedToken{item: int32(j)})
-		}
-		return nil
-	}
+// forEachParked walks a checkpoint's token-ownership map in pop order,
+// calling park(worker, item) per token. Every item must appear exactly
+// once — a duplicate would put one item row in two workers' hands and
+// break the single-owner discipline that makes NOMAD race-free, so it
+// is rejected up front, as are out-of-range indices and short maps.
+func forEachParked(saved [][]int32, n int, park func(qi int, item int32)) error {
 	seen := make([]bool, n)
 	parked := 0
 	for qi, items := range saved {
@@ -74,7 +65,7 @@ func restoreQueues(queues []queue.Queue[sharedToken], saved [][]int32, n int, ro
 				return fmt.Errorf("core: checkpoint parks item token %d twice", j)
 			}
 			seen[j] = true
-			queues[qi].Push(sharedToken{item: j})
+			park(qi, j)
 			parked++
 		}
 	}
@@ -82,4 +73,44 @@ func restoreQueues(queues []queue.Queue[sharedToken], saved [][]int32, n int, ro
 		return fmt.Errorf("core: checkpoint holds %d tokens for %d items", parked, n)
 	}
 	return nil
+}
+
+// restoreQueues reloads the checkpointed token-ownership map: each
+// worker queue gets its parked tokens back in pop order. When the map
+// is missing (distributed checkpoints fold tokens into the model) or
+// was taken with a different worker count, all n tokens are scattered
+// uniformly instead.
+func restoreQueues(queues []queue.Queue[sharedToken], saved [][]int32, n int, root *rng.Source) error {
+	if len(saved) != len(queues) {
+		for j := 0; j < n; j++ {
+			queues[root.Intn(len(queues))].Push(sharedToken{item: int32(j)})
+		}
+		return nil
+	}
+	return forEachParked(saved, n, func(qi int, item int32) {
+		queues[qi].Push(sharedToken{item: item})
+	})
+}
+
+// restoreMesh is restoreQueues for the batched SPSC transport: worker
+// qi's parked tokens refill its self lane in pop order; tokens beyond
+// the lane's capacity preload the worker's self-destination out-buffer,
+// which the worker flushes behind the lane's content — preserving the
+// logical queue order that makes single-worker resume bit-compatible.
+func restoreMesh(mesh *queue.Mesh[sharedToken], preload [][]sharedToken, saved [][]int32, n int, root *rng.Source) error {
+	p := mesh.P()
+	if len(saved) != p {
+		for j := 0; j < n; j++ {
+			dst := root.Intn(p)
+			if !mesh.Send(j%p, dst, sharedToken{item: int32(j)}) {
+				preload[dst] = append(preload[dst], sharedToken{item: int32(j)})
+			}
+		}
+		return nil
+	}
+	return forEachParked(saved, n, func(qi int, item int32) {
+		if !mesh.Send(qi, qi, sharedToken{item: item}) {
+			preload[qi] = append(preload[qi], sharedToken{item: item})
+		}
+	})
 }

@@ -126,6 +126,18 @@ func HugewikiLike(scale float64) Spec {
 	return scaled("hugewiki-like", hugewikiRows, hugewikiCols, hugewikiNNZ, scale, 0.7, 0.8, false)
 }
 
+// LongtailLike returns a long-tail catalog shape: an item set an
+// order of magnitude larger than the user set with only ≈4.5 ratings
+// per item (think storefront catalogs where most items have a handful
+// of interactions). With so few ratings per token, per-token transport
+// overhead — not SGD arithmetic — dominates NOMAD's worker loop, which
+// makes this the token-transport stress workload of the benchmark
+// suite (the shared-memory analog of what §5.3 says Yahoo's shape does
+// to the network layer).
+func LongtailLike(scale float64) Spec {
+	return scaled("longtail-like", 80_000, 600_000, 2_700_000, scale, 0.6, 0.6, false)
+}
+
 // Grow reproduces the §5.5 weak-scaling generator: the item count is
 // fixed at (scaled) Netflix's 17,770 while users and ratings grow
 // proportionally to the number of machines.
@@ -138,8 +150,8 @@ func Grow(machines int, scale float64) Spec {
 	return s
 }
 
-// ByName returns the named profile ("netflix", "yahoo", "hugewiki") at
-// the given scale.
+// ByName returns the named profile ("netflix", "yahoo", "hugewiki",
+// "longtail") at the given scale.
 func ByName(name string, scale float64) (Spec, error) {
 	switch name {
 	case "netflix", "netflix-like":
@@ -148,6 +160,8 @@ func ByName(name string, scale float64) (Spec, error) {
 		return YahooLike(scale), nil
 	case "hugewiki", "hugewiki-like":
 		return HugewikiLike(scale), nil
+	case "longtail", "longtail-like":
+		return LongtailLike(scale), nil
 	default:
 		return Spec{}, fmt.Errorf("dataset: unknown profile %q", name)
 	}

@@ -18,16 +18,16 @@ func init() {
 	register("abl-circ", AblCirculation)
 }
 
-// AblQueues ablates the worker-queue implementation (§3.5 discusses
-// TBB's concurrent queue; we compare a mutex ring, a lock-free linked
-// queue and a channel).
+// AblQueues ablates the token-transport implementation (§3.5 discusses
+// TBB's concurrent queue; we compare the batched SPSC ring mesh against
+// a mutex ring, a lock-free linked queue and a channel).
 func AblQueues(o Options) (*Result, error) {
 	ds, err := data("netflix", o)
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{Headers: []string{"queue", "final RMSE", "updates/sec/worker"}}
-	for _, kind := range []queue.Kind{queue.KindMutex, queue.KindLockFree, queue.KindChan} {
+	for _, kind := range []queue.Kind{queue.KindSPSC, queue.KindMutex, queue.KindLockFree, queue.KindChan} {
 		cfg := baseConfig("netflix", o)
 		cfg.QueueKind = kind
 		s, tr, err := runSeries("", core.New(), ds, cfg, "seconds", 1)

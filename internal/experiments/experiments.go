@@ -25,6 +25,7 @@ import (
 
 	"nomad/internal/dataset"
 	"nomad/internal/metrics"
+	"nomad/internal/queue"
 	"nomad/internal/textplot"
 	"nomad/internal/train"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	Workers  int     // threads per machine ("cores")
 	Machines int     // machines for distributed experiments
 	Seed     uint64
+	// Transport selects NOMAD's token transport (queue.KindAuto by
+	// default, which resolves to the batched SPSC mesh).
+	Transport queue.Kind
 }
 
 // WithDefaults fills unset fields with the standard small-scale values.
@@ -184,6 +188,7 @@ func baseConfig(profile string, o Options) train.Config {
 	cfg.BoldStep = cfg.Alpha
 	cfg.Workers = o.Workers
 	cfg.Machines = 1
+	cfg.QueueKind = o.Transport
 	return cfg
 }
 

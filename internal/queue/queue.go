@@ -3,20 +3,30 @@
 //
 // The original implementation used Intel TBB's concurrent_queue, which
 // the paper notes is "technically not lock-free" but scales nearly
-// linearly (§3.5). This package offers three interchangeable
-// implementations so the choice can be ablated:
+// linearly (§3.5). This package offers interchangeable implementations
+// so the choice can be ablated:
 //
-//   - Mutex: a mutex-protected growable ring buffer (the default; like
-//     TBB's queue it takes a lock but the critical section is tiny),
+//   - SPSC: a mesh of bounded single-producer single-consumer rings
+//     with batch push/pop (the default; see Mesh in spsc.go),
+//   - Mutex: a mutex-protected growable ring buffer (like TBB's queue
+//     it takes a lock but the critical section is tiny),
 //   - LockFree: a Michael–Scott linked queue built on atomic pointers,
 //   - Chan: a buffered Go channel.
 //
-// All of them are multi-producer multi-consumer and report an
-// approximate length, which NOMAD's dynamic load balancing (§3.3) uses
-// to route tokens toward lightly loaded workers.
+// The MPMC kinds (Mutex, LockFree, Chan) implement Queue; the SPSC
+// kind is a Mesh, which the workers drive through block operations.
+// All of them report an approximate length, which NOMAD's dynamic load
+// balancing (§3.3) uses to route tokens toward lightly loaded workers.
+//
+// Setting NOMAD_REFERENCE_TRANSPORT=1 in the environment makes KindAuto
+// resolve to the legacy mutex queue instead of the SPSC mesh — the
+// in-tree A/B switch for benchmarking the batched transport, in the
+// style of vecmath's NOMAD_REFERENCE_KERNELS.
 package queue
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -33,41 +43,96 @@ type Queue[T any] interface {
 	Len() int
 }
 
-// Kind selects a Queue implementation.
+// Kind selects a token-transport implementation.
 type Kind int
 
 const (
-	// KindMutex is the mutex-protected ring buffer (default).
-	KindMutex Kind = iota
+	// KindAuto (the zero value) resolves to KindSPSC, or to KindMutex
+	// when NOMAD_REFERENCE_TRANSPORT is set (the benchmark A/B switch).
+	KindAuto Kind = iota
+	// KindMutex is the mutex-protected ring buffer (the legacy default).
+	KindMutex
 	// KindLockFree is the Michael–Scott CAS-based linked queue.
 	KindLockFree
 	// KindChan is a buffered channel.
 	KindChan
+	// KindSPSC is the batched SPSC ring mesh (see Mesh).
+	KindSPSC
 )
 
 // String returns the kind's name.
 func (k Kind) String() string {
 	switch k {
+	case KindAuto:
+		return "auto"
 	case KindMutex:
 		return "mutex"
 	case KindLockFree:
 		return "lockfree"
 	case KindChan:
 		return "chan"
+	case KindSPSC:
+		return "spsc"
 	default:
 		return "unknown"
 	}
 }
 
-// New returns a new queue of the given kind. capacityHint sizes the
-// initial ring buffer or channel; the mutex and lock-free queues grow
-// without bound, while the channel queue blocks producers at 4× the
-// hint (so the hint should be generous for KindChan).
+// KindByName parses a kind name as accepted by the Session API and
+// nomad-bench: "auto", "mutex", "lockfree", "chan" or "spsc".
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "", "auto":
+		return KindAuto, nil
+	case "mutex":
+		return KindMutex, nil
+	case "lockfree":
+		return KindLockFree, nil
+	case "chan":
+		return KindChan, nil
+	case "spsc":
+		return KindSPSC, nil
+	default:
+		return KindAuto, fmt.Errorf("queue: unknown transport %q (auto, mutex, lockfree, chan, spsc)", name)
+	}
+}
+
+// referenceTransport pins KindAuto to the legacy mutex queue so the
+// batched transport can be A/B-measured against it in one process.
+var referenceTransport = os.Getenv("NOMAD_REFERENCE_TRANSPORT") != ""
+
+// ReferenceTransport reports whether KindAuto currently resolves to
+// the legacy mutex transport.
+func ReferenceTransport() bool { return referenceTransport }
+
+// SetReferenceTransport overrides the NOMAD_REFERENCE_TRANSPORT switch
+// at runtime, for benchmark harnesses that interleave both transports
+// in one process. Not safe to flip while a training run is in flight.
+func SetReferenceTransport(v bool) { referenceTransport = v }
+
+// Resolve maps KindAuto to the concrete default transport and returns
+// every other kind unchanged.
+func (k Kind) Resolve() Kind {
+	if k != KindAuto {
+		return k
+	}
+	if referenceTransport {
+		return KindMutex
+	}
+	return KindSPSC
+}
+
+// New returns a new MPMC queue of the given kind. capacityHint sizes
+// the initial ring buffer or channel; the mutex and lock-free queues
+// grow without bound, while the channel queue blocks producers at 4×
+// the hint (so the hint should be generous for KindChan). KindAuto
+// resolves first; KindSPSC is not an MPMC queue (use NewMesh) and
+// falls back to the mutex queue here.
 func New[T any](kind Kind, capacityHint int) Queue[T] {
 	if capacityHint < 4 {
 		capacityHint = 4
 	}
-	switch kind {
+	switch kind.Resolve() {
 	case KindLockFree:
 		return newLockFree[T]()
 	case KindChan:
@@ -81,12 +146,16 @@ func New[T any](kind Kind, capacityHint int) Queue[T] {
 	}
 }
 
-// mutexQueue is a growable ring buffer guarded by a mutex.
+// mutexQueue is a growable ring buffer guarded by a mutex. The length
+// is mirrored into an atomic so Len — which load-balance routing probes
+// on every token, for queues other than the caller's own — never takes
+// the lock.
 type mutexQueue[T any] struct {
 	mu   sync.Mutex
 	buf  []T
 	head int
 	n    int
+	size atomic.Int64
 }
 
 // Push implements Queue.
@@ -97,6 +166,7 @@ func (q *mutexQueue[T]) Push(v T) {
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = v
 	q.n++
+	q.size.Store(int64(q.n))
 	q.mu.Unlock()
 }
 
@@ -122,17 +192,14 @@ func (q *mutexQueue[T]) TryPop() (T, bool) {
 	q.buf[q.head] = zero // release references for GC
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	q.size.Store(int64(q.n))
 	q.mu.Unlock()
 	return v, true
 }
 
-// Len implements Queue.
-func (q *mutexQueue[T]) Len() int {
-	q.mu.Lock()
-	n := q.n
-	q.mu.Unlock()
-	return n
-}
+// Len implements Queue. Lock-free: it reads the mirrored atomic, so a
+// routing probe never contends with the owner's push/pop.
+func (q *mutexQueue[T]) Len() int { return int(q.size.Load()) }
 
 // lockFree is a Michael–Scott two-lock-free linked queue.
 type lockFree[T any] struct {

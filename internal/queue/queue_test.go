@@ -179,9 +179,22 @@ func TestLenTracksApproximately(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if KindMutex.String() != "mutex" || KindLockFree.String() != "lockfree" ||
-		KindChan.String() != "chan" || Kind(99).String() != "unknown" {
+	if KindAuto.String() != "auto" || KindMutex.String() != "mutex" ||
+		KindLockFree.String() != "lockfree" || KindChan.String() != "chan" ||
+		KindSPSC.String() != "spsc" || Kind(99).String() != "unknown" {
 		t.Fatal("Kind.String broken")
+	}
+}
+
+// New must resolve KindAuto (and fall back for KindSPSC, which is not
+// an MPMC queue) rather than hand back a nil implementation.
+func TestNewResolvesNonQueueKinds(t *testing.T) {
+	for _, k := range []Kind{KindAuto, KindSPSC} {
+		q := New[int](k, 8)
+		q.Push(1)
+		if v, ok := q.TryPop(); !ok || v != 1 {
+			t.Fatalf("kind %v: queue does not work: %v %v", k, v, ok)
+		}
 	}
 }
 

@@ -328,3 +328,33 @@ func BenchmarkAlias(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestQuadRangeAndUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 7, 20000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		a, b, c, d := r.Quad(n)
+		for _, v := range []int{a, b, c, d} {
+			if v < 0 || v >= n {
+				t.Fatalf("Quad value %d out of [0,%d)", v, n)
+			}
+			counts[v]++
+		}
+	}
+	want := float64(4*draws) / n
+	for v, got := range counts {
+		if float64(got) < 0.9*want || float64(got) > 1.1*want {
+			t.Errorf("value %d drawn %d times, want ≈%.0f", v, got, want)
+		}
+	}
+}
+
+func TestQuadPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quad(0) did not panic")
+		}
+	}()
+	New(1).Quad(0)
+}

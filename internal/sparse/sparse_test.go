@@ -278,3 +278,100 @@ func BenchmarkBuild(b *testing.B) {
 		}
 	}
 }
+
+// TestFromEntriesOrderInvariance: the counting-sort build must produce
+// the identical matrix no matter how the input entries are ordered,
+// and must not modify the caller's slice.
+func TestFromEntriesOrderInvariance(t *testing.T) {
+	rows, cols := 37, 23
+	var entries []Entry
+	for i := 0; i < rows; i++ {
+		for j := (i * 3) % 5; j < cols; j += 3 + i%4 {
+			entries = append(entries, Entry{Row: int32(i), Col: int32(j), Val: float64(i*100 + j)})
+		}
+	}
+	want, err := FromEntries(rows, cols, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few deterministic shuffles, including fully reversed input.
+	perms := [][]Entry{make([]Entry, len(entries)), make([]Entry, len(entries))}
+	for i, e := range entries {
+		perms[0][len(entries)-1-i] = e
+		perms[1][(i*7919)%len(entries)] = e
+	}
+	for pi, shuffled := range perms {
+		snapshot := append([]Entry(nil), shuffled...)
+		got, err := FromEntries(rows, cols, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range shuffled {
+			if shuffled[i] != snapshot[i] {
+				t.Fatalf("perm %d: input slice modified at %d", pi, i)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			wc, wv := want.Row(i)
+			gc, gv := got.Row(i)
+			if len(wc) != len(gc) {
+				t.Fatalf("perm %d row %d: degree %d vs %d", pi, i, len(gc), len(wc))
+			}
+			for x := range wc {
+				if wc[x] != gc[x] || wv[x] != gv[x] {
+					t.Fatalf("perm %d row %d entry %d: (%d,%v) vs (%d,%v)",
+						pi, i, x, gc[x], gv[x], wc[x], wv[x])
+				}
+				if x > 0 && gc[x] <= gc[x-1] {
+					t.Fatalf("perm %d row %d: columns not ascending at %d", pi, i, x)
+				}
+			}
+		}
+	}
+}
+
+func TestFromEntriesDuplicateAnywhere(t *testing.T) {
+	// Duplicates must be caught regardless of where they land in the
+	// unsorted input.
+	base := []Entry{{0, 1, 1}, {2, 0, 2}, {1, 1, 3}, {0, 0, 4}, {2, 2, 5}}
+	for pos := 0; pos <= len(base); pos++ {
+		entries := append([]Entry(nil), base[:pos]...)
+		entries = append(entries, Entry{1, 1, 9}) // duplicates base[2]
+		entries = append(entries, base[pos:]...)
+		if _, err := FromEntries(3, 3, entries); err == nil {
+			t.Fatalf("duplicate at position %d accepted", pos)
+		}
+	}
+}
+
+func BenchmarkFromEntries(b *testing.B) {
+	const rows, cols, nnz = 20000, 4000, 400000
+	entries := make([]Entry, nnz)
+	rnd := uint64(1)
+	for i := range entries {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		r := int32(rnd>>33) % rows
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		c := int32(rnd>>33) % cols
+		// Unique synthetic coordinates: spread duplicates apart by
+		// folding the index into the row.
+		entries[i] = Entry{Row: (r + int32(i)%rows) % rows, Col: c, Val: float64(i)}
+	}
+	// Deduplicate once so the benchmark measures the success path.
+	seen := map[int64]bool{}
+	uniq := entries[:0]
+	for _, e := range entries {
+		k := int64(e.Row)*int64(cols) + int64(e.Col)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, e)
+		}
+	}
+	entries = uniq
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEntries(rows, cols, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

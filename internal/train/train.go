@@ -43,7 +43,7 @@ type Config struct {
 
 	// NOMAD-specific knobs.
 	BatchSize   int        // tokens per network message (§3.5, default 100)
-	QueueKind   queue.Kind // worker queue implementation
+	QueueKind   queue.Kind // token transport (KindAuto → batched SPSC mesh; see queue.Kind)
 	LoadBalance bool       // §3.3 dynamic load balancing
 	Circulate   int        // local visits per token per machine pass (§3.4, default 1)
 

@@ -11,6 +11,7 @@ import (
 	"nomad/internal/loss"
 	"nomad/internal/metrics"
 	"nomad/internal/netsim"
+	"nomad/internal/queue"
 	"nomad/internal/train"
 )
 
@@ -78,6 +79,7 @@ type settings struct {
 	machines     *int
 	network      string
 	lossName     string
+	transport    queue.Kind
 	loadBalance  bool
 	balanceUsers bool
 	batchSize    *int
@@ -183,6 +185,22 @@ func WithLoss(name string) Option {
 			return fmt.Errorf("nomad: %w", err)
 		}
 		st.lossName = name
+		return nil
+	}
+}
+
+// WithTransport selects NOMAD's token transport by name: "auto" (the
+// default — the batched SPSC ring mesh, or the legacy mutex queue when
+// NOMAD_REFERENCE_TRANSPORT is set), "spsc", "mutex", "lockfree" or
+// "chan". The MPMC kinds exist for the §3.5 ablation; "spsc" is the
+// fast path.
+func WithTransport(name string) Option {
+	return func(st *settings) error {
+		k, err := queue.KindByName(name)
+		if err != nil {
+			return fmt.Errorf("nomad: %w", err)
+		}
+		st.transport = k
 		return nil
 	}
 }
@@ -338,6 +356,7 @@ func (st *settings) trainConfig() (train.Config, error) {
 		return cfg, fmt.Errorf("nomad: %w", err)
 	}
 	cfg.Loss = lossFn
+	cfg.QueueKind = st.transport
 	cfg.LoadBalance = st.loadBalance
 	cfg.BalanceUsers = st.balanceUsers
 	if st.batchSize != nil {

@@ -161,17 +161,17 @@ func TestRunContextDeadline(t *testing.T) {
 // Single-worker runs stop at deterministic update-count boundaries, so
 // the resumed segment replays exactly the token/stratum sequence the
 // uninterrupted run executed.
-func checkpointResume(t *testing.T, algo string) {
+func checkpointResume(t *testing.T, algo string, extra ...Option) {
 	t.Helper()
 	d := synthSmall(t)
 	opts := func(epochs int) []Option {
-		return []Option{
+		return append([]Option{
 			WithAlgorithm(algo),
 			WithWorkers(1),
 			WithSeed(11),
 			WithEvalPoints(4),
 			WithStopConditions(MaxEpochs(epochs)),
-		}
+		}, extra...)
 	}
 
 	full, err := NewSession(d, opts(6)...)
@@ -229,6 +229,29 @@ func checkpointResume(t *testing.T, algo string) {
 
 func TestCheckpointResumeBitCompatibleNomad(t *testing.T) { checkpointResume(t, "nomad") }
 func TestCheckpointResumeBitCompatibleDSGD(t *testing.T)  { checkpointResume(t, "dsgd") }
+
+// The resume guarantee must hold on both sides of the transport A/B:
+// the batched SPSC mesh reconstructs its logical token queue from the
+// drained ownership map (front residual ∥ ring ∥ out-buffers), and the
+// legacy mutex queue stays bit-compatible as before.
+func TestCheckpointResumeBitCompatibleNomadSPSC(t *testing.T) {
+	checkpointResume(t, "nomad", WithTransport("spsc"))
+}
+func TestCheckpointResumeBitCompatibleNomadMutex(t *testing.T) {
+	checkpointResume(t, "nomad", WithTransport("mutex"))
+}
+
+func TestWithTransportRejectsUnknown(t *testing.T) {
+	d := synthSmall(t)
+	if _, err := NewSession(d, WithTransport("bogus")); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	for _, name := range []string{"auto", "spsc", "mutex", "lockfree", "chan"} {
+		if _, err := NewSession(d, WithTransport(name)); err != nil {
+			t.Fatalf("transport %q rejected: %v", name, err)
+		}
+	}
+}
 
 func TestCheckpointRoundTripsEverySolver(t *testing.T) {
 	if testing.Short() {
