@@ -13,10 +13,11 @@ package nomad
 // Switch on the concrete type:
 //
 //	switch e := ev.(type) {
-//	case nomad.TraceEvent:   // convergence sample
-//	case nomad.EpochEvent:   // sweep boundary
-//	case nomad.BalanceEvent: // §3.3 load-balance routing decision
-//	case nomad.NetworkEvent: // simulated-network accounting
+//	case nomad.TraceEvent:    // convergence sample
+//	case nomad.EpochEvent:    // sweep boundary
+//	case nomad.BalanceEvent:  // §3.3 load-balance routing decision
+//	case nomad.NetworkEvent:  // network accounting (sim or tcp)
+//	case nomad.PeerDownEvent: // cluster machine failure (tcp backend)
 //	}
 type Event interface {
 	event() // sealed: only this package defines events
@@ -49,14 +50,25 @@ type BalanceEvent struct {
 	QueueLen int64
 }
 
-// NetworkEvent reports cumulative simulated-network accounting for
-// multi-machine runs.
+// NetworkEvent reports cumulative network accounting for
+// multi-machine runs: modelled bytes on the simulated backend, real
+// wire bytes on the TCP backend.
 type NetworkEvent struct {
 	BytesSent    int64
 	MessagesSent int64
 }
 
-func (TraceEvent) event()   {}
-func (EpochEvent) event()   {}
-func (BalanceEvent) event() {}
-func (NetworkEvent) event() {}
+// PeerDownEvent reports a cluster machine failure on the real-network
+// backend: machine Rank stopped responding — its connection broke
+// without an orderly end-of-stream, or its heartbeats timed out. The
+// run aborts shortly after with a *PeerError from Run.
+type PeerDownEvent struct {
+	Rank   int
+	Reason string
+}
+
+func (TraceEvent) event()    {}
+func (EpochEvent) event()    {}
+func (BalanceEvent) event()  {}
+func (NetworkEvent) event()  {}
+func (PeerDownEvent) event() {}

@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"sync"
 
 	"nomad/internal/netsim"
@@ -28,21 +29,21 @@ type TokenBatch struct {
 }
 
 // Sender accumulates outbound tokens per destination machine and
-// flushes them as TokenBatch messages of up to BatchSize tokens. It is
-// intended to be driven by a single sender goroutine per machine and is
-// not safe for concurrent use.
+// flushes them as TokenBatch messages of up to BatchSize tokens over a
+// Link. It is intended to be driven by a single sender goroutine per
+// machine and is not safe for concurrent use.
 type Sender struct {
-	net       *netsim.Network
-	machine   int
-	k         int
+	link      Link
 	batchSize int
 	queueLen  func() int // sampled at flush time for the gossip payload
 	pending   [][]Token
+	closed    bool
+	err       error // first non-closure Send failure, surfaced until Close
 }
 
-// NewSender returns a Sender for the given machine. queueLen supplies
+// NewSender returns a Sender over the given link. queueLen supplies
 // the gossip payload; it may be nil, in which case 0 is sent.
-func NewSender(net *netsim.Network, machine, k, batchSize int, queueLen func() int) *Sender {
+func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -50,12 +51,10 @@ func NewSender(net *netsim.Network, machine, k, batchSize int, queueLen func() i
 		queueLen = func() int { return 0 }
 	}
 	return &Sender{
-		net:       net,
-		machine:   machine,
-		k:         k,
+		link:      link,
 		batchSize: batchSize,
 		queueLen:  queueLen,
-		pending:   make([][]Token, net.Machines()),
+		pending:   make([][]Token, link.Machines()),
 	}
 }
 
@@ -64,29 +63,62 @@ func NewSender(net *netsim.Network, machine, k, batchSize int, queueLen func() i
 func (s *Sender) Add(dst int, t Token) {
 	s.pending[dst] = append(s.pending[dst], t)
 	if len(s.pending[dst]) >= s.batchSize {
-		s.Flush(dst)
+		s.Flush(dst) //nolint:errcheck // surfaced by the next FlushAll/Close
 	}
 }
 
-// Flush sends any pending tokens for dst immediately.
-func (s *Sender) Flush(dst int) {
-	if len(s.pending[dst]) == 0 {
-		return
+// Flush sends any pending tokens for dst immediately. Once the
+// underlying link reports closure the sender goes inert: the batch is
+// dropped (a closed cluster can never deliver it) and every later
+// Flush/FlushAll is a no-op instead of a panic through the transport —
+// the teardown ordering hazard where a barrier participant has already
+// exited and closed the link under a straggling sender.
+func (s *Sender) Flush(dst int) error {
+	if s.closed || len(s.pending[dst]) == 0 {
+		return s.err
 	}
 	batch := TokenBatch{Tokens: s.pending[dst], QueueLen: s.queueLen()}
-	size := 8 // batch header + gossip integer
-	for range batch.Tokens {
-		size += netsim.VectorWireSize(s.k)
+	if err := s.link.Send(dst, batch); err != nil {
+		s.closed = true
+		if errors.Is(err, ErrLinkClosed) {
+			return nil // orderly teardown already ended the stream
+		}
+		// Real failures (a downed peer, an encode rejection) stick:
+		// every later Flush/FlushAll/Close keeps reporting them, so a
+		// caller that only checks the final Close still sees the root
+		// cause instead of a bare conservation violation.
+		s.err = err
+		return err
 	}
-	s.net.Send(s.machine, dst, size, batch)
 	s.pending[dst] = nil
+	return nil
 }
 
-// FlushAll sends every pending batch.
-func (s *Sender) FlushAll() {
-	for dst := range s.pending {
-		s.Flush(dst)
+// FlushAll sends every pending batch. It is idempotent and safe to
+// call after the underlying link has been closed (the first closure
+// marks the sender inert); a real transport failure keeps being
+// reported.
+func (s *Sender) FlushAll() error {
+	if s.closed {
+		return s.err
 	}
+	for dst := range s.pending {
+		if err := s.Flush(dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes everything still pending and ends the machine's
+// outbound stream. Idempotent.
+func (s *Sender) Close() error {
+	err := s.FlushAll()
+	s.closed = true
+	if cerr := s.link.CloseSend(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // PendingTotal reports how many tokens are buffered and unsent.

@@ -63,8 +63,17 @@ func (*NOMAD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Role != "" {
+		// One machine of a real multi-process cluster (deterministic
+		// lockstep rounds over TCP); cfg.Machines is the coordinator's
+		// cluster size and is learned at the handshake by workers.
+		return trainMultiProcess(ctx, ds, cfg, hooks)
+	}
 	if cfg.Machines == 1 {
 		return trainShared(ctx, ds, cfg, hooks)
+	}
+	if cfg.Lockstep {
+		return trainLockstep(ctx, ds, cfg, hooks)
 	}
 	return trainDistributed(ctx, ds, cfg, hooks)
 }

@@ -10,7 +10,6 @@ import (
 	"nomad/internal/cluster"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
-	"nomad/internal/netsim"
 	"nomad/internal/queue"
 	"nomad/internal/rng"
 	"nomad/internal/sched"
@@ -63,7 +62,10 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
-	net := netsim.New(M, cfg.Profile)
+	links, err := buildLinks(ctx, ds, cfg, hooks)
+	if err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
 
 	var md *factor.Model
@@ -109,6 +111,12 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
 
+	// A transport failure (TCP peer down) must end the run even though
+	// the update budget can no longer be reached: the receiver that
+	// observes it cancels the monitor.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
 	// Compute workers.
 	var workerWG sync.WaitGroup
 	for mcID := 0; mcID < M; mcID++ {
@@ -122,32 +130,48 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		}
 	}
 
-	// Sender and receiver threads, one of each per machine.
+	// Sender and receiver threads, one of each per machine. Their RNG
+	// streams are split off the root before the goroutines start —
+	// Split advances the parent stream and is not safe concurrently.
 	var senderWG, receiverWG sync.WaitGroup
 	for mcID := 0; mcID < M; mcID++ {
+		senderRNG := root.Split(uint64(1000 + mcID))
+		receiverRNG := root.Split(uint64(2000 + mcID))
 		senderWG.Add(1)
 		go func(mc *machine) {
 			defer senderWG.Done()
-			runSender(mc, net, cfg, root.Split(uint64(1000+mc.id)), hooks)
+			runSender(mc, links[mc.id], cfg, senderRNG, hooks)
 		}(machines[mcID])
 		receiverWG.Add(1)
 		go func(mc *machine) {
 			defer receiverWG.Done()
-			runReceiver(mc, net, cfg, root.Split(uint64(2000+mc.id)))
+			runReceiver(mc, links[mc.id], cfg, receiverRNG)
+			if links[mc.id].Err() != nil {
+				cancelRun()
+			}
 		}(machines[mcID])
 	}
 
-	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
+	runErr := train.Monitor(runCtx, &stop, counter, cfg, rec, md, hooks)
 
-	// Orderly teardown: workers → senders → network → receivers. Each
-	// stage drains the previous one so no token is lost.
+	// Orderly teardown: workers → senders (flush + end-of-stream) →
+	// receivers (drain until every peer's stream has ended). Each stage
+	// drains the previous one so no token is lost.
 	workerWG.Wait()
 	for _, mc := range machines {
 		close(mc.out)
 	}
 	senderWG.Wait()
-	net.Shutdown()
 	receiverWG.Wait()
+	for _, l := range links {
+		l.Close() //nolint:errcheck // idempotent release
+	}
+	if lerr := firstLinkErr(links); lerr != nil {
+		return nil, fmt.Errorf("core: distributed transport failed: %w", lerr)
+	}
+	if runErr != nil && ctx.Err() == nil {
+		runErr = nil // monitor was cancelled by teardown plumbing, not the caller
+	}
 
 	// Collect every token still queued and write its vector back into
 	// the model, completing the final H state. Token conservation is
@@ -171,15 +195,16 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	}
 
 	rec.Sample(md, counter.Total())
-	hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+	bytesSent, msgsSent := linkTotals(links)
+	hooks.EmitNetwork(train.NetworkEvent{BytesSent: bytesSent, MessagesSent: msgsSent})
 	return &train.Result{
 		Algorithm:    "nomad",
 		Model:        md,
 		Trace:        rec.Trace(),
 		Updates:      counter.Total(),
 		Elapsed:      rec.Elapsed(),
-		BytesSent:    net.BytesSent(),
-		MessagesSent: net.MessagesSent(),
+		BytesSent:    bytesSent,
+		MessagesSent: msgsSent,
 		Final: &train.State{
 			Algorithm: "nomad",
 			Seed:      cfg.Seed,
@@ -283,23 +308,26 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 // runSender drains the machine's outbound channel, batching tokens per
 // destination (§3.5) and flushing opportunistically whenever the
 // channel runs dry so tokens never linger under low traffic. Each §3.3
-// least-loaded routing decision is reported as a BalanceEvent.
-func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source, hooks *train.Hooks) {
-	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
-	pick := machinePicker(mc.id, net.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
+// least-loaded routing decision is reported as a BalanceEvent. On exit
+// it flushes everything pending and ends the machine's outbound
+// stream, so peers' receivers know the drain is complete.
+func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, hooks *train.Hooks) {
+	s := cluster.NewSender(link, cfg.BatchSize, mc.queueLen)
+	pick := machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
 	for {
 		select {
 		case tok, ok := <-mc.out:
 			if !ok {
-				s.FlushAll()
+				s.Close() //nolint:errcheck // link failure surfaces via link.Err
 				return
 			}
 			s.Add(pick(), tok.tok)
 		default:
 			// Channel dry: push out partial batches, then block.
-			s.FlushAll()
+			s.FlushAll() //nolint:errcheck
 			tok, ok := <-mc.out
 			if !ok {
+				s.Close() //nolint:errcheck
 				return
 			}
 			s.Add(pick(), tok.tok)
@@ -308,16 +336,13 @@ func runSender(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source
 }
 
 // runReceiver unpacks inbound token batches, records queue-length
-// gossip and starts each token's local circulation.
-func runReceiver(mc *machine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+// gossip and starts each token's local circulation. It runs until
+// every peer has ended its stream (or the link fails).
+func runReceiver(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source) {
 	scratch := make([]int, mc.workers)
-	for msg := range net.Recv(mc.id) {
-		batch, ok := msg.Payload.(cluster.TokenBatch)
-		if !ok {
-			continue
-		}
-		mc.lastKnown[msg.From].Store(int64(batch.QueueLen))
-		for _, t := range batch.Tokens {
+	for inb := range link.Recv() {
+		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
+		for _, t := range inb.Batch.Tokens {
 			deliverLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
 		}
 	}

@@ -20,7 +20,6 @@ import (
 	"nomad/internal/cluster"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
-	"nomad/internal/netsim"
 	"nomad/internal/queue"
 	"nomad/internal/rng"
 	"nomad/internal/sched"
@@ -120,7 +119,10 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
-	net := netsim.New(M, cfg.Profile)
+	links, err := buildLinks(ctx, ds, cfg, hooks)
+	if err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
 
 	var md *factor.Model
@@ -179,33 +181,54 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		}
 	}
 
+	// A transport failure (TCP peer down) must end the run even though
+	// the update budget can no longer be reached.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
 	// Sender and receiver threads, one of each per machine. Senders
 	// exit once workersDone is raised and their port row is dry.
 	var workersDone atomic.Bool
 	var senderWG, receiverWG sync.WaitGroup
 	for mcID := 0; mcID < M; mcID++ {
+		// Split before the goroutines start: Split advances the parent
+		// stream and is not safe concurrently.
+		senderRNG := root.Split(uint64(1000 + mcID))
+		receiverRNG := root.Split(uint64(2000 + mcID))
 		senderWG.Add(1)
 		go func(mc *meshMachine) {
 			defer senderWG.Done()
-			runMeshSender(mc, net, cfg, root.Split(uint64(1000+mc.id)), hooks, &workersDone)
+			runMeshSender(mc, links[mc.id], cfg, senderRNG, hooks, &workersDone)
 		}(machines[mcID])
 		receiverWG.Add(1)
 		go func(mc *meshMachine) {
 			defer receiverWG.Done()
-			runMeshReceiver(mc, net, cfg, root.Split(uint64(2000+mc.id)))
+			runMeshReceiver(mc, links[mc.id], cfg, receiverRNG)
+			if links[mc.id].Err() != nil {
+				cancelRun()
+			}
 		}(machines[mcID])
 	}
 
-	runErr := train.Monitor(ctx, &stop, counter, cfg, rec, md, hooks)
+	runErr := train.Monitor(runCtx, &stop, counter, cfg, rec, md, hooks)
 
-	// Orderly teardown: workers → senders → network → receivers. The
+	// Orderly teardown: workers → senders (flush + end-of-stream) →
+	// receivers (drain until every peer's stream has ended). The
 	// workers' exit flushes are published by workerWG.Wait, so a sender
 	// observing workersDone drains a complete port row.
 	workerWG.Wait()
 	workersDone.Store(true)
 	senderWG.Wait()
-	net.Shutdown()
 	receiverWG.Wait()
+	for _, l := range links {
+		l.Close() //nolint:errcheck // idempotent release
+	}
+	if lerr := firstLinkErr(links); lerr != nil {
+		return nil, fmt.Errorf("core: distributed transport failed: %w", lerr)
+	}
+	if runErr != nil && ctx.Err() == nil {
+		runErr = nil // monitor cancelled by teardown plumbing, not the caller
+	}
 
 	// Collect every token still held anywhere — mesh lanes, receiver
 	// overflow, worker residual buffers — and write its vector back
@@ -237,15 +260,16 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	}
 
 	rec.Sample(md, counter.Total())
-	hooks.EmitNetwork(train.NetworkEvent{BytesSent: net.BytesSent(), MessagesSent: net.MessagesSent()})
+	bytesSent, msgsSent := linkTotals(links)
+	hooks.EmitNetwork(train.NetworkEvent{BytesSent: bytesSent, MessagesSent: msgsSent})
 	return &train.Result{
 		Algorithm:    "nomad",
 		Model:        md,
 		Trace:        rec.Trace(),
 		Updates:      counter.Total(),
 		Elapsed:      rec.Elapsed(),
-		BytesSent:    net.BytesSent(),
-		MessagesSent: net.MessagesSent(),
+		BytesSent:    bytesSent,
+		MessagesSent: msgsSent,
 		Final: &train.State{
 			Algorithm: "nomad",
 			Seed:      cfg.Seed,
@@ -374,11 +398,13 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 // runMeshSender drains the machine's port row in blocks, batching
 // tokens per destination machine (§3.5) and flushing opportunistically
 // whenever the row runs dry so tokens never linger under low traffic.
-func runMeshSender(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rng.Source,
+// On exit it ends the machine's outbound stream so peers' receivers
+// know the drain is complete.
+func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source,
 	hooks *train.Hooks, workersDone *atomic.Bool) {
 
-	s := cluster.NewSender(net, mc.id, cfg.K, cfg.BatchSize, mc.queueLen)
-	pick := machinePicker(mc.id, net.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
+	s := cluster.NewSender(link, cfg.BatchSize, mc.queueLen)
+	pick := machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
 	port := mc.port()
 	var buf [meshBlock]*distToken
 	var idle idleBackoff
@@ -386,7 +412,7 @@ func runMeshSender(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rn
 		k := mc.mesh.RecvBatch(port, buf[:])
 		if k == 0 {
 			// Row dry: push out partial batches, then back off.
-			s.FlushAll()
+			s.FlushAll() //nolint:errcheck // link failure surfaces via link.Err
 			if workersDone.Load() {
 				// All workers have exited and flushed; one final sweep
 				// cannot race a producer, so the row is drained for good.
@@ -400,7 +426,7 @@ func runMeshSender(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rn
 						buf[i] = nil
 					}
 				}
-				s.FlushAll()
+				s.Close() //nolint:errcheck
 				return
 			}
 			idle.wait()
@@ -416,16 +442,13 @@ func runMeshSender(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rn
 
 // runMeshReceiver unpacks inbound token batches, records queue-length
 // gossip and starts each token's local circulation through the mesh.
-func runMeshReceiver(mc *meshMachine, net *netsim.Network, cfg train.Config, r *rng.Source) {
+// It runs until every peer has ended its stream (or the link fails).
+func runMeshReceiver(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source) {
 	scratch := make([]int, mc.workers)
-	for msg := range net.Recv(mc.id) {
-		batch, ok := msg.Payload.(cluster.TokenBatch)
-		if !ok {
-			continue
-		}
-		mc.lastKnown[msg.From].Store(int64(batch.QueueLen))
+	for inb := range link.Recv() {
+		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
 		mc.retryPending()
-		for _, t := range batch.Tokens {
+		for _, t := range inb.Batch.Tokens {
 			deliverMeshLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
 		}
 	}

@@ -1,0 +1,81 @@
+package core
+
+// Backend selection for distributed runs: the token runners are
+// written against cluster.Link, and this file decides which transport
+// stands behind it — the modelled in-process network (netsim) or real
+// TCP sockets (netlink), as a loopback mesh in this process or a true
+// multi-process cluster.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"nomad/internal/cluster"
+	"nomad/internal/dataset"
+	"nomad/internal/netlink"
+	"nomad/internal/train"
+)
+
+// configDigest fingerprints everything two processes must agree on
+// before training together: dataset shape, seed, hyper-parameters and
+// the stop budget. The rendezvous refuses a worker whose digest
+// differs from the coordinator's.
+func configDigest(ds *dataset.Dataset, cfg train.Config) uint64 {
+	lossName := "square"
+	if cfg.Loss != nil {
+		lossName = cfg.Loss.Name()
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nomad|seed=%d|k=%d|lambda=%g|alpha=%g|beta=%g|workers=%d|batch=%d|maxupdates=%d|epochs=%d|m=%d|n=%d|nnz=%d|balance=%t|circulate=%d|lockstep=%t|loss=%s",
+		cfg.Seed, cfg.K, cfg.Lambda, cfg.Alpha, cfg.Beta, cfg.Workers, cfg.BatchSize,
+		cfg.MaxUpdates, cfg.Epochs, ds.Rows(), ds.Cols(), ds.Train.NNZ(),
+		cfg.BalanceUsers, cfg.Circulate, cfg.Lockstep, lossName)
+	return h.Sum64()
+}
+
+// netlinkOptions builds the TCP link options for a run, wiring peer
+// failures into the typed event stream.
+func netlinkOptions(cfg train.Config, hooks *train.Hooks) netlink.Options {
+	return netlink.Options{
+		K: cfg.K,
+		OnPeerDown: func(rank int, err error) {
+			hooks.EmitPeer(train.PeerEvent{Rank: rank, Reason: err.Error()})
+		},
+	}
+}
+
+// buildLinks returns one Link per machine for a single-process
+// distributed run: netsim endpoints for the sim backend, or a real TCP
+// loopback mesh (full rendezvous, wire protocol and failure detection
+// on 127.0.0.1) for the tcp backend.
+func buildLinks(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) ([]cluster.Link, error) {
+	switch cfg.Backend {
+	case "", "sim":
+		return cluster.NewSimCluster(cfg.Machines, cfg.Profile, cfg.K).Links(), nil
+	case "tcp":
+		return netlink.Loopback(ctx, cfg.Machines, configDigest(ds, cfg), nil, nil, netlinkOptions(cfg, hooks))
+	}
+	return nil, fmt.Errorf("core: unknown distributed backend %q (sim, tcp)", cfg.Backend)
+}
+
+// linkTotals sums send-side accounting over a run's endpoints.
+func linkTotals(links []cluster.Link) (bytes, msgs int64) {
+	for _, l := range links {
+		st := l.Stats()
+		bytes += st.BytesSent
+		msgs += st.MessagesSent
+	}
+	return bytes, msgs
+}
+
+// firstLinkErr reports the first transport failure among the run's
+// endpoints, if any.
+func firstLinkErr(links []cluster.Link) error {
+	for _, l := range links {
+		if err := l.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

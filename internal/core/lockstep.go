@@ -1,0 +1,854 @@
+package core
+
+// The deterministic lockstep runner for distributed NOMAD. Machines
+// still exchange nomadic (j, hⱼ) tokens over a cluster.Link, but in
+// synchronized rounds: each machine processes its whole token queue
+// (circulating every token through its W local workers in a fixed
+// order), ships the processed tokens to uniformly chosen peers, marks
+// the round's end, and merges the peers' deliveries in rank order.
+// The coordinator (rank 0) sums the per-machine update counts carried
+// on the round-end markers and decides stop at round boundaries.
+//
+// The point of the mode is bitwise determinism: for a given (dataset,
+// seed, machines, workers) the result is identical whatever the
+// backend — the in-process simulated network, a TCP loopback mesh, or
+// one process per machine on a real network — because every float
+// operation happens in the same order everywhere. That is the property
+// the cross-backend CI parity check (RMSE equality between a
+// single-process run and a 1-coordinator + N-worker run) rests on. The
+// cost is the asynchronous compute/communication overlap the paper
+// advocates, so lockstep is a verification harness, not the fast path.
+//
+// On an in-order link (TCP, or netsim's instant profile — the sim
+// backend is pinned to it here) per-peer FIFO guarantees that a
+// round's tokens always precede its round-end marker, which is what
+// makes the round merge, the stop decision and the teardown drain
+// exact: at stop, every token is either in a machine's queue or in a
+// fold shipment to the coordinator, never in flight. The coordinator
+// gathers the folded item rows, each machine's user rows and step
+// counts, verifies that exactly n tokens were recovered, and owns the
+// full model and the resumable state.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nomad/internal/cluster"
+	"nomad/internal/dataset"
+	"nomad/internal/factor"
+	"nomad/internal/netlink"
+	"nomad/internal/netsim"
+	"nomad/internal/partition"
+	"nomad/internal/rng"
+	"nomad/internal/sparse"
+	"nomad/internal/train"
+)
+
+// Lockstep control-plane frame kinds.
+const (
+	ctlRoundEnd  uint8 = 1 // round uint32 | cumulative local updates int64
+	ctlDirective uint8 = 2 // round uint32 | stop uint8 | global total int64
+	ctlFold      uint8 = 3 // folded tokens int64 | cumulative local updates int64
+	ctlCounts    uint8 = 4 // count uint64 | count × int32 step counts (global CSC order restricted to the sender's users)
+	ctlUserRows  uint8 = 5 // k uint32 | rows uint32 | rows × (user int32 + k × float64)
+	ctlAbort     uint8 = 6 // reason bytes; cascades, every rank returns an error
+)
+
+// foldRound tags post-stop fold shipments to the coordinator, which
+// folds every arriving token regardless of tag.
+const foldRound = ^uint32(0)
+
+// lockstepOwner derives the initial item→machine ownership map. It is
+// a pure function of (seed, machines), so every process of a cluster
+// computes the same map — the coordinator still broadcasts it in the
+// Welcome as the source of truth.
+func lockstepOwner(seed uint64, n, machines int) []int32 {
+	r := rng.New(seed).Split(7000 + uint64(machines))
+	owner := make([]int32, n)
+	for j := range owner {
+		owner[j] = int32(r.Intn(machines))
+	}
+	return owner
+}
+
+// routeStream derives this rank's token-routing stream. Every rank
+// derives all streams in the same order off the (restored) root, so
+// the derivation itself is identical across processes.
+func routeStream(root *rng.Source, machines, rank int) *rng.Source {
+	var mine *rng.Source
+	for r := 0; r < machines; r++ {
+		s := root.Split(8000 + uint64(r))
+		if r == rank {
+			mine = s
+		}
+	}
+	return mine
+}
+
+// lockDirective is a decoded stop/continue decision from rank 0.
+type lockDirective struct {
+	round uint32
+	stop  bool
+	total int64
+}
+
+// abortError is a deliberate cluster abort (a cancelled worker), as
+// opposed to a transport failure.
+type abortError struct {
+	from   int
+	reason string
+}
+
+func (e *abortError) Error() string {
+	return fmt.Sprintf("core: machine %d aborted the lockstep run: %s", e.from, e.reason)
+}
+
+// lockCollector owns one rank's inbound streams during the round loop.
+// Every lockstep token batch carries its round number (in the
+// TokenBatch gossip slot, unused in this mode), so tokens are binned
+// by round tag — never by arrival interleaving, which the two inbound
+// channels do not define an order across. A round is complete when
+// every peer's round-end marker for it has arrived.
+type lockCollector struct {
+	link cluster.Link
+	rank int
+
+	// The channels are kept here so a closed one can be nilled out:
+	// they close together, but the buffered frames drain at different
+	// speeds, and a round-end or directive may still be pending in ctl
+	// after recv runs dry (e.g. at the final round, once every peer has
+	// already ended its stream). Only both-exhausted is fatal.
+	recvCh <-chan cluster.Inbound
+	ctlCh  <-chan cluster.Ctl
+
+	byRound []map[uint32][]cluster.Token // per peer: round tag → tokens
+	ends    []uint32                     // per peer: round-end markers seen
+	cums    [][]int64                    // per peer: update totals, one per round-end
+	dirs    []lockDirective              // directives from rank 0, FIFO
+}
+
+func newLockCollector(link cluster.Link) *lockCollector {
+	m := link.Machines()
+	c := &lockCollector{
+		link:    link,
+		rank:    link.Rank(),
+		recvCh:  link.Recv(),
+		ctlCh:   link.Ctl(),
+		byRound: make([]map[uint32][]cluster.Token, m),
+		ends:    make([]uint32, m),
+		cums:    make([][]int64, m),
+	}
+	for r := range c.byRound {
+		c.byRound[r] = make(map[uint32][]cluster.Token)
+	}
+	return c
+}
+
+// pump blocks for one inbound event and files it. It returns an error
+// when a peer aborts the run, or when both inbound streams are
+// exhausted with the caller still waiting.
+func (c *lockCollector) pump() error {
+	if c.recvCh == nil && c.ctlCh == nil {
+		return c.deadErr()
+	}
+	select {
+	case inb, ok := <-c.recvCh:
+		if !ok {
+			c.recvCh = nil // keep draining ctl
+			return nil
+		}
+		round := uint32(inb.Batch.QueueLen)
+		c.byRound[inb.From][round] = append(c.byRound[inb.From][round], inb.Batch.Tokens...)
+	case ct, ok := <-c.ctlCh:
+		if !ok {
+			c.ctlCh = nil // keep draining recv
+			return nil
+		}
+		switch ct.Kind {
+		case ctlRoundEnd:
+			if len(ct.Payload) < 12 {
+				return fmt.Errorf("core: short round-end frame from machine %d", ct.From)
+			}
+			c.ends[ct.From]++
+			c.cums[ct.From] = append(c.cums[ct.From], int64(binary.LittleEndian.Uint64(ct.Payload[4:])))
+		case ctlDirective:
+			if len(ct.Payload) < 13 {
+				return fmt.Errorf("core: short directive frame from machine %d", ct.From)
+			}
+			c.dirs = append(c.dirs, lockDirective{
+				round: binary.LittleEndian.Uint32(ct.Payload),
+				stop:  ct.Payload[4] != 0,
+				total: int64(binary.LittleEndian.Uint64(ct.Payload[5:])),
+			})
+		case ctlAbort:
+			return &abortError{from: ct.From, reason: string(ct.Payload)}
+		default:
+			return fmt.Errorf("core: unexpected control frame kind %d from machine %d mid-round", ct.Kind, ct.From)
+		}
+	}
+	return nil
+}
+
+func (c *lockCollector) deadErr() error {
+	if err := c.link.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("core: cluster link closed mid-round")
+}
+
+// collectRound waits until every peer has marked the given round's
+// end, then returns the merged tokens (peers in rank order — the
+// determinism anchor) and each peer's reported cumulative updates. A
+// peer's round-end follows its last token batch for that round on the
+// same connection, so once it arrives the round's tokens are either
+// already binned or sitting earlier in the inbound buffer; the bin
+// read below happens after both.
+func (c *lockCollector) collectRound(round uint32) ([]cluster.Token, []int64, error) {
+	for {
+		ready := true
+		for r := range c.ends {
+			if r != c.rank && c.ends[r] <= round {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		if err := c.pump(); err != nil {
+			return nil, nil, err
+		}
+	}
+	// One more sweep of whatever is already buffered, so a round-end
+	// popped ahead of its tokens (the two channels race) cannot leave
+	// them behind: their batches were necessarily delivered first.
+	if err := c.drainBuffered(); err != nil {
+		return nil, nil, err
+	}
+	var tokens []cluster.Token
+	cums := make([]int64, len(c.ends))
+	for r := range c.ends {
+		if r == c.rank {
+			continue
+		}
+		tokens = append(tokens, c.byRound[r][round]...)
+		delete(c.byRound[r], round)
+		cums[r] = c.cums[r][0]
+		c.cums[r] = c.cums[r][1:]
+	}
+	return tokens, cums, nil
+}
+
+// drainBuffered files every already-delivered inbound batch without
+// blocking. A closed stream is not an error here: its buffered frames
+// have by definition all been read.
+func (c *lockCollector) drainBuffered() error {
+	for c.recvCh != nil {
+		select {
+		case inb, ok := <-c.recvCh:
+			if !ok {
+				c.recvCh = nil
+				return nil
+			}
+			round := uint32(inb.Batch.QueueLen)
+			c.byRound[inb.From][round] = append(c.byRound[inb.From][round], inb.Batch.Tokens...)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// awaitDirective blocks until rank 0's decision for the given round.
+func (c *lockCollector) awaitDirective(round uint32) (lockDirective, error) {
+	for len(c.dirs) == 0 {
+		if err := c.pump(); err != nil {
+			return lockDirective{}, err
+		}
+	}
+	d := c.dirs[0]
+	c.dirs = c.dirs[1:]
+	if d.round != round {
+		return lockDirective{}, fmt.Errorf("core: directive for round %d while finishing round %d", d.round, round)
+	}
+	return d, nil
+}
+
+// residual returns every token still binned — non-empty only if a
+// stream ended mid-round, but folded anyway so token conservation
+// never depends on timing.
+func (c *lockCollector) residual() []cluster.Token {
+	var out []cluster.Token
+	for r := range c.byRound {
+		for _, toks := range c.byRound[r] {
+			out = append(out, toks...)
+		}
+	}
+	return out
+}
+
+// sendAbort broadcasts a cluster abort; best effort by design (the
+// link may already be failing).
+func sendAbort(link cluster.Link, reason string) {
+	link.SendCtl(-1, ctlAbort, []byte(reason)) //nolint:errcheck
+}
+
+// shipTokens sends a queue of tokens to dst in §3.5-sized batches,
+// each tagged with the round it belongs to (the gossip slot is unused
+// in lockstep mode).
+func shipTokens(link cluster.Link, dst int, tokens []cluster.Token, batchSize int, round uint32) error {
+	for len(tokens) > 0 {
+		n := min(len(tokens), batchSize)
+		if err := link.Send(dst, cluster.TokenBatch{Tokens: tokens[:n], QueueLen: int(round)}); err != nil {
+			return err
+		}
+		tokens = tokens[n:]
+	}
+	return nil
+}
+
+// trainLockstep runs the deterministic round-based distributed mode in
+// one process: cfg.Machines lockstep machines over sim or TCP-loopback
+// links. Each machine owns a full private model copy (the determinism
+// contract is "one machine's memory per machine", whatever the process
+// layout), so memory scales with Machines — fine for the verification
+// datasets this mode exists for. The rank-0 result, with the gathered
+// model, is the run's result.
+func trainLockstep(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	linkCfg := cfg
+	if cfg.Backend == "" || cfg.Backend == "sim" {
+		// Lockstep's round merge needs per-peer FIFO; netsim's latency
+		// timers only guarantee it on the instant profile, and modelled
+		// latency has nothing to verify in a determinism harness.
+		linkCfg.Profile = netsim.Instant()
+	}
+	links, err := buildLinks(ctx, ds, linkCfg, hooks)
+	if err != nil {
+		return nil, err
+	}
+	owner := lockstepOwner(cfg.Seed, ds.Cols(), cfg.Machines)
+	results := make([]*train.Result, cfg.Machines)
+	errs := make([]error, cfg.Machines)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Machines; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// In one process the coordinator's stop decision covers
+			// cancellation for everyone; worker ranks must not race it
+			// with their own abort, so only rank 0 watches ctx.
+			mctx := ctx
+			if r != 0 {
+				mctx = context.Background()
+			}
+			results[r], errs[r] = lockstepMachine(mctx, links[r], ds, cfg, owner, cfg.Resume, hooks)
+		}(r)
+	}
+	wg.Wait()
+	if errs[0] != nil && results[0] == nil {
+		return nil, errs[0]
+	}
+	for r := 1; r < cfg.Machines; r++ {
+		if errs[0] == nil && errs[r] != nil {
+			return nil, fmt.Errorf("core: lockstep machine %d failed: %w", r, errs[r])
+		}
+	}
+	if results[0] != nil {
+		bytesSent, msgsSent := linkTotals(links)
+		results[0].BytesSent, results[0].MessagesSent = bytesSent, msgsSent
+		hooks.EmitNetwork(train.NetworkEvent{BytesSent: bytesSent, MessagesSent: msgsSent})
+	}
+	return results[0], errs[0]
+}
+
+// trainMultiProcess is one process's share of a real cluster: rank 0
+// (the coordinator) listens, assigns ranks and broadcasts the
+// ownership map and any resume state; workers join and follow. All of
+// them then run the same lockstepMachine.
+func trainMultiProcess(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	digest := configDigest(ds, cfg)
+	opts := netlinkOptions(cfg, hooks)
+	if cfg.Role == "coordinator" {
+		owner := lockstepOwner(cfg.Seed, ds.Cols(), cfg.Machines)
+		coord, err := netlink.NewCoordinator(cfg.Listen, cfg.Machines, digest, owner, cfg.Resume, opts)
+		if err != nil {
+			return nil, err
+		}
+		link, err := coord.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer link.Close()
+		return lockstepMachine(ctx, link, ds, cfg, owner, cfg.Resume, hooks)
+	}
+	link, hs, err := netlink.Join(ctx, cfg.Join, cfg.Listen, digest, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer link.Close()
+	if len(hs.Owner) != ds.Cols() {
+		return nil, fmt.Errorf("core: coordinator ownership map covers %d items, dataset has %d", len(hs.Owner), ds.Cols())
+	}
+	cfg.Machines = link.Machines()
+	return lockstepMachine(ctx, link, ds, cfg, hs.Owner, hs.State, hooks)
+}
+
+// lockstepMachine is one machine of a lockstep cluster, whatever the
+// process layout. Rank 0 is the coordinator: it decides stop, gathers
+// the model and owns the returned trace/state; other ranks return
+// their partial model and no resumable state.
+func lockstepMachine(ctx context.Context, link cluster.Link, ds *dataset.Dataset, cfg train.Config,
+	owner []int32, st *train.State, hooks *train.Hooks) (*train.Result, error) {
+
+	rank, M, W := link.Rank(), link.Machines(), cfg.Workers
+	p := M * W
+	m, n := ds.Rows(), ds.Cols()
+	if err := st.Validate("nomad", m, n, cfg.K); err != nil {
+		return nil, err
+	}
+	users := partitionUsers(ds, cfg, p)
+	local := buildLocalRatings(ds.Train, users)
+	schedule := cfg.Schedule()
+
+	root := rng.New(cfg.Seed)
+	var md *factor.Model
+	resumeBase := int64(0)
+	if st != nil {
+		md = st.Model.Clone() // every rank mutates its own copy
+		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
+		st.RestoreStreams(root, nil)
+		resumeBase = st.Updates
+	} else {
+		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+	}
+	route := routeStream(root, M, rank)
+
+	// This machine's starting tokens, ascending item order.
+	var queue []cluster.Token
+	for j := 0; j < n; j++ {
+		if int(owner[j]) == rank {
+			vec := make([]float64, cfg.K)
+			copy(vec, md.ItemRow(j))
+			queue = append(queue, cluster.Token{Item: int32(j), Vec: vec})
+		}
+	}
+
+	hp := make([]hotPath, W)
+	lrs := make([]*localRatings, W)
+	for w := 0; w < W; w++ {
+		hp[w] = newHotPath(md, schedule, cfg)
+		lrs[w] = local[rank*W+w]
+	}
+
+	var rec *train.Recorder
+	var epochSize, epoch int64
+	start := time.Now()
+	if rank == 0 {
+		rec = train.NewRecorderFor(cfg, ds.Test, md, hooks)
+		if cfg.Epochs > 0 && cfg.MaxUpdates < math.MaxInt64 {
+			epochSize = cfg.MaxUpdates / int64(cfg.Epochs)
+		}
+		if epochSize > 0 {
+			epoch = resumeBase / epochSize
+		}
+	}
+
+	coll := newLockCollector(link)
+	outbox := make([][]cluster.Token, M)
+	cum := int64(0)  // this machine's updates this segment
+	var total int64  // global updates, known after each directive
+	var runErr error // coordinator: ctx error that ended the run
+	abort := func(err error) (*train.Result, error) {
+		var ab *abortError
+		if !errors.As(err, &ab) { // only the origin broadcasts
+			sendAbort(link, err.Error())
+		}
+		link.Close() //nolint:errcheck
+		return nil, err
+	}
+
+	for round := uint32(0); ; round++ {
+		if rank != 0 && ctx.Err() != nil {
+			return abort(ctx.Err())
+		}
+		// Process the whole queue: each token visits the machine's W
+		// workers in order, then heads for a uniformly chosen peer.
+		for i := range queue {
+			tok := queue[i]
+			j := int(tok.Item)
+			for w := 0; w < W; w++ {
+				usersJ, vals, counts := lrs[w].itemRatings(j)
+				hp[w].itemSGD(usersJ, vals, counts, tok.Vec)
+				cum += int64(len(usersJ))
+			}
+			dst := rank
+			if M > 1 {
+				dst = route.Intn(M - 1)
+				if dst >= rank {
+					dst++
+				}
+			}
+			outbox[dst] = append(outbox[dst], tok)
+		}
+		queue = queue[:0]
+
+		// Ship, then mark the round's end on every peer. The shipped
+		// slices are surrendered (nil, not [:0]): the sim backend
+		// delivers them by reference, so reusing the backing array next
+		// round would corrupt batches a slower peer has not binned yet.
+		for dst := 0; dst < M; dst++ {
+			if dst == rank {
+				queue = append(queue, outbox[dst]...) // self-routed (M == 1 only)
+				outbox[dst] = outbox[dst][:0]
+				continue
+			}
+			if err := shipTokens(link, dst, outbox[dst], cfg.BatchSize, round); err != nil {
+				return abort(err)
+			}
+			outbox[dst] = nil
+		}
+		var end [12]byte
+		binary.LittleEndian.PutUint32(end[:], round)
+		binary.LittleEndian.PutUint64(end[4:], uint64(cum))
+		if err := link.SendCtl(-1, ctlRoundEnd, end[:]); err != nil {
+			return abort(err)
+		}
+
+		// Merge the peers' deliveries for this round, rank order.
+		tokens, cums, err := coll.collectRound(round)
+		if err != nil {
+			return abort(err)
+		}
+		queue = append(queue, tokens...)
+
+		// Stop decision: the coordinator sums the round-end counters;
+		// everyone else obeys its directive.
+		if rank == 0 {
+			total = resumeBase + cum
+			for r, c := range cums {
+				if r != 0 {
+					total += c
+				}
+			}
+			for epochSize > 0 && (epoch+1)*epochSize <= total {
+				epoch++
+				hooks.EmitEpoch(train.EpochEvent{Epoch: int(epoch), Updates: total})
+			}
+			stop := total >= cfg.MaxUpdates ||
+				(cfg.Deadline > 0 && time.Since(start) >= cfg.Deadline) ||
+				ctx.Err() != nil
+			var dir [13]byte
+			binary.LittleEndian.PutUint32(dir[:], round)
+			if stop {
+				dir[4] = 1
+			}
+			binary.LittleEndian.PutUint64(dir[5:], uint64(total))
+			if err := link.SendCtl(-1, ctlDirective, dir[:]); err != nil {
+				return abort(err)
+			}
+			if stop {
+				runErr = ctx.Err()
+				break
+			}
+		} else {
+			d, err := coll.awaitDirective(round)
+			if err != nil {
+				return abort(err)
+			}
+			if d.stop {
+				total = d.total
+				break
+			}
+		}
+	}
+
+	// Teardown. Out-of-order residue (impossible on an in-order link)
+	// is folded with the queue so conservation never depends on timing.
+	queue = append(queue, coll.residual()...)
+	if rank != 0 {
+		return lockstepWorkerFinish(link, ds, cfg, users, local, md, queue, cum, total, rank, W)
+	}
+	// The coordinator sends nothing after the stop directive, so it
+	// ends its stream up front — the sim backend's network shutdown
+	// (and hence every drain) waits on all endpoints, this one included.
+	link.CloseSend() //nolint:errcheck
+	res, err := lockstepGather(link, ds, cfg, users, local, md, queue, total, W, rec, root)
+	if err != nil {
+		return nil, err
+	}
+	return res, runErr
+}
+
+// lockstepWorkerFinish ships everything the coordinator needs — the
+// fold tokens this machine still holds, its per-rating step counts and
+// its user rows — then drains the link until every stream has ended.
+func lockstepWorkerFinish(link cluster.Link, ds *dataset.Dataset, cfg train.Config,
+	users *partition.Partition, local []*localRatings, md *factor.Model,
+	queue []cluster.Token, cum, total int64, rank, W int) (*train.Result, error) {
+
+	if err := shipTokens(link, 0, queue, cfg.BatchSize, foldRound); err != nil {
+		return nil, err
+	}
+	var fold [16]byte
+	binary.LittleEndian.PutUint64(fold[:], uint64(int64(len(queue))))
+	binary.LittleEndian.PutUint64(fold[8:], uint64(cum))
+	if err := link.SendCtl(0, ctlFold, fold[:]); err != nil {
+		return nil, err
+	}
+	counts := exportRankCounts(ds.Train, users, local, rank, W)
+	payload := make([]byte, 8+4*len(counts))
+	binary.LittleEndian.PutUint64(payload, uint64(len(counts)))
+	for i, c := range counts {
+		binary.LittleEndian.PutUint32(payload[8+4*i:], uint32(c))
+	}
+	if err := link.SendCtl(0, ctlCounts, payload); err != nil {
+		return nil, err
+	}
+	if err := sendUserRows(link, users, md, cfg.K, rank, W); err != nil {
+		return nil, err
+	}
+	link.CloseSend() //nolint:errcheck
+	// Drain until every peer (the coordinator included) ends its
+	// stream; nothing after our fold shipment is addressed to us.
+	recv, ctl := link.Recv(), link.Ctl()
+	for recv != nil || ctl != nil {
+		select {
+		case _, ok := <-recv:
+			if !ok {
+				recv = nil
+			}
+		case _, ok := <-ctl:
+			if !ok {
+				ctl = nil
+			}
+		}
+	}
+	link.Close() //nolint:errcheck
+	if err := link.Err(); err != nil {
+		return nil, err
+	}
+	st := link.Stats()
+	return &train.Result{
+		Algorithm:    "nomad",
+		Model:        md,
+		Updates:      total,
+		Elapsed:      0,
+		BytesSent:    st.BytesSent,
+		MessagesSent: st.MessagesSent,
+		// Final deliberately nil: the coordinator owns the gathered
+		// model and the resumable state.
+	}, nil
+}
+
+// sendUserRows ships this rank's user factor rows in chunks.
+func sendUserRows(link cluster.Link, users *partition.Partition, md *factor.Model, k, rank, W int) error {
+	const rowsPerFrame = 512
+	var rows []int32
+	for w := 0; w < W; w++ {
+		rows = append(rows, users.Part(rank*W+w)...)
+	}
+	for len(rows) > 0 {
+		chunk := rows[:min(len(rows), rowsPerFrame)]
+		rows = rows[len(chunk):]
+		payload := make([]byte, 8+len(chunk)*(4+8*k))
+		binary.LittleEndian.PutUint32(payload, uint32(k))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(len(chunk)))
+		pos := 8
+		for _, i := range chunk {
+			binary.LittleEndian.PutUint32(payload[pos:], uint32(i))
+			pos += 4
+			for _, v := range md.UserRow(int(i)) {
+				binary.LittleEndian.PutUint64(payload[pos:], math.Float64bits(v))
+				pos += 8
+			}
+		}
+		if err := link.SendCtl(0, ctlUserRows, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lockstepGather is the coordinator's teardown: fold its own tokens,
+// collect every worker's fold tokens, user rows and step counts,
+// verify exact token conservation, and assemble the final model and
+// resumable state.
+func lockstepGather(link cluster.Link, ds *dataset.Dataset, cfg train.Config,
+	users *partition.Partition, local []*localRatings, md *factor.Model,
+	queue []cluster.Token, total int64, W int,
+	rec *train.Recorder, root *rng.Source) (*train.Result, error) {
+
+	n := ds.Cols()
+	collected := 0
+	for _, tok := range queue {
+		copy(md.ItemRow(int(tok.Item)), tok.Vec)
+		collected++
+	}
+	declared := int64(len(queue))
+	countsByRank := make(map[int][]int32)
+
+	recv, ctl := link.Recv(), link.Ctl()
+	for recv != nil || ctl != nil {
+		select {
+		case inb, ok := <-recv:
+			if !ok {
+				recv = nil
+				continue
+			}
+			for _, tok := range inb.Batch.Tokens {
+				copy(md.ItemRow(int(tok.Item)), tok.Vec)
+				collected++
+			}
+		case ct, ok := <-ctl:
+			if !ok {
+				ctl = nil
+				continue
+			}
+			switch ct.Kind {
+			case ctlFold:
+				if len(ct.Payload) >= 16 {
+					declared += int64(binary.LittleEndian.Uint64(ct.Payload))
+				}
+			case ctlCounts:
+				if len(ct.Payload) < 8 {
+					return nil, fmt.Errorf("core: short counts frame from machine %d", ct.From)
+				}
+				cnt := binary.LittleEndian.Uint64(ct.Payload)
+				if uint64(len(ct.Payload)) != 8+4*cnt {
+					return nil, fmt.Errorf("core: counts frame from machine %d declares %d entries in %d bytes", ct.From, cnt, len(ct.Payload))
+				}
+				counts := make([]int32, cnt)
+				for i := range counts {
+					counts[i] = int32(binary.LittleEndian.Uint32(ct.Payload[8+4*i:]))
+				}
+				countsByRank[ct.From] = counts
+			case ctlUserRows:
+				if err := applyUserRows(md, ct.Payload); err != nil {
+					return nil, fmt.Errorf("core: user rows from machine %d: %w", ct.From, err)
+				}
+			case ctlAbort:
+				return nil, &abortError{from: ct.From, reason: string(ct.Payload)}
+			}
+		}
+	}
+	link.Close() //nolint:errcheck
+	if err := link.Err(); err != nil {
+		return nil, err
+	}
+	if collected != n || declared != int64(n) {
+		return nil, fmt.Errorf("core: token conservation violated: collected %d tokens (%d declared) for %d items", collected, declared, n)
+	}
+	counts, err := mergeCounts(ds.Train, users, local, countsByRank, W)
+	if err != nil {
+		return nil, err
+	}
+
+	rec.Sample(md, total)
+	st := link.Stats()
+	return &train.Result{
+		Algorithm:    "nomad",
+		Model:        md,
+		Trace:        rec.Trace(),
+		Updates:      total,
+		Elapsed:      rec.Elapsed(),
+		BytesSent:    st.BytesSent,
+		MessagesSent: st.MessagesSent,
+		Final: &train.State{
+			Algorithm: "nomad",
+			Seed:      cfg.Seed,
+			Updates:   total,
+			Model:     md,
+			Counts:    counts,
+			RNG:       train.CaptureStreams(root, nil),
+			// Queues deliberately nil: tokens were folded back into the
+			// model; a resume re-scatters them by the ownership map.
+		},
+	}, nil
+}
+
+// applyUserRows writes a ctlUserRows payload into the model.
+func applyUserRows(md *factor.Model, payload []byte) error {
+	if len(payload) < 8 {
+		return fmt.Errorf("short frame")
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	rows := int(binary.LittleEndian.Uint32(payload[4:]))
+	if k != md.K {
+		return fmt.Errorf("rank %d rows for rank-%d model", k, md.K)
+	}
+	if len(payload) != 8+rows*(4+8*k) {
+		return fmt.Errorf("declares %d rank-%d rows in %d bytes", rows, k, len(payload))
+	}
+	pos := 8
+	for r := 0; r < rows; r++ {
+		i := int(int32(binary.LittleEndian.Uint32(payload[pos:])))
+		pos += 4
+		if i < 0 || i >= md.M {
+			return fmt.Errorf("user row %d out of range [0,%d)", i, md.M)
+		}
+		row := md.UserRow(i)
+		for c := 0; c < k; c++ {
+			row[c] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+			pos += 8
+		}
+	}
+	return nil
+}
+
+// exportRankCounts flattens one machine's per-rating step counts in
+// global CSC order restricted to its users — the stream mergeCounts
+// re-interleaves on the coordinator.
+func exportRankCounts(tr *sparse.Matrix, users *partition.Partition, local []*localRatings, rank, W int) []int32 {
+	lo, hi := rank*W, rank*W+W
+	cur := make([]int32, len(local))
+	var out []int32
+	for j := 0; j < tr.Cols(); j++ {
+		rows, _ := tr.Col(j)
+		for _, i := range rows {
+			q := users.Owner(int(i))
+			if q >= lo && q < hi {
+				out = append(out, local[q].counts[cur[q]])
+			}
+			cur[q]++
+		}
+	}
+	return out
+}
+
+// mergeCounts assembles the canonical CSC-ordered global step counts
+// from the coordinator's own worker stores and each worker machine's
+// exportRankCounts stream.
+func mergeCounts(tr *sparse.Matrix, users *partition.Partition, local []*localRatings, byRank map[int][]int32, W int) ([]int32, error) {
+	out := make([]int32, 0, tr.NNZ())
+	cur := make([]int32, len(local))
+	pos := make(map[int]int)
+	for j := 0; j < tr.Cols(); j++ {
+		rows, _ := tr.Col(j)
+		for _, i := range rows {
+			q := users.Owner(int(i))
+			r := q / W
+			if r == 0 {
+				out = append(out, local[q].counts[cur[q]])
+			} else {
+				stream := byRank[r]
+				if pos[r] >= len(stream) {
+					return nil, fmt.Errorf("core: machine %d sent %d step counts, need more", r, len(stream))
+				}
+				out = append(out, stream[pos[r]])
+				pos[r]++
+			}
+			cur[q]++
+		}
+	}
+	for r, stream := range byRank {
+		if pos[r] != len(stream) {
+			return nil, fmt.Errorf("core: machine %d sent %d step counts, used %d", r, len(stream), pos[r])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,506 @@
+package netlink
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/cluster"
+)
+
+// Options tunes a TCP link and its rendezvous.
+type Options struct {
+	// K is the factor rank: the number of float64 coordinates each
+	// token carries on the wire.
+	K int
+	// HeartbeatInterval is how often liveness probes are sent to every
+	// peer (default 500ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a peer down when nothing — tokens,
+	// control frames or heartbeats — has arrived from it for this long
+	// (default 10s; 0 keeps the default, negative disables).
+	HeartbeatTimeout time.Duration
+	// RendezvousTimeout bounds the whole handshake (default 60s).
+	RendezvousTimeout time.Duration
+	// OnPeerDown, when non-nil, is invoked (once per link failure, from
+	// a link-internal goroutine) when a peer's connection breaks without
+	// an orderly end-of-stream or its heartbeats time out.
+	OnPeerDown func(rank int, err error)
+}
+
+func (o Options) heartbeatInterval() time.Duration {
+	if o.HeartbeatInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.HeartbeatInterval
+}
+
+func (o Options) heartbeatTimeout() time.Duration {
+	if o.HeartbeatTimeout == 0 {
+		return 10 * time.Second
+	}
+	return o.HeartbeatTimeout
+}
+
+func (o Options) rendezvousTimeout() time.Duration {
+	if o.RendezvousTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return o.RendezvousTimeout
+}
+
+// peer is one established connection of the mesh.
+type peer struct {
+	rank     int
+	conn     net.Conn
+	wmu      sync.Mutex   // serializes frame writes
+	lastRecv atomic.Int64 // unix nanos of the last frame from this peer
+	eof      atomic.Bool  // FrameEOF received: stream ended in order
+}
+
+// TCP is a full-mesh cluster.Link over TCP connections, one per peer.
+// Frames within a connection are FIFO, so per-peer ordering holds
+// across the token and control planes. Failure of any peer fails the
+// whole link: NOMAD's token conservation cannot survive losing a
+// machine that holds item tokens, so the run is aborted with a typed
+// *cluster.PeerDownError rather than silently diverging.
+type TCP struct {
+	rank     int
+	machines int
+	opts     Options
+
+	peers []*peer // indexed by rank; self is nil
+
+	recv chan cluster.Inbound
+	ctl  chan cluster.Ctl
+	down chan struct{} // closed on failure or Close: unblocks everything
+
+	sendClosed atomic.Bool
+	failErr    atomic.Pointer[cluster.PeerDownError]
+	eofLeft    atomic.Int32
+	chanOnce   sync.Once // closes recv+ctl
+	downOnce   sync.Once // closes down + conns
+	failOnce   sync.Once // peer-down reporting
+
+	// Coordinator-mediated barrier state (rank 0 collects arrivals and
+	// releases; see Barrier). gen counts this endpoint's Barrier calls.
+	bmu      sync.Mutex
+	bcond    *sync.Cond
+	gen      uint32
+	arrivals map[uint32]int  // rank 0: arrivals per generation (self included)
+	released map[uint32]bool // others: releases seen
+
+	wg        sync.WaitGroup
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+var _ cluster.Link = (*TCP)(nil)
+
+// newTCP wires an established mesh into a running link: one reader
+// goroutine per peer plus the heartbeat monitor.
+func newTCP(rank, machines int, conns map[int]net.Conn, opts Options) *TCP {
+	l := &TCP{
+		rank:     rank,
+		machines: machines,
+		opts:     opts,
+		peers:    make([]*peer, machines),
+		recv:     make(chan cluster.Inbound, 4*machines),
+		ctl:      make(chan cluster.Ctl, 16*machines),
+		down:     make(chan struct{}),
+		arrivals: make(map[uint32]int),
+		released: make(map[uint32]bool),
+	}
+	l.bcond = sync.NewCond(&l.bmu)
+	l.eofLeft.Store(int32(machines - 1))
+	now := time.Now().UnixNano()
+	for r, conn := range conns {
+		p := &peer{rank: r, conn: conn}
+		p.lastRecv.Store(now)
+		l.peers[r] = p
+	}
+	for _, p := range l.peers {
+		if p == nil {
+			continue
+		}
+		l.wg.Add(1)
+		go l.reader(p)
+	}
+	l.wg.Add(1)
+	go l.heartbeat()
+	// Channel closer of last resort: once every reader has exited
+	// (failure or Close), the inbound channels close if the orderly
+	// all-EOF path has not already closed them.
+	go func() {
+		l.wg.Wait()
+		l.closeChannels()
+	}()
+	return l
+}
+
+// Rank implements cluster.Link.
+func (l *TCP) Rank() int { return l.rank }
+
+// Machines implements cluster.Link.
+func (l *TCP) Machines() int { return l.machines }
+
+// Err implements cluster.Link.
+func (l *TCP) Err() error {
+	if e := l.failErr.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Stats implements cluster.Link, counting wire bytes actually written.
+func (l *TCP) Stats() cluster.LinkStats {
+	return cluster.LinkStats{BytesSent: l.bytesSent.Load(), MessagesSent: l.msgsSent.Load()}
+}
+
+// writeFrame writes one frame to a peer under its write lock.
+func (l *TCP) writeFrame(p *peer, typ FrameType, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), typ, l.rank, payload)
+	p.wmu.Lock()
+	_, err := p.conn.Write(buf)
+	p.wmu.Unlock()
+	if err == nil {
+		l.bytesSent.Add(int64(len(buf)))
+		l.msgsSent.Add(1)
+	}
+	return err
+}
+
+// Send implements cluster.Link.
+func (l *TCP) Send(dst int, batch cluster.TokenBatch) error {
+	if l.sendClosed.Load() {
+		return cluster.ErrLinkClosed
+	}
+	if err := l.Err(); err != nil {
+		return err
+	}
+	p := l.peers[dst]
+	if p == nil {
+		return fmt.Errorf("netlink: send to self (machine %d)", dst)
+	}
+	payload, err := AppendTokenBatch(make([]byte, 0, batchWireSize(len(batch.Tokens), l.opts.K)), batch, l.opts.K)
+	if err != nil {
+		return err
+	}
+	if err := l.writeFrame(p, FrameTokens, payload); err != nil {
+		l.peerDown(p, fmt.Errorf("write: %w", err))
+		return l.Err()
+	}
+	return nil
+}
+
+// Recv implements cluster.Link.
+func (l *TCP) Recv() <-chan cluster.Inbound { return l.recv }
+
+// SendCtl implements cluster.Link.
+func (l *TCP) SendCtl(dst int, kind uint8, payload []byte) error {
+	if l.sendClosed.Load() {
+		return cluster.ErrLinkClosed
+	}
+	if err := l.Err(); err != nil {
+		return err
+	}
+	framed := make([]byte, 0, 1+len(payload))
+	framed = append(framed, kind)
+	framed = append(framed, payload...)
+	if dst == -1 {
+		for _, p := range l.peers {
+			if p == nil {
+				continue
+			}
+			if err := l.writeFrame(p, FrameCtl, framed); err != nil {
+				l.peerDown(p, fmt.Errorf("write: %w", err))
+				return l.Err()
+			}
+		}
+		return nil
+	}
+	p := l.peers[dst]
+	if p == nil {
+		return fmt.Errorf("netlink: ctl to self (machine %d)", dst)
+	}
+	if err := l.writeFrame(p, FrameCtl, framed); err != nil {
+		l.peerDown(p, fmt.Errorf("write: %w", err))
+		return l.Err()
+	}
+	return nil
+}
+
+// Ctl implements cluster.Link.
+func (l *TCP) Ctl() <-chan cluster.Ctl { return l.ctl }
+
+// CloseSend implements cluster.Link: an EOF frame ends this machine's
+// stream on every peer connection.
+func (l *TCP) CloseSend() error {
+	if !l.sendClosed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, p := range l.peers {
+		if p == nil {
+			continue
+		}
+		// Best effort: a peer that is already gone has either failed the
+		// link (reported elsewhere) or finished its own drain.
+		l.writeFrame(p, FrameEOF, nil) //nolint:errcheck
+	}
+	return nil
+}
+
+// Close implements cluster.Link.
+func (l *TCP) Close() error {
+	l.CloseSend() //nolint:errcheck // best-effort EOF first
+	l.downOnce.Do(func() {
+		close(l.down)
+		for _, p := range l.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	})
+	l.broadcastBarrier()
+	l.wg.Wait()
+	return nil
+}
+
+// Abort kills every connection immediately, without the orderly EOF.
+// Peers observe it as this machine failing — exactly what a crashed
+// process looks like. It exists for failure-injection tests.
+func (l *TCP) Abort() {
+	l.sendClosed.Store(true)
+	l.downOnce.Do(func() {
+		close(l.down)
+		for _, p := range l.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	})
+	l.broadcastBarrier()
+}
+
+// broadcastBarrier wakes barrier waiters after a failure or close.
+// The broadcast happens under the condition mutex: waiters evaluate
+// their predicate (released/arrivals, Err, isDown) while holding bmu,
+// so an unlocked broadcast could land between a waiter's predicate
+// check and its Wait registration and be lost forever.
+func (l *TCP) broadcastBarrier() {
+	l.bmu.Lock()
+	l.bcond.Broadcast()
+	l.bmu.Unlock()
+}
+
+// closed reports whether Close/Abort has run.
+func (l *TCP) isDown() bool {
+	select {
+	case <-l.down:
+		return true
+	default:
+		return false
+	}
+}
+
+// closeChannels ends the inbound streams exactly once.
+func (l *TCP) closeChannels() {
+	l.chanOnce.Do(func() {
+		close(l.recv)
+		close(l.ctl)
+	})
+}
+
+// peerDown fails the link: record the typed error, report it, and tear
+// every connection down so all blocked I/O unwinds. Surviving peers
+// get an orderly EOF first, so they attribute the cluster failure to
+// the machine that actually died, not to this endpoint's teardown.
+func (l *TCP) peerDown(p *peer, cause error) {
+	l.failOnce.Do(func() {
+		err := &cluster.PeerDownError{Rank: p.rank, Cause: cause}
+		l.failErr.Store(err)
+		if l.opts.OnPeerDown != nil {
+			l.opts.OnPeerDown(p.rank, err)
+		}
+		l.sendClosed.Store(true)
+		for _, q := range l.peers {
+			if q != nil && q != p && !q.eof.Load() {
+				l.writeFrame(q, FrameEOF, nil) //nolint:errcheck // best effort
+			}
+		}
+		l.downOnce.Do(func() {
+			close(l.down)
+			for _, q := range l.peers {
+				if q != nil {
+					q.conn.Close()
+				}
+			}
+		})
+		l.broadcastBarrier()
+	})
+}
+
+// reader drains one peer's connection, dispatching frames onto the
+// typed channels until the stream ends.
+func (l *TCP) reader(p *peer) {
+	defer l.wg.Done()
+	for {
+		f, err := ReadFrame(p.conn)
+		if err != nil {
+			if p.eof.Load() || l.isDown() {
+				return // orderly: stream already ended, or we tore down
+			}
+			l.peerDown(p, err)
+			return
+		}
+		p.lastRecv.Store(time.Now().UnixNano())
+		if p.eof.Load() && f.Type != FrameHeartbeat {
+			continue // data after EOF: tolerate, but never deliver
+		}
+		switch f.Type {
+		case FrameTokens:
+			batch, err := DecodeTokenBatch(f.Payload, l.opts.K)
+			if err != nil {
+				l.peerDown(p, err)
+				return
+			}
+			select {
+			case l.recv <- cluster.Inbound{From: p.rank, Batch: batch}:
+			case <-l.down:
+				return
+			}
+		case FrameCtl:
+			if len(f.Payload) < 1 {
+				l.peerDown(p, fmt.Errorf("empty control frame"))
+				return
+			}
+			select {
+			case l.ctl <- cluster.Ctl{From: p.rank, Kind: f.Payload[0], Payload: f.Payload[1:]}:
+			case <-l.down:
+				return
+			}
+		case FrameEOF:
+			p.eof.Store(true)
+			if l.eofLeft.Add(-1) == 0 {
+				// Every peer has ended its stream in order; nothing can
+				// be in flight behind a per-connection FIFO, so the
+				// inbound channels are complete.
+				l.closeChannels()
+			}
+		case FrameHeartbeat:
+			// lastRecv update above is the whole point.
+		case FrameBarrierReq:
+			l.bmu.Lock()
+			l.arrivals[barrierGen(f.Payload)]++
+			l.bcond.Broadcast()
+			l.bmu.Unlock()
+		case FrameBarrierRel:
+			l.bmu.Lock()
+			l.released[barrierGen(f.Payload)] = true
+			l.bcond.Broadcast()
+			l.bmu.Unlock()
+		default:
+			l.peerDown(p, fmt.Errorf("unexpected frame type %d on established link", f.Type))
+			return
+		}
+	}
+}
+
+// heartbeat probes every live peer and watches for silent ones.
+func (l *TCP) heartbeat() {
+	defer l.wg.Done()
+	interval := l.opts.heartbeatInterval()
+	timeout := l.opts.heartbeatTimeout()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.down:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for _, p := range l.peers {
+			if p == nil || p.eof.Load() {
+				continue // drained peers owe us nothing further
+			}
+			if timeout > 0 && now-p.lastRecv.Load() > int64(timeout) {
+				l.peerDown(p, fmt.Errorf("no frames for %s", timeout))
+				return
+			}
+			if err := l.writeFrame(p, FrameHeartbeat, nil); err != nil && !p.eof.Load() && !l.isDown() {
+				l.peerDown(p, fmt.Errorf("heartbeat write: %w", err))
+				return
+			}
+		}
+	}
+}
+
+// barrierGen decodes a barrier frame's generation number.
+func barrierGen(payload []byte) uint32 {
+	if len(payload) < 4 {
+		return 0
+	}
+	return uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24
+}
+
+func barrierPayload(gen uint32) []byte {
+	return []byte{byte(gen), byte(gen >> 8), byte(gen >> 16), byte(gen >> 24)}
+}
+
+// Barrier implements cluster.Link: rank 0 collects one arrival per
+// member (its own included) for the current generation, then releases
+// everyone. Each endpoint must call Barrier the same number of times;
+// concurrent calls on one endpoint are not supported.
+func (l *TCP) Barrier() error {
+	l.bmu.Lock()
+	gen := l.gen
+	l.gen++
+	l.bmu.Unlock()
+
+	if l.rank == 0 {
+		l.bmu.Lock()
+		l.arrivals[gen]++ // self
+		for l.arrivals[gen] < l.machines && l.Err() == nil && !l.isDown() {
+			l.bcond.Wait()
+		}
+		delete(l.arrivals, gen)
+		l.bmu.Unlock()
+		if err := l.Err(); err != nil {
+			return err
+		}
+		if l.isDown() {
+			return cluster.ErrLinkClosed
+		}
+		for _, p := range l.peers {
+			if p == nil {
+				continue
+			}
+			if err := l.writeFrame(p, FrameBarrierRel, barrierPayload(gen)); err != nil {
+				l.peerDown(p, fmt.Errorf("barrier release: %w", err))
+				return l.Err()
+			}
+		}
+		return nil
+	}
+
+	if err := l.writeFrame(l.peers[0], FrameBarrierReq, barrierPayload(gen)); err != nil {
+		l.peerDown(l.peers[0], fmt.Errorf("barrier arrive: %w", err))
+		return l.Err()
+	}
+	l.bmu.Lock()
+	for !l.released[gen] && l.Err() == nil && !l.isDown() {
+		l.bcond.Wait()
+	}
+	delete(l.released, gen)
+	l.bmu.Unlock()
+	if err := l.Err(); err != nil {
+		return err
+	}
+	if l.isDown() {
+		return cluster.ErrLinkClosed
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package netlink is the real-network backend of NOMAD's distributed
+// mode: a length-prefixed binary wire protocol over TCP, a coordinator
+// rendezvous that assigns machine ranks and broadcasts the item
+// (column) ownership map, and a mesh Link with heartbeat-based peer
+// failure detection. It implements cluster.Link, so the training
+// runners in internal/core are identical over netsim and over real
+// sockets.
+//
+// Every frame on the wire is:
+//
+//	offset  size  field
+//	0       4     magic "NMLK" (little-endian uint32 0x4e4d4c4b)
+//	4       1     protocol version (currently 1)
+//	5       1     frame type
+//	6       2     reserved (zero)
+//	8       4     sender rank (int32; -1 before rank assignment)
+//	12      4     payload length (uint32)
+//	16      4     CRC-32 (IEEE) of the payload
+//	20      n     payload
+//
+// Frames with a bad magic, an unsupported version, an oversized length
+// or a CRC mismatch are rejected before any payload interpretation.
+// Token payloads reuse the little-endian layout of the train.State
+// checkpoint format (int32 indices, raw float64 bits), and the
+// rendezvous broadcasts resume state with train.State's own encoder.
+package netlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"nomad/internal/cluster"
+)
+
+// Magic identifies a netlink frame ("NMLK").
+const Magic uint32 = 0x4e4d4c4b
+
+// Version is the wire-protocol version spoken by this build. A peer
+// announcing any other version is rejected at the first frame.
+const Version byte = 1
+
+// FrameType tags the meaning of a frame's payload.
+type FrameType byte
+
+// Frame types. Hello/Welcome/Mesh/Ready/Go belong to the rendezvous;
+// Tokens/Ctl/EOF/Heartbeat/Barrier* to the established link.
+const (
+	FrameHello      FrameType = 1  // worker → coordinator: config digest + advertised address
+	FrameWelcome    FrameType = 2  // coordinator → worker: rank, cluster map, ownership, resume state
+	FrameTokens     FrameType = 3  // token batch (§3.5 unit of transfer)
+	FrameCtl        FrameType = 4  // opaque control frame (kind byte + payload)
+	FrameEOF        FrameType = 5  // orderly end of the sender's stream
+	FrameHeartbeat  FrameType = 6  // liveness probe
+	FrameBarrierReq FrameType = 7  // member → rank 0: barrier arrival
+	FrameBarrierRel FrameType = 8  // rank 0 → member: barrier release
+	FrameMesh       FrameType = 9  // peer → peer: identifies the dialler's rank
+	FrameReady      FrameType = 10 // worker → coordinator: mesh established
+	FrameGo         FrameType = 11 // coordinator → worker: start training
+	FrameError      FrameType = 12 // handshake rejection, payload is the reason
+)
+
+// headerSize is the fixed frame-header length.
+const headerSize = 20
+
+// MaxPayload bounds a frame payload (256 MiB). Length prefixes beyond
+// it are rejected before any allocation; payloads under it are read in
+// bounded chunks so a corrupt length in a short stream fails on EOF,
+// not on an up-front allocation.
+const MaxPayload = 1 << 28
+
+// VersionError reports a peer speaking an unsupported protocol
+// version.
+type VersionError struct {
+	Got, Want byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("netlink: protocol version %d, this build speaks %d", e.Got, e.Want)
+}
+
+// Wire-format rejection errors.
+var (
+	ErrBadMagic = errors.New("netlink: bad frame magic")
+	ErrBadCRC   = errors.New("netlink: frame payload CRC mismatch")
+	ErrOversize = errors.New("netlink: frame payload exceeds MaxPayload")
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type    FrameType
+	From    int
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame to buf and returns it. The
+// payload may be nil.
+func AppendFrame(buf []byte, typ FrameType, from int, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(typ)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(from)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, typ FrameType, from int, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrOversize
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, headerSize+len(payload)), typ, from, payload))
+	return err
+}
+
+// ReadFrame reads and validates one frame. It rejects bad magic,
+// version mismatches, oversized lengths and CRC mismatches with typed
+// errors; a stream truncated mid-frame surfaces io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return Frame{}, &VersionError{Got: hdr[4], Want: Version}
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return Frame{}, fmt.Errorf("netlink: reserved header bytes must be zero")
+	}
+	f := Frame{
+		Type: FrameType(hdr[5]),
+		From: int(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+	}
+	length := binary.LittleEndian.Uint32(hdr[12:])
+	if length > MaxPayload {
+		return Frame{}, ErrOversize
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[16:])
+	if length > 0 {
+		// Chunked read: a corrupt length prefix on a short stream fails
+		// with ErrUnexpectedEOF after at most one chunk.
+		const chunk = 1 << 20
+		f.Payload = make([]byte, 0, min(int(length), chunk))
+		buf := make([]byte, min(int(length), chunk))
+		for remaining := int(length); remaining > 0; {
+			c := min(remaining, chunk)
+			if _, err := io.ReadFull(r, buf[:c]); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return Frame{}, err
+			}
+			f.Payload = append(f.Payload, buf[:c]...)
+			remaining -= c
+		}
+	}
+	if crc32.ChecksumIEEE(f.Payload) != wantCRC {
+		return Frame{}, ErrBadCRC
+	}
+	return f, nil
+}
+
+// tokenWireSize is the encoded size of one rank-k token: the item
+// index plus the raw float64 coordinates.
+func tokenWireSize(k int) int { return 4 + 8*k }
+
+// batchWireSize is the encoded payload size of a TokenBatch of rank-k
+// tokens.
+func batchWireSize(tokens, k int) int { return 12 + tokens*tokenWireSize(k) }
+
+// AppendTokenBatch encodes a token batch: the sender's gossiped queue
+// length (§3.3), the token count, then each (j, hⱼ) pair with hⱼ as
+// raw little-endian float64 bits — the same scalar layout the
+// train.State checkpoint uses. Every token must have exactly k
+// coordinates.
+func AppendTokenBatch(buf []byte, batch cluster.TokenBatch, k int) ([]byte, error) {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(int64(batch.QueueLen)))
+	buf = append(buf, scratch[:]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(batch.Tokens)))
+	buf = append(buf, scratch[:4]...)
+	for _, t := range batch.Tokens {
+		if len(t.Vec) != k {
+			return nil, fmt.Errorf("netlink: token %d has %d coordinates, link rank is %d", t.Item, len(t.Vec), k)
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(t.Item))
+		buf = append(buf, scratch[:4]...)
+		for _, v := range t.Vec {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeTokenBatch decodes an AppendTokenBatch payload, validating the
+// declared count against the payload length.
+func DecodeTokenBatch(payload []byte, k int) (cluster.TokenBatch, error) {
+	if len(payload) < 12 {
+		return cluster.TokenBatch{}, fmt.Errorf("netlink: token batch payload %d bytes, want ≥ 12", len(payload))
+	}
+	batch := cluster.TokenBatch{QueueLen: int(int64(binary.LittleEndian.Uint64(payload)))}
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	if want := batchWireSize(count, k); want != len(payload) {
+		return cluster.TokenBatch{}, fmt.Errorf("netlink: token batch declares %d rank-%d tokens (%d bytes) but payload is %d bytes",
+			count, k, want, len(payload))
+	}
+	pos := 12
+	batch.Tokens = make([]cluster.Token, count)
+	for i := 0; i < count; i++ {
+		item := int32(binary.LittleEndian.Uint32(payload[pos:]))
+		pos += 4
+		vec := make([]float64, k)
+		for c := 0; c < k; c++ {
+			vec[c] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+			pos += 8
+		}
+		batch.Tokens[i] = cluster.Token{Item: item, Vec: vec}
+	}
+	return batch, nil
+}

@@ -42,6 +42,15 @@ type NetworkEvent struct {
 	MessagesSent int64
 }
 
+// PeerEvent reports a cluster peer failure on the real-network
+// backend: machine Rank stopped responding (connection broke without
+// an orderly end-of-stream, or heartbeats timed out). The run aborts
+// with a typed error after emitting it.
+type PeerEvent struct {
+	Rank   int
+	Reason string
+}
+
 // Hooks carries the event callbacks a training run reports through.
 // A nil *Hooks, or any nil callback, disables that event — solvers
 // always emit through the nil-safe Emit helpers. Callbacks are invoked
@@ -53,6 +62,14 @@ type Hooks struct {
 	Epoch   func(EpochEvent)
 	Balance func(BalanceEvent)
 	Network func(NetworkEvent)
+	Peer    func(PeerEvent)
+}
+
+// EmitPeer reports a peer failure; safe on a nil receiver.
+func (h *Hooks) EmitPeer(e PeerEvent) {
+	if h != nil && h.Peer != nil {
+		h.Peer(e)
+	}
 }
 
 // EmitTrace reports a convergence sample; safe on a nil receiver.

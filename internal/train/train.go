@@ -41,6 +41,29 @@ type Config struct {
 	Workers  int
 	Profile  netsim.Profile
 
+	// Backend selects the machine-to-machine transport for distributed
+	// runs: "" or "sim" for the modelled in-process network (netsim),
+	// "tcp" for real TCP sockets — a loopback mesh inside one process,
+	// or a true multi-process cluster when Role is set.
+	Backend string
+	// Role places this process in a multi-process cluster: "" for
+	// single-process runs, "coordinator" (rank 0, listens on Listen and
+	// waits for Machines-1 workers) or "worker" (joins the coordinator
+	// at Join, listening on Listen — may be ":0" — for peer
+	// connections). Multi-process runs use the deterministic lockstep
+	// runner, so Role implies Lockstep.
+	Role   string
+	Listen string
+	Join   string
+	// Lockstep selects the deterministic round-based distributed
+	// runner: machines process their whole token queue, exchange
+	// tokens at a synchronization point, and the coordinator decides
+	// stop at round boundaries. Bitwise-identical results across
+	// backends and process placements — the property the cross-backend
+	// parity CI asserts — at the cost of the asynchronous overlap the
+	// paper advocates.
+	Lockstep bool
+
 	// NOMAD-specific knobs.
 	BatchSize   int        // tokens per network message (§3.5, default 100)
 	QueueKind   queue.Kind // token transport (KindAuto → batched SPSC mesh; see queue.Kind)
@@ -138,6 +161,40 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	switch c.Backend {
+	case "", "sim", "tcp":
+	default:
+		return c, fmt.Errorf("train: unknown backend %q (sim, tcp)", c.Backend)
+	}
+	switch c.Role {
+	case "":
+	case "coordinator":
+		if c.Listen == "" {
+			return c, fmt.Errorf("train: coordinator role needs a listen address")
+		}
+		c.Backend = "tcp"
+		c.Lockstep = true
+	case "worker":
+		if c.Join == "" {
+			return c, fmt.Errorf("train: worker role needs the coordinator address to join")
+		}
+		c.Backend = "tcp"
+		c.Lockstep = true
+	default:
+		return c, fmt.Errorf("train: unknown role %q (coordinator, worker)", c.Role)
+	}
+	if c.Role == "" && c.Machines == 1 {
+		// A single machine has no cluster: silently falling back to the
+		// shared-memory path would hand the caller a nondeterministic
+		// async run after they explicitly asked for the reproducible
+		// (lockstep) or real-socket (tcp) distributed mode.
+		if c.Lockstep {
+			return c, fmt.Errorf("train: lockstep needs at least 2 machines, got %d", c.Machines)
+		}
+		if c.Backend == "tcp" {
+			return c, fmt.Errorf("train: the tcp backend needs at least 2 machines, got %d", c.Machines)
+		}
 	}
 	return c, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"nomad/internal/cluster"
 	"nomad/internal/loss"
 	"nomad/internal/metrics"
 	"nomad/internal/netsim"
@@ -78,6 +79,9 @@ type settings struct {
 	workers      *int
 	machines     *int
 	network      string
+	role         string
+	listen, join string
+	lockstep     bool
 	lossName     string
 	transport    queue.Kind
 	loadBalance  bool
@@ -157,23 +161,70 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithCluster runs on `machines` simulated machines connected by the
-// named network profile: "instant", "hpc" or "commodity". Default is a
-// single machine (no network).
-func WithCluster(machines int, network string) Option {
+// WithCluster runs on `machines` machines. network selects the
+// backend: "instant", "hpc" or "commodity" are profiles of the
+// in-process simulated network; "tcp" is the real-socket backend
+// (netlink wire protocol, rendezvous, heartbeat failure detection).
+// Default is a single machine (no network).
+//
+// The optional address list places the run in a real multi-process
+// cluster (network "tcp" only):
+//
+//	WithCluster(4, "tcp")                          // loopback mesh inside this process
+//	WithCluster(4, "tcp", ":7070")                 // coordinator: listen, wait for 3 workers
+//	WithCluster(0, "tcp", ":0", "host0:7070")      // worker: listen addr, coordinator to join
+//
+// Multi-process runs use the deterministic lockstep rounds (see
+// WithLockstep); every process must be invoked with the same dataset,
+// seed and hyper-parameters, which the rendezvous verifies with a
+// config digest. A worker may pass machines 0 — it learns the cluster
+// size from the coordinator's welcome.
+func WithCluster(machines int, network string, addrs ...string) Option {
 	return func(st *settings) error {
-		if machines <= 0 {
-			return fmt.Errorf("nomad: machines must be positive, got %d", machines)
-		}
 		switch network {
 		case "", "instant", "hpc", "commodity":
+			if len(addrs) > 0 {
+				return fmt.Errorf("nomad: address list needs the \"tcp\" network, got %q", network)
+			}
+		case "tcp":
 		default:
-			return fmt.Errorf("nomad: unknown network %q (instant, hpc, commodity)", network)
+			return fmt.Errorf("nomad: unknown network %q (instant, hpc, commodity, tcp)", network)
+		}
+		switch len(addrs) {
+		case 0:
+			if machines <= 0 {
+				return fmt.Errorf("nomad: machines must be positive, got %d", machines)
+			}
+			st.role, st.listen, st.join = "", "", ""
+		case 1:
+			if machines < 2 {
+				return fmt.Errorf("nomad: a coordinator needs at least 2 machines, got %d", machines)
+			}
+			st.role, st.listen, st.join = "coordinator", addrs[0], ""
+		case 2:
+			if machines < 0 {
+				return fmt.Errorf("nomad: machines must be non-negative, got %d", machines)
+			}
+			st.role, st.listen, st.join = "worker", addrs[0], addrs[1]
+		default:
+			return fmt.Errorf("nomad: at most two addresses (listen[, join]), got %d", len(addrs))
 		}
 		st.machines = &machines
 		st.network = network
 		return nil
 	}
+}
+
+// WithLockstep selects the deterministic round-based distributed
+// runner: machines exchange tokens at synchronized round boundaries
+// and the result is bitwise-identical for a given (dataset, seed,
+// machines, workers) whatever the backend or process layout — the
+// property the cross-backend CI parity check asserts. Multi-process
+// clusters (WithCluster with addresses) always run lockstep. The cost
+// is the asynchronous overlap the paper advocates, so this is a
+// verification mode, not the fast path.
+func WithLockstep() Option {
+	return func(st *settings) error { st.lockstep = true; return nil }
 }
 
 // WithLoss selects the per-rating loss: "square" (default, paper
@@ -306,6 +357,12 @@ func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 			return nil, err
 		}
 	}
+	if st.algorithm != "nomad" && (st.network == "tcp" || st.role != "" || st.lockstep) {
+		// Only the nomad solver implements the real-socket backend and
+		// the lockstep/multi-process runners; accepting the options for
+		// the baselines would silently train independent local runs.
+		return nil, fmt.Errorf("nomad: the tcp backend, cluster roles and lockstep are only implemented by the %q solver (got %q)", "nomad", st.algorithm)
+	}
 	cfg, err := st.trainConfig()
 	if err != nil {
 		return nil, err
@@ -350,7 +407,14 @@ func (st *settings) trainConfig() (train.Config, error) {
 		cfg.Profile = netsim.HPC()
 	case "commodity":
 		cfg.Profile = netsim.Commodity()
+	case "tcp":
+		cfg.Profile = netsim.Instant() // unused: real sockets carry the traffic
+		cfg.Backend = "tcp"
 	}
+	cfg.Role = st.role
+	cfg.Listen = st.listen
+	cfg.Join = st.join
+	cfg.Lockstep = st.lockstep || st.role != ""
 	lossFn, err := loss.ByName(st.lossName)
 	if err != nil {
 		return cfg, fmt.Errorf("nomad: %w", err)
@@ -403,6 +467,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	s.mu.Unlock()
 
 	res, err := s.algo.Train(ctx, s.ds.inner, cfg, s.hooks())
+	err = publicError(err)
 
 	s.mu.Lock()
 	s.running = false
@@ -490,7 +555,40 @@ func (s *Session) hooks() *train.Hooks {
 		Network: func(e train.NetworkEvent) {
 			s.publish(NetworkEvent{BytesSent: e.BytesSent, MessagesSent: e.MessagesSent})
 		},
+		Peer: func(e train.PeerEvent) {
+			s.publish(PeerDownEvent{Rank: e.Rank, Reason: e.Reason})
+		},
 	}
+}
+
+// PeerError is the typed error Run returns when a machine of a real
+// multi-process cluster stops responding mid-run (its connection broke
+// without an orderly end-of-stream, or its heartbeats timed out).
+type PeerError struct {
+	// Rank is the machine that went down.
+	Rank int
+	// Err is the transport-level cause.
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("nomad: cluster machine %d went down: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// publicError rewraps internal transport failures into the public
+// typed error, leaving everything else untouched.
+func publicError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pd *cluster.PeerDownError
+	if errors.As(err, &pd) {
+		return &PeerError{Rank: pd.Rank, Err: pd.Cause}
+	}
+	return err
 }
 
 // Checkpoint serializes the session's full training state — factors,

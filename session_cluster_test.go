@@ -1,0 +1,126 @@
+package nomad
+
+// Session-level coverage of the real-network cluster surface: option
+// validation for the tcp backend and address lists, loopback runs
+// (async and lockstep) through the public API, cross-backend RMSE
+// parity, and the typed peer-failure error.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nomad/internal/cluster"
+)
+
+func TestWithClusterAddressValidation(t *testing.T) {
+	d := synthSmall(t)
+	bad := map[string]Option{
+		"addrs on sim network":   WithCluster(2, "hpc", ":7070"),
+		"three addresses":        WithCluster(2, "tcp", ":1", ":2", ":3"),
+		"coordinator 1 machine":  WithCluster(1, "tcp", ":7070"),
+		"negative machines":      WithCluster(-1, "tcp", ":0", "host:7070"),
+		"loopback zero machines": WithCluster(0, "tcp"),
+	}
+	for name, opt := range bad {
+		if _, err := NewSession(d, opt); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	good := map[string]Option{
+		"loopback":    WithCluster(3, "tcp"),
+		"coordinator": WithCluster(4, "tcp", ":7070"),
+		"worker":      WithCluster(0, "tcp", ":0", "host:7070"),
+	}
+	for name, opt := range good {
+		if _, err := NewSession(d, opt); err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+	// Only the nomad solver implements the real-socket backend and the
+	// lockstep runners — accepting them for a baseline would silently
+	// train independent local runs instead of a cluster.
+	for name, opts := range map[string][]Option{
+		"dsgd over tcp":       {WithAlgorithm("dsgd"), WithCluster(3, "tcp")},
+		"dsgd as coordinator": {WithAlgorithm("dsgd"), WithCluster(4, "tcp", ":7070")},
+		"hogwild lockstep":    {WithAlgorithm("hogwild"), WithLockstep()},
+	} {
+		if _, err := NewSession(d, opts...); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestSessionTCPLoopbackRun trains over the real-socket backend inside
+// one process, through the public facade.
+func TestSessionTCPLoopbackRun(t *testing.T) {
+	d := synthSmall(t)
+	s, err := NewSession(d,
+		WithCluster(3, "tcp"),
+		WithWorkers(2),
+		WithSeed(5),
+		WithStopConditions(MaxEpochs(3)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesSent == 0 || res.MessagesSent == 0 {
+		t.Fatalf("no wire traffic accounted: %+v", res)
+	}
+	if res.TestRMSE <= 0 || res.TestRMSE > 2 {
+		t.Fatalf("implausible RMSE %v", res.TestRMSE)
+	}
+}
+
+// TestSessionLockstepParityAcrossBackends is the public-API version of
+// the cross-backend guarantee: identical RMSE from the simulated
+// network and from real TCP sockets under WithLockstep.
+func TestSessionLockstepParityAcrossBackends(t *testing.T) {
+	d := synthSmall(t)
+	run := func(network string) float64 {
+		t.Helper()
+		s, err := NewSession(d,
+			WithCluster(3, network),
+			WithWorkers(2),
+			WithLockstep(),
+			WithSeed(5),
+			WithStopConditions(MaxEpochs(2)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TestRMSE
+	}
+	sim := run("instant")
+	tcp := run("tcp")
+	if sim != tcp {
+		t.Fatalf("lockstep RMSE differs across backends: sim %v, tcp %v", sim, tcp)
+	}
+}
+
+func TestPeerErrorWrapsTransportFailure(t *testing.T) {
+	cause := errors.New("connection reset")
+	err := publicError(&cluster.PeerDownError{Rank: 2, Cause: cause})
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("publicError = %T, want *PeerError", err)
+	}
+	if pe.Rank != 2 || !errors.Is(pe, cause) {
+		t.Fatalf("PeerError = %+v", pe)
+	}
+	if publicError(nil) != nil {
+		t.Fatal("publicError(nil) != nil")
+	}
+	plain := errors.New("something else")
+	if publicError(plain) != plain {
+		t.Fatal("unrelated errors must pass through")
+	}
+}
