@@ -1,0 +1,304 @@
+package main
+
+// The -dist mode emits BENCH_dist.json: the machine-to-machine data
+// plane's performance record. It drives whole netlink.Loopback
+// clusters — real TCP sockets, rendezvous, heartbeats — inside one
+// process, training NOMAD end-to-end at several machine counts on
+// both wire sides of the NOMAD_REFERENCE_WIRE A/B (the legacy
+// allocating codec vs the pooled arena-backed one), and pairs that
+// with codec microbenchmarks measuring the frame encode/decode paths
+// in isolation (tokens/s, ns/token and allocations per op).
+//
+//	go run ./cmd/nomad-bench -dist BENCH_dist.json
+//	go run ./cmd/nomad-bench -dist out.json -distmachines 2,4 -distreps 5
+//
+// Both wire sides run interleaved rep by rep in one process (the
+// benchmark boxes are small shared VMs; interleaving lands both sides
+// under the same machine conditions), with the A/B switch flipped via
+// cluster.SetReferenceWire between runs — the switch is consulted
+// when links and senders are constructed, so flipping it between
+// Session.Run calls is exact. Like -sweep, the machine list and rep
+// count are adjustable so CI can smoke a tiny configuration; the
+// datasets, seed, rank and epoch budget are pinned.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	nomad "nomad"
+	"nomad/internal/cluster"
+	"nomad/internal/netlink"
+)
+
+// distDoc is the BENCH_dist.json shape.
+type distDoc struct {
+	GoVersion string       `json:"go"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Protocol  distProtocol `json:"protocol"`
+	EndToEnd  []distPoint  `json:"end_to_end"`
+	Codec     []codecPoint `json:"codec_microbench"`
+}
+
+type distProtocol struct {
+	// Datasets maps profile name to scale: netflix (≈2.8K ratings per
+	// item token — arithmetic-bound) and longtail (≈4.5 —
+	// communication-bound), so the A/B shows the wire path in both
+	// regimes.
+	Datasets map[string]float64 `json:"datasets"`
+	K        int                `json:"k"`
+	Seed     uint64             `json:"seed"`
+	Epochs   int                `json:"epochs"`
+	Reps     int                `json:"reps"`
+	Workers  int                `json:"workers_per_machine"`
+	Machines []int              `json:"machines"`
+	Backend  string             `json:"backend"`
+}
+
+// distPoint is one (dataset, machines, wire side) end-to-end training
+// measurement over the TCP loopback backend.
+type distPoint struct {
+	Dataset      string  `json:"dataset"`
+	Machines     int     `json:"machines"`
+	Wire         string  `json:"wire"`
+	BestUPS      float64 `json:"best_updates_per_sec"`
+	MeanUPS      float64 `json:"mean_updates_per_sec"`
+	TokensPerSec float64 `json:"approx_wire_tokens_per_sec"`
+	BytesSent    int64   `json:"bytes_sent"`
+	MessagesSent int64   `json:"messages_sent"`
+	FinalRMSE    float64 `json:"final_rmse"`
+	Updates      int64   `json:"updates"`
+}
+
+// codecPoint is one isolated codec measurement: a §3.5-sized token
+// batch moving through the frame encoder or decoder with no sockets
+// and no SGD.
+type codecPoint struct {
+	Op           string  `json:"op"` // "encode" or "decode"
+	Wire         string  `json:"wire"`
+	K            int     `json:"k"`
+	BatchTokens  int     `json:"batch_tokens"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	NsPerToken   float64 `json:"ns_per_token"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// distWireSides is the A/B: the legacy allocating wire path and the
+// pooled arena-backed one, in measurement order.
+var distWireSides = []struct {
+	name string
+	ref  bool
+}{{"reference", true}, {"pooled", false}}
+
+// runDist measures the distributed data plane and writes the record.
+func runDist(path string, machineList []int, reps int) error {
+	const (
+		seed   = 7
+		epochs = 2
+		k      = 16
+	)
+	profiles := []struct {
+		name  string
+		scale float64
+	}{{"netflix", 0.0005}, {"longtail", 0.05}}
+	doc := distDoc{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Protocol: distProtocol{Datasets: map[string]float64{}, K: k, Seed: seed,
+			Epochs: epochs, Reps: reps, Workers: 1, Machines: machineList,
+			Backend: "tcp-loopback"},
+	}
+	defer cluster.SetReferenceWire(false)
+	for _, prof := range profiles {
+		doc.Protocol.Datasets[prof.name] = prof.scale
+		ds, err := nomad.Synthesize(prof.name, prof.scale, seed)
+		if err != nil {
+			return err
+		}
+		for _, machines := range machineList {
+			pts := make([]distPoint, len(distWireSides))
+			for i, side := range distWireSides {
+				pts[i] = distPoint{Dataset: prof.name, Machines: machines, Wire: side.name}
+			}
+			// Interleave: warm-up rep (rep 0) plus reps measured, both
+			// sides back to back within each rep.
+			for rep := 0; rep < reps+1; rep++ {
+				for i, side := range distWireSides {
+					cluster.SetReferenceWire(side.ref)
+					res, err := runDistTraining(ds, machines, seed, epochs)
+					if err != nil {
+						return fmt.Errorf("%s p=%d %s wire: %w", prof.name, machines, side.name, err)
+					}
+					if rep == 0 {
+						continue // warm-up (page faults, listener ramp-up)
+					}
+					pt := &pts[i]
+					ups := float64(res.Updates) / res.Seconds
+					pt.MeanUPS += ups / float64(reps)
+					if ups > pt.BestUPS {
+						pt.BestUPS = ups
+						pt.FinalRMSE = res.TestRMSE
+						pt.Updates = res.Updates
+						pt.BytesSent = res.BytesSent
+						pt.MessagesSent = res.MessagesSent
+						pt.TokensPerSec = approxWireTokens(res.BytesSent, res.MessagesSent, k) / res.Seconds
+					}
+				}
+			}
+			for i := range pts {
+				doc.EndToEnd = append(doc.EndToEnd, pts[i])
+				fmt.Printf("   [dist: %s p=%d %s wire: best %.2fM updates/s, ≈%.2fM wire tokens/s, rmse %.4f]\n",
+					prof.name, machines, pts[i].Wire, pts[i].BestUPS/1e6, pts[i].TokensPerSec/1e6, pts[i].FinalRMSE)
+			}
+		}
+	}
+	for _, side := range distWireSides {
+		enc, dec := codecBench(side.ref, k, 100)
+		doc.Codec = append(doc.Codec, enc, dec)
+		fmt.Printf("   [dist: codec %s wire: encode %.1fM tokens/s (%.1f allocs/op), decode %.1fM tokens/s (%.1f allocs/op)]\n",
+			side.name, enc.TokensPerSec/1e6, enc.AllocsPerOp, dec.TokensPerSec/1e6, dec.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runDistTraining is one end-to-end NOMAD run over a TCP loopback
+// cluster: real sockets, one worker per machine, the async runner.
+func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int) (*nomad.Result, error) {
+	s, err := nomad.NewSession(ds,
+		nomad.WithWorkers(1),
+		nomad.WithSeed(seed),
+		nomad.WithCluster(machines, "tcp"),
+		nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(context.Background())
+}
+
+// approxWireTokens estimates how many tokens crossed the wire from
+// the link's byte/message accounting: subtracting the 20-byte frame
+// header and 12-byte batch header per message leaves token data at
+// 4+8k bytes each. Heartbeats and control frames make this a slight
+// under-count, hence "approx" in the record.
+func approxWireTokens(bytesSent, msgs int64, k int) float64 {
+	data := bytesSent - msgs*32
+	if data < 0 {
+		return 0
+	}
+	return float64(data) / float64(4+8*k)
+}
+
+// codecBench measures one wire side's frame encode and decode in
+// isolation: a batchTokens-token rank-k batch per op, reporting
+// tokens/s, ns/token and allocations per op. The reference side
+// reproduces the legacy shape (fresh payload and frame buffers per
+// frame, per-token vector allocation on decode); the pooled side uses
+// the reusable-buffer single-copy paths the TCP link runs in steady
+// state.
+func codecBench(ref bool, k, batchTokens int) (enc, dec codecPoint) {
+	const iters = 20000
+	wire := "pooled"
+	if ref {
+		wire = "reference"
+	}
+	batch := buildCodecBatch(batchTokens, k)
+
+	var encode func()
+	var wbuf []byte
+	if ref {
+		encode = func() {
+			payload, err := netlink.AppendTokenBatch(nil, batch, k)
+			if err != nil {
+				panic(err)
+			}
+			wbuf = netlink.AppendFrame(make([]byte, 0, 20+len(payload)), netlink.FrameTokens, 1, payload)
+		}
+	} else {
+		encode = func() {
+			var err error
+			wbuf, err = netlink.AppendTokenFrame(wbuf[:0], 1, batch, k)
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	encode() // warm
+	encAllocs := testing.AllocsPerRun(100, encode)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		encode()
+	}
+	encSecs := time.Since(start).Seconds()
+
+	frame := append([]byte(nil), wbuf...)
+	rd := bytes.NewReader(frame)
+	var rbuf []byte
+	arena := cluster.NewBatchBuf()
+	var decode func()
+	if ref {
+		decode = func() {
+			rd.Reset(frame)
+			f, err := netlink.ReadFrame(rd)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := netlink.DecodeTokenBatch(f.Payload, k); err != nil {
+				panic(err)
+			}
+		}
+	} else {
+		decode = func() {
+			rd.Reset(frame)
+			var f netlink.Frame
+			var err error
+			f, rbuf, err = netlink.ReadFrameReuse(rd, rbuf)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := netlink.DecodeTokenBatchInto(f.Payload, k, arena); err != nil {
+				panic(err)
+			}
+		}
+	}
+	decode() // warm
+	decAllocs := testing.AllocsPerRun(100, decode)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		decode()
+	}
+	decSecs := time.Since(start).Seconds()
+
+	tok := float64(iters * batchTokens)
+	enc = codecPoint{Op: "encode", Wire: wire, K: k, BatchTokens: batchTokens,
+		TokensPerSec: tok / encSecs, NsPerToken: encSecs * 1e9 / tok, AllocsPerOp: encAllocs}
+	dec = codecPoint{Op: "decode", Wire: wire, K: k, BatchTokens: batchTokens,
+		TokensPerSec: tok / decSecs, NsPerToken: decSecs * 1e9 / tok, AllocsPerOp: decAllocs}
+	return enc, dec
+}
+
+// buildCodecBatch materializes a batch from an arena the way a Sender
+// flush does.
+func buildCodecBatch(tokens, k int) cluster.TokenBatch {
+	buf := cluster.NewBatchBuf()
+	vec := make([]float64, k)
+	for i := 0; i < tokens; i++ {
+		for c := range vec {
+			vec[c] = float64(i*k+c) * 0.25
+		}
+		buf.Add(int32(i), vec)
+	}
+	return buf.Batch(tokens)
+}

@@ -19,8 +19,13 @@
 // (the BenchmarkTrainNomadEpoch workload on both sides of the token-
 // transport A/B, plus fig5/fig6) and merges machine-readable records
 // into the given file; see json.go and the committed BENCH_hotpath.json
-// for the protocol. The -sweep mode records worker scaling; see
-// sweep.go and BENCH_scaling.json.
+// for the protocol. The -sweep mode records worker scaling (sweep.go,
+// BENCH_scaling.json) and the -dist mode records the TCP data plane
+// (dist.go, BENCH_dist.json).
+//
+// -cpuprofile and -memprofile wrap whatever mode was selected in the
+// standard pprof collectors, so perf PRs can attach profiles of the
+// exact benchmark workload they changed.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +43,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code instead of os.Exit, so deferred
+// profile flushing survives every exit path.
+func run() int {
 	var (
 		exp       = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
@@ -52,20 +65,55 @@ func main() {
 		sweepPath = flag.String("sweep", "", "measure the worker-scaling sweep (updates/s vs workers per transport, plus the transport tokens/s microbench) and write it to this JSON file")
 		sweepWkrs = flag.String("sweepworkers", "1,2,4", "comma-separated worker counts for -sweep")
 		sweepReps = flag.Int("sweepreps", 3, "measured reps per -sweep point (plus one warm-up)")
+		distPath  = flag.String("dist", "", "measure the TCP data plane (loopback clusters on both wire sides, plus codec microbenchmarks) and write it to this JSON file")
+		distMachs = flag.String("distmachines", "2,4", "comma-separated machine counts for -dist")
+		distReps  = flag.Int("distreps", 3, "measured reps per -dist point (plus one warm-up)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nomad-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "nomad-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	kind, err := queue.KindByName(*transport)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nomad-bench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	opts := experiments.Options{
 		Scale:     *scale,
@@ -82,59 +130,75 @@ func main() {
 		// Like -json, the sweep's training protocol is pinned so records
 		// stay comparable; reject tuning flags rather than silently
 		// ignore them. Only the worker list and rep count are knobs.
-		var clash []string
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "sweep", "sweepworkers", "sweepreps":
-			default:
-				clash = append(clash, "-"+f.Name)
-			}
-		})
-		if len(clash) > 0 {
+		if clash := clashingFlags("sweep", "sweepworkers", "sweepreps"); len(clash) > 0 {
 			fmt.Fprintf(os.Stderr, "nomad-bench: -sweep measures a pinned protocol and cannot be combined with %s\n",
 				strings.Join(clash, ", "))
-			os.Exit(2)
+			return 2
 		}
 		wl, err := parseWorkerList(*sweepWkrs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: -sweepworkers: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if *sweepReps < 1 {
 			fmt.Fprintln(os.Stderr, "nomad-bench: -sweepreps must be ≥ 1")
-			os.Exit(2)
+			return 2
 		}
 		if err := runSweep(*sweepPath, wl, *sweepReps); err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: sweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("   [sweep record written to %s]\n", *sweepPath)
-		return
+		return 0
+	}
+	if *distPath != "" {
+		// Same contract as -sweep: the datasets, seed, rank and epoch
+		// budget are pinned; only the machine list and rep count vary.
+		if clash := clashingFlags("dist", "distmachines", "distreps"); len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -dist measures a pinned protocol and cannot be combined with %s\n",
+				strings.Join(clash, ", "))
+			return 2
+		}
+		ml, err := parseWorkerList(*distMachs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: -distmachines: %v\n", err)
+			return 2
+		}
+		for _, m := range ml {
+			if m < 2 {
+				fmt.Fprintln(os.Stderr, "nomad-bench: -distmachines entries must be ≥ 2 (a cluster needs peers)")
+				return 2
+			}
+		}
+		if *distReps < 1 {
+			fmt.Fprintln(os.Stderr, "nomad-bench: -distreps must be ≥ 1")
+			return 2
+		}
+		if err := runDist(*distPath, ml, *distReps); err != nil {
+			fmt.Fprintf(os.Stderr, "nomad-bench: dist: %v\n", err)
+			return 1
+		}
+		fmt.Printf("   [dist record written to %s]\n", *distPath)
+		return 0
 	}
 	if *jsonPath != "" {
 		// The -json set is pinned so records stay comparable across
 		// PRs; reject any tuning flag rather than silently ignore it.
-		var clash []string
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name != "json" {
-				clash = append(clash, "-"+f.Name)
-			}
-		})
-		if len(clash) > 0 {
+		if clash := clashingFlags("json"); len(clash) > 0 {
 			fmt.Fprintf(os.Stderr, "nomad-bench: -json measures a pinned benchmark set and cannot be combined with %s\n",
 				strings.Join(clash, ", "))
-			os.Exit(2)
+			return 2
 		}
 		if err := runJSON(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("   [json baseline+after records written to %s]\n", *jsonPath)
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "nomad-bench: -exp required (or -list, -json); e.g. -exp fig5")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "nomad-bench: -exp required (or -list, -json, -sweep, -dist); e.g. -exp fig5")
+		return 2
 	}
 
 	var ids []string
@@ -149,20 +213,38 @@ func main() {
 		res, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := experiments.Render(os.Stdout, res); err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: render %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		if *tsvDir != "" {
 			if err := writeTSV(*tsvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "nomad-bench: tsv %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("   [%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	return 0
+}
+
+// clashingFlags returns every explicitly set flag that is neither one
+// of the mode's own knobs nor a profile flag (-cpuprofile and
+// -memprofile compose with every mode — that is their point).
+func clashingFlags(allowed ...string) []string {
+	ok := map[string]bool{"cpuprofile": true, "memprofile": true}
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	var clash []string
+	flag.Visit(func(f *flag.Flag) {
+		if !ok[f.Name] {
+			clash = append(clash, "-"+f.Name)
+		}
+	})
+	return clash
 }
 
 // writeTSV saves each series as "<id>_<label>.tsv" with

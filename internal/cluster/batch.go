@@ -1,0 +1,166 @@
+package cluster
+
+// Arena-backed token batches: the allocation-free representation of
+// the §3.5 unit of network transfer. A BatchBuf is one flat []float64
+// payload plus the token indices; materializing it as a TokenBatch
+// hands out Token structs whose Vec fields are views into the flat
+// array, so building, encoding and decoding a batch never allocates
+// per token. Senders keep one BatchBuf per destination and Reset it
+// after every flush; receivers decode into pooled BatchBufs that the
+// consumer returns with TokenBatch.Release once the tokens have been
+// copied out — the explicit hand-off that lets one arena cycle
+// between a connection's reader and the training runner forever.
+//
+// Ownership rules (see also Link.Send):
+//
+//   - A batch produced by (*BatchBuf).Batch is a view: the arena's
+//     owner may Reset and refill it as soon as the batch's consumer
+//     (a Link's Send) returns.
+//   - A batch produced by (*BatchBuf).HandOff owns its arena: exactly
+//     one consumer must call Release when the tokens are no longer
+//     needed, after which every view into the batch is invalid.
+//
+// NOMAD_REFERENCE_WIRE=1 pins the legacy allocating wire data plane
+// (per-token vector allocation on decode, per-frame buffers on
+// encode, per-batch pending slices in the Sender, free-running
+// heartbeats) — the in-tree A/B switch of the wire-path benchmarks,
+// in the mould of NOMAD_REFERENCE_KERNELS and
+// NOMAD_REFERENCE_TRANSPORT.
+
+import (
+	"os"
+	"sync"
+)
+
+// referenceWire pins the legacy allocating wire path. Read once at
+// startup; SetReferenceWire overrides it for in-process A/B runs.
+var referenceWire = os.Getenv("NOMAD_REFERENCE_WIRE") != ""
+
+// ReferenceWire reports whether the legacy wire data plane is forced:
+// allocating codec paths in internal/netlink, per-batch pending
+// slices in Sender, and heartbeats that always take their own write.
+func ReferenceWire() bool { return referenceWire }
+
+// SetReferenceWire overrides the NOMAD_REFERENCE_WIRE switch at run
+// time. cmd/nomad-bench uses it to measure both wire sides
+// interleaved in one process. The switch is consulted when links and
+// senders are constructed — never flip it while a run is active.
+func SetReferenceWire(v bool) { referenceWire = v }
+
+// BatchBuf is a reusable arena for one TokenBatch: the token item
+// indices plus one flat float64 payload every token vector is a view
+// into. The zero value is ready to use. A BatchBuf is not safe for
+// concurrent use; the hand-off between goroutines is sequential
+// (build → send → Release).
+type BatchBuf struct {
+	items []int32
+	ends  []int32 // ends[i] is the end offset of token i's vector in vals
+	vals  []float64
+	toks  []Token // materialized views, rebuilt by Batch/HandOff
+}
+
+// NewBatchBuf returns an empty, unpooled arena (senders keep theirs
+// for the life of the run; use GetBatchBuf for the recycling pool).
+func NewBatchBuf() *BatchBuf { return &BatchBuf{} }
+
+// batchPool recycles decode-side arenas between a link's readers and
+// the runner that consumes their batches.
+var batchPool = sync.Pool{New: func() any { return new(BatchBuf) }}
+
+// GetBatchBuf returns an empty arena from the shared pool. Pair it
+// with HandOff so the consumer's Release recycles it.
+func GetBatchBuf() *BatchBuf {
+	b := batchPool.Get().(*BatchBuf)
+	b.Reset()
+	return b
+}
+
+// Release returns the arena to the shared pool. The caller must not
+// touch the arena, or any batch materialized from it, afterwards.
+func (b *BatchBuf) Release() { batchPool.Put(b) }
+
+// Reset empties the arena, keeping its capacity.
+func (b *BatchBuf) Reset() {
+	b.items = b.items[:0]
+	b.ends = b.ends[:0]
+	b.vals = b.vals[:0]
+}
+
+// Len returns the number of tokens accumulated.
+func (b *BatchBuf) Len() int { return len(b.items) }
+
+// Add copies one token into the arena.
+func (b *BatchBuf) Add(item int32, vec []float64) {
+	copy(b.AddVec(item, len(vec)), vec)
+}
+
+// AddVec appends a token with an uninitialized k-coordinate vector
+// and returns that vector for the caller to fill in place — the
+// decode path writes wire floats straight into the arena through it.
+// The caller must overwrite all k coordinates (reused arena capacity
+// holds stale values). The returned slice is only valid until the
+// next Add/AddVec.
+func (b *BatchBuf) AddVec(item int32, k int) []float64 {
+	b.items = append(b.items, item)
+	start := len(b.vals)
+	b.vals = grow(b.vals, start+k)
+	b.ends = append(b.ends, int32(start+k))
+	return b.vals[start : start+k]
+}
+
+// grow extends s to length n, reallocating amortized-doubling like
+// append so steady-state reuse never allocates.
+func grow(s []float64, n int) []float64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return append(s, make([]float64, n-len(s))...)
+}
+
+// Batch materializes the arena as a TokenBatch whose token vectors
+// are views into the flat payload. The arena retains ownership: the
+// caller may Reset and refill it as soon as the batch's consumer
+// returns (Link.Send copies or encodes before returning).
+func (b *BatchBuf) Batch(queueLen int) TokenBatch {
+	return TokenBatch{Tokens: b.views(), QueueLen: queueLen}
+}
+
+// HandOff materializes like Batch but transfers ownership to the
+// batch: the consumer that finishes with the tokens calls
+// TokenBatch.Release, which returns the arena to the shared pool.
+func (b *BatchBuf) HandOff(queueLen int) TokenBatch {
+	return TokenBatch{Tokens: b.views(), QueueLen: queueLen, buf: b}
+}
+
+// views rebuilds the token view slice over the current arena state.
+func (b *BatchBuf) views() []Token {
+	if cap(b.toks) < len(b.items) {
+		b.toks = make([]Token, len(b.items))
+	} else {
+		b.toks = b.toks[:len(b.items)]
+	}
+	start := int32(0)
+	for i, item := range b.items {
+		end := b.ends[i]
+		var vec []float64
+		if end > start {
+			vec = b.vals[start:end:end]
+		}
+		b.toks[i] = Token{Item: item, Vec: vec}
+		start = end
+	}
+	return b.toks
+}
+
+// CloneBatch deep-copies a batch — vectors included — into a pooled
+// arena and returns the owning copy. It is the boundary copy of
+// by-reference transports: the simulated network delivers payloads
+// without serializing them, so it clones at Send and the receiver
+// Releases after unpacking, exactly like a decoded wire batch.
+func CloneBatch(src TokenBatch) TokenBatch {
+	buf := GetBatchBuf()
+	for _, t := range src.Tokens {
+		buf.Add(t.Item, t.Vec)
+	}
+	return buf.HandOff(src.QueueLen)
+}

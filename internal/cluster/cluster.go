@@ -23,26 +23,59 @@ type Token struct {
 // TokenBatch is the unit of network transfer between machines. QueueLen
 // carries the sender's current total queue length — the single-integer
 // payload of §3.3 that lets receivers route work away from busy peers.
+//
+// A batch may be arena-backed (see BatchBuf): every token's Vec is
+// then a view into one flat float64 payload. Inbound batches
+// delivered by a Link own their arena; the consumer copies the
+// vectors it needs and calls Release to recycle it.
 type TokenBatch struct {
 	Tokens   []Token
 	QueueLen int
+
+	// buf is the owning arena of a handed-off batch, nil for loose or
+	// view-only batches.
+	buf *BatchBuf
+}
+
+// Release returns an owned batch's arena to the shared pool and
+// invalidates the batch's token views. It is a no-op for batches that
+// own no arena, so consumers may call it unconditionally — but at
+// most once per delivered batch, on the delivered value itself.
+func (b *TokenBatch) Release() {
+	if b.buf == nil {
+		return
+	}
+	buf := b.buf
+	b.buf, b.Tokens = nil, nil
+	buf.Release()
 }
 
 // Sender accumulates outbound tokens per destination machine and
 // flushes them as TokenBatch messages of up to BatchSize tokens over a
 // Link. It is intended to be driven by a single sender goroutine per
 // machine and is not safe for concurrent use.
+//
+// Add copies the token's vector into a per-destination arena
+// (BatchBuf), so the caller keeps ownership of the vector and may
+// recycle it as soon as Add returns; each Flush materializes the
+// arena as a view batch, sends it, and Resets the arena — zero
+// steady-state allocation. Under NOMAD_REFERENCE_WIRE the legacy
+// path is restored: Add retains the token (vector included) in a
+// per-destination pending slice that is surrendered at flush.
 type Sender struct {
 	link      Link
 	batchSize int
 	queueLen  func() int // sampled at flush time for the gossip payload
-	pending   [][]Token
+	refwire   bool
+	pending   [][]Token   // reference wire: per-destination retained tokens
+	bufs      []*BatchBuf // arena path: per-destination reusable arenas
 	closed    bool
 	err       error // first non-closure Send failure, surfaced until Close
 }
 
 // NewSender returns a Sender over the given link. queueLen supplies
-// the gossip payload; it may be nil, in which case 0 is sent.
+// the gossip payload; it may be nil, in which case 0 is sent. The
+// wire A/B switch is consulted here, once per sender.
 func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 	if batchSize < 1 {
 		batchSize = 1
@@ -50,19 +83,37 @@ func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 	if queueLen == nil {
 		queueLen = func() int { return 0 }
 	}
-	return &Sender{
+	s := &Sender{
 		link:      link,
 		batchSize: batchSize,
 		queueLen:  queueLen,
-		pending:   make([][]Token, link.Machines()),
+		refwire:   ReferenceWire(),
 	}
+	if s.refwire {
+		s.pending = make([][]Token, link.Machines())
+	} else {
+		s.bufs = make([]*BatchBuf, link.Machines())
+		for i := range s.bufs {
+			s.bufs[i] = NewBatchBuf()
+		}
+	}
+	return s
 }
 
 // Add enqueues a token for dst, flushing automatically when the batch
-// for that destination is full.
+// for that destination is full. The token's vector is copied; the
+// caller may reuse it as soon as Add returns (except under the
+// reference wire path, which retains it until flush).
 func (s *Sender) Add(dst int, t Token) {
-	s.pending[dst] = append(s.pending[dst], t)
-	if len(s.pending[dst]) >= s.batchSize {
+	if s.refwire {
+		s.pending[dst] = append(s.pending[dst], t)
+		if len(s.pending[dst]) >= s.batchSize {
+			s.Flush(dst) //nolint:errcheck // surfaced by the next FlushAll/Close
+		}
+		return
+	}
+	s.bufs[dst].Add(t.Item, t.Vec)
+	if s.bufs[dst].Len() >= s.batchSize {
 		s.Flush(dst) //nolint:errcheck // surfaced by the next FlushAll/Close
 	}
 }
@@ -74,10 +125,21 @@ func (s *Sender) Add(dst int, t Token) {
 // the teardown ordering hazard where a barrier participant has already
 // exited and closed the link under a straggling sender.
 func (s *Sender) Flush(dst int) error {
-	if s.closed || len(s.pending[dst]) == 0 {
+	if s.closed {
 		return s.err
 	}
-	batch := TokenBatch{Tokens: s.pending[dst], QueueLen: s.queueLen()}
+	var batch TokenBatch
+	if s.refwire {
+		if len(s.pending[dst]) == 0 {
+			return s.err
+		}
+		batch = TokenBatch{Tokens: s.pending[dst], QueueLen: s.queueLen()}
+	} else {
+		if s.bufs[dst].Len() == 0 {
+			return s.err
+		}
+		batch = s.bufs[dst].Batch(s.queueLen())
+	}
 	if err := s.link.Send(dst, batch); err != nil {
 		s.closed = true
 		if errors.Is(err, ErrLinkClosed) {
@@ -90,7 +152,11 @@ func (s *Sender) Flush(dst int) error {
 		s.err = err
 		return err
 	}
-	s.pending[dst] = nil
+	if s.refwire {
+		s.pending[dst] = nil // surrendered: the link delivers by reference
+	} else {
+		s.bufs[dst].Reset() // Send copied or encoded; the arena is ours again
+	}
 	return nil
 }
 
@@ -102,7 +168,7 @@ func (s *Sender) FlushAll() error {
 	if s.closed {
 		return s.err
 	}
-	for dst := range s.pending {
+	for dst := 0; dst < s.link.Machines(); dst++ {
 		if err := s.Flush(dst); err != nil {
 			return err
 		}
@@ -124,8 +190,14 @@ func (s *Sender) Close() error {
 // PendingTotal reports how many tokens are buffered and unsent.
 func (s *Sender) PendingTotal() int {
 	n := 0
-	for _, p := range s.pending {
-		n += len(p)
+	if s.refwire {
+		for _, p := range s.pending {
+			n += len(p)
+		}
+		return n
+	}
+	for _, b := range s.bufs {
+		n += b.Len()
 	}
 	return n
 }

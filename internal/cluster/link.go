@@ -76,11 +76,20 @@ type Link interface {
 	// Send transmits a token batch to peer dst. It may block on
 	// backpressure and returns ErrLinkClosed after CloseSend/Close, or
 	// a *PeerDownError once the link has failed.
+	//
+	// Ownership: the batch and its token vectors remain the caller's;
+	// implementations copy or encode them before returning, so the
+	// caller may reuse the backing arrays (a Sender's per-destination
+	// arena, a lockstep outbox) as soon as Send returns.
 	Send(dst int, batch TokenBatch) error
 	// Recv returns the inbound token-batch channel. It is closed once
 	// every peer has ended its stream (CloseSend) and all in-flight
 	// batches have been delivered — or when the link fails, in which
 	// case Err reports why.
+	//
+	// Ownership: each delivered batch may be arena-backed; the
+	// consumer copies out the vectors it keeps and calls
+	// TokenBatch.Release to recycle the arena.
 	Recv() <-chan Inbound
 
 	// SendCtl transmits a small control frame to peer dst (dst == -1
@@ -218,7 +227,10 @@ func (l *SimLink) Machines() int { return l.cluster.net.Machines() }
 
 // Send implements Link, modelling the batch's wire size exactly as the
 // historical netsim path: an 8-byte batch header plus one token wire
-// size per token.
+// size per token. The simulated network delivers payloads by
+// reference, so the boundary copy the wire contract promises is a
+// deep clone into a pooled arena — the receiver unpacks it and
+// Releases, just like a decoded TCP batch.
 func (l *SimLink) Send(dst int, batch TokenBatch) error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -229,7 +241,7 @@ func (l *SimLink) Send(dst int, batch TokenBatch) error {
 	for range batch.Tokens {
 		size += netsim.VectorWireSize(l.cluster.k)
 	}
-	l.cluster.net.Send(l.rank, dst, size, batch)
+	l.cluster.net.Send(l.rank, dst, size, CloneBatch(batch))
 	l.bytesSent.Add(int64(size))
 	l.msgsSent.Add(1)
 	return nil

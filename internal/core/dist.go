@@ -24,6 +24,68 @@ type distToken struct {
 	visits []int8
 }
 
+// tokenPool recycles distTokens between a machine's sender (producer
+// of spent tokens) and its receiver (consumer): the sender returns a
+// token once Sender.Add has copied its vector into the outbound batch
+// arena, and the receiver refills it — vector storage and visit-plan
+// backing included — from the next inbound arena, so the steady-state
+// receive path allocates nothing. A buffered channel with
+// non-blocking operations keeps the exchange safe and cheap from each
+// side's single goroutine; an empty pool just allocates, a full one
+// just drops.
+//
+// Under the reference wire path (NOMAD_REFERENCE_WIRE) the pool is
+// nil: the legacy Sender retains token vectors until flush, so spent
+// tokens must not be reused, and inbound vectors are freshly
+// allocated by the legacy decode and travel with the token as before.
+type tokenPool struct{ free chan *distToken }
+
+// newTokenPool returns a pool of the given capacity, or nil under the
+// reference wire path.
+func newTokenPool(capacity int) *tokenPool {
+	if cluster.ReferenceWire() {
+		return nil
+	}
+	return &tokenPool{free: make(chan *distToken, capacity)}
+}
+
+// fromInbound materializes an inbound wire token as a machine-local
+// distToken, copying the k-coordinate vector out of the (recycled)
+// batch arena into pooled storage.
+func (tp *tokenPool) fromInbound(t cluster.Token, k int) *distToken {
+	if tp == nil {
+		return &distToken{tok: t} // reference wire: the decoded vector travels
+	}
+	select {
+	case tok := <-tp.free:
+		tok.tok.Item = t.Item
+		vec := tok.tok.Vec
+		if cap(vec) < k {
+			vec = make([]float64, k)
+		}
+		vec = vec[:k]
+		copy(vec, t.Vec)
+		tok.tok.Vec = vec
+		return tok
+	default:
+		vec := make([]float64, k)
+		copy(vec, t.Vec)
+		return &distToken{tok: cluster.Token{Item: t.Item, Vec: vec}}
+	}
+}
+
+// put returns a spent token (vector already copied into a batch
+// arena) for reuse. No-op under the reference wire path.
+func (tp *tokenPool) put(tok *distToken) {
+	if tp == nil {
+		return
+	}
+	select {
+	case tp.free <- tok:
+	default: // pool full: let the GC have it
+	}
+}
+
 // machine is one simulated machine of the hybrid architecture: Workers
 // compute goroutines plus the dedicated sender and receiver goroutines
 // the paper reserves for communication (§3.4).
@@ -32,6 +94,7 @@ type machine struct {
 	workers int
 	queues  []queue.Queue[*distToken]
 	out     chan *distToken
+	pool    *tokenPool // sender→receiver distToken recycling
 
 	// lastKnown[r] is the most recent queue-length gossip received
 	// from machine r (§3.3).
@@ -88,6 +151,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 			workers:   W,
 			queues:    make([]queue.Queue[*distToken], W),
 			out:       make(chan *distToken, 4*cfg.BatchSize),
+			pool:      newTokenPool(4 * cfg.BatchSize),
 			lastKnown: make([]atomic.Int64, M),
 		}
 		for w := 0; w < W; w++ {
@@ -321,7 +385,8 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 				s.Close() //nolint:errcheck // link failure surfaces via link.Err
 				return
 			}
-			s.Add(pick(), tok.tok)
+			s.Add(pick(), tok.tok) // copies the vector into the batch arena
+			mc.pool.put(tok)
 		default:
 			// Channel dry: push out partial batches, then block.
 			s.FlushAll() //nolint:errcheck
@@ -331,19 +396,28 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 				return
 			}
 			s.Add(pick(), tok.tok)
+			mc.pool.put(tok)
 		}
 	}
 }
 
 // runReceiver unpacks inbound token batches, records queue-length
-// gossip and starts each token's local circulation. It runs until
-// every peer has ended its stream (or the link fails).
+// gossip and starts each token's local circulation. Inbound batches
+// are arena-backed: each token's vector is copied into a recycled
+// distToken and the arena is released back to the link's pool. It
+// runs until every peer has ended its stream (or the link fails).
 func runReceiver(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source) {
 	scratch := make([]int, mc.workers)
 	for inb := range link.Recv() {
 		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
 		for _, t := range inb.Batch.Tokens {
-			deliverLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
+			deliverLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
+		}
+		if mc.pool != nil {
+			// The vectors were copied out above; recycle the arena. The
+			// reference wire path retains them, so there the batch must
+			// keep its backing storage (Release would corrupt it).
+			inb.Batch.Release()
 		}
 	}
 }

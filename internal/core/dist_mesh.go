@@ -31,6 +31,7 @@ type meshMachine struct {
 	id      int
 	workers int
 	mesh    *queue.Mesh[*distToken]
+	pool    *tokenPool // sender→receiver distToken recycling
 
 	// pending holds receiver-delivered tokens whose worker lane was
 	// momentarily full; retried on the next inbound message and folded
@@ -144,6 +145,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 			id:        mcID,
 			workers:   W,
 			mesh:      queue.NewMesh[*distToken](W+1, meshRingCap(n, M*W)),
+			pool:      newTokenPool(4 * cfg.BatchSize),
 			pending:   make([][]*distToken, W+1),
 			lastKnown: make([]atomic.Int64, M),
 		}
@@ -423,6 +425,7 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 					}
 					for i := 0; i < k; i++ {
 						s.Add(pick(), buf[i].tok)
+						mc.pool.put(buf[i])
 						buf[i] = nil
 					}
 				}
@@ -434,7 +437,10 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 		}
 		idle.reset()
 		for i := 0; i < k; i++ {
+			// Add copies the vector into the batch arena, so the token
+			// itself goes straight back to the receive-side pool.
 			s.Add(pick(), buf[i].tok)
+			mc.pool.put(buf[i])
 			buf[i] = nil
 		}
 	}
@@ -442,14 +448,22 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 
 // runMeshReceiver unpacks inbound token batches, records queue-length
 // gossip and starts each token's local circulation through the mesh.
-// It runs until every peer has ended its stream (or the link fails).
+// Each token's vector is copied out of the arena-backed batch into a
+// recycled distToken, then the arena is released back to the link's
+// pool. It runs until every peer has ended its stream (or the link
+// fails).
 func runMeshReceiver(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source) {
 	scratch := make([]int, mc.workers)
 	for inb := range link.Recv() {
 		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
 		mc.retryPending()
 		for _, t := range inb.Batch.Tokens {
-			deliverMeshLocal(mc, &distToken{tok: t}, cfg.Circulate, r, scratch)
+			deliverMeshLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
+		}
+		if mc.pool != nil {
+			// Copied out above; reference wire retains the vectors, so
+			// only the pooled path may recycle the arena.
+			inb.Batch.Release()
 		}
 	}
 }

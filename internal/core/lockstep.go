@@ -162,8 +162,7 @@ func (c *lockCollector) pump() error {
 			c.recvCh = nil // keep draining ctl
 			return nil
 		}
-		round := uint32(inb.Batch.QueueLen)
-		c.byRound[inb.From][round] = append(c.byRound[inb.From][round], inb.Batch.Tokens...)
+		c.bin(inb)
 	case ct, ok := <-c.ctlCh:
 		if !ok {
 			c.ctlCh = nil // keep draining recv
@@ -192,6 +191,26 @@ func (c *lockCollector) pump() error {
 		}
 	}
 	return nil
+}
+
+// bin files one delivered batch under its round tag. Inbound batches
+// are arena-backed and recycled on Release, so a bin that outlives
+// this call deep-copies the vectors it keeps.
+func (c *lockCollector) bin(inb cluster.Inbound) {
+	round := uint32(inb.Batch.QueueLen)
+	c.byRound[inb.From][round] = appendTokenCopies(c.byRound[inb.From][round], inb.Batch.Tokens)
+	inb.Batch.Release()
+}
+
+// appendTokenCopies appends deep copies of src's tokens — vectors
+// included — onto dst.
+func appendTokenCopies(dst []cluster.Token, src []cluster.Token) []cluster.Token {
+	for _, t := range src {
+		vec := make([]float64, len(t.Vec))
+		copy(vec, t.Vec)
+		dst = append(dst, cluster.Token{Item: t.Item, Vec: vec})
+	}
+	return dst
 }
 
 func (c *lockCollector) deadErr() error {
@@ -255,8 +274,7 @@ func (c *lockCollector) drainBuffered() error {
 				c.recvCh = nil
 				return nil
 			}
-			round := uint32(inb.Batch.QueueLen)
-			c.byRound[inb.From][round] = append(c.byRound[inb.From][round], inb.Batch.Tokens...)
+			c.bin(inb)
 		default:
 			return nil
 		}
@@ -497,10 +515,11 @@ func lockstepMachine(ctx context.Context, link cluster.Link, ds *dataset.Dataset
 		}
 		queue = queue[:0]
 
-		// Ship, then mark the round's end on every peer. The shipped
-		// slices are surrendered (nil, not [:0]): the sim backend
-		// delivers them by reference, so reusing the backing array next
-		// round would corrupt batches a slower peer has not binned yet.
+		// Ship, then mark the round's end on every peer. The outbox
+		// slices are reusable immediately: Send's boundary rule means
+		// every link copies or encodes the batch before returning (the
+		// sim backend deep-copies into a pooled arena), so no peer ever
+		// holds a reference into this machine's backing arrays.
 		for dst := 0; dst < M; dst++ {
 			if dst == rank {
 				queue = append(queue, outbox[dst]...) // self-routed (M == 1 only)
@@ -510,7 +529,7 @@ func lockstepMachine(ctx context.Context, link cluster.Link, ds *dataset.Dataset
 			if err := shipTokens(link, dst, outbox[dst], cfg.BatchSize, round); err != nil {
 				return abort(err)
 			}
-			outbox[dst] = nil
+			outbox[dst] = outbox[dst][:0]
 		}
 		var end [12]byte
 		binary.LittleEndian.PutUint32(end[:], round)
@@ -614,14 +633,17 @@ func lockstepWorkerFinish(link cluster.Link, ds *dataset.Dataset, cfg train.Conf
 	}
 	link.CloseSend() //nolint:errcheck
 	// Drain until every peer (the coordinator included) ends its
-	// stream; nothing after our fold shipment is addressed to us.
+	// stream; nothing after our fold shipment is addressed to us, but
+	// stray batches still carry pooled arenas that want recycling.
 	recv, ctl := link.Recv(), link.Ctl()
 	for recv != nil || ctl != nil {
 		select {
-		case _, ok := <-recv:
+		case inb, ok := <-recv:
 			if !ok {
 				recv = nil
+				continue
 			}
+			inb.Batch.Release()
 		case _, ok := <-ctl:
 			if !ok {
 				ctl = nil
@@ -704,6 +726,7 @@ func lockstepGather(link cluster.Link, ds *dataset.Dataset, cfg train.Config,
 				copy(md.ItemRow(int(tok.Item)), tok.Vec)
 				collected++
 			}
+			inb.Batch.Release()
 		case ct, ok := <-ctl:
 			if !ok {
 				ctl = nil

@@ -1,0 +1,167 @@
+package netlink
+
+// Zero-allocation assertions for the steady-state wire hot path: once
+// a connection's encode buffer, read buffer and decode arena are warm,
+// moving a token batch through the codec must not allocate at all —
+// the property the pooled data plane exists for, pinned here with
+// testing.AllocsPerRun so a regression fails CI rather than showing up
+// as GC pressure in a benchmark.
+
+import (
+	"bytes"
+	"testing"
+
+	"nomad/internal/cluster"
+)
+
+// allocBatch builds a representative §3.5 batch: batchTokens rank-k
+// tokens materialized from an arena, exactly like a Sender flush.
+func allocBatch(tokens, k int) (cluster.TokenBatch, *cluster.BatchBuf) {
+	buf := cluster.NewBatchBuf()
+	vec := make([]float64, k)
+	for i := 0; i < tokens; i++ {
+		for c := range vec {
+			vec[c] = float64(i*k + c)
+		}
+		buf.Add(int32(i), vec)
+	}
+	return buf.Batch(tokens), buf
+}
+
+func TestTokenFrameEncodeAllocFree(t *testing.T) {
+	const tokens, k = 100, 16
+	batch, _ := allocBatch(tokens, k)
+	var wbuf []byte
+	var err error
+	wbuf, err = AppendTokenFrame(wbuf[:0], 1, batch, k) // warm the buffer
+	if err != nil {
+		t.Fatalf("AppendTokenFrame: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		wbuf, err = AppendTokenFrame(wbuf[:0], 1, batch, k)
+		if err != nil {
+			t.Fatalf("AppendTokenFrame: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state token-frame encode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestFrameEncodeAllocFree(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xA5}, 256)
+	wbuf := AppendFrame(nil, FrameCtl, 2, payload) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		wbuf = AppendFrame(wbuf[:0], FrameCtl, 2, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame encode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestFrameDecodeAllocFree(t *testing.T) {
+	const tokens, k = 100, 16
+	batch, _ := allocBatch(tokens, k)
+	wire, err := AppendTokenFrame(nil, 1, batch, k)
+	if err != nil {
+		t.Fatalf("AppendTokenFrame: %v", err)
+	}
+	rd := bytes.NewReader(wire)
+	var rbuf []byte
+	arena := cluster.NewBatchBuf()
+
+	// Warm the read buffer and the arena once.
+	f, rbuf, err := ReadFrameReuse(rd, rbuf)
+	if err != nil {
+		t.Fatalf("ReadFrameReuse: %v", err)
+	}
+	if _, err := DecodeTokenBatchInto(f.Payload, k, arena); err != nil {
+		t.Fatalf("DecodeTokenBatchInto: %v", err)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(wire)
+		f, rbuf, err = ReadFrameReuse(rd, rbuf)
+		if err != nil {
+			t.Fatalf("ReadFrameReuse: %v", err)
+		}
+		got, err := DecodeTokenBatchInto(f.Payload, k, arena)
+		if err != nil {
+			t.Fatalf("DecodeTokenBatchInto: %v", err)
+		}
+		if len(got.Tokens) != tokens {
+			t.Fatalf("decoded %d tokens, want %d", len(got.Tokens), tokens)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame decode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTokenBatchArenaRoundTrip pins the arena decode against the
+// allocating reference decode: identical tokens, and the handed-off
+// batch releases its arena back to the pool without corrupting a copy
+// taken before Release.
+func TestTokenBatchArenaRoundTrip(t *testing.T) {
+	const tokens, k = 7, 5
+	batch, _ := allocBatch(tokens, k)
+	payload, err := AppendTokenBatch(nil, batch, k)
+	if err != nil {
+		t.Fatalf("AppendTokenBatch: %v", err)
+	}
+	ref, err := DecodeTokenBatch(payload, k)
+	if err != nil {
+		t.Fatalf("DecodeTokenBatch: %v", err)
+	}
+	got, err := DecodeTokenBatchInto(payload, k, cluster.GetBatchBuf())
+	if err != nil {
+		t.Fatalf("DecodeTokenBatchInto: %v", err)
+	}
+	if got.QueueLen != ref.QueueLen || len(got.Tokens) != len(ref.Tokens) {
+		t.Fatalf("arena decode = %d tokens (gossip %d), reference = %d (%d)",
+			len(got.Tokens), got.QueueLen, len(ref.Tokens), ref.QueueLen)
+	}
+	for i := range ref.Tokens {
+		if got.Tokens[i].Item != ref.Tokens[i].Item {
+			t.Fatalf("token %d item = %d, want %d", i, got.Tokens[i].Item, ref.Tokens[i].Item)
+		}
+		for c := range ref.Tokens[i].Vec {
+			if got.Tokens[i].Vec[c] != ref.Tokens[i].Vec[c] {
+				t.Fatalf("token %d coord %d = %v, want %v", i, c, got.Tokens[i].Vec[c], ref.Tokens[i].Vec[c])
+			}
+		}
+	}
+	// The hand-off contract: copy out, then Release; the copy survives.
+	kept := make([]float64, k)
+	copy(kept, got.Tokens[3].Vec)
+	got.Release()
+	for c := range kept {
+		if kept[c] != ref.Tokens[3].Vec[c] {
+			t.Fatalf("copied-out vector corrupted after Release")
+		}
+	}
+	if got.Tokens != nil {
+		t.Fatalf("Release must invalidate the batch's token views")
+	}
+}
+
+// TestDecodeTokenBatchRejectsInflatedCount is the satellite guard: a
+// wire-supplied token count that exceeds what the payload's actual
+// length can hold must be rejected before any allocation happens.
+func TestDecodeTokenBatchRejectsInflatedCount(t *testing.T) {
+	const k = 2
+	batch, _ := allocBatch(1, k)
+	payload, err := AppendTokenBatch(nil, batch, k)
+	if err != nil {
+		t.Fatalf("AppendTokenBatch: %v", err)
+	}
+	// Inflate the declared count far beyond the single token actually
+	// present; a decoder that trusts it would allocate gigabytes.
+	payload[8], payload[9], payload[10], payload[11] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := DecodeTokenBatch(payload, k); err == nil {
+		t.Fatal("inflated token count accepted by DecodeTokenBatch")
+	}
+	if _, err := DecodeTokenBatchInto(payload, k, cluster.NewBatchBuf()); err == nil {
+		t.Fatal("inflated token count accepted by DecodeTokenBatchInto")
+	}
+}

@@ -55,8 +55,10 @@ func (o Options) rendezvousTimeout() time.Duration {
 type peer struct {
 	rank     int
 	conn     net.Conn
-	wmu      sync.Mutex   // serializes frame writes
+	wmu      sync.Mutex   // serializes frame writes, guards wbuf
+	wbuf     []byte       // reusable frame-encode buffer: one flush is one syscall
 	lastRecv atomic.Int64 // unix nanos of the last frame from this peer
+	lastSend atomic.Int64 // unix nanos of the last frame written to this peer
 	eof      atomic.Bool  // FrameEOF received: stream ended in order
 }
 
@@ -70,6 +72,7 @@ type TCP struct {
 	rank     int
 	machines int
 	opts     Options
+	refwire  bool // NOMAD_REFERENCE_WIRE: legacy allocating codec paths
 
 	peers []*peer // indexed by rank; self is nil
 
@@ -106,6 +109,7 @@ func newTCP(rank, machines int, conns map[int]net.Conn, opts Options) *TCP {
 		rank:     rank,
 		machines: machines,
 		opts:     opts,
+		refwire:  cluster.ReferenceWire(),
 		peers:    make([]*peer, machines),
 		recv:     make(chan cluster.Inbound, 4*machines),
 		ctl:      make(chan cluster.Ctl, 16*machines),
@@ -119,6 +123,7 @@ func newTCP(rank, machines int, conns map[int]net.Conn, opts Options) *TCP {
 	for r, conn := range conns {
 		p := &peer{rank: r, conn: conn}
 		p.lastRecv.Store(now)
+		p.lastSend.Store(now)
 		l.peers[r] = p
 	}
 	for _, p := range l.peers {
@@ -159,11 +164,24 @@ func (l *TCP) Stats() cluster.LinkStats {
 	return cluster.LinkStats{BytesSent: l.bytesSent.Load(), MessagesSent: l.msgsSent.Load()}
 }
 
-// writeFrame writes one frame to a peer under its write lock.
+// writeFrame writes one frame to a peer under its write lock: the
+// frame is encoded into the peer's reusable buffer and flushed with a
+// single Write call — one flush is one syscall, no per-frame
+// allocation once the buffer is warm. The reference wire path keeps
+// the legacy fresh-buffer-per-frame behaviour for the A/B.
 func (l *TCP) writeFrame(p *peer, typ FrameType, payload []byte) error {
-	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), typ, l.rank, payload)
 	p.wmu.Lock()
+	var buf []byte
+	if l.refwire {
+		buf = AppendFrame(make([]byte, 0, headerSize+len(payload)), typ, l.rank, payload)
+	} else {
+		buf = AppendFrame(p.wbuf[:0], typ, l.rank, payload)
+		p.wbuf = buf
+	}
 	_, err := p.conn.Write(buf)
+	if err == nil {
+		p.lastSend.Store(time.Now().UnixNano())
+	}
 	p.wmu.Unlock()
 	if err == nil {
 		l.bytesSent.Add(int64(len(buf)))
@@ -172,7 +190,11 @@ func (l *TCP) writeFrame(p *peer, typ FrameType, payload []byte) error {
 	return err
 }
 
-// Send implements cluster.Link.
+// Send implements cluster.Link. On the pooled wire path the batch is
+// serialized straight into the peer's write buffer — header, batch
+// header and token vectors in one pass, so the only copy between the
+// sender's arena and the socket is vector → frame — and flushed with
+// a single syscall. The batch stays owned by the caller.
 func (l *TCP) Send(dst int, batch cluster.TokenBatch) error {
 	if l.sendClosed.Load() {
 		return cluster.ErrLinkClosed
@@ -184,14 +206,35 @@ func (l *TCP) Send(dst int, batch cluster.TokenBatch) error {
 	if p == nil {
 		return fmt.Errorf("netlink: send to self (machine %d)", dst)
 	}
-	payload, err := AppendTokenBatch(make([]byte, 0, batchWireSize(len(batch.Tokens), l.opts.K)), batch, l.opts.K)
-	if err != nil {
-		return err
+	if l.refwire {
+		payload, err := AppendTokenBatch(make([]byte, 0, batchWireSize(len(batch.Tokens), l.opts.K)), batch, l.opts.K)
+		if err != nil {
+			return err
+		}
+		if err := l.writeFrame(p, FrameTokens, payload); err != nil {
+			l.peerDown(p, fmt.Errorf("write: %w", err))
+			return l.Err()
+		}
+		return nil
 	}
-	if err := l.writeFrame(p, FrameTokens, payload); err != nil {
-		l.peerDown(p, fmt.Errorf("write: %w", err))
+	p.wmu.Lock()
+	buf, err := AppendTokenFrame(p.wbuf[:0], l.rank, batch, l.opts.K)
+	if err != nil {
+		p.wmu.Unlock()
+		return err // encode rejection: the link itself is still healthy
+	}
+	p.wbuf = buf
+	_, werr := p.conn.Write(buf)
+	if werr == nil {
+		p.lastSend.Store(time.Now().UnixNano())
+	}
+	p.wmu.Unlock()
+	if werr != nil {
+		l.peerDown(p, fmt.Errorf("write: %w", werr))
 		return l.Err()
 	}
+	l.bytesSent.Add(int64(len(buf)))
+	l.msgsSent.Add(1)
 	return nil
 }
 
@@ -343,11 +386,23 @@ func (l *TCP) peerDown(p *peer, cause error) {
 }
 
 // reader drains one peer's connection, dispatching frames onto the
-// typed channels until the stream ends.
+// typed channels until the stream ends. On the pooled wire path the
+// connection owns one payload buffer that every frame is read into
+// (ReadFrameReuse) and token batches are decoded into pooled arenas
+// whose ownership travels with the Inbound — the consumer Releases
+// them; control payloads, which may sit in the ctl channel across
+// many frames, are copied out of the read buffer instead.
 func (l *TCP) reader(p *peer) {
 	defer l.wg.Done()
+	var rbuf []byte // connection-owned payload arena (pooled wire path)
 	for {
-		f, err := ReadFrame(p.conn)
+		var f Frame
+		var err error
+		if l.refwire {
+			f, err = ReadFrame(p.conn)
+		} else {
+			f, rbuf, err = ReadFrameReuse(p.conn, rbuf)
+		}
 		if err != nil {
 			if p.eof.Load() || l.isDown() {
 				return // orderly: stream already ended, or we tore down
@@ -361,7 +416,16 @@ func (l *TCP) reader(p *peer) {
 		}
 		switch f.Type {
 		case FrameTokens:
-			batch, err := DecodeTokenBatch(f.Payload, l.opts.K)
+			var batch cluster.TokenBatch
+			if l.refwire {
+				batch, err = DecodeTokenBatch(f.Payload, l.opts.K)
+			} else {
+				arena := cluster.GetBatchBuf()
+				batch, err = DecodeTokenBatchInto(f.Payload, l.opts.K, arena)
+				if err != nil {
+					arena.Release()
+				}
+			}
 			if err != nil {
 				l.peerDown(p, err)
 				return
@@ -376,8 +440,15 @@ func (l *TCP) reader(p *peer) {
 				l.peerDown(p, fmt.Errorf("empty control frame"))
 				return
 			}
+			payload := f.Payload[1:]
+			if !l.refwire && len(payload) > 0 {
+				// The payload aliases this connection's read buffer, which
+				// the next ReadFrameReuse overwrites; control frames are
+				// rare and small, so the hand-off is a copy.
+				payload = append([]byte(nil), payload...)
+			}
 			select {
-			case l.ctl <- cluster.Ctl{From: p.rank, Kind: f.Payload[0], Payload: f.Payload[1:]}:
+			case l.ctl <- cluster.Ctl{From: p.rank, Kind: f.Payload[0], Payload: payload}:
 			case <-l.down:
 				return
 			}
@@ -409,6 +480,12 @@ func (l *TCP) reader(p *peer) {
 }
 
 // heartbeat probes every live peer and watches for silent ones.
+// Explicit heartbeat frames are only written when the data plane has
+// been idle towards that peer for a whole interval: every frame we
+// send refreshes the peer's view of our liveness (its lastRecv), so
+// under load the liveness signal piggybacks on the token flushes and
+// the heartbeat loop costs no syscalls at all. The reference wire
+// path keeps the legacy always-write behaviour.
 func (l *TCP) heartbeat() {
 	defer l.wg.Done()
 	interval := l.opts.heartbeatInterval()
@@ -429,6 +506,9 @@ func (l *TCP) heartbeat() {
 			if timeout > 0 && now-p.lastRecv.Load() > int64(timeout) {
 				l.peerDown(p, fmt.Errorf("no frames for %s", timeout))
 				return
+			}
+			if !l.refwire && now-p.lastSend.Load() < int64(interval) {
+				continue // a recent data frame already carried our liveness
 			}
 			if err := l.writeFrame(p, FrameHeartbeat, nil); err != nil && !p.eof.Load() && !l.isDown() {
 				l.peerDown(p, fmt.Errorf("heartbeat write: %w", err))

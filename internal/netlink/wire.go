@@ -32,6 +32,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"slices"
 
 	"nomad/internal/cluster"
 )
@@ -96,18 +97,53 @@ type Frame struct {
 	Payload []byte
 }
 
-// AppendFrame appends the encoded frame to buf and returns it. The
-// payload may be nil.
-func AppendFrame(buf []byte, typ FrameType, from int, payload []byte) []byte {
+// beginFrame appends a frame header with the payload length and CRC
+// still zero; finishFrame patches them once the payload has been
+// encoded in place. Together they let a frame be serialized into one
+// reusable buffer with a single pass over the payload bytes.
+func beginFrame(buf []byte, typ FrameType, from int) []byte {
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
 	hdr[4] = Version
 	hdr[5] = byte(typ)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(from)))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(payload))
-	buf = append(buf, hdr[:]...)
-	return append(buf, payload...)
+	return append(buf, hdr[:]...)
+}
+
+// finishFrame fills in the payload length and CRC of the frame whose
+// header starts at off, the payload being everything encoded after it.
+func finishFrame(buf []byte, off int) []byte {
+	payload := buf[off+headerSize:]
+	binary.LittleEndian.PutUint32(buf[off+12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[off+16:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// AppendFrame appends the encoded frame to buf and returns it. The
+// payload may be nil.
+func AppendFrame(buf []byte, typ FrameType, from int, payload []byte) []byte {
+	off := len(buf)
+	buf = beginFrame(buf, typ, from)
+	buf = append(buf, payload...)
+	return finishFrame(buf, off)
+}
+
+// AppendTokenFrame appends one complete FrameTokens frame, encoding
+// the batch's token vectors directly into the frame buffer — the
+// single copy of the send path. With a buffer of sufficient capacity
+// (a connection's reusable write buffer after warm-up) it allocates
+// nothing. Oversized batches are rejected before any encoding.
+func AppendTokenFrame(buf []byte, from int, batch cluster.TokenBatch, k int) ([]byte, error) {
+	if batchWireSize(len(batch.Tokens), k) > MaxPayload {
+		return nil, ErrOversize
+	}
+	off := len(buf)
+	buf = beginFrame(buf, FrameTokens, from)
+	buf, err := AppendTokenBatch(buf, batch, k)
+	if err != nil {
+		return nil, err
+	}
+	return finishFrame(buf, off), nil
 }
 
 // WriteFrame encodes and writes one frame.
@@ -123,18 +159,39 @@ func WriteFrame(w io.Writer, typ FrameType, from int, payload []byte) error {
 // version mismatches, oversized lengths and CRC mismatches with typed
 // errors; a stream truncated mid-frame surfaces io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
+	f, _, err := readFrame(r, nil)
+	return f, err
+}
+
+// ReadFrameReuse is ReadFrame with a caller-owned payload arena: the
+// frame's payload is read into buf (grown as needed) and aliases it.
+// The returned buffer must be passed to the next call once the frame
+// has been fully consumed — the explicit hand-off that lets one
+// buffer serve a connection's whole inbound stream with zero
+// steady-state allocation. Payload bytes that must outlive the next
+// read (control frames queued for later) are copied by the caller.
+func ReadFrameReuse(r io.Reader, buf []byte) (Frame, []byte, error) {
+	return readFrame(r, buf)
+}
+
+func readFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	// The header is read into the reusable buffer too (a stack array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame); every header field is parsed into locals
+	// before the payload read below overwrites it.
+	buf = slices.Grow(buf[:0], headerSize)[:headerSize]
+	hdr := buf[:headerSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, buf, err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
-		return Frame{}, ErrBadMagic
+		return Frame{}, buf, ErrBadMagic
 	}
 	if hdr[4] != Version {
-		return Frame{}, &VersionError{Got: hdr[4], Want: Version}
+		return Frame{}, buf, &VersionError{Got: hdr[4], Want: Version}
 	}
 	if hdr[6] != 0 || hdr[7] != 0 {
-		return Frame{}, fmt.Errorf("netlink: reserved header bytes must be zero")
+		return Frame{}, buf, fmt.Errorf("netlink: reserved header bytes must be zero")
 	}
 	f := Frame{
 		Type: FrameType(hdr[5]),
@@ -142,31 +199,36 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	length := binary.LittleEndian.Uint32(hdr[12:])
 	if length > MaxPayload {
-		return Frame{}, ErrOversize
+		return Frame{}, buf, ErrOversize
 	}
 	wantCRC := binary.LittleEndian.Uint32(hdr[16:])
 	if length > 0 {
-		// Chunked read: a corrupt length prefix on a short stream fails
-		// with ErrUnexpectedEOF after at most one chunk.
+		// Chunked read, directly into the payload buffer: the buffer
+		// grows only as data actually arrives, so a corrupt length
+		// prefix on a short stream fails with ErrUnexpectedEOF after at
+		// most one chunk instead of provoking a giant up-front
+		// allocation.
 		const chunk = 1 << 20
-		f.Payload = make([]byte, 0, min(int(length), chunk))
-		buf := make([]byte, min(int(length), chunk))
+		payload := buf[:0]
 		for remaining := int(length); remaining > 0; {
 			c := min(remaining, chunk)
-			if _, err := io.ReadFull(r, buf[:c]); err != nil {
+			start := len(payload)
+			payload = slices.Grow(payload, c)[:start+c]
+			if _, err := io.ReadFull(r, payload[start:]); err != nil {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
 				}
-				return Frame{}, err
+				return Frame{}, payload, err
 			}
-			f.Payload = append(f.Payload, buf[:c]...)
 			remaining -= c
 		}
+		buf = payload
+		f.Payload = payload
 	}
 	if crc32.ChecksumIEEE(f.Payload) != wantCRC {
-		return Frame{}, ErrBadCRC
+		return Frame{}, buf, ErrBadCRC
 	}
-	return f, nil
+	return f, buf, nil
 }
 
 // tokenWireSize is the encoded size of one rank-k token: the item
@@ -181,39 +243,60 @@ func batchWireSize(tokens, k int) int { return 12 + tokens*tokenWireSize(k) }
 // length (§3.3), the token count, then each (j, hⱼ) pair with hⱼ as
 // raw little-endian float64 bits — the same scalar layout the
 // train.State checkpoint uses. Every token must have exactly k
-// coordinates.
+// coordinates. The payload is pre-sized once and the vectors are
+// stored with batched little-endian writes straight into it, so a
+// buffer with warm capacity costs zero allocations.
 func AppendTokenBatch(buf []byte, batch cluster.TokenBatch, k int) ([]byte, error) {
-	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], uint64(int64(batch.QueueLen)))
-	buf = append(buf, scratch[:]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(batch.Tokens)))
-	buf = append(buf, scratch[:4]...)
-	for _, t := range batch.Tokens {
+	le := binary.LittleEndian
+	base := len(buf)
+	buf = slices.Grow(buf, batchWireSize(len(batch.Tokens), k))[:base+batchWireSize(len(batch.Tokens), k)]
+	le.PutUint64(buf[base:], uint64(int64(batch.QueueLen)))
+	le.PutUint32(buf[base+8:], uint32(len(batch.Tokens)))
+	pos := base + 12
+	for i := range batch.Tokens {
+		t := &batch.Tokens[i]
 		if len(t.Vec) != k {
 			return nil, fmt.Errorf("netlink: token %d has %d coordinates, link rank is %d", t.Item, len(t.Vec), k)
 		}
-		binary.LittleEndian.PutUint32(scratch[:4], uint32(t.Item))
-		buf = append(buf, scratch[:4]...)
+		le.PutUint32(buf[pos:], uint32(t.Item))
+		pos += 4
 		for _, v := range t.Vec {
-			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-			buf = append(buf, scratch[:]...)
+			le.PutUint64(buf[pos:], math.Float64bits(v))
+			pos += 8
 		}
 	}
 	return buf, nil
 }
 
-// DecodeTokenBatch decodes an AppendTokenBatch payload, validating the
-// declared count against the payload length.
-func DecodeTokenBatch(payload []byte, k int) (cluster.TokenBatch, error) {
+// tokenBatchCount validates a payload's wire-declared token count
+// against the length of the payload actually received — before any
+// allocation, and without ever multiplying the wire-supplied count
+// (which could overflow): the count must equal the number of whole
+// rank-k tokens the payload's bytes can hold.
+func tokenBatchCount(payload []byte, k int) (int, error) {
 	if len(payload) < 12 {
-		return cluster.TokenBatch{}, fmt.Errorf("netlink: token batch payload %d bytes, want ≥ 12", len(payload))
+		return 0, fmt.Errorf("netlink: token batch payload %d bytes, want ≥ 12", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	per := tokenWireSize(k)
+	rem := len(payload) - 12
+	if rem%per != 0 || count != rem/per {
+		return 0, fmt.Errorf("netlink: token batch declares %d rank-%d tokens but payload holds %d bytes of token data",
+			count, k, rem)
+	}
+	return count, nil
+}
+
+// DecodeTokenBatch decodes an AppendTokenBatch payload, validating the
+// declared count against the payload length before allocating. The
+// returned batch owns freshly allocated vectors; DecodeTokenBatchInto
+// is the allocation-free arena variant.
+func DecodeTokenBatch(payload []byte, k int) (cluster.TokenBatch, error) {
+	count, err := tokenBatchCount(payload, k)
+	if err != nil {
+		return cluster.TokenBatch{}, err
 	}
 	batch := cluster.TokenBatch{QueueLen: int(int64(binary.LittleEndian.Uint64(payload)))}
-	count := int(binary.LittleEndian.Uint32(payload[8:]))
-	if want := batchWireSize(count, k); want != len(payload) {
-		return cluster.TokenBatch{}, fmt.Errorf("netlink: token batch declares %d rank-%d tokens (%d bytes) but payload is %d bytes",
-			count, k, want, len(payload))
-	}
 	pos := 12
 	batch.Tokens = make([]cluster.Token, count)
 	for i := 0; i < count; i++ {
@@ -227,4 +310,30 @@ func DecodeTokenBatch(payload []byte, k int) (cluster.TokenBatch, error) {
 		batch.Tokens[i] = cluster.Token{Item: item, Vec: vec}
 	}
 	return batch, nil
+}
+
+// DecodeTokenBatchInto decodes an AppendTokenBatch payload into the
+// given arena, validating the declared count first. The returned
+// batch's vectors are views into the arena and the batch owns it:
+// the consumer calls Release when the tokens have been copied out,
+// which recycles a pooled arena (cluster.GetBatchBuf) for the next
+// frame. With a warm arena the decode allocates nothing.
+func DecodeTokenBatchInto(payload []byte, k int, buf *cluster.BatchBuf) (cluster.TokenBatch, error) {
+	count, err := tokenBatchCount(payload, k)
+	if err != nil {
+		return cluster.TokenBatch{}, err
+	}
+	le := binary.LittleEndian
+	buf.Reset()
+	pos := 12
+	for i := 0; i < count; i++ {
+		item := int32(le.Uint32(payload[pos:]))
+		pos += 4
+		vec := buf.AddVec(item, k)
+		for c := range vec {
+			vec[c] = math.Float64frombits(le.Uint64(payload[pos:]))
+			pos += 8
+		}
+	}
+	return buf.HandOff(int(int64(le.Uint64(payload)))), nil
 }

@@ -189,6 +189,12 @@ func FuzzDecodeTokenBatch(f *testing.F) {
 		f.Add(p, k)
 	}
 	f.Add([]byte{}, 1)
+	// An inflated wire count over a short payload: the decoder must
+	// validate the count against the bytes actually present before any
+	// allocation, never trusting (or multiplying) the wire value.
+	inflated, _ := AppendTokenBatch(nil, cluster.TokenBatch{QueueLen: 1, Tokens: []cluster.Token{{Item: 4, Vec: make([]float64, 2)}}}, 2)
+	binary.LittleEndian.PutUint32(inflated[8:], 1<<30)
+	f.Add(inflated, 2)
 	f.Fuzz(func(t *testing.T, data []byte, k int) {
 		if k < 1 || k > 64 {
 			return

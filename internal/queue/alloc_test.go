@@ -1,0 +1,62 @@
+package queue
+
+// Zero-allocation assertions for the SPSC ring: the token transport's
+// push/pop hot path must never allocate in steady state — it moves
+// millions of tokens per second, so even one object per operation
+// would make the data plane GC-bound.
+
+import "testing"
+
+func TestRingPushPopAllocFree(t *testing.T) {
+	r := NewRing[int64](64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !r.Push(42) {
+			t.Fatal("push into empty ring failed")
+		}
+		if _, ok := r.Pop(); !ok {
+			t.Fatal("pop from non-empty ring failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ring Push/Pop allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRingBatchAllocFree(t *testing.T) {
+	r := NewRing[int64](256)
+	src := make([]int64, 64)
+	dst := make([]int64, 64)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if n := r.PushBatch(src); n != len(src) {
+			t.Fatalf("PushBatch accepted %d of %d", n, len(src))
+		}
+		if n := r.PopBatch(dst); n != len(dst) {
+			t.Fatalf("PopBatch moved %d of %d", n, len(dst))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ring PushBatch/PopBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMeshSendRecvAllocFree(t *testing.T) {
+	m := NewMesh[int64](2, 256)
+	buf := make([]int64, 64)
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if n := m.SendBatch(0, 1, buf); n != len(buf) {
+			t.Fatalf("SendBatch accepted %d of %d", n, len(buf))
+		}
+		if n := m.RecvBatch(1, buf); n != len(buf) {
+			t.Fatalf("RecvBatch moved %d of %d", n, len(buf))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("mesh SendBatch/RecvBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
