@@ -27,24 +27,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	nomad "nomad"
+	"nomad/internal/benchenv"
 	"nomad/internal/cluster"
 	"nomad/internal/netlink"
 )
 
 // distDoc is the BENCH_dist.json shape.
 type distDoc struct {
-	GoVersion string       `json:"go"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Protocol  distProtocol `json:"protocol"`
-	EndToEnd  []distPoint  `json:"end_to_end"`
-	Codec     []codecPoint `json:"codec_microbench"`
+	Env      benchenv.Env `json:"env"`
+	Protocol distProtocol `json:"protocol"`
+	EndToEnd []distPoint  `json:"end_to_end"`
+	Codec    []codecPoint `json:"codec_microbench"`
 }
 
 type distProtocol struct {
@@ -109,10 +106,7 @@ func runDist(path string, machineList []int, reps int) error {
 		scale float64
 	}{{"netflix", 0.0005}, {"longtail", 0.05}}
 	doc := distDoc{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Env: benchenv.Capture(),
 		Protocol: distProtocol{Datasets: map[string]float64{}, K: k, Seed: seed,
 			Epochs: epochs, Reps: reps, Workers: 1, Machines: machineList,
 			Backend: "tcp-loopback"},

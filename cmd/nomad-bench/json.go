@@ -7,40 +7,43 @@ package main
 //
 //	go run ./cmd/nomad-bench -json BENCH_hotpath.json
 //
-// and commits the result. One invocation measures BOTH sides of the
-// current PR's hot-path A/B — since the transport PR that is the
-// legacy mutex token transport ("baseline") against the batched SPSC
-// ring mesh ("after"), both on the fused kernels — interleaved rep by
-// rep in one process, because the benchmark boxes are small shared VMs
-// whose speed drifts between invocations: interleaving lands both
-// sides under the same machine conditions, which two separate runs
-// cannot guarantee. The measured workload is fixed (the
+// and commits the result. One invocation measures ALL sides of the
+// current PR's hot-path A/B — since the SIMD PR that is the portable
+// Go kernels ("baseline") against the AVX2/FMA assembly kernels
+// ("after") and the assembly kernels on a float32 model
+// ("after_float32"), all on the shipping SPSC transport — interleaved
+// rep by rep in one process, because the benchmark boxes are small
+// shared VMs whose speed drifts between invocations: interleaving
+// lands all sides under the same machine conditions, which separate
+// runs cannot guarantee. The measured workload is fixed (the
 // BenchmarkTrainNomadEpoch hot path, plus the fig5/fig6 experiments on
 // the shipping configuration) so records stay comparable across PRs.
+// (PR 3–5 records had transport A/Bs: mutex baseline vs spsc after.)
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
 	nomad "nomad"
+	"nomad/internal/benchenv"
 	"nomad/internal/experiments"
-	"nomad/internal/queue"
+	"nomad/internal/vecmath"
 )
 
 // benchRecord is one measured side of the A/B.
 type benchRecord struct {
-	GoVersion string `json:"go"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	// Kernels records the vecmath side in use ("fused" on both sides
-	// since the transport A/B of PR 3; PR 1's records had "reference"
-	// baselines). Transport is the token-transport side: "mutex" for
-	// the baseline label, "spsc" for after.
+	Env benchenv.Env `json:"env"`
+	// Kernels records the vecmath side in use: "simd" for the AVX2/FMA
+	// assembly kernels, "portable" for the pure-Go unrolled set (the
+	// baseline of this PR's A/B; PR 3–5 records said "fused" for the
+	// same thing). Transport is the token transport, "spsc" on every
+	// side since PR 5's A/B closed.
 	Kernels   string `json:"kernels"`
 	Transport string `json:"transport"`
+	// Precision is the factor-model element type of the measured runs.
+	Precision string `json:"precision"`
 	// Options are the experiment options the fig5/fig6 runs were
 	// measured under — always jsonOptions, recorded so the file is
 	// self-describing. Empty for the baseline record, which measures
@@ -98,8 +101,8 @@ func jsonOptions() experiments.Options {
 	return experiments.Options{}.WithDefaults()
 }
 
-// runJSON measures both sides of the A/B and merges them into path as
-// "baseline" and "after".
+// runJSON measures every side of the A/B and merges them into path as
+// "baseline", "after" and "after_float32".
 func runJSON(path string) error {
 	// Validate the merge target before spending minutes measuring.
 	doc, err := loadDoc(path)
@@ -107,14 +110,15 @@ func runJSON(path string) error {
 		return err
 	}
 
-	base := newRecord("fused", "mutex")
-	after := newRecord("fused", "spsc")
-	if err := measureHotpathAB(&base, &after); err != nil {
+	base := newRecord("portable", "spsc", "float64")
+	after := newRecord("simd", "spsc", "float64")
+	f32 := newRecord("simd", "spsc", "float32")
+	if err := measureHotpathAB(&base, &after, &f32); err != nil {
 		return fmt.Errorf("hotpath: %w", err)
 	}
 
 	// Figure regressions are tracked on the shipping configuration.
-	queue.SetReferenceTransport(false)
+	vecmath.SetSIMD(vecmath.SIMDAvailable())
 	opts := jsonOptions()
 	after.Options = &opts
 	for _, id := range jsonExperiments {
@@ -136,24 +140,24 @@ func runJSON(path string) error {
 		fmt.Printf("   [json: %s done]\n", id)
 	}
 
-	return writeDoc(path, doc, map[string]benchRecord{"baseline": base, "after": after})
+	return writeDoc(path, doc, map[string]benchRecord{
+		"baseline": base, "after": after, "after_float32": f32})
 }
 
-func newRecord(kernels, transport string) benchRecord {
+func newRecord(kernels, transport, precision string) benchRecord {
 	return benchRecord{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Env:       benchenv.Capture(),
 		Kernels:   kernels,
 		Transport: transport,
+		Precision: precision,
 	}
 }
 
 // measureHotpathAB runs the BenchmarkTrainNomadEpoch workload plus
-// the token-transport-bound longtail workload on both transports,
+// the token-transport-bound longtail workload on every kernel side,
 // alternating sides within each rep so machine-speed drift cancels
 // out of the comparison.
-func measureHotpathAB(base, after *benchRecord) error {
+func measureHotpathAB(base, after, f32 *benchRecord) error {
 	// Best-of-9 on each workload: the best rep is the least-disturbed
 	// one — the standard way to compare compute-bound code under noise.
 	const (
@@ -166,12 +170,19 @@ func measureHotpathAB(base, after *benchRecord) error {
 		reps      = 9
 		steadyE   = 5
 	)
-	for _, st := range []*hotpathStats{&base.Hotpath, &after.Hotpath} {
-		*st = hotpathStats{Dataset: profile, Scale: scale, Workers: workers,
-			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
+	sides := []struct {
+		rec  *benchRecord
+		simd bool
+		prec nomad.Precision
+	}{
+		{base, false, nomad.Float64},
+		{after, true, nomad.Float64},
+		{f32, true, nomad.Float32},
 	}
-	for _, st := range []*hotpathStats{&base.TokenBound, &after.TokenBound} {
-		*st = hotpathStats{Dataset: ltProfile, Scale: ltScale, Workers: workers,
+	for _, s := range sides {
+		s.rec.Hotpath = hotpathStats{Dataset: profile, Scale: scale, Workers: workers,
+			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
+		s.rec.TokenBound = hotpathStats{Dataset: ltProfile, Scale: ltScale, Workers: workers,
 			Seed: seed, Reps: reps, SteadyEpochs: steadyE}
 	}
 	ds, err := nomad.Synthesize(profile, scale, seed)
@@ -182,29 +193,31 @@ func measureHotpathAB(base, after *benchRecord) error {
 	if err != nil {
 		return err
 	}
-	train := func(ds *nomad.Dataset, epochs int) (*nomad.Result, error) {
+	train := func(ds *nomad.Dataset, epochs int, prec nomad.Precision) (*nomad.Result, error) {
 		// A fresh Session per rep: the pinned benchmark measures cold
 		// runs, not resumed continuations.
 		s, err := nomad.NewSession(ds,
 			nomad.WithWorkers(workers),
 			nomad.WithSeed(seed),
+			nomad.WithPrecision(prec),
 			nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
 		if err != nil {
 			return nil, err
 		}
 		return s.Run(context.Background())
 	}
+	defer vecmath.SetSIMD(vecmath.SIMDAvailable())
 	// Warm-up reps: first-run effects (page faults, scheduler ramp-up)
-	// belong to neither side of the A/B. Each rep measures, per side:
+	// belong to no side of the A/B. Each rep measures, per side:
 	// netflix single-epoch + steady, then longtail single-epoch + steady.
-	if _, err := train(ds, 1); err != nil {
+	if _, err := train(ds, 1, nomad.Float64); err != nil {
 		return err
 	}
-	if _, err := train(lt, 1); err != nil {
+	if _, err := train(lt, 1, nomad.Float64); err != nil {
 		return err
 	}
-	steady := func(ds *nomad.Dataset, st *hotpathStats) error {
-		sres, err := train(ds, steadyE)
+	steady := func(ds *nomad.Dataset, st *hotpathStats, prec nomad.Precision) error {
+		sres, err := train(ds, steadyE, prec)
 		if err != nil {
 			return err
 		}
@@ -219,43 +232,44 @@ func measureHotpathAB(base, after *benchRecord) error {
 		return nil
 	}
 	for i := 0; i < reps; i++ {
-		for side, rec := range []*benchRecord{base, after} {
-			queue.SetReferenceTransport(side == 0)
-			res, err := train(ds, 1)
+		for _, side := range sides {
+			side.rec.Kernels = kernelSide(side.simd)
+			res, err := train(ds, 1, side.prec)
 			if err != nil {
 				return err
 			}
 			ups := float64(res.Updates) / res.Seconds
-			rec.Hotpath.EpochMeanUPS += ups / reps
-			if ups > rec.Hotpath.EpochBestUPS {
-				rec.Hotpath.EpochBestUPS = ups
-				rec.Hotpath.EpochUpdates = res.Updates
+			side.rec.Hotpath.EpochMeanUPS += ups / reps
+			if ups > side.rec.Hotpath.EpochBestUPS {
+				side.rec.Hotpath.EpochBestUPS = ups
+				side.rec.Hotpath.EpochUpdates = res.Updates
 			}
-			if err := steady(ds, &rec.Hotpath); err != nil {
+			if err := steady(ds, &side.rec.Hotpath, side.prec); err != nil {
 				return err
 			}
-			ltres, err := train(lt, 1)
+			ltres, err := train(lt, 1, side.prec)
 			if err != nil {
 				return err
 			}
 			ltups := float64(ltres.Updates) / ltres.Seconds
-			rec.TokenBound.EpochMeanUPS += ltups / reps
-			if ltups > rec.TokenBound.EpochBestUPS {
-				rec.TokenBound.EpochBestUPS = ltups
-				rec.TokenBound.EpochUpdates = ltres.Updates
+			side.rec.TokenBound.EpochMeanUPS += ltups / reps
+			if ltups > side.rec.TokenBound.EpochBestUPS {
+				side.rec.TokenBound.EpochBestUPS = ltups
+				side.rec.TokenBound.EpochUpdates = ltres.Updates
 			}
-			if err := steady(lt, &rec.TokenBound); err != nil {
+			if err := steady(lt, &side.rec.TokenBound, side.prec); err != nil {
 				return err
 			}
 		}
 	}
-	queue.SetReferenceTransport(false)
+	vecmath.SetSIMD(vecmath.SIMDAvailable())
 	for _, rec := range []struct {
 		name string
 		r    *benchRecord
-	}{{"baseline", base}, {"after", after}} {
-		fmt.Printf("   [json: hotpath %s: best %.2fM updates/s steady (%.1f ns/update), %.2fM single-epoch, final RMSE %.4f]\n",
-			rec.name, rec.r.Hotpath.SteadyBestUPS/1e6, rec.r.Hotpath.SteadyNsPerUpdate,
+	}{{"baseline", base}, {"after", after}, {"after_float32", f32}} {
+		fmt.Printf("   [json: hotpath %s (%s/%s): best %.2fM updates/s steady (%.1f ns/update), %.2fM single-epoch, final RMSE %.4f]\n",
+			rec.name, rec.r.Kernels, rec.r.Precision,
+			rec.r.Hotpath.SteadyBestUPS/1e6, rec.r.Hotpath.SteadyNsPerUpdate,
 			rec.r.Hotpath.EpochBestUPS/1e6, rec.r.Hotpath.FinalRMSE)
 		fmt.Printf("   [json: token-bound %s (%s): best %.2fM updates/s steady (%.1f ns/update), final RMSE %.4f]\n",
 			rec.name, rec.r.TokenBound.Dataset, rec.r.TokenBound.SteadyBestUPS/1e6,

@@ -193,7 +193,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "nomad-bench: json: %v\n", err)
 			return 1
 		}
-		fmt.Printf("   [json baseline+after records written to %s]\n", *jsonPath)
+		fmt.Printf("   [json baseline+after+after_float32 records written to %s]\n", *jsonPath)
 		return 0
 	}
 	if *exp == "" {

@@ -1,18 +1,25 @@
 package main
 
 // The -sweep mode emits BENCH_scaling.json: NOMAD's shared-memory
-// worker-scaling record — steady updates/s as the worker count varies,
-// per transport — plus a pure transport microbenchmark (tokens moved
-// per second through each queue kind, no SGD). It is the shared-memory
-// analog of the paper's Figure 4 scaling study, tracked as data so a
-// transport regression is visible in review, not just in prose.
+// multi-core scaling record — steady updates/s as the worker count
+// (and GOMAXPROCS with it) varies, across transport, kernel side and
+// factor precision — plus a pure transport microbenchmark (tokens
+// moved per second through each queue kind, no SGD) and a kernel
+// microbenchmark (ns/op for the dot and fused-step kernels on both
+// sides of the SIMD dispatch at both precisions). It is the
+// shared-memory analog of the paper's Figure 4 scaling study, tracked
+// as data so a kernel or transport regression is visible in review,
+// not just in prose.
 //
 //	go run ./cmd/nomad-bench -sweep BENCH_scaling.json
 //	go run ./cmd/nomad-bench -sweep out.json -sweepworkers 1,2,4,8 -sweepreps 5
 //
 // Unlike -json (a pinned two-sided A/B), the sweep's worker list and
 // rep count are adjustable: CI smokes it with a tiny configuration so
-// the harness cannot rot, while perf PRs record the full sweep.
+// the harness cannot rot, while perf PRs record the full sweep. The
+// protocol (EXPERIMENTS.md): every scaling point pins workers to
+// cores, sets GOMAXPROCS to the worker count, and runs the four sides
+// interleaved rep by rep so machine drift lands on all sides equally.
 
 import (
 	"context"
@@ -27,18 +34,18 @@ import (
 	"time"
 
 	nomad "nomad"
+	"nomad/internal/benchenv"
 	"nomad/internal/queue"
+	"nomad/internal/vecmath"
 )
 
 // sweepDoc is the BENCH_scaling.json shape.
 type sweepDoc struct {
-	GoVersion string         `json:"go"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
+	Env       benchenv.Env   `json:"env"`
 	Protocol  sweepProtocol  `json:"protocol"`
 	Scaling   []scalingPoint `json:"scaling"`
 	Transport []microPoint   `json:"transport_microbench"`
+	Kernel    []kernelPoint  `json:"kernel_microbench"`
 }
 
 type sweepProtocol struct {
@@ -50,14 +57,21 @@ type sweepProtocol struct {
 	Seed     uint64             `json:"seed"`
 	Epochs   int                `json:"epochs"`
 	Reps     int                `json:"reps"`
+	// PinnedWorkers: every training run pins worker goroutines to OS
+	// threads and (on linux) distinct cores; see WithPinnedWorkers.
+	PinnedWorkers bool `json:"pinned_workers"`
 }
 
-// scalingPoint is one (dataset, workers, transport) training
-// measurement.
+// scalingPoint is one (dataset, workers, transport, kernels,
+// precision) training measurement, taken with GOMAXPROCS set to the
+// worker count.
 type scalingPoint struct {
 	Dataset      string  `json:"dataset"`
 	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Transport    string  `json:"transport"`
+	Kernels      string  `json:"kernels"`   // "simd" or "portable"
+	Precision    string  `json:"precision"` // "float64" or "float32"
 	BestUPS      float64 `json:"steady_best_updates_per_sec"`
 	MeanUPS      float64 `json:"steady_mean_updates_per_sec"`
 	PerWorkerUPS float64 `json:"steady_best_updates_per_sec_per_worker"`
@@ -73,12 +87,43 @@ type microPoint struct {
 	TokensPerSec float64 `json:"tokens_per_sec"`
 }
 
-// sweepTransports are the training-sweep sides: the shipping batched
-// transport and the legacy default it replaced.
-var sweepTransports = []queue.Kind{queue.KindSPSC, queue.KindMutex}
+// kernelPoint is one isolated kernel measurement.
+type kernelPoint struct {
+	K         int     `json:"k"`
+	Op        string  `json:"op"`        // "dot" or "fused_step"
+	Kernels   string  `json:"kernels"`   // "simd" or "portable"
+	Precision string  `json:"precision"` // "float64" or "float32"
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// sweepSides are the training-sweep sides, interleaved within each
+// rep: the shipping configuration (batched SPSC transport, SIMD
+// kernels, float64), the legacy mutex transport it replaced, the
+// portable-kernel side of the SIMD dispatch A/B, and the float32
+// model. On hosts without AVX2+FMA the "simd" label degrades to
+// "portable" (recorded as such), and the record's env block says why.
+var sweepSides = []struct {
+	transport queue.Kind
+	simd      bool
+	precision nomad.Precision
+}{
+	{queue.KindSPSC, true, nomad.Float64},
+	{queue.KindMutex, true, nomad.Float64},
+	{queue.KindSPSC, false, nomad.Float64},
+	{queue.KindSPSC, true, nomad.Float32},
+}
 
 // microKinds is every transport in the tokens/s microbench.
 var microKinds = []queue.Kind{queue.KindSPSC, queue.KindMutex, queue.KindLockFree, queue.KindChan}
+
+// kernelSide applies the side's kernel dispatch and returns its label.
+func kernelSide(simd bool) string {
+	vecmath.SetSIMD(simd)
+	if vecmath.SIMDEnabled() {
+		return "simd"
+	}
+	return "portable"
+}
 
 // runSweep measures the worker sweep and writes doc to path.
 func runSweep(path string, workerList []int, reps int) error {
@@ -91,13 +136,13 @@ func runSweep(path string, workerList []int, reps int) error {
 		scale float64
 	}{{"netflix", 0.0005}, {"longtail", 0.05}}
 	doc := sweepDoc{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Env: benchenv.Capture(),
 		Protocol: sweepProtocol{Datasets: map[string]float64{}, K: 16, Seed: seed,
-			Epochs: epochs, Reps: reps},
+			Epochs: epochs, Reps: reps, PinnedWorkers: true},
 	}
+	defer vecmath.SetSIMD(vecmath.SIMDAvailable())
+	defaultProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(defaultProcs)
 	for _, prof := range profiles {
 		doc.Protocol.Datasets[prof.name] = prof.scale
 		ds, err := nomad.Synthesize(prof.name, prof.scale, seed)
@@ -105,13 +150,22 @@ func runSweep(path string, workerList []int, reps int) error {
 			return err
 		}
 		for _, workers := range workerList {
-			for _, kind := range sweepTransports {
-				pt := scalingPoint{Dataset: prof.name, Workers: workers, Transport: kind.String()}
-				for rep := 0; rep < reps+1; rep++ {
+			runtime.GOMAXPROCS(workers)
+			pts := make([]scalingPoint, len(sweepSides))
+			for i, side := range sweepSides {
+				pts[i] = scalingPoint{Dataset: prof.name, Workers: workers,
+					GOMAXPROCS: workers, Transport: side.transport.String(),
+					Precision: side.precision.String()}
+			}
+			for rep := 0; rep < reps+1; rep++ {
+				for i, side := range sweepSides {
+					pts[i].Kernels = kernelSide(side.simd)
 					s, err := nomad.NewSession(ds,
 						nomad.WithWorkers(workers),
 						nomad.WithSeed(seed),
-						nomad.WithTransport(kind.String()),
+						nomad.WithTransport(side.transport.String()),
+						nomad.WithPrecision(side.precision),
+						nomad.WithPinnedWorkers(),
 						nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
 					if err != nil {
 						return err
@@ -124,20 +178,26 @@ func runSweep(path string, workerList []int, reps int) error {
 						continue // warm-up rep (page faults, scheduler ramp-up)
 					}
 					ups := float64(res.Updates) / res.Seconds
-					pt.MeanUPS += ups / float64(reps)
-					if ups > pt.BestUPS {
-						pt.BestUPS = ups
-						pt.FinalRMSE = res.TestRMSE
-						pt.TotalUpdates = res.Updates
+					pts[i].MeanUPS += ups / float64(reps)
+					if ups > pts[i].BestUPS {
+						pts[i].BestUPS = ups
+						pts[i].FinalRMSE = res.TestRMSE
+						pts[i].TotalUpdates = res.Updates
 					}
 				}
-				pt.PerWorkerUPS = pt.BestUPS / float64(workers)
-				doc.Scaling = append(doc.Scaling, pt)
-				fmt.Printf("   [sweep: %s p=%d %s: best %.2fM updates/s (%.2fM/worker), rmse %.4f]\n",
-					prof.name, workers, pt.Transport, pt.BestUPS/1e6, pt.PerWorkerUPS/1e6, pt.FinalRMSE)
+			}
+			vecmath.SetSIMD(vecmath.SIMDAvailable())
+			for i := range pts {
+				pts[i].PerWorkerUPS = pts[i].BestUPS / float64(workers)
+				doc.Scaling = append(doc.Scaling, pts[i])
+				fmt.Printf("   [sweep: %s p=%d %s/%s/%s: best %.2fM updates/s (%.2fM/worker), rmse %.4f]\n",
+					prof.name, workers, pts[i].Transport, pts[i].Kernels, pts[i].Precision,
+					pts[i].BestUPS/1e6, pts[i].PerWorkerUPS/1e6, pts[i].FinalRMSE)
 			}
 		}
 	}
+	runtime.GOMAXPROCS(defaultProcs)
+	doc.Kernel = kernelMicrobench()
 	for _, workers := range workerList {
 		for _, kind := range microKinds {
 			tps := transportTokensPerSec(kind, workers)
@@ -270,6 +330,76 @@ type paddedCounter struct {
 
 func (c *paddedCounter) add(n int64) { c.v.Add(n) }
 func (c *paddedCounter) load() int64 { return c.v.Load() }
+
+// kernelMicrobench times the dot and fused-step kernels in isolation
+// on both sides of the SIMD dispatch at both precisions — the
+// committed evidence for the asm kernels' speedup claims. Working sets
+// are two K-length rows, so everything is L1-resident and the numbers
+// measure arithmetic, not memory.
+func kernelMicrobench() []kernelPoint {
+	const iters = 1 << 19
+	var out []kernelPoint
+	sides := []bool{true}
+	if vecmath.SIMDAvailable() {
+		sides = []bool{true, false}
+	}
+	defer vecmath.SetSIMD(vecmath.SIMDAvailable())
+	for _, k := range []int{8, 16, 32, 100} {
+		for _, simd := range sides {
+			label := kernelSide(simd)
+			kern := vecmath.KernelFor(k)
+			a := make([]float64, k)
+			b := make([]float64, k)
+			for i := range a {
+				a[i] = 1 / float64(i+2)
+				b[i] = 1 / float64(i+3)
+			}
+			var sink float64
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				sink += kern.Dot(a, b)
+			}
+			out = append(out, kernelPoint{K: k, Op: "dot", Kernels: label,
+				Precision: "float64", NsPerOp: 1e9 * time.Since(start).Seconds() / iters})
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				sink += kern.Step(a, b, 0.5, 1e-9, 1e-9)
+			}
+			out = append(out, kernelPoint{K: k, Op: "fused_step", Kernels: label,
+				Precision: "float64", NsPerOp: 1e9 * time.Since(start).Seconds() / iters})
+
+			kern32 := vecmath.KernelFor32(k)
+			a32 := make([]float32, k)
+			b32 := make([]float32, k)
+			for i := range a32 {
+				a32[i] = float32(a[i])
+				b32[i] = float32(b[i])
+			}
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				sink += float64(kern32.Dot(a32, b32))
+			}
+			out = append(out, kernelPoint{K: k, Op: "dot", Kernels: label,
+				Precision: "float32", NsPerOp: 1e9 * time.Since(start).Seconds() / iters})
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				sink += float64(kern32.Step(a32, b32, 0.5, 1e-9, 1e-9))
+			}
+			out = append(out, kernelPoint{K: k, Op: "fused_step", Kernels: label,
+				Precision: "float32", NsPerOp: 1e9 * time.Since(start).Seconds() / iters})
+			if sink == 0 { // keep the accumulator live
+				fmt.Print("")
+			}
+		}
+	}
+	for _, p := range out {
+		if p.K == 32 {
+			fmt.Printf("   [sweep: kernel micro K=%d %s %s/%s: %.2f ns/op]\n",
+				p.K, p.Op, p.Kernels, p.Precision, p.NsPerOp)
+		}
+	}
+	return out
+}
 
 // parseWorkerList parses "1,2,4" into worker counts, in input order.
 func parseWorkerList(s string) ([]int, error) {

@@ -1,0 +1,31 @@
+// Package affinity pins worker goroutines to OS threads and, where the
+// platform allows it, to distinct CPU cores. The multi-core scaling
+// experiments use it to stop the scheduler migrating SGD workers
+// between cores mid-run, which blurs per-core cache residency and adds
+// variance to updates/s measurements.
+//
+// Pinning is strictly best-effort: on platforms without an affinity
+// syscall (or when the syscall fails, e.g. in a restricted sandbox) the
+// goroutine is still locked to its thread and training proceeds
+// unaffected.
+package affinity
+
+import "runtime"
+
+// Pin locks the calling goroutine to an OS thread and asks the kernel
+// to keep that thread on CPU core (worker mod NumCPU). It reports
+// whether core affinity actually took effect; thread locking always
+// does. Callers should invoke Unpin (typically deferred) when the
+// worker loop exits.
+func Pin(worker int) bool {
+	runtime.LockOSThread()
+	ncpu := runtime.NumCPU()
+	if ncpu <= 0 {
+		return false
+	}
+	return setAffinity(worker % ncpu)
+}
+
+// Unpin releases the thread lock taken by Pin. Any core affinity on the
+// thread dies with the thread once the goroutine unlocks it.
+func Unpin() { runtime.UnlockOSThread() }

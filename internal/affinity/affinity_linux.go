@@ -1,0 +1,17 @@
+package affinity
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity restricts the current thread to the given CPU core via
+// sched_setaffinity(2). Thread-scoped: pid 0 with the caller locked to
+// its OS thread targets exactly that thread.
+func setAffinity(core int) bool {
+	var mask [1024 / 64]uint64
+	mask[core/64] = 1 << (uint(core) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(mask)), uintptr(unsafe.Pointer(&mask[0])))
+	return errno == 0
+}

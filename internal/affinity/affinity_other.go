@@ -1,0 +1,7 @@
+//go:build !linux
+
+package affinity
+
+// setAffinity is a no-op off linux: Go's runtime offers no portable
+// core-affinity control, so Pin degrades to thread locking only.
+func setAffinity(int) bool { return false }

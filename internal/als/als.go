@@ -39,6 +39,9 @@ func (*ALS) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, ho
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("als"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("als", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

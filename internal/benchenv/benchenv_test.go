@@ -1,0 +1,31 @@
+package benchenv
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCaptureBasics(t *testing.T) {
+	e := Capture()
+	if e.GoVersion != runtime.Version() || e.GOARCH != runtime.GOARCH || e.GOOS != runtime.GOOS {
+		t.Fatalf("runtime identity wrong: %+v", e)
+	}
+	if e.NumCPU < 1 || e.GOMAXPROCS < 1 {
+		t.Fatalf("degenerate CPU counts: %+v", e)
+	}
+	if runtime.GOOS == "linux" && e.CPUModel == "" {
+		t.Log("no cpu model in /proc/cpuinfo (container?)")
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Env
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("env did not round-trip: %+v vs %+v", back, e)
+	}
+}

@@ -50,6 +50,9 @@ func (*CCD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, ho
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("ccd"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("ccd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

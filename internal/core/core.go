@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nomad/internal/affinity"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
 	"nomad/internal/loss"
@@ -116,7 +117,7 @@ func trainShared(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hoo
 			return nil, err
 		}
 	} else {
-		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		md = factor.NewInitP(m, n, cfg.K, cfg.Seed, cfg.Precision)
 		// Initial token placement: a random assignment of all n item
 		// tokens over the worker queues (Algorithm 1 lines 6–10).
 		for j := 0; j < n; j++ {
@@ -186,44 +187,81 @@ func trainShared(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hoo
 // kernels, the devirtualized loss fast-path, the tabulated schedule
 // and the batched item-pass kernel — all chosen once per run, never
 // per rating. Both the shared-memory and distributed workers build one
-// and call itemSGD per token.
+// and call itemSGDItem (shared memory: the item row lives in the
+// model) or itemSGDVec (distributed: the row travels in the token) per
+// token. One hotPath serves one worker goroutine: the float32 scratch
+// row is not shared.
 type hotPath struct {
 	md       *factor.Model
-	wData    []float64
 	schedule sched.Schedule
 	table    *sched.Table // non-nil when schedule is tabulated
-	kern     vecmath.Kernel
 	lossFn   loss.Loss
 	fused    bool // square loss: skip Grad dispatch entirely
-	itemPass vecmath.ItemPassFunc
 	steps    []float64
 	slow     func(int) float64
 	lambda   float64
+
+	// Float64 models.
+	wData    []float64
+	kern     vecmath.Kernel
+	itemPass vecmath.ItemPassFunc
+
+	// Float32 models.
+	f32        bool
+	wData32    []float32
+	kern32     vecmath.Kernel32
+	itemPass32 vecmath.ItemPassFunc32
+	lambda32   float32
+	h32        []float32 // per-worker scratch row for itemSGDVec
 }
 
 func newHotPath(md *factor.Model, schedule sched.Schedule, cfg train.Config) hotPath {
 	hp := hotPath{
 		md:       md,
-		wData:    md.WData(),
 		schedule: schedule,
-		kern:     vecmath.KernelFor(cfg.K),
 		lossFn:   cfg.Loss,
 		fused:    loss.UseFused(cfg.Loss),
 		lambda:   cfg.Lambda,
 	}
 	hp.table, _ = schedule.(*sched.Table)
+	var batched bool
+	if md.Precision() == factor.Float32 {
+		hp.f32 = true
+		hp.wData32 = md.WData32()
+		hp.kern32 = vecmath.KernelFor32(cfg.K)
+		hp.lambda32 = float32(cfg.Lambda)
+		hp.h32 = make([]float32, cfg.K)
+		batched = hp.kern32.ItemPass != nil
+	} else {
+		hp.wData = md.WData()
+		hp.kern = vecmath.KernelFor(cfg.K)
+		batched = hp.kern.ItemPass != nil
+	}
 	// Square loss with a tabulated schedule takes the batched kernel:
 	// one call per token covers the item's whole rating list.
-	if hp.fused && hp.table != nil && hp.kern.ItemPass != nil {
-		hp.itemPass = hp.kern.ItemPass
+	if hp.fused && hp.table != nil && batched {
+		if hp.f32 {
+			hp.itemPass32 = hp.kern32.ItemPass
+		} else {
+			hp.itemPass = hp.kern.ItemPass
+		}
 		hp.steps = hp.table.Steps()
 		hp.slow = hp.table.Fallback().Step
 	}
 	return hp
 }
 
+// stepFor returns the schedule step for a rating at per-rating count t.
+func (hp *hotPath) stepFor(t int32) float64 {
+	if hp.table != nil {
+		return hp.table.Step(int(t)) // direct, inlinable lookup
+	}
+	return hp.schedule.Step(int(t))
+}
+
 // itemSGD runs the SGD updates for one item's rating list (hRow is the
-// item row, shared across the list).
+// item row, shared across the list). Float64 models only; the
+// precision-agnostic entry points are itemSGDItem and itemSGDVec.
 func (hp *hotPath) itemSGD(usersJ []int32, vals []float64, counts []int32, hRow []float64) {
 	if hp.itemPass != nil {
 		hp.itemPass(hp.wData, usersJ, vals, counts, hRow, hp.lambda, hp.steps, hp.slow)
@@ -232,12 +270,7 @@ func (hp *hotPath) itemSGD(usersJ []int32, vals []float64, counts []int32, hRow 
 	for x, u := range usersJ {
 		t := counts[x]
 		counts[x] = t + 1
-		var step float64
-		if hp.table != nil {
-			step = hp.table.Step(int(t)) // direct, inlinable lookup
-		} else {
-			step = hp.schedule.Step(int(t))
-		}
+		step := hp.stepFor(t)
 		wRow := hp.md.UserRow(int(u))
 		if hp.fused {
 			hp.kern.Step(wRow, hRow, vals[x], step, hp.lambda)
@@ -248,12 +281,70 @@ func (hp *hotPath) itemSGD(usersJ []int32, vals []float64, counts []int32, hRow 
 	}
 }
 
+// itemSGD32 is itemSGD for Float32 models. Ratings, step sizes and loss
+// gradients stay float64 — only the factor rows and the arithmetic on
+// them narrow (the precision contract of DESIGN.md §9).
+func (hp *hotPath) itemSGD32(usersJ []int32, vals []float64, counts []int32, hRow []float32) {
+	if hp.itemPass32 != nil {
+		hp.itemPass32(hp.wData32, usersJ, vals, counts, hRow, hp.lambda32, hp.steps, hp.slow)
+		return
+	}
+	for x, u := range usersJ {
+		t := counts[x]
+		counts[x] = t + 1
+		step := hp.stepFor(t)
+		wRow := hp.md.UserRow32(int(u))
+		if hp.fused {
+			hp.kern32.Step(wRow, hRow, float32(vals[x]), float32(step), hp.lambda32)
+		} else {
+			g := hp.lossFn.Grad(float64(hp.kern32.Dot(wRow, hRow)), vals[x])
+			hp.kern32.Grad(wRow, hRow, float32(g), float32(step), hp.lambda32)
+		}
+	}
+}
+
+// itemSGDItem processes one token when the item row lives in the model
+// (the shared-memory runners' ownership discipline).
+func (hp *hotPath) itemSGDItem(j int, usersJ []int32, vals []float64, counts []int32) {
+	if hp.f32 {
+		hp.itemSGD32(usersJ, vals, counts, hp.md.ItemRow32(j))
+		return
+	}
+	hp.itemSGD(usersJ, vals, counts, hp.md.ItemRow(j))
+}
+
+// itemSGDVec processes one token whose item row travels as a float64
+// vector (the distributed wire format, whatever the model precision).
+// It updates vec in place and mirrors the result into the model's item
+// row, which the owner keeps current for monitoring snapshots.
+func (hp *hotPath) itemSGDVec(j int, usersJ []int32, vals []float64, counts []int32, vec []float64) {
+	if hp.f32 {
+		h := hp.h32
+		for l, v := range vec {
+			h[l] = float32(v)
+		}
+		hp.itemSGD32(usersJ, vals, counts, h)
+		row := hp.md.ItemRow32(j)
+		for l, v := range h {
+			row[l] = v
+			vec[l] = float64(v)
+		}
+		return
+	}
+	hp.itemSGD(usersJ, vals, counts, vec)
+	copy(hp.md.ItemRow(j), vec)
+}
+
 // runSharedWorker is Algorithm 1's per-worker loop.
 func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 	queues []queue.Queue[sharedToken], schedule sched.Schedule, cfg train.Config,
 	counter *train.Counter, stop *atomic.Bool, r *rng.Source) {
 
 	p := len(queues)
+	if cfg.PinWorkers {
+		affinity.Pin(q)
+		defer affinity.Unpin()
+	}
 	hp := newHotPath(md, schedule, cfg)
 	loadBalance := cfg.LoadBalance && p > 1
 	straggler := q == 0 && cfg.Straggle > 1
@@ -270,13 +361,12 @@ func runSharedWorker(q int, md *factor.Model, lr *localRatings,
 
 		// SGD over this worker's ratings for the item (lines 16–21).
 		j := int(tok.item)
-		hRow := md.ItemRow(j)
 		usersJ, vals, counts := lr.itemRatings(j)
 		var began time.Time
 		if straggler {
 			began = time.Now()
 		}
-		hp.itemSGD(usersJ, vals, counts, hRow)
+		hp.itemSGDItem(j, usersJ, vals, counts)
 		if straggler && len(usersJ) > 0 && !stop.Load() {
 			// Simulate a slow machine: stretch this token's processing
 			// time by the configured factor (§3.3 ablation). Skipped once

@@ -138,7 +138,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
 		st.RestoreStreams(root, workerRNG)
 	} else {
-		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		md = factor.NewInitP(m, n, cfg.K, cfg.Seed, cfg.Precision)
 		for q := 0; q < p; q++ {
 			workerRNG[q] = root.Split(uint64(q))
 		}
@@ -165,7 +165,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	permScratch := make([]int, W)
 	for j := 0; j < n; j++ {
 		vec := make([]float64, cfg.K)
-		copy(vec, md.ItemRow(j))
+		md.CopyItemRowTo64(j, vec)
 		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
 		mc := machines[root.Intn(M)]
 		deliverLocal(mc, tok, cfg.Circulate, root, permScratch)
@@ -249,7 +249,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 				if !ok {
 					break
 				}
-				copy(md.ItemRow(int(tok.tok.Item)), tok.tok.Vec)
+				md.SetItemRowFrom64(int(tok.tok.Item), tok.tok.Vec)
 				collected++
 			}
 		}
@@ -334,13 +334,15 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 		idle.reset()
 
 		j := int(tok.tok.Item)
-		hRow := tok.tok.Vec // the vector travels with the token
 		usersJ, vals, counts := lr.itemRatings(j)
 		var began time.Time
 		if straggler {
 			began = time.Now()
 		}
-		hp.itemSGD(usersJ, vals, counts, hRow)
+		// The vector travels with the token; itemSGDVec updates it and
+		// mirrors the result into the model (owner write-back so
+		// progress monitoring sees current hⱼ).
+		hp.itemSGDVec(j, usersJ, vals, counts, tok.tok.Vec)
 		if straggler && len(usersJ) > 0 && !stop.Load() {
 			// Straggler stretch, skipped once stop is set (prompt stop).
 			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
@@ -354,8 +356,6 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 				stop.Store(true)
 			}
 		}
-		// Owner write-back so progress monitoring sees current hⱼ.
-		copy(md.ItemRow(j), hRow)
 
 		if len(tok.visits) > 0 {
 			next := tok.visits[0]

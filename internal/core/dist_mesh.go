@@ -133,7 +133,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		importCounts(ds.Train, users, local, st.CountsFor(ds.Train.NNZ()))
 		st.RestoreStreams(root, workerRNG)
 	} else {
-		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		md = factor.NewInitP(m, n, cfg.K, cfg.Seed, cfg.Precision)
 		for q := 0; q < p; q++ {
 			workerRNG[q] = root.Split(uint64(q))
 		}
@@ -157,7 +157,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	permScratch := make([]int, W)
 	for j := 0; j < n; j++ {
 		vec := make([]float64, cfg.K)
-		copy(vec, md.ItemRow(j))
+		md.CopyItemRowTo64(j, vec)
 		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
 		mc := machines[root.Intn(M)]
 		deliverMeshLocal(mc, tok, cfg.Circulate, root, permScratch)
@@ -237,7 +237,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	// into the model. Token conservation is the ownership invariant.
 	collected := 0
 	collect := func(tok *distToken) {
-		copy(md.ItemRow(int(tok.tok.Item)), tok.tok.Vec)
+		md.SetItemRowFrom64(int(tok.tok.Item), tok.tok.Vec)
 		collected++
 	}
 	for _, mc := range machines {
@@ -355,13 +355,15 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 			in[i] = nil
 
 			j := int(tok.tok.Item)
-			hRow := tok.tok.Vec // the vector travels with the token
 			usersJ, vals, counts := lr.itemRatings(j)
 			var began time.Time
 			if straggler {
 				began = time.Now()
 			}
-			hp.itemSGD(usersJ, vals, counts, hRow)
+			// The vector travels with the token; itemSGDVec updates it
+			// and mirrors the result into the model (owner write-back so
+			// progress monitoring sees current hⱼ).
+			hp.itemSGDVec(j, usersJ, vals, counts, tok.tok.Vec)
 			if straggler && len(usersJ) > 0 && !stop.Load() {
 				time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 			}
@@ -374,9 +376,6 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 					stop.Store(true)
 				}
 			}
-			// Owner write-back so progress monitoring sees current hⱼ.
-			copy(md.ItemRow(j), hRow)
-
 			dst := port
 			if len(tok.visits) > 0 {
 				dst = int(tok.visits[0])

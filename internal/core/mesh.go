@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nomad/internal/affinity"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
 	"nomad/internal/queue"
@@ -144,7 +145,7 @@ func trainSharedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Config,
 			return nil, err
 		}
 	} else {
-		md = factor.NewInit(m, n, cfg.K, cfg.Seed)
+		md = factor.NewInitP(m, n, cfg.K, cfg.Seed, cfg.Precision)
 		// Initial token placement (Algorithm 1 lines 6–10), spread over
 		// source lanes so no lane carries the whole scatter.
 		for j := 0; j < n; j++ {
@@ -231,6 +232,10 @@ func runSharedWorkerMesh(q int, md *factor.Model, lr *localRatings,
 	preload []sharedToken, res *meshResidual) {
 
 	p := mesh.P()
+	if cfg.PinWorkers {
+		affinity.Pin(q)
+		defer affinity.Unpin()
+	}
 	hp := newHotPath(md, schedule, cfg)
 	loadBalance := cfg.LoadBalance && p > 1
 	straggler := q == 0 && cfg.Straggle > 1
@@ -286,13 +291,12 @@ func runSharedWorkerMesh(q int, md *factor.Model, lr *localRatings,
 
 			// SGD over this worker's ratings for the item (lines 16–21).
 			j := int(tok.item)
-			hRow := md.ItemRow(j)
 			usersJ, vals, counts := lr.itemRatings(j)
 			var began time.Time
 			if straggler {
 				began = time.Now()
 			}
-			hp.itemSGD(usersJ, vals, counts, hRow)
+			hp.itemSGDItem(j, usersJ, vals, counts)
 			if straggler && len(usersJ) > 0 && !stop.Load() {
 				// Simulate a slow machine (§3.3 ablation); skipped once
 				// stop is set so cancellation stays prompt.

@@ -57,6 +57,9 @@ func (*DSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, h
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("dsgd"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("dsgd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

@@ -51,6 +51,9 @@ func (*DSGDPP) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config,
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("dsgd++"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("dsgdpp", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

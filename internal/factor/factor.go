@@ -2,9 +2,18 @@
 // matrix-completion algorithms.
 //
 // W is m×k (one row per user) and H is n×k (one row per item), both
-// stored as single flat row-major float64 slices so that a row is a
-// contiguous, cache-friendly sub-slice. Following §5.1 of the NOMAD
-// paper, entries are initialized i.i.d. uniform on (0, 1/√k).
+// stored as single flat row-major slices so that a row is a contiguous,
+// cache-friendly sub-slice. Following §5.1 of the NOMAD paper, entries
+// are initialized i.i.d. uniform on (0, 1/√k).
+//
+// A model carries one of two element precisions. Float64 is the
+// default and what every solver supports; Float32 halves the model's
+// memory traffic for the SGD-family hot paths that opt in (see
+// DESIGN.md §9 for the precision contract). The two precisions use
+// disjoint storage and disjoint accessors — UserRow vs UserRow32 —
+// and the accessors panic on a precision mismatch rather than
+// silently converting: every conversion in the system is explicit, at
+// a token or checkpoint boundary.
 package factor
 
 import (
@@ -18,119 +27,322 @@ import (
 	"nomad/internal/vecmath"
 )
 
+// Precision selects the element type of a model's factor storage.
+type Precision uint8
+
+const (
+	// Float64 is the default precision; all solvers support it.
+	Float64 Precision = iota
+	// Float32 halves model memory and bandwidth; supported by the
+	// SGD-family hot paths that opt in via their precision option.
+	Float32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(p))
+	}
+}
+
+// Bytes returns the size of one element at this precision.
+func (p Precision) Bytes() int {
+	if p == Float32 {
+		return 4
+	}
+	return 8
+}
+
 // Model is a rank-k factorization candidate: A ≈ W·Hᵀ.
 type Model struct {
 	M, N, K int
-	w       []float64 // m×k row-major
-	h       []float64 // n×k row-major
+	prec    Precision
+	w       []float64 // m×k row-major (Float64 models)
+	h       []float64 // n×k row-major (Float64 models)
+	w32     []float32 // m×k row-major (Float32 models)
+	h32     []float32 // n×k row-major (Float32 models)
 }
 
-// New returns a zero-valued model of the given shape.
-func New(m, n, k int) *Model {
+// New returns a zero-valued Float64 model of the given shape.
+func New(m, n, k int) *Model { return NewP(m, n, k, Float64) }
+
+// NewP returns a zero-valued model of the given shape and precision.
+func NewP(m, n, k int, prec Precision) *Model {
 	if m <= 0 || n <= 0 || k <= 0 {
 		panic(fmt.Sprintf("factor: invalid shape m=%d n=%d k=%d", m, n, k))
 	}
-	return &Model{M: m, N: n, K: k, w: make([]float64, m*k), h: make([]float64, n*k)}
-}
-
-// NewInit returns a model initialized like the paper's experiments:
-// every entry drawn uniformly from (0, 1/√k), using the given seed.
-func NewInit(m, n, k int, seed uint64) *Model {
-	md := New(m, n, k)
-	r := rng.New(seed)
-	hi := 1 / math.Sqrt(float64(k))
-	for i := range md.w {
-		md.w[i] = r.Uniform(0, hi)
-	}
-	for i := range md.h {
-		md.h[i] = r.Uniform(0, hi)
+	md := &Model{M: m, N: n, K: k, prec: prec}
+	switch prec {
+	case Float64:
+		md.w = make([]float64, m*k)
+		md.h = make([]float64, n*k)
+	case Float32:
+		md.w32 = make([]float32, m*k)
+		md.h32 = make([]float32, n*k)
+	default:
+		panic(fmt.Sprintf("factor: invalid precision %d", prec))
 	}
 	return md
 }
 
+// NewInit returns a Float64 model initialized like the paper's
+// experiments: every entry drawn uniformly from (0, 1/√k), using the
+// given seed.
+func NewInit(m, n, k int, seed uint64) *Model {
+	return NewInitP(m, n, k, seed, Float64)
+}
+
+// NewInitP is NewInit at a chosen precision. A Float32 model draws the
+// same uniform sequence as the Float64 model with the same seed and
+// narrows each entry, so the two initializations agree to one float32
+// rounding — the property the float32-vs-float64 RMSE tests lean on.
+func NewInitP(m, n, k int, seed uint64, prec Precision) *Model {
+	md := NewP(m, n, k, prec)
+	r := rng.New(seed)
+	hi := 1 / math.Sqrt(float64(k))
+	switch prec {
+	case Float64:
+		for i := range md.w {
+			md.w[i] = r.Uniform(0, hi)
+		}
+		for i := range md.h {
+			md.h[i] = r.Uniform(0, hi)
+		}
+	case Float32:
+		for i := range md.w32 {
+			md.w32[i] = float32(r.Uniform(0, hi))
+		}
+		for i := range md.h32 {
+			md.h32[i] = float32(r.Uniform(0, hi))
+		}
+	}
+	return md
+}
+
+// Precision reports the model's element precision.
+func (md *Model) Precision() Precision { return md.prec }
+
+func (md *Model) need(p Precision, what string) {
+	if md.prec != p {
+		panic(fmt.Sprintf("factor: %s on a %s model", what, md.prec))
+	}
+}
+
 // UserRow returns user i's factor row wᵢ. The slice aliases model
-// storage: writes through it update the model.
-func (md *Model) UserRow(i int) []float64 { return md.w[i*md.K : i*md.K+md.K] }
+// storage: writes through it update the model. Panics unless the model
+// is Float64.
+func (md *Model) UserRow(i int) []float64 {
+	md.need(Float64, "UserRow")
+	return md.w[i*md.K : i*md.K+md.K]
+}
 
 // ItemRow returns item j's factor row hⱼ, aliasing model storage.
-func (md *Model) ItemRow(j int) []float64 { return md.h[j*md.K : j*md.K+md.K] }
+// Panics unless the model is Float64.
+func (md *Model) ItemRow(j int) []float64 {
+	md.need(Float64, "ItemRow")
+	return md.h[j*md.K : j*md.K+md.K]
+}
 
-// Predict returns the model's estimate of rating (i, j): ⟨wᵢ, hⱼ⟩.
+// UserRow32 is UserRow for Float32 models.
+func (md *Model) UserRow32(i int) []float32 {
+	md.need(Float32, "UserRow32")
+	return md.w32[i*md.K : i*md.K+md.K]
+}
+
+// ItemRow32 is ItemRow for Float32 models.
+func (md *Model) ItemRow32(j int) []float32 {
+	md.need(Float32, "ItemRow32")
+	return md.h32[j*md.K : j*md.K+md.K]
+}
+
+// Predict returns the model's estimate of rating (i, j): ⟨wᵢ, hⱼ⟩. For
+// Float32 models the product accumulates in float32 — the same
+// arithmetic the float32 training kernels use.
 func (md *Model) Predict(i, j int) float64 {
+	if md.prec == Float32 {
+		return float64(vecmath.Dot32(md.UserRow32(i), md.ItemRow32(j)))
+	}
 	return vecmath.Dot(md.UserRow(i), md.ItemRow(j))
 }
 
 // Clone returns a deep copy of the model.
 func (md *Model) Clone() *Model {
-	c := New(md.M, md.N, md.K)
+	c := NewP(md.M, md.N, md.K, md.prec)
 	copy(c.w, md.w)
 	copy(c.h, md.h)
+	copy(c.w32, md.w32)
+	copy(c.h32, md.h32)
 	return c
 }
 
-// CopyFrom overwrites md's parameters with src's. Shapes must match.
+// CopyFrom overwrites md's parameters with src's. Shape and precision
+// must match.
 func (md *Model) CopyFrom(src *Model) {
 	if md.M != src.M || md.N != src.N || md.K != src.K {
 		panic("factor: CopyFrom shape mismatch")
 	}
+	if md.prec != src.prec {
+		panic("factor: CopyFrom precision mismatch")
+	}
 	copy(md.w, src.w)
 	copy(md.h, src.h)
+	copy(md.w32, src.w32)
+	copy(md.h32, src.h32)
 }
 
-// WData exposes the flat W array (m×k row-major). Intended for
-// algorithms that partition rows across workers; each worker must touch
-// only its own rows.
-func (md *Model) WData() []float64 { return md.w }
+// Convert returns a copy of the model at the given precision,
+// narrowing or widening every entry. Converting to the model's own
+// precision is a Clone.
+func (md *Model) Convert(prec Precision) *Model {
+	c := NewP(md.M, md.N, md.K, prec)
+	switch {
+	case md.prec == prec:
+		c.CopyFrom(md)
+	case prec == Float32:
+		for i, v := range md.w {
+			c.w32[i] = float32(v)
+		}
+		for i, v := range md.h {
+			c.h32[i] = float32(v)
+		}
+	default:
+		for i, v := range md.w32 {
+			c.w[i] = float64(v)
+		}
+		for i, v := range md.h32 {
+			c.h[i] = float64(v)
+		}
+	}
+	return c
+}
+
+// WData exposes the flat W array (m×k row-major) of a Float64 model.
+// Intended for algorithms that partition rows across workers; each
+// worker must touch only its own rows.
+func (md *Model) WData() []float64 {
+	md.need(Float64, "WData")
+	return md.w
+}
 
 // HData exposes the flat H array (n×k row-major), with the same
 // ownership discipline as WData.
-func (md *Model) HData() []float64 { return md.h }
+func (md *Model) HData() []float64 {
+	md.need(Float64, "HData")
+	return md.h
+}
+
+// WData32 is WData for Float32 models.
+func (md *Model) WData32() []float32 {
+	md.need(Float32, "WData32")
+	return md.w32
+}
+
+// HData32 is HData for Float32 models.
+func (md *Model) HData32() []float32 {
+	md.need(Float32, "HData32")
+	return md.h32
+}
+
+// CopyItemRowTo64 widens item j's row into dst (length K), whatever the
+// model's precision. Used at token boundaries: the distributed wire
+// format stays float64 regardless of model precision.
+func (md *Model) CopyItemRowTo64(j int, dst []float64) {
+	if md.prec == Float32 {
+		row := md.ItemRow32(j)
+		for l, v := range row {
+			dst[l] = float64(v)
+		}
+		return
+	}
+	copy(dst, md.ItemRow(j))
+}
+
+// SetItemRowFrom64 narrows src (length K) into item j's row, whatever
+// the model's precision — the receiving half of CopyItemRowTo64.
+func (md *Model) SetItemRowFrom64(j int, src []float64) {
+	if md.prec == Float32 {
+		row := md.ItemRow32(j)
+		for l, v := range src {
+			row[l] = float32(v)
+		}
+		return
+	}
+	copy(md.ItemRow(j), src)
+}
 
 const modelMagic uint32 = 0x4e4d444d // "NMDM"
 
-// WriteBinary serializes the model.
+// binHeader is the on-disk model header. Prec occupies what was a
+// reserved zero field, so Float64 models round-trip with readers and
+// writers from before precision existed.
+type binHeader struct {
+	Magic   uint32
+	Prec    uint32
+	M, N, K int64
+}
+
+// WriteBinary serializes the model. Float32 models write float32
+// payloads — half the bytes, and exact round-tripping at their own
+// precision.
 func (md *Model) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := struct {
-		Magic   uint32
-		_       uint32
-		M, N, K int64
-	}{Magic: modelMagic, M: int64(md.M), N: int64(md.N), K: int64(md.K)}
+	hdr := binHeader{Magic: modelMagic, Prec: uint32(md.prec),
+		M: int64(md.M), N: int64(md.N), K: int64(md.K)}
 	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
 		return fmt.Errorf("factor: write header: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, md.w); err != nil {
-		return fmt.Errorf("factor: write W: %w", err)
+	var werr, herr error
+	if md.prec == Float32 {
+		werr = binary.Write(bw, binary.LittleEndian, md.w32)
+		herr = binary.Write(bw, binary.LittleEndian, md.h32)
+	} else {
+		werr = binary.Write(bw, binary.LittleEndian, md.w)
+		herr = binary.Write(bw, binary.LittleEndian, md.h)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, md.h); err != nil {
-		return fmt.Errorf("factor: write H: %w", err)
+	if werr != nil {
+		return fmt.Errorf("factor: write W: %w", werr)
+	}
+	if herr != nil {
+		return fmt.Errorf("factor: write H: %w", herr)
 	}
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a model written by WriteBinary.
+// ReadBinary deserializes a model written by WriteBinary, restoring its
+// precision.
 func ReadBinary(r io.Reader) (*Model, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var hdr struct {
-		Magic   uint32
-		_       uint32
-		M, N, K int64
-	}
+	var hdr binHeader
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
 		return nil, fmt.Errorf("factor: read header: %w", err)
 	}
 	if hdr.Magic != modelMagic {
 		return nil, fmt.Errorf("factor: bad magic %#x", hdr.Magic)
 	}
+	if hdr.Prec > uint32(Float32) {
+		return nil, fmt.Errorf("factor: unknown precision %d", hdr.Prec)
+	}
 	if hdr.M <= 0 || hdr.N <= 0 || hdr.K <= 0 {
 		return nil, fmt.Errorf("factor: corrupt header m=%d n=%d k=%d", hdr.M, hdr.N, hdr.K)
 	}
-	md := New(int(hdr.M), int(hdr.N), int(hdr.K))
-	if err := binary.Read(br, binary.LittleEndian, md.w); err != nil {
-		return nil, fmt.Errorf("factor: read W: %w", err)
+	md := NewP(int(hdr.M), int(hdr.N), int(hdr.K), Precision(hdr.Prec))
+	var werr, herr error
+	if md.prec == Float32 {
+		werr = binary.Read(br, binary.LittleEndian, md.w32)
+		herr = binary.Read(br, binary.LittleEndian, md.h32)
+	} else {
+		werr = binary.Read(br, binary.LittleEndian, md.w)
+		herr = binary.Read(br, binary.LittleEndian, md.h)
 	}
-	if err := binary.Read(br, binary.LittleEndian, md.h); err != nil {
-		return nil, fmt.Errorf("factor: read H: %w", err)
+	if werr != nil {
+		return nil, fmt.Errorf("factor: read W: %w", werr)
+	}
+	if herr != nil {
+		return nil, fmt.Errorf("factor: read H: %w", herr)
 	}
 	return md, nil
 }

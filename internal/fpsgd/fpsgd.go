@@ -115,6 +115,9 @@ func (*FPSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, 
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("fpsgd"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("fpsgd", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

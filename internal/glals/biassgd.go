@@ -71,6 +71,9 @@ func (*BiasSGD) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("biassgd"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("biassgd", ds.Rows(), ds.Cols(), (*BiasSGD)(nil).StorageRank(cfg.K)); err != nil {
 		return nil, err
 	}

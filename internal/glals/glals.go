@@ -119,6 +119,9 @@ func (*GLALS) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config, 
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.RequireFloat64("glals"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Resume.Validate("glals", ds.Rows(), ds.Cols(), cfg.K); err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nomad/internal/affinity"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
 	"nomad/internal/loss"
@@ -65,7 +66,7 @@ func (*Hogwild) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		counts = st.CountsFor(nnz)
 		st.RestoreStreams(root, workerRNG)
 	} else {
-		md = factor.NewInit(ds.Rows(), ds.Cols(), cfg.K, cfg.Seed)
+		md = factor.NewInitP(ds.Rows(), ds.Cols(), cfg.K, cfg.Seed, cfg.Precision)
 		counts = make([]int32, nnz)
 		for q := 0; q < p; q++ {
 			workerRNG[q] = root.Split(uint64(q))
@@ -73,10 +74,18 @@ func (*Hogwild) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	}
 
 	lossFn := cfg.Loss
-	kern := vecmath.KernelFor(cfg.K)
+	f32 := md.Precision() == factor.Float32
+	var kern vecmath.Kernel
+	var kern32 vecmath.Kernel32
+	if f32 {
+		kern32 = vecmath.KernelFor32(cfg.K)
+	} else {
+		kern = vecmath.KernelFor(cfg.K)
+	}
 	fused := loss.UseFused(lossFn) // devirtualize the default loss
 	table, _ := schedule.(*sched.Table)
 	lambda := cfg.Lambda
+	lambda32 := float32(cfg.Lambda)
 	counter := train.NewCounterFor(cfg, p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
@@ -85,6 +94,10 @@ func (*Hogwild) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		wg.Add(1)
 		go func(q int, r *rng.Source) {
 			defer wg.Done()
+			if cfg.PinWorkers {
+				affinity.Pin(q)
+				defer affinity.Unpin()
+			}
 			var batch int64
 			for !stop.Load() {
 				x := r.Intn(nnz)
@@ -97,13 +110,24 @@ func (*Hogwild) Train(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 				} else {
 					step = schedule.Step(int(t))
 				}
-				wRow := md.UserRow(int(e.Row))
-				hRow := md.ItemRow(int(e.Col))
-				if fused {
-					kern.Step(wRow, hRow, e.Val, step, lambda)
+				if f32 {
+					wRow := md.UserRow32(int(e.Row))
+					hRow := md.ItemRow32(int(e.Col))
+					if fused {
+						kern32.Step(wRow, hRow, float32(e.Val), float32(step), lambda32)
+					} else {
+						g := lossFn.Grad(float64(kern32.Dot(wRow, hRow)), e.Val)
+						kern32.Grad(wRow, hRow, float32(g), float32(step), lambda32)
+					}
 				} else {
-					g := lossFn.Grad(kern.Dot(wRow, hRow), e.Val)
-					kern.Grad(wRow, hRow, g, step, lambda)
+					wRow := md.UserRow(int(e.Row))
+					hRow := md.ItemRow(int(e.Col))
+					if fused {
+						kern.Step(wRow, hRow, e.Val, step, lambda)
+					} else {
+						g := lossFn.Grad(kern.Dot(wRow, hRow), e.Val)
+						kern.Grad(wRow, hRow, g, step, lambda)
+					}
 				}
 				batch++
 				if batch >= 256 {

@@ -28,7 +28,17 @@ func RMSE(md *factor.Model, test []sparse.Entry) float64 {
 	if workers > len(test) {
 		workers = 1
 	}
-	dot := vecmath.DotKernel(md.K) // specialized prediction kernel, chosen once
+	f32 := md.Precision() == factor.Float32
+	// Specialized prediction kernel, chosen once. The float32 path
+	// predicts with float32 accumulation — the same arithmetic its
+	// training kernels use — and only the squared-error sum is float64.
+	var dot vecmath.DotFunc
+	var dot32 vecmath.DotFunc32
+	if f32 {
+		dot32 = vecmath.DotKernel32(md.K)
+	} else {
+		dot = vecmath.DotKernel(md.K)
+	}
 	partials := make([]float64, workers)
 	var wg sync.WaitGroup
 	chunk := (len(test) + workers - 1) / workers
@@ -46,7 +56,13 @@ func RMSE(md *factor.Model, test []sparse.Entry) float64 {
 			defer wg.Done()
 			var s float64
 			for _, e := range test[lo:hi] {
-				d := e.Val - dot(md.UserRow(int(e.Row)), md.ItemRow(int(e.Col)))
+				var pred float64
+				if f32 {
+					pred = float64(dot32(md.UserRow32(int(e.Row)), md.ItemRow32(int(e.Col))))
+				} else {
+					pred = dot(md.UserRow(int(e.Row)), md.ItemRow(int(e.Col)))
+				}
+				d := e.Val - pred
 				s += d * d
 			}
 			partials[w] = s
@@ -88,15 +104,31 @@ func Objective(md *factor.Model, train *sparse.Matrix, lambda float64) float64 {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			dot := vecmath.DotKernel(md.K)
 			var s float64
-			for i := lo; i < hi; i++ {
-				wRow := md.UserRow(i)
-				wNorm := vecmath.Norm2Sq(wRow)
-				cols, vals := train.Row(i)
-				for x, j := range cols {
-					d := vals[x] - dot(wRow, md.ItemRow(int(j)))
-					s += d*d + lambda*(wNorm+vecmath.Norm2Sq(md.ItemRow(int(j))))
+			if md.Precision() == factor.Float32 {
+				// Norms accumulate in float64 (Norm2Sq32) — the objective
+				// is a global sum and should not inherit the row kernels'
+				// float32 accumulation error.
+				dot := vecmath.DotKernel32(md.K)
+				for i := lo; i < hi; i++ {
+					wRow := md.UserRow32(i)
+					wNorm := vecmath.Norm2Sq32(wRow)
+					cols, vals := train.Row(i)
+					for x, j := range cols {
+						d := vals[x] - float64(dot(wRow, md.ItemRow32(int(j))))
+						s += d*d + lambda*(wNorm+vecmath.Norm2Sq32(md.ItemRow32(int(j))))
+					}
+				}
+			} else {
+				dot := vecmath.DotKernel(md.K)
+				for i := lo; i < hi; i++ {
+					wRow := md.UserRow(i)
+					wNorm := vecmath.Norm2Sq(wRow)
+					cols, vals := train.Row(i)
+					for x, j := range cols {
+						d := vals[x] - dot(wRow, md.ItemRow(int(j)))
+						s += d*d + lambda*(wNorm+vecmath.Norm2Sq(md.ItemRow(int(j))))
+					}
 				}
 			}
 			partials[w] = s

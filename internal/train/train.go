@@ -103,6 +103,20 @@ type Config struct {
 	// same algorithm and a dataset of the same shape (State.Validate).
 	Resume *State
 
+	// Precision selects the factor-model element type. Float64 (the
+	// zero value) is supported everywhere; Float32 halves model memory
+	// and bandwidth and is honoured by the NOMAD shared-memory and
+	// asynchronous distributed runners and by Hogwild (see DESIGN.md
+	// §9). The deterministic lockstep/multi-process runners and the
+	// bulk-synchronous baselines reject it.
+	Precision factor.Precision
+
+	// PinWorkers pins each SGD worker goroutine to its own OS thread
+	// and, on linux, to a distinct CPU core — the placement used by the
+	// multi-core scaling experiments. Best-effort elsewhere (the thread
+	// is still locked, but affinity is left to the scheduler).
+	PinWorkers bool
+
 	Seed uint64
 }
 
@@ -184,6 +198,20 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 	default:
 		return c, fmt.Errorf("train: unknown role %q (coordinator, worker)", c.Role)
 	}
+	if c.Precision > factor.Float32 {
+		return c, fmt.Errorf("train: unknown precision %d", c.Precision)
+	}
+	if c.Precision != factor.Float64 && (c.Lockstep || c.Role != "") {
+		// The lockstep runner's contract is bitwise-identical results
+		// across backends and process placements; its wire format and
+		// parity tests are float64. Keep float32 out rather than
+		// weakening the guarantee.
+		return c, fmt.Errorf("train: %v precision is not supported by the lockstep/multi-process runner", c.Precision)
+	}
+	if st := c.Resume; st != nil && st.Model != nil && st.Model.Precision() != c.Precision {
+		return c, fmt.Errorf("train: resume state is %v but the run is configured for %v",
+			st.Model.Precision(), c.Precision)
+	}
 	if c.Role == "" && c.Machines == 1 {
 		// A single machine has no cluster: silently falling back to the
 		// shared-memory path would hand the caller a nondeterministic
@@ -220,6 +248,16 @@ func (c Config) Schedule() sched.Schedule {
 
 // TotalWorkers returns machines × workers-per-machine.
 func (c Config) TotalWorkers() int { return c.Machines * c.Workers }
+
+// RequireFloat64 is the guard every solver without a float32 hot path
+// places after Normalize: it rejects any non-default precision with an
+// error naming the algorithm.
+func (c Config) RequireFloat64(algo string) error {
+	if c.Precision != factor.Float64 {
+		return fmt.Errorf("train: %s does not support %v precision", algo, c.Precision)
+	}
+	return nil
+}
 
 // Result is the outcome of a training run.
 type Result struct {

@@ -1,0 +1,47 @@
+package vecmath
+
+// Runtime CPU-feature detection for the amd64 SIMD kernels. The asm
+// kernels require AVX2 and FMA3, plus an OS that saves the YMM state
+// (OSXSAVE set and XCR0 enabling XMM+YMM) — the standard AVX enablement
+// check from the Intel SDM, the same one runtime/internal/cpu performs.
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended control register that records which
+// register states the OS context-switches.
+func xgetbv0() (eax, edx uint32)
+
+// detectSIMD reports whether the AVX2/FMA kernels can run here: the CPU
+// advertises AVX2+FMA and the OS saves the YMM halves across context
+// switches. Checked once at init on amd64.
+func detectSIMD() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12 // CPUID.1:ECX
+		osxsave = 1 << 27
+		avx     = 1 << 28
+		avx2    = 1 << 5 // CPUID.7.0:EBX
+	)
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&avx2 != 0
+}
+
+// featureList names the vector features the dispatcher can use on this
+// CPU, for benchmark metadata ("avx2,fma" or "").
+func featureList() string {
+	if simdAvailable {
+		return "avx2,fma"
+	}
+	return ""
+}

@@ -29,32 +29,72 @@
 // is kept expression-for-expression identical to the reference so
 // that, at equal residual, updates match bit for bit.
 //
-// Setting NOMAD_REFERENCE_KERNELS=1 in the environment makes KernelFor
-// hand back the reference implementations instead, which gives an
-// in-tree A/B switch for benchmarking and for bisecting numerical
-// differences (cmd/nomad-bench -json records which side it measured).
+// On amd64 with AVX2+FMA, KernelFor returns assembly kernels instead
+// of the unrolled Go ones (kernels_amd64.s); the Go kernels remain the
+// fallback for every other GOARCH and whenever SIMD is switched off.
+//
+// Two environment switches control dispatch, both overridable at run
+// time for in-process A/B benchmarking:
+//
+//   - NOMAD_REFERENCE_KERNELS=1 forces the reference implementations
+//     (and the raw schedule / Grad-dispatch paths in the solvers),
+//     for bisecting numerical differences.
+//   - NOMAD_NO_SIMD=1 keeps the portable unrolled Go kernels but skips
+//     the assembly, so CI can exercise the fallback path on hardware
+//     that would normally dispatch to asm.
 package vecmath
 
-import "os"
+import (
+	"os"
+	"sync/atomic"
+)
 
 // referenceOnly pins every kernel selector to the reference
-// implementations. Read once at startup; flipping the environment
-// mid-process has no effect.
-var referenceOnly = os.Getenv("NOMAD_REFERENCE_KERNELS") != ""
+// implementations. Atomic because cmd/nomad-bench flips it between
+// interleaved A/B measurements in one process (and the -race CI job
+// covers that interleaving).
+var referenceOnly atomic.Bool
+
+// simdOn gates dispatch to the assembly kernels. True only when the
+// hardware supports them (simdAvailable) and NOMAD_NO_SIMD is unset.
+var simdOn atomic.Bool
+
+func init() {
+	referenceOnly.Store(os.Getenv("NOMAD_REFERENCE_KERNELS") != "")
+	simdOn.Store(simdAvailable && os.Getenv("NOMAD_NO_SIMD") == "")
+}
 
 // ReferenceOnly reports whether the reference hot path is forced:
 // reference kernels here, the raw Power schedule in internal/train,
 // and the square loss's original Grad-dispatch path in the solvers.
 // Worker-loop restructuring (token routing, hoisted lookups) is
 // structural and is not reverted.
-func ReferenceOnly() bool { return referenceOnly }
+func ReferenceOnly() bool { return referenceOnly.Load() }
 
 // SetReferenceOnly overrides the NOMAD_REFERENCE_KERNELS switch at
 // run time. cmd/nomad-bench uses it to measure both sides of the A/B
 // interleaved in one process, so machine noise hits them equally. The
 // switch is consulted when a run selects its kernels and schedule —
 // never flip it while a training run is active.
-func SetReferenceOnly(v bool) { referenceOnly = v }
+func SetReferenceOnly(v bool) { referenceOnly.Store(v) }
+
+// SIMDAvailable reports whether this CPU and OS support the assembly
+// kernels (AVX2+FMA with YMM state saved, amd64 only).
+func SIMDAvailable() bool { return simdAvailable }
+
+// SIMDEnabled reports whether KernelFor currently dispatches to the
+// assembly kernels.
+func SIMDEnabled() bool { return simdOn.Load() }
+
+// SetSIMD switches assembly dispatch on or off at run time; enabling is
+// a no-op on hardware without the features. Like SetReferenceOnly it is
+// consulted at kernel selection, never per rating — don't flip it while
+// a run is active.
+func SetSIMD(v bool) { simdOn.Store(v && simdAvailable) }
+
+// Features names the vector features the dispatcher can use here
+// ("avx2,fma" or ""), for benchmark environment metadata.
+func Features() string { return featureList() }
 
 // DotFunc computes the inner product of two equal-length rows.
 type DotFunc func(a, b []float64) float64
@@ -96,13 +136,20 @@ type Kernel struct {
 	ItemPass ItemPassFunc
 }
 
-// KernelFor returns the kernels specialized for rank k: fully unrolled
-// variants for K = 8, 16 and 32, and unrolled-by-4 generic fallbacks
-// otherwise. With NOMAD_REFERENCE_KERNELS set it returns the reference
+// KernelFor returns the kernels specialized for rank k: AVX2/FMA
+// assembly when the dispatcher allows (amd64 with the features, SIMD
+// not disabled), otherwise fully unrolled Go variants for K = 8, 16
+// and 32 and unrolled-by-4 generic fallbacks. With
+// NOMAD_REFERENCE_KERNELS set it returns the reference
 // implementations.
 func KernelFor(k int) Kernel {
-	if referenceOnly {
+	if referenceOnly.Load() {
 		return Kernel{K: k, Dot: Dot, Step: SGDUpdate, Grad: SGDUpdateGrad}
+	}
+	if simdOn.Load() {
+		if kn, ok := simdKernelFor(k); ok {
+			return kn
+		}
 	}
 	switch k {
 	case 8:

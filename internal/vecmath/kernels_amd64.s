@@ -1,0 +1,373 @@
+// AVX2/FMA kernels for the SGD hot path, both precisions.
+//
+// Layout rules (see DESIGN.md §9): rows are ordinary Go slices — 8-byte
+// aligned, not 32 — so every vector access is unaligned (VMOVUPS/UPD);
+// callers pass the base pointer and element count and the kernels never
+// touch memory outside [ptr, ptr+n). All functions are NOSPLIT leaf
+// routines with no stack frame, and every exit runs VZEROUPPER so mixed
+// SSE code after a call pays no AVX transition penalty.
+//
+// Numerics: the dot products accumulate into 4 YMM registers (16 f64 /
+// 32 f32 partial sums) with fused multiply-adds, so results differ from
+// the reference implementations in summation order and intermediate
+// rounding — kernels_asm_test.go bounds the difference by standard
+// summation-error analysis. The SGD update keeps the reference
+// association ((w + sg·h) − sl·w) but fuses each multiply-add.
+
+#include "textflag.h"
+
+// ---------------------------------------------------------------------
+// float64
+// ---------------------------------------------------------------------
+
+// dot product loop body: accumulates a[0:n]·b[0:n] into X0 (low lane).
+// Clobbers SI, DI, CX, Y0-Y7. Shared textually by dotAVX and fstepAVX.
+// The single-pass 8-wide stage keeps two FMA chains in flight for the
+// small ranks (K=8, and the n mod 16 ≥ 8 tails) instead of serializing
+// two 4-wide iterations on one accumulator.
+#define DOT64(lblk, loct, lquad, lred, lsca, ldone)   \
+	VXORPD X0, X0, X0                             \
+	VXORPD X1, X1, X1                             \
+	VXORPD X2, X2, X2                             \
+	VXORPD X3, X3, X3                             \
+lblk:                                                 \
+	CMPQ CX, $16                                  \
+	JLT  loct                                     \
+	VMOVUPD (SI), Y4                              \
+	VMOVUPD 32(SI), Y5                            \
+	VMOVUPD 64(SI), Y6                            \
+	VMOVUPD 96(SI), Y7                            \
+	VFMADD231PD (DI), Y4, Y0                      \
+	VFMADD231PD 32(DI), Y5, Y1                    \
+	VFMADD231PD 64(DI), Y6, Y2                    \
+	VFMADD231PD 96(DI), Y7, Y3                    \
+	ADDQ $128, SI                                 \
+	ADDQ $128, DI                                 \
+	SUBQ $16, CX                                  \
+	JMP  lblk                                     \
+loct:                                                 \
+	CMPQ CX, $8                                   \
+	JLT  lquad                                    \
+	VMOVUPD (SI), Y4                              \
+	VMOVUPD 32(SI), Y5                            \
+	VFMADD231PD (DI), Y4, Y0                      \
+	VFMADD231PD 32(DI), Y5, Y1                    \
+	ADDQ $64, SI                                  \
+	ADDQ $64, DI                                  \
+	SUBQ $8, CX                                   \
+lquad:                                                \
+	CMPQ CX, $4                                   \
+	JLT  lred                                     \
+	VMOVUPD (SI), Y4                              \
+	VFMADD231PD (DI), Y4, Y0                      \
+	ADDQ $32, SI                                  \
+	ADDQ $32, DI                                  \
+	SUBQ $4, CX                                   \
+	JMP  lquad                                    \
+lred:                                                 \
+	VADDPD Y1, Y0, Y0                             \
+	VADDPD Y3, Y2, Y2                             \
+	VADDPD Y2, Y0, Y0                             \
+	VEXTRACTF128 $1, Y0, X1                       \
+	VADDPD X1, X0, X0                             \
+	VHADDPD X0, X0, X0                            \
+lsca:                                                 \
+	TESTQ CX, CX                                  \
+	JEQ   ldone                                   \
+	VMOVSD (SI), X4                               \
+	VFMADD231SD (DI), X4, X0                      \
+	ADDQ $8, SI                                   \
+	ADDQ $8, DI                                   \
+	DECQ CX                                       \
+	JMP  lsca                                     \
+ldone:
+
+// func dotAVX(a, b *float64, n int) float64
+TEXT ·dotAVX(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	DOT64(dblk, doct, dquad, dred, dsca, ddone)
+	VZEROUPPER
+	VMOVSD X0, ret+24(FP)
+	RET
+
+// SGD update loop body: the simultaneous row update
+//
+//	w[l] = w[l] + sg·h[l] − sl·w[l]
+//	h[l] = h[l] + sg·w_old[l] − sl·h[l]
+//
+// over w[0:n], h[0:n]. Expects Y10/X10 = sg broadcast, Y11/X11 = sl
+// broadcast. Clobbers SI, DI, CX, Y0-Y3, Y12-Y15 (X5 preserved: it
+// carries fstepAVX's residual).
+#define UPD64(loct, lquad, lsca, ldone)               \
+loct:                                                 \
+	CMPQ CX, $8                                   \
+	JLT  lquad                                    \
+	VMOVUPD (SI), Y0                              \
+	VMOVUPD 32(SI), Y1                            \
+	VMOVUPD (DI), Y2                              \
+	VMOVUPD 32(DI), Y3                            \
+	VMOVAPD Y0, Y12                               \
+	VFMADD231PD Y10, Y2, Y12                      \
+	VFNMADD231PD Y11, Y0, Y12                     \
+	VMOVAPD Y2, Y13                               \
+	VFMADD231PD Y10, Y0, Y13                      \
+	VFNMADD231PD Y11, Y2, Y13                     \
+	VMOVAPD Y1, Y14                               \
+	VFMADD231PD Y10, Y3, Y14                      \
+	VFNMADD231PD Y11, Y1, Y14                     \
+	VMOVAPD Y3, Y15                               \
+	VFMADD231PD Y10, Y1, Y15                      \
+	VFNMADD231PD Y11, Y3, Y15                     \
+	VMOVUPD Y12, (SI)                             \
+	VMOVUPD Y13, (DI)                             \
+	VMOVUPD Y14, 32(SI)                           \
+	VMOVUPD Y15, 32(DI)                           \
+	ADDQ $64, SI                                  \
+	ADDQ $64, DI                                  \
+	SUBQ $8, CX                                   \
+	JMP  loct                                     \
+lquad:                                                \
+	CMPQ CX, $4                                   \
+	JLT  lsca                                     \
+	VMOVUPD (SI), Y0                              \
+	VMOVUPD (DI), Y2                              \
+	VMOVAPD Y0, Y12                               \
+	VFMADD231PD Y10, Y2, Y12                      \
+	VFNMADD231PD Y11, Y0, Y12                     \
+	VMOVAPD Y2, Y13                               \
+	VFMADD231PD Y10, Y0, Y13                      \
+	VFNMADD231PD Y11, Y2, Y13                     \
+	VMOVUPD Y12, (SI)                             \
+	VMOVUPD Y13, (DI)                             \
+	ADDQ $32, SI                                  \
+	ADDQ $32, DI                                  \
+	SUBQ $4, CX                                   \
+lsca:                                                 \
+	TESTQ CX, CX                                  \
+	JEQ   ldone                                   \
+	VMOVSD (SI), X0                               \
+	VMOVSD (DI), X2                               \
+	VMOVAPD X0, X12                               \
+	VFMADD231SD X10, X2, X12                      \
+	VFNMADD231SD X11, X0, X12                     \
+	VMOVAPD X2, X13                               \
+	VFMADD231SD X10, X0, X13                      \
+	VFNMADD231SD X11, X2, X13                     \
+	VMOVSD X12, (SI)                              \
+	VMOVSD X13, (DI)                              \
+	ADDQ $8, SI                                   \
+	ADDQ $8, DI                                   \
+	DECQ CX                                       \
+	JMP  lsca                                     \
+ldone:
+
+// func sgdAVX(w, h *float64, n int, sg, sl float64)
+TEXT ·sgdAVX(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD sg+24(FP), Y10
+	VBROADCASTSD sl+32(FP), Y11
+	UPD64(soct, squad, ssca, sdone)
+	VZEROUPPER
+	RET
+
+// func fstepAVX(w, h *float64, n int, rating, step, lambda float64) float64
+//
+// The fused square-loss step: e = rating − ⟨w,h⟩, then the simultaneous
+// update with sg = step·e, sl = step·lambda. Returns e.
+TEXT ·fstepAVX(SB), NOSPLIT, $0-56
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	DOT64(fblk, fdoct, fquad, fred, fsca, fdot)
+	// e = rating − dot; sg = step·e; sl = step·lambda
+	VMOVSD rating+24(FP), X5
+	VSUBSD X0, X5, X5
+	VMOVSD step+32(FP), X6
+	VMULSD X5, X6, X10
+	VMULSD lambda+40(FP), X6, X11
+	VBROADCASTSD X10, Y10
+	VBROADCASTSD X11, Y11
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	UPD64(foct, fuquad, fusca, fupd)
+	VZEROUPPER
+	VMOVSD X5, ret+48(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// float32
+// ---------------------------------------------------------------------
+
+// float32 dot loop body: accumulates into X0 lane 0. Clobbers SI, DI,
+// CX, Y0-Y7. Like DOT64, a single-pass 16-wide stage keeps two FMA
+// chains in flight for K=16 and the larger tails.
+#define DOT32(lblk, lhex, loct, lred, lsca, ldone)    \
+	VXORPS X0, X0, X0                             \
+	VXORPS X1, X1, X1                             \
+	VXORPS X2, X2, X2                             \
+	VXORPS X3, X3, X3                             \
+lblk:                                                 \
+	CMPQ CX, $32                                  \
+	JLT  lhex                                     \
+	VMOVUPS (SI), Y4                              \
+	VMOVUPS 32(SI), Y5                            \
+	VMOVUPS 64(SI), Y6                            \
+	VMOVUPS 96(SI), Y7                            \
+	VFMADD231PS (DI), Y4, Y0                      \
+	VFMADD231PS 32(DI), Y5, Y1                    \
+	VFMADD231PS 64(DI), Y6, Y2                    \
+	VFMADD231PS 96(DI), Y7, Y3                    \
+	ADDQ $128, SI                                 \
+	ADDQ $128, DI                                 \
+	SUBQ $32, CX                                  \
+	JMP  lblk                                     \
+lhex:                                                 \
+	CMPQ CX, $16                                  \
+	JLT  loct                                     \
+	VMOVUPS (SI), Y4                              \
+	VMOVUPS 32(SI), Y5                            \
+	VFMADD231PS (DI), Y4, Y0                      \
+	VFMADD231PS 32(DI), Y5, Y1                    \
+	ADDQ $64, SI                                  \
+	ADDQ $64, DI                                  \
+	SUBQ $16, CX                                  \
+loct:                                                 \
+	CMPQ CX, $8                                   \
+	JLT  lred                                     \
+	VMOVUPS (SI), Y4                              \
+	VFMADD231PS (DI), Y4, Y0                      \
+	ADDQ $32, SI                                  \
+	ADDQ $32, DI                                  \
+	SUBQ $8, CX                                   \
+	JMP  loct                                     \
+lred:                                                 \
+	VADDPS Y1, Y0, Y0                             \
+	VADDPS Y3, Y2, Y2                             \
+	VADDPS Y2, Y0, Y0                             \
+	VEXTRACTF128 $1, Y0, X1                       \
+	VADDPS X1, X0, X0                             \
+	VHADDPS X0, X0, X0                            \
+	VHADDPS X0, X0, X0                            \
+lsca:                                                 \
+	TESTQ CX, CX                                  \
+	JEQ   ldone                                   \
+	VMOVSS (SI), X4                               \
+	VFMADD231SS (DI), X4, X0                      \
+	ADDQ $4, SI                                   \
+	ADDQ $4, DI                                   \
+	DECQ CX                                       \
+	JMP  lsca                                     \
+ldone:
+
+// func dotAVX32(a, b *float32, n int) float32
+TEXT ·dotAVX32(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	DOT32(dblk32, dhex32, doct32, dred32, dsca32, ddone32)
+	VZEROUPPER
+	VMOVSS X0, ret+24(FP)
+	RET
+
+// float32 SGD update loop body; expects Y10/X10 = sg, Y11/X11 = sl.
+// Clobbers SI, DI, CX, Y0-Y3, Y12-Y15 (X5 preserved).
+#define UPD32(lhex, loct, lsca, ldone)                \
+lhex:                                                 \
+	CMPQ CX, $16                                  \
+	JLT  loct                                     \
+	VMOVUPS (SI), Y0                              \
+	VMOVUPS 32(SI), Y1                            \
+	VMOVUPS (DI), Y2                              \
+	VMOVUPS 32(DI), Y3                            \
+	VMOVAPS Y0, Y12                               \
+	VFMADD231PS Y10, Y2, Y12                      \
+	VFNMADD231PS Y11, Y0, Y12                     \
+	VMOVAPS Y2, Y13                               \
+	VFMADD231PS Y10, Y0, Y13                      \
+	VFNMADD231PS Y11, Y2, Y13                     \
+	VMOVAPS Y1, Y14                               \
+	VFMADD231PS Y10, Y3, Y14                      \
+	VFNMADD231PS Y11, Y1, Y14                     \
+	VMOVAPS Y3, Y15                               \
+	VFMADD231PS Y10, Y1, Y15                      \
+	VFNMADD231PS Y11, Y3, Y15                     \
+	VMOVUPS Y12, (SI)                             \
+	VMOVUPS Y13, (DI)                             \
+	VMOVUPS Y14, 32(SI)                           \
+	VMOVUPS Y15, 32(DI)                           \
+	ADDQ $64, SI                                  \
+	ADDQ $64, DI                                  \
+	SUBQ $16, CX                                  \
+	JMP  lhex                                     \
+loct:                                                 \
+	CMPQ CX, $8                                   \
+	JLT  lsca                                     \
+	VMOVUPS (SI), Y0                              \
+	VMOVUPS (DI), Y2                              \
+	VMOVAPS Y0, Y12                               \
+	VFMADD231PS Y10, Y2, Y12                      \
+	VFNMADD231PS Y11, Y0, Y12                     \
+	VMOVAPS Y2, Y13                               \
+	VFMADD231PS Y10, Y0, Y13                      \
+	VFNMADD231PS Y11, Y2, Y13                     \
+	VMOVUPS Y12, (SI)                             \
+	VMOVUPS Y13, (DI)                             \
+	ADDQ $32, SI                                  \
+	ADDQ $32, DI                                  \
+	SUBQ $8, CX                                   \
+lsca:                                                 \
+	TESTQ CX, CX                                  \
+	JEQ   ldone                                   \
+	VMOVSS (SI), X0                               \
+	VMOVSS (DI), X2                               \
+	VMOVAPS X0, X12                               \
+	VFMADD231SS X10, X2, X12                      \
+	VFNMADD231SS X11, X0, X12                     \
+	VMOVAPS X2, X13                               \
+	VFMADD231SS X10, X0, X13                      \
+	VFNMADD231SS X11, X2, X13                     \
+	VMOVSS X12, (SI)                              \
+	VMOVSS X13, (DI)                              \
+	ADDQ $4, SI                                   \
+	ADDQ $4, DI                                   \
+	DECQ CX                                       \
+	JMP  lsca                                     \
+ldone:
+
+// func sgdAVX32(w, h *float32, n int, sg, sl float32)
+TEXT ·sgdAVX32(SB), NOSPLIT, $0-32
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS sg+24(FP), Y10
+	VBROADCASTSS sl+28(FP), Y11
+	UPD32(shex32, soct32, ssca32, sdone32)
+	VZEROUPPER
+	RET
+
+// func fstepAVX32(w, h *float32, n int, rating, step, lambda float32) float32
+TEXT ·fstepAVX32(SB), NOSPLIT, $0-44
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	DOT32(fblk32, fdhex32, foct32, fred32, fsca32, fdot32)
+	// e = rating − dot; sg = step·e; sl = step·lambda
+	VMOVSS rating+24(FP), X5
+	VSUBSS X0, X5, X5
+	VMOVSS step+28(FP), X6
+	VMULSS X5, X6, X10
+	VMULSS lambda+32(FP), X6, X11
+	VBROADCASTSS X10, Y10
+	VBROADCASTSS X11, Y11
+	MOVQ w+0(FP), SI
+	MOVQ h+8(FP), DI
+	MOVQ n+16(FP), CX
+	UPD32(fhex32, fuoct32, fusca32, fupd32)
+	VZEROUPPER
+	VMOVSS X5, ret+40(FP)
+	RET

@@ -1,0 +1,373 @@
+package vecmath
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nomad/internal/rng"
+)
+
+// Equivalence of the assembly kernels against the reference
+// implementations, to the documented tolerances.
+//
+// Error model. The asm kernels differ from the references in exactly
+// two ways: the dot product reassociates its sum (multi-accumulator
+// blocks), and every multiply-add is fused (one rounding instead of
+// two). Both are covered by standard forward-error analysis:
+//
+//   - dot: either ordering has forward error ≤ n·u·Σ|aᵢbᵢ| (Higham
+//     §4.2; FMA strictly tightens it), so reference and asm differ by
+//     at most 2·n·u·Σ|aᵢbᵢ| — the same dotTolerance the portable
+//     kernels are held to. u = 2⁻⁵³ (f64) or 2⁻²⁴ (f32).
+//   - update: w′ = w + sg·h − sl·w evaluated with two roundings (Go)
+//     vs fused (asm) differs by at most a few u of the intermediate
+//     magnitudes, ≤ C·u·(|w| + |sg·h| + |sl·w|) with C = 8 giving
+//     comfortable headroom; add the residual-difference term
+//     step·δe·|partner| when e itself came from the dot.
+//
+// Non-finite inputs (±Inf, NaN) can turn into NaN differently under
+// reassociation (∞ − ∞ appears in one order but not another), so for
+// those the contract is class equivalence: reference non-finite ⇔ asm
+// non-finite. Subnormals get absolute slack of a few
+// math.SmallestNonzeroFloat64 on top of the relative bound, since
+// flush-free FMA keeps subnormal products the separate rounding loses.
+//
+// These tests pass trivially (skip) off amd64 or on amd64 hardware
+// without AVX2+FMA — CI's cross-compile matrix only builds there, and
+// the NOMAD_NO_SIMD test pass covers the fallback dispatch on hardware
+// that has the features.
+
+// forceSIMD pins dispatch to the assembly kernels for one test
+// (clearing reference mode, which would shadow them), skipping when
+// the hardware cannot run them.
+func forceSIMD(t *testing.T) {
+	t.Helper()
+	if !SIMDAvailable() {
+		t.Skip("no AVX2/FMA on this machine")
+	}
+	oldRef, oldSIMD := ReferenceOnly(), SIMDEnabled()
+	SetReferenceOnly(false)
+	SetSIMD(true)
+	t.Cleanup(func() { SetReferenceOnly(oldRef); SetSIMD(oldSIMD) })
+}
+
+// asmLengths covers every asm loop boundary: the 16/32-wide blocks, the
+// 4/8-wide mid loops, the scalar tails, and off-by-ones around each.
+var asmLengths = []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 20, 31, 32, 33, 48, 63, 64, 100, 129}
+
+// updTolerance is the fused-vs-separate rounding bound for one updated
+// element (see the error model above).
+func updTolerance(w, partner, sg, sl float64) float64 {
+	const u, c = 0x1p-53, 8
+	return c * u * (math.Abs(w) + math.Abs(sg*partner) + math.Abs(sl*w))
+}
+
+func TestSIMDDotMatchesReference(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(41)
+	for _, n := range asmLengths {
+		kern := KernelFor(n)
+		for trial := 0; trial < 100; trial++ {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			fill(r, a)
+			fill(r, b)
+			want := Dot(a, b)
+			got := kern.Dot(a, b)
+			if tol := dotTolerance(a, b); math.Abs(got-want) > tol {
+				t.Fatalf("n=%d trial %d: asm dot %v, reference %v, |diff| %g > tol %g",
+					n, trial, got, want, math.Abs(got-want), tol)
+			}
+		}
+	}
+}
+
+func TestSIMDStepMatchesReference(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(42)
+	for _, n := range asmLengths {
+		kern := KernelFor(n)
+		for trial := 0; trial < 100; trial++ {
+			w := make([]float64, n)
+			h := make([]float64, n)
+			fill(r, w)
+			fill(r, h)
+			wRef := append([]float64(nil), w...)
+			hRef := append([]float64(nil), h...)
+			rating := r.Uniform(-5, 5)
+			step := r.Uniform(0, 0.1)
+			lambda := r.Uniform(0, 0.2)
+
+			// δe ≤ δdot plus one rounding of the subtraction
+			// rating − dot on each side.
+			eRef := SGDUpdate(wRef, hRef, rating, step, lambda)
+			deltaE := dotTolerance(w, h) + 2*math.Abs(eRef)*0x1p-53
+			e := kern.Step(w, h, rating, step, lambda)
+			if math.Abs(e-eRef) > deltaE {
+				t.Fatalf("n=%d: asm residual %v vs reference %v beyond dot tolerance %g",
+					n, e, eRef, deltaE)
+			}
+			sg, sl := step*math.Max(math.Abs(e), math.Abs(eRef)), step*lambda
+			for l := 0; l < n; l++ {
+				tol := step*deltaE*(math.Abs(hRef[l])+1) + updTolerance(wRef[l], hRef[l], sg, sl)
+				if math.Abs(w[l]-wRef[l]) > tol {
+					t.Fatalf("n=%d elem %d: asm w %v vs reference %v (tol %g)", n, l, w[l], wRef[l], tol)
+				}
+				tol = step*deltaE*(math.Abs(wRef[l])+1) + updTolerance(hRef[l], wRef[l], sg, sl)
+				if math.Abs(h[l]-hRef[l]) > tol {
+					t.Fatalf("n=%d elem %d: asm h %v vs reference %v (tol %g)", n, l, h[l], hRef[l], tol)
+				}
+			}
+		}
+	}
+}
+
+func TestSIMDGradMatchesReference(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(43)
+	for _, n := range asmLengths {
+		kern := KernelFor(n)
+		for trial := 0; trial < 100; trial++ {
+			w := make([]float64, n)
+			h := make([]float64, n)
+			fill(r, w)
+			fill(r, h)
+			wRef := append([]float64(nil), w...)
+			hRef := append([]float64(nil), h...)
+			g := r.Uniform(-2, 2)
+			step := r.Uniform(0, 0.1)
+			lambda := r.Uniform(0, 0.2)
+			SGDUpdateGrad(wRef, hRef, g, step, lambda)
+			kern.Grad(w, h, g, step, lambda)
+			sg, sl := step*g, step*lambda
+			for l := 0; l < n; l++ {
+				if tol := updTolerance(wRef[l], hRef[l], sg, sl); math.Abs(w[l]-wRef[l]) > tol {
+					t.Fatalf("n=%d elem %d: asm w %v vs reference %v (tol %g)", n, l, w[l], wRef[l], tol)
+				}
+				if tol := updTolerance(hRef[l], wRef[l], sg, sl); math.Abs(h[l]-hRef[l]) > tol {
+					t.Fatalf("n=%d elem %d: asm h %v vs reference %v (tol %g)", n, l, h[l], hRef[l], tol)
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDItemPassBitMatchesStep: the asm item pass calls the same
+// fused asm step per rating, so against kern.Step at the same schedule
+// it must agree bit for bit (this mirrors the portable item-pass test).
+func TestSIMDItemPassBitMatchesStep(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(44)
+	for _, k := range []int{8, 16, 32, 17} {
+		kern := KernelFor(k)
+		const nUsers, nRatings = 10, 60
+		steps := []float64{0.05, 0.04, 0.03}
+		slow := func(t int) float64 { return 0.02 / float64(t+1) }
+		wData := make([]float64, nUsers*k)
+		h := make([]float64, k)
+		fill(r, wData)
+		fill(r, h)
+		users := make([]int32, nRatings)
+		vals := make([]float64, nRatings)
+		counts := make([]int32, nRatings)
+		for x := range users {
+			users[x] = int32(r.Intn(nUsers))
+			vals[x] = r.Uniform(-3, 3)
+			counts[x] = int32(r.Intn(6))
+		}
+		wRef := append([]float64(nil), wData...)
+		hRef := append([]float64(nil), h...)
+		for x := range users {
+			tc := counts[x]
+			step := slow(int(tc))
+			if int(tc) < len(steps) {
+				step = steps[tc]
+			}
+			o := int(users[x]) * k
+			kern.Step(wRef[o:o+k], hRef, vals[x], step, 0.02)
+		}
+		kern.ItemPass(wData, users, vals, counts, h, 0.02, steps, slow)
+		for i := range wData {
+			if wData[i] != wRef[i] {
+				t.Fatalf("K=%d: wData[%d] = %v, per-rating %v", k, i, wData[i], wRef[i])
+			}
+		}
+		for i := range h {
+			if h[i] != hRef[i] {
+				t.Fatalf("K=%d: h[%d] = %v, per-rating %v", k, i, h[i], hRef[i])
+			}
+		}
+	}
+}
+
+// special packs the awkward values the property tests below mix into
+// otherwise-random rows.
+var special = []float64{
+	0, math.Copysign(0, -1),
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	0x1p-1040, -0x1p-1035, // deeper subnormals
+	0x1p-520, 0x1p510, -0x1p510, // magnitude extremes that stay finite
+	math.Inf(1), math.Inf(-1), math.NaN(),
+}
+
+// TestSIMDDotSpecialValues drives the asm dot with subnormals and
+// non-finite values mixed into random rows. Finite references must
+// agree within tolerance (plus absolute subnormal slack); non-finite
+// references require a non-finite asm result (class equivalence — the
+// exact NaN/Inf split legitimately depends on summation order).
+func TestSIMDDotSpecialValues(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(45)
+	for trial := 0; trial < 400; trial++ {
+		n := asmLengths[r.Intn(len(asmLengths))]
+		kern := KernelFor(n)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		fill(r, a)
+		fill(r, b)
+		for injected := 0; injected < 1+r.Intn(3); injected++ {
+			a[r.Intn(n)] = special[r.Intn(len(special))]
+			if r.Intn(2) == 0 {
+				b[r.Intn(n)] = special[r.Intn(len(special))]
+			}
+		}
+		want := Dot(a, b)
+		got := kern.Dot(a, b)
+		if math.IsNaN(want) || math.IsInf(want, 0) {
+			if !math.IsNaN(got) && !math.IsInf(got, 0) {
+				t.Fatalf("n=%d: reference %v non-finite, asm %v finite (a=%v b=%v)", n, want, got, a, b)
+			}
+			continue
+		}
+		tol := dotTolerance(a, b) + 16*math.SmallestNonzeroFloat64
+		if math.Abs(got-want) > tol {
+			t.Fatalf("n=%d: asm dot %v, reference %v, tol %g (a=%v b=%v)", n, got, want, tol, a, b)
+		}
+	}
+}
+
+// TestSIMDGradSpecialValues does the same for the update kernel, where
+// subnormal rows exercise FMA's flush-free products.
+func TestSIMDGradSpecialValues(t *testing.T) {
+	forceSIMD(t)
+	r := rng.New(46)
+	for trial := 0; trial < 400; trial++ {
+		n := asmLengths[r.Intn(len(asmLengths))]
+		kern := KernelFor(n)
+		w := make([]float64, n)
+		h := make([]float64, n)
+		fill(r, w)
+		fill(r, h)
+		for injected := 0; injected < 1+r.Intn(3); injected++ {
+			w[r.Intn(n)] = special[r.Intn(len(special))]
+			if r.Intn(2) == 0 {
+				h[r.Intn(n)] = special[r.Intn(len(special))]
+			}
+		}
+		wRef := append([]float64(nil), w...)
+		hRef := append([]float64(nil), h...)
+		g := r.Uniform(-2, 2)
+		step := r.Uniform(0, 0.1)
+		lambda := r.Uniform(0, 0.2)
+		SGDUpdateGrad(wRef, hRef, g, step, lambda)
+		kern.Grad(w, h, g, step, lambda)
+		sg, sl := step*g, step*lambda
+		for l := 0; l < n; l++ {
+			for _, pair := range [2][3]float64{{w[l], wRef[l], hRef[l]}, {h[l], hRef[l], wRef[l]}} {
+				got, want, partner := pair[0], pair[1], pair[2]
+				if math.IsNaN(want) || math.IsInf(want, 0) {
+					if !math.IsNaN(got) && !math.IsInf(got, 0) {
+						t.Fatalf("n=%d elem %d: reference %v non-finite, asm %v finite", n, l, want, got)
+					}
+					continue
+				}
+				tol := updTolerance(want, partner, sg, sl) + 16*math.SmallestNonzeroFloat64
+				if math.Abs(got-want) > tol {
+					t.Fatalf("n=%d elem %d: asm %v vs reference %v (tol %g)", n, l, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+// FuzzSIMDDot fuzzes asm-vs-reference dot equivalence over raw bytes
+// reinterpreted as float64 pairs — lengths, alignment offsets, and bit
+// patterns (subnormals, infinities, NaNs) all come from the fuzzer. In
+// CI only the seed corpus runs, as a regular test.
+func FuzzSIMDDot(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, false)
+	f.Add(make([]byte, 8*33), true)
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0, 0x7f, 0xf8, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1}, false)
+	f.Fuzz(func(t *testing.T, raw []byte, odd bool) {
+		if !SIMDAvailable() {
+			t.Skip("no AVX2/FMA on this machine")
+		}
+		old := SIMDEnabled()
+		SetSIMD(true)
+		defer SetSIMD(old)
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(raw[i*8+j])
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		// Odd split offsets the second row by one element so the two
+		// base pointers land on different 32-byte phases.
+		n := len(vals) / 2
+		if odd && n > 0 {
+			n--
+		}
+		if n == 0 {
+			return
+		}
+		a, b := vals[:n], vals[len(vals)-n:]
+		want := Dot(a, b)
+		got := KernelFor(n).Dot(a, b)
+		if math.IsNaN(want) || math.IsInf(want, 0) {
+			if !math.IsNaN(got) && !math.IsInf(got, 0) {
+				t.Fatalf("reference %v non-finite, asm %v finite", want, got)
+			}
+			return
+		}
+		tol := dotTolerance(a, b) + 16*math.SmallestNonzeroFloat64
+		if math.IsInf(tol, 0) {
+			return // |products| overflow: no finite bound to check against
+		}
+		if math.Abs(got-want) > tol {
+			t.Fatalf("asm dot %v, reference %v, tol %g (n=%d)", got, want, tol, n)
+		}
+	})
+}
+
+// TestKernelSwitchesAreRaceSafe hammers the two dispatch switches from
+// concurrent goroutines while readers select kernels — the -race CI
+// job turns any non-atomic access here into a failure. (This is the
+// regression test for SetReferenceOnly's former plain-bool write.)
+func TestKernelSwitchesAreRaceSafe(t *testing.T) {
+	oldRef, oldSIMD := ReferenceOnly(), SIMDEnabled()
+	t.Cleanup(func() { SetReferenceOnly(oldRef); SetSIMD(oldSIMD) })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(flip bool) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				SetReferenceOnly(flip)
+				SetSIMD(!flip)
+			}
+		}(i%2 == 0)
+		go func() {
+			defer wg.Done()
+			a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+			for j := 0; j < 200; j++ {
+				_ = KernelFor(8).Dot(a, a)
+				_ = ReferenceOnly()
+				_ = SIMDEnabled()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package vecmath
+
+// Pure-Go fallback surface for GOARCHes without assembly kernels: SIMD
+// is never available and the dispatcher always falls through to the
+// portable unrolled kernels.
+
+const simdAvailable = false
+
+func featureList() string { return "" }
+
+func simdKernelFor(k int) (Kernel, bool) { return Kernel{}, false }
+
+func simdKernelFor32(k int) (Kernel32, bool) { return Kernel32{}, false }

@@ -87,6 +87,10 @@ func (m *Model) Predict(user, item int) float64 { return m.inner.Predict(user, i
 // Rank returns the latent dimension.
 func (m *Model) Rank() int { return m.inner.K }
 
+// Precision returns the element type of the factor storage; see
+// WithPrecision.
+func (m *Model) Precision() Precision { return Precision(m.inner.Precision()) }
+
 // Users returns the number of user rows.
 func (m *Model) Users() int { return m.inner.M }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nomad/internal/cluster"
+	"nomad/internal/factor"
 	"nomad/internal/loss"
 	"nomad/internal/metrics"
 	"nomad/internal/netsim"
@@ -83,6 +84,8 @@ type settings struct {
 	listen, join string
 	lockstep     bool
 	lossName     string
+	precision    *Precision
+	pinWorkers   bool
 	transport    queue.Kind
 	loadBalance  bool
 	balanceUsers bool
@@ -227,6 +230,52 @@ func WithLockstep() Option {
 	return func(st *settings) error { st.lockstep = true; return nil }
 }
 
+// Precision selects the element type of the factor model; see
+// WithPrecision.
+type Precision int
+
+const (
+	// Float64 is the default precision, supported by every solver.
+	Float64 Precision = iota
+	// Float32 stores the factors in single precision: half the model
+	// memory and memory bandwidth, at a small accuracy cost (test RMSE
+	// typically within ~1e-3 of the float64 run on the paper's
+	// synthetic profiles; see DESIGN.md §9 for the exact contract).
+	// Supported by "nomad" (shared-memory and asynchronous distributed
+	// runs) and "hogwild".
+	Float32
+)
+
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// WithPrecision selects the factor-model element type. Default
+// Float64. Float32 is rejected for solvers and modes without a
+// single-precision hot path (the bulk-synchronous baselines, lockstep
+// and multi-process clusters).
+func WithPrecision(p Precision) Option {
+	return func(st *settings) error {
+		if p != Float64 && p != Float32 {
+			return fmt.Errorf("nomad: unknown precision %d", p)
+		}
+		st.precision = &p
+		return nil
+	}
+}
+
+// WithPinnedWorkers pins each SGD worker goroutine to its own OS
+// thread and, on linux, to a distinct CPU core. This is the placement
+// the multi-core scaling benchmarks use: it stops the scheduler from
+// migrating workers mid-run, which blurs cache residency and adds
+// variance. Best-effort on other platforms (thread locking only).
+func WithPinnedWorkers() Option {
+	return func(st *settings) error { st.pinWorkers = true; return nil }
+}
+
 // WithLoss selects the per-rating loss: "square" (default, paper
 // eq. 1), "absolute", or "logistic" for ±1 binary matrices (the §6
 // generalization). Honoured by "nomad" and "hogwild".
@@ -363,6 +412,14 @@ func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 		// the baselines would silently train independent local runs.
 		return nil, fmt.Errorf("nomad: the tcp backend, cluster roles and lockstep are only implemented by the %q solver (got %q)", "nomad", st.algorithm)
 	}
+	if st.precision != nil && *st.precision == Float32 {
+		if st.algorithm != "nomad" && st.algorithm != "hogwild" {
+			return nil, fmt.Errorf("nomad: float32 precision is only implemented by the SGD solvers %q and %q (got %q)", "nomad", "hogwild", st.algorithm)
+		}
+		if st.lockstep || st.role != "" {
+			return nil, fmt.Errorf("nomad: float32 precision is not supported by the lockstep/multi-process runners")
+		}
+	}
 	cfg, err := st.trainConfig()
 	if err != nil {
 		return nil, err
@@ -420,6 +477,10 @@ func (st *settings) trainConfig() (train.Config, error) {
 		return cfg, fmt.Errorf("nomad: %w", err)
 	}
 	cfg.Loss = lossFn
+	if st.precision != nil && *st.precision == Float32 {
+		cfg.Precision = factor.Float32
+	}
+	cfg.PinWorkers = st.pinWorkers
 	cfg.QueueKind = st.transport
 	cfg.LoadBalance = st.loadBalance
 	cfg.BalanceUsers = st.balanceUsers
