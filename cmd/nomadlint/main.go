@@ -1,0 +1,100 @@
+// Command nomadlint is the module's invariant linter: a multichecker
+// over the domain-specific analyzers in internal/analysis that
+// machine-check what DESIGN.md promises in prose — arena ownership
+// (arenaowner), one access discipline per shared word (atomicmix),
+// zero-alloc hot paths (noallochot), kernel-dispatch routing
+// (kerneldispatch) — plus the //nomad: directive grammar itself
+// (nomaddirective), so a typo'd suppression fails the build instead
+// of silently suppressing nothing.
+//
+// Usage:
+//
+//	nomadlint [-only name,name] [packages]
+//
+// Packages default to ./... and use go-list pattern syntax. Exit
+// status is 0 for a clean tree, 1 when findings are reported, 2 when
+// the run itself fails (load error, broken analyzer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nomad/internal/analysis/arenaowner"
+	"nomad/internal/analysis/atomicmix"
+	"nomad/internal/analysis/directive"
+	"nomad/internal/analysis/framework"
+	"nomad/internal/analysis/kerneldispatch"
+	"nomad/internal/analysis/noallochot"
+)
+
+// all is the registered suite, in diagnostic-prefix alphabetical
+// order.
+var all = []*framework.Analyzer{
+	arenaowner.Analyzer,
+	atomicmix.Analyzer,
+	kerneldispatch.Analyzer,
+	noallochot.Analyzer,
+	directive.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nomadlint [-only name,name] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := all
+	if *only != "" {
+		byName := make(map[string]*framework.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nomadlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset, pkgs, err := framework.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nomadlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := framework.Run(fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nomadlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

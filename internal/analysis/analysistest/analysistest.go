@@ -1,0 +1,343 @@
+// Package analysistest runs nomadlint analyzers over golden-file
+// fixture packages, in the mould of
+// golang.org/x/tools/go/analysis/analysistest: fixtures live under
+// testdata/src/<path>, and every line that should produce a finding
+// carries a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment. The runner fails the test when a diagnostic appears with
+// no matching want on its line, and when a want matches no
+// diagnostic — so each analyzer's test demonstrates both the caught
+// violation and the clean code it must stay silent on.
+//
+// Fixture packages are parsed and type-checked from source. Imports
+// resolve first against sibling fixture packages under testdata/src
+// (so fixtures can model nomad's own packages — a stub
+// nomad/internal/cluster with the real ownership API — without
+// depending on the shipping code), then against the standard
+// library via compiler export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nomad/internal/analysis/framework"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads the fixture packages at testdata/src/<path> for each path
+// and applies the analyzer to all of them in one pass, then matches
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	fset, pkgs, err := loadFixtures(testdata, paths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := framework.Run(fset, pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, pkgs, diags)
+}
+
+// RunExpect is Run for analyzers whose diagnostics land on
+// comment-only lines (the directive grammar checks), where a
+// trailing want comment cannot coexist with the directive under
+// test. Expectations map "file.go:line" (file base name) to a regexp
+// the diagnostic on that line must match; every diagnostic must be
+// expected and every expectation must fire.
+func RunExpect(t *testing.T, testdata string, a *framework.Analyzer, path string, expects map[string]string) {
+	t.Helper()
+	fset, pkgs, err := loadFixtures(testdata, []string{path})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := framework.Run(fset, pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	matched := make(map[string]bool, len(expects))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		pat, ok := expects[key]
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("expectation %s: bad regexp %q: %v", key, pat, err)
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s: diagnostic %q does not match expectation %q", pos, d.Message, pat)
+			continue
+		}
+		matched[key] = true
+	}
+	for key, pat := range expects {
+		if !matched[key] {
+			t.Errorf("%s: expected a diagnostic matching %q, got none", key, pat)
+		}
+	}
+}
+
+// want is one expectation: a line that must produce a diagnostic
+// matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants matches diagnostics against the fixtures' want comments.
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := fset.Position(f.Pos()).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws, err := parseWants(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", fset.Position(c.Pos()), err)
+					}
+					line := fset.Position(c.Pos()).Line
+					for _, re := range ws {
+						wants = append(wants, &want{file: filename, line: line, re: re})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the regexps of a `// want "..." ...` comment.
+// Comments without the want marker yield nil.
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		lit, tail, err := cutStringLit(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment: %v", err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern %q: %v", lit, err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(tail)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment with no pattern")
+	}
+	return res, nil
+}
+
+// cutStringLit splits one leading Go string literal (quoted or
+// backquoted) off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("expected string literal at %q", s)
+	}
+}
+
+// loadFixtures parses and type-checks the named fixture packages plus
+// every sibling fixture they import.
+func loadFixtures(testdata string, paths []string) (*token.FileSet, []*framework.Package, error) {
+	srcRoot := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset:    fset,
+		srcRoot: srcRoot,
+		cache:   make(map[string]*framework.Package),
+	}
+	var pkgs []*framework.Package
+	for _, path := range paths {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return fset, pkgs, nil
+}
+
+// fixtureLoader type-checks fixture packages from source, memoized,
+// with stdlib imports resolved through export data.
+type fixtureLoader struct {
+	fset    *token.FileSet
+	srcRoot string
+	cache   map[string]*framework.Package
+	std     types.Importer
+	loading []string // cycle detection
+}
+
+func (l *fixtureLoader) load(path string) (*framework.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	for _, active := range l.loading {
+		if active == path {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", path, err)
+	}
+	var files []*ast.File
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if dirExists(filepath.Join(l.srcRoot, filepath.FromSlash(ipath))) {
+			p, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.stdImport(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %w", path, err)
+	}
+	p := &framework.Package{
+		ImportPath: path,
+		Dir:        dir,
+		InModule:   false,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+// stdImport resolves a standard-library import. The export-data
+// importer over the whole standard library is built once, lazily.
+func (l *fixtureLoader) stdImport(path string) (*types.Package, error) {
+	if l.std == nil {
+		exports, err := stdExports()
+		if err != nil {
+			return nil, err
+		}
+		l.std = framework.NewExportImporter(l.fset, exports)
+	}
+	return l.std.Import(path)
+}
+
+// stdExports caches the standard library's export-file map across
+// fixture loaders in the test process (go list serves it from the
+// build cache after the first call).
+var stdExportsCache map[string]string
+
+func stdExports() (map[string]string, error) {
+	if stdExportsCache == nil {
+		m, err := framework.StdExports(".")
+		if err != nil {
+			return nil, err
+		}
+		stdExportsCache = m
+	}
+	return stdExportsCache, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

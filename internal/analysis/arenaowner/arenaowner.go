@@ -1,0 +1,527 @@
+// Package arenaowner enforces the arena ownership protocol of
+// internal/cluster (DESIGN.md §8) inside each function body:
+//
+//   - a TokenBatch or BatchBuf must not be touched after its Release —
+//     Release returns the arena to the shared pool, so a later read is
+//     a read of somebody else's in-flight batch;
+//   - Release is called at most once per owned value (the pool
+//     corrupts on a double put);
+//   - BatchBuf.HandOff transfers arena ownership to the returned
+//     TokenBatch, so the buf must not be Reset, refilled, or Released
+//     by the old owner afterwards;
+//   - views — TokenBatch.Tokens slices and Batch() snapshots — die
+//     when their arena is Reset, refilled, Released or handed off, and
+//     must not be retained across that boundary. (Link.Send itself
+//     copies or encodes before returning, per §8, so Send is NOT a
+//     consuming operation for the caller.)
+//
+// The checker is a straight-line scan over each function and function
+// literal, deliberately intraprocedural and branch-conservative:
+// conditional bodies are scanned against a copy of the ownership
+// state, so a Release inside `if drop { ... }` neither poisons nor
+// blesses the code after the branch. Deferred and goroutine-spawned
+// statements are skipped — `defer tb.Release()` consumes at function
+// exit, not at its textual position. Consuming calls take effect
+// after their statement completes, so `return buf.HandOff(n)` is
+// legal. This misses interprocedural and cross-goroutine protocol
+// breaks by design; it exists to catch the easy-to-write local ones
+// that -race only sees under lucky interleavings.
+package arenaowner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nomad/internal/analysis/framework"
+)
+
+// Analyzer is the arenaowner pass.
+var Analyzer = &framework.Analyzer{
+	Name: "arenaowner",
+	Doc:  "enforce TokenBatch/BatchBuf ownership: no use after Release/HandOff, no double Release, no stale views",
+	Run:  run,
+}
+
+// clusterPath is the package owning the arena types. Fixtures stub it
+// under the same import path.
+const clusterPath = "nomad/internal/cluster"
+
+// consumed records how and where a value lost its validity.
+type consumed struct {
+	how string // "Release" or "HandOff"
+	pos token.Pos
+}
+
+// viewInfo records which arena a view variable was cut from.
+type viewInfo struct {
+	arena     string // state key of the arena
+	arenaName string // source text of the arena expression, for diagnostics
+}
+
+// deadInfo records why a view became invalid.
+type deadInfo struct {
+	why string // e.g. "b.Reset"
+	pos token.Pos
+}
+
+// state is the per-scope ownership state.
+type state struct {
+	consumed map[string]consumed
+	views    map[string]viewInfo
+	dead     map[string]deadInfo
+}
+
+func newState() *state {
+	return &state{
+		consumed: make(map[string]consumed),
+		views:    make(map[string]viewInfo),
+		dead:     make(map[string]deadInfo),
+	}
+}
+
+func (st *state) clone() *state {
+	c := newState()
+	for k, v := range st.consumed {
+		c.consumed[k] = v
+	}
+	for k, v := range st.views {
+		c.views[k] = v
+	}
+	for k, v := range st.dead {
+		c.dead[k] = v
+	}
+	return c
+}
+
+// kill forgets everything rooted at key: assignment to a variable
+// revives it (`buf = cluster.GetBatchBuf()` after a Release is fine).
+func (st *state) kill(key string) {
+	for k := range st.consumed {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(st.consumed, k)
+		}
+	}
+	for k := range st.views {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(st.views, k)
+		}
+	}
+	for k := range st.dead {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(st.dead, k)
+		}
+	}
+}
+
+// effect is a consuming or view-invalidating operation, applied after
+// its statement completes.
+type effect struct {
+	op   string // "Release", "HandOff", "Reset", "Add", "AddVec"
+	key  string
+	name string
+	pos  token.Pos
+}
+
+type scanner struct {
+	pass *framework.Pass
+	pkg  *framework.Package
+}
+
+func run(pass *framework.Pass) error {
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types.Path() == clusterPath {
+			// The arena implementation manipulates its own innards
+			// (TokenBatch.Release calls buf.Release after nilling).
+			continue
+		}
+		sc := &scanner{pass: pass, pkg: pkg}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						sc.scanBody(n.Body.List, newState())
+					}
+				case *ast.FuncLit:
+					// Scanned as its own scope: captures of outer
+					// arenas run at an unknown time, so the outer
+					// state does not apply.
+					sc.scanBody(n.Body.List, newState())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func (sc *scanner) scanBody(stmts []ast.Stmt, st *state) {
+	for _, s := range stmts {
+		sc.scanStmt(s, st)
+	}
+}
+
+func (sc *scanner) scanStmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Runs at function exit / concurrently: neither a use at this
+		// line nor a consumption before the next one.
+	case *ast.LabeledStmt:
+		sc.scanStmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		sc.scanBody(s.List, st.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		sc.checkUses(s.Cond, st, nil)
+		sc.scanBody(s.Body.List, st.clone())
+		if s.Else != nil {
+			sc.scanStmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			sc.checkUses(s.Cond, st, nil)
+		}
+		body := st.clone()
+		sc.scanBody(s.Body.List, body)
+		if s.Post != nil {
+			sc.scanStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		sc.checkUses(s.X, st, nil)
+		sc.scanBody(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			sc.checkUses(s.Tag, st, nil)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.scanBody(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.scanBody(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sc.scanBody(cc.Body, st.clone())
+			}
+		}
+	default:
+		sc.leafStmt(s, st)
+	}
+}
+
+// leafStmt handles a non-compound statement: check every mention
+// against the current state, then apply the statement's consuming
+// effects.
+func (sc *scanner) leafStmt(s ast.Stmt, st *state) {
+	skip := make(map[ast.Node]bool)
+	var effects []effect
+
+	// Consuming and refilling calls anywhere in the statement (except
+	// inside function literals, which are separate scopes).
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, recv, ok := sc.arenaOp(call)
+		if !ok {
+			return true
+		}
+		key, kok := sc.chainKey(recv)
+		if !kok {
+			return true
+		}
+		if op == "Release" || op == "HandOff" {
+			if ck, c, hit := lookupConsumed(st, key); hit {
+				if c.how == "Release" && op == "Release" && ck == key {
+					sc.pass.Reportf(recv.Pos(), "double Release of %s (first Release at %s)",
+						exprText(recv), sc.pass.Fset.Position(c.pos))
+				} else {
+					sc.reportUseAfter(recv, c)
+				}
+				skip[recv] = true
+			}
+			effects = append(effects, effect{op: op, key: key, name: exprText(recv), pos: call.Pos()})
+		} else { // Reset/Add/AddVec: refill, kills views of this arena
+			effects = append(effects, effect{op: op, key: key, name: exprText(recv), pos: call.Pos()})
+		}
+		return true
+	})
+
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, rhs := range as.Rhs {
+			sc.checkUses(rhs, st, skip)
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if key, ok := sc.chainKey(id); ok {
+					st.kill(key)
+				}
+			} else {
+				// Store through a selector/index is a use of the root.
+				sc.checkUses(lhs, st, skip)
+				if key, ok := sc.chainKey(lhs); ok {
+					st.kill(key)
+				}
+			}
+		}
+		if len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lkey, ok := sc.chainKey(id)
+				if !ok {
+					continue
+				}
+				if arenaKey, arenaName, ok := sc.viewSource(as.Rhs[i]); ok {
+					st.views[lkey] = viewInfo{arena: arenaKey, arenaName: arenaName}
+				}
+			}
+		}
+	} else {
+		sc.checkUses(s, st, skip)
+	}
+
+	for _, e := range effects {
+		applyEffect(st, e)
+	}
+}
+
+func applyEffect(st *state, e effect) {
+	switch e.op {
+	case "Release", "HandOff":
+		if _, ok := st.consumed[e.key]; !ok {
+			st.consumed[e.key] = consumed{how: e.op, pos: e.pos}
+		}
+	}
+	// Every arena op — consuming or refilling — invalidates the views
+	// cut from that arena.
+	for vk, vi := range st.views {
+		if vi.arena == e.key {
+			if _, ok := st.dead[vk]; !ok {
+				st.dead[vk] = deadInfo{why: e.name + "." + e.op, pos: e.pos}
+			}
+		}
+	}
+}
+
+// checkUses walks an expression or statement and reports mentions of
+// consumed values and dead views.
+func (sc *scanner) checkUses(n ast.Node, st *state, skip map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if skip != nil && skip[n] {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		key, ok := sc.chainKey(e)
+		if !ok {
+			return true // descend: a method selector's receiver may still be a tracked chain
+		}
+		if _, c, hit := lookupConsumed(st, key); hit {
+			sc.reportUseAfter(e, c)
+		} else if _, d, hit := lookupDead(st, key); hit {
+			sc.pass.Reportf(e.Pos(), "use of %s after its arena was invalidated by %s (at %s)",
+				exprText(e), d.why, sc.pass.Fset.Position(d.pos))
+		}
+		return false // chain handled as a whole
+	})
+}
+
+func (sc *scanner) reportUseAfter(e ast.Expr, c consumed) {
+	if c.how == "Release" {
+		sc.pass.Reportf(e.Pos(), "use of %s after Release (released at %s)",
+			exprText(e), sc.pass.Fset.Position(c.pos))
+		return
+	}
+	sc.pass.Reportf(e.Pos(), "use of %s after HandOff transferred ownership of the arena (at %s)",
+		exprText(e), sc.pass.Fset.Position(c.pos))
+}
+
+// lookupConsumed finds key or any owning prefix of it in the consumed
+// map: if buf is released, buf.vals is gone with it.
+func lookupConsumed(st *state, key string) (string, consumed, bool) {
+	for k := key; k != ""; k = chopChain(k) {
+		if c, ok := st.consumed[k]; ok {
+			return k, c, true
+		}
+	}
+	return "", consumed{}, false
+}
+
+func lookupDead(st *state, key string) (string, deadInfo, bool) {
+	for k := key; k != ""; k = chopChain(k) {
+		if d, ok := st.dead[k]; ok {
+			return k, d, true
+		}
+	}
+	return "", deadInfo{}, false
+}
+
+func chopChain(k string) string {
+	if i := strings.LastIndex(k, "."); i >= 0 {
+		return k[:i]
+	}
+	return ""
+}
+
+// arenaOp classifies a call as a consuming or refilling arena
+// operation and returns the receiver expression.
+func (sc *scanner) arenaOp(call *ast.CallExpr) (op string, recv ast.Expr, ok bool) {
+	sel, selOk := call.Fun.(*ast.SelectorExpr)
+	if !selOk {
+		return "", nil, false
+	}
+	selection, selOk := sc.pkg.Info.Selections[sel]
+	if !selOk || selection.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	name := selection.Obj().Name()
+	rt := selection.Recv()
+	switch name {
+	case "Release":
+		if isClusterType(rt, "TokenBatch") || isClusterType(rt, "BatchBuf") {
+			return "Release", sel.X, true
+		}
+	case "HandOff":
+		if isClusterType(rt, "BatchBuf") {
+			return "HandOff", sel.X, true
+		}
+	case "Reset", "Add", "AddVec":
+		if isClusterType(rt, "BatchBuf") {
+			return name, sel.X, true
+		}
+	}
+	return "", nil, false
+}
+
+// viewSource recognizes expressions that create a view of an arena:
+// b.Batch(n) snapshots and tb.Tokens slices.
+func (sc *scanner) viewSource(e ast.Expr) (arenaKey, arenaName string, ok bool) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, selOk := e.Fun.(*ast.SelectorExpr)
+		if !selOk {
+			return "", "", false
+		}
+		selection, selOk := sc.pkg.Info.Selections[sel]
+		if !selOk || selection.Kind() != types.MethodVal || selection.Obj().Name() != "Batch" {
+			return "", "", false
+		}
+		if !isClusterType(selection.Recv(), "BatchBuf") {
+			return "", "", false
+		}
+		key, kok := sc.chainKey(sel.X)
+		if !kok {
+			return "", "", false
+		}
+		return key, exprText(sel.X), true
+	case *ast.SelectorExpr:
+		selection, selOk := sc.pkg.Info.Selections[e]
+		if !selOk || selection.Kind() != types.FieldVal || selection.Obj().Name() != "Tokens" {
+			return "", "", false
+		}
+		if !isClusterType(selection.Recv(), "TokenBatch") {
+			return "", "", false
+		}
+		key, kok := sc.chainKey(e.X)
+		if !kok {
+			return "", "", false
+		}
+		return key, exprText(e.X), true
+	}
+	return "", "", false
+}
+
+// chainKey names a variable or field-selector chain by the identity
+// of its root object plus the field path, so state survives aliasing
+// through neither pointers nor copies — exactly the intraprocedural
+// discipline the checker promises.
+func (sc *scanner) chainKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := sc.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = sc.pkg.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("o%p", v), true
+	case *ast.SelectorExpr:
+		selection, ok := sc.pkg.Info.Selections[e]
+		if !ok || selection.Kind() != types.FieldVal {
+			return "", false
+		}
+		base, ok := sc.chainKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return sc.chainKey(e.X)
+	}
+	return "", false
+}
+
+func isClusterType(t types.Type, name string) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == clusterPath
+}
+
+// exprText renders an ident/selector chain for diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	default:
+		return "?"
+	}
+}

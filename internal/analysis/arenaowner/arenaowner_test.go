@@ -1,0 +1,12 @@
+package arenaowner_test
+
+import (
+	"testing"
+
+	"nomad/internal/analysis/analysistest"
+	"nomad/internal/analysis/arenaowner"
+)
+
+func TestArenaOwner(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaowner.Analyzer, "arenaowner/a")
+}

@@ -1,0 +1,103 @@
+// Package a seeds every arenaowner violation class next to the legal
+// patterns the checker must stay silent on.
+package a
+
+import "nomad/internal/cluster"
+
+// useAfterRelease touches a released batch.
+func useAfterRelease(b *cluster.BatchBuf) int {
+	tb := b.HandOff(1)
+	tb.Release()
+	return tb.QueueLen // want `use of tb\.QueueLen after Release`
+}
+
+// doubleRelease puts the arena back twice.
+func doubleRelease(b *cluster.BatchBuf) {
+	tb := b.HandOff(0)
+	tb.Release()
+	tb.Release() // want `double Release of tb`
+}
+
+// useAfterHandOff refills an arena whose ownership already moved.
+func useAfterHandOff(b *cluster.BatchBuf) cluster.TokenBatch {
+	tb := b.HandOff(2)
+	b.Reset() // want `use of b after HandOff`
+	return tb
+}
+
+// staleBatchView keeps a Batch() snapshot across a refill.
+func staleBatchView(b *cluster.BatchBuf) int {
+	v := b.Batch(0)
+	b.Reset()
+	b.Add(7, nil)
+	return len(v.Tokens) // want `use of v\.Tokens after its arena was invalidated by b\.Reset`
+}
+
+// staleTokens keeps a Tokens slice past the batch's Release.
+func staleTokens(tb cluster.TokenBatch) int {
+	toks := tb.Tokens
+	tb.Release()
+	return len(toks) // want `use of toks after its arena was invalidated by tb\.Release`
+}
+
+// bufFieldAfterRelease reaches through a released arena's root.
+func bufFieldAfterRelease(b *cluster.BatchBuf) {
+	b.Release()
+	b.Add(1, nil) // want `use of b after Release`
+}
+
+// --- Legal patterns: all silent. ---
+
+// handOffInReturn consumes in the return statement; effects land
+// after the statement, which is past the function's end.
+func handOffInReturn(b *cluster.BatchBuf, n int) cluster.TokenBatch {
+	return b.HandOff(n)
+}
+
+// deferredRelease consumes at function exit, not at its line.
+func deferredRelease(b *cluster.BatchBuf) int {
+	tb := b.HandOff(0)
+	defer tb.Release()
+	return len(tb.Tokens)
+}
+
+// branchRelease only releases on one path; the checker is
+// branch-conservative and keeps the fall-through clean.
+func branchRelease(tb cluster.TokenBatch, drop bool) int {
+	if drop {
+		tb.Release()
+	}
+	return tb.QueueLen
+}
+
+// reacquire revives a name by assignment.
+func reacquire(b *cluster.BatchBuf) *cluster.BatchBuf {
+	b.Release()
+	b = cluster.GetBatchBuf()
+	b.Reset()
+	return b
+}
+
+// viewRefreshed re-cuts the view after the refill instead of
+// retaining the stale one.
+func viewRefreshed(b *cluster.BatchBuf) int {
+	v := b.Batch(0)
+	n := len(v.Tokens)
+	b.Reset()
+	v = b.Batch(0)
+	return n + len(v.Tokens)
+}
+
+var (
+	_ = useAfterRelease
+	_ = doubleRelease
+	_ = useAfterHandOff
+	_ = staleBatchView
+	_ = staleTokens
+	_ = bufFieldAfterRelease
+	_ = handOffInReturn
+	_ = deferredRelease
+	_ = branchRelease
+	_ = reacquire
+	_ = viewRefreshed
+)

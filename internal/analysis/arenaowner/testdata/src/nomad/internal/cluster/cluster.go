@@ -1,0 +1,65 @@
+// Package cluster is a fixture stub of nomad/internal/cluster: the
+// arena types and the ownership-relevant slice of their method sets,
+// with the real signatures, under the real import path.
+package cluster
+
+// Token is one (item, vector) payload.
+type Token struct {
+	Item int32
+	Vec  []float64
+}
+
+// TokenBatch is a batch of token views, optionally owning its arena.
+type TokenBatch struct {
+	Tokens   []Token
+	QueueLen int
+
+	buf *BatchBuf
+}
+
+// Release returns an owned batch's arena to the pool.
+func (b *TokenBatch) Release() { b.buf = nil }
+
+// BatchBuf is the flat arena batches are built in.
+type BatchBuf struct {
+	items []int32
+	vals  []float64
+}
+
+// NewBatchBuf returns a fresh arena.
+func NewBatchBuf() *BatchBuf { return &BatchBuf{} }
+
+// GetBatchBuf takes an arena from the shared pool.
+func GetBatchBuf() *BatchBuf { return &BatchBuf{} }
+
+// Release returns the arena to the shared pool.
+func (b *BatchBuf) Release() {}
+
+// Reset empties the arena for refill.
+func (b *BatchBuf) Reset() { b.items = b.items[:0]; b.vals = b.vals[:0] }
+
+// Len reports the number of buffered tokens.
+func (b *BatchBuf) Len() int { return len(b.items) }
+
+// Add appends a token, copying its vector.
+func (b *BatchBuf) Add(item int32, vec []float64) {
+	b.items = append(b.items, item)
+	b.vals = append(b.vals, vec...)
+}
+
+// AddVec appends a token and returns its uninitialized vector slot.
+func (b *BatchBuf) AddVec(item int32, k int) []float64 {
+	b.items = append(b.items, item)
+	b.vals = append(b.vals, make([]float64, k)...)
+	return b.vals[len(b.vals)-k:]
+}
+
+// Batch materializes a view-only batch; the arena keeps ownership.
+func (b *BatchBuf) Batch(queueLen int) TokenBatch {
+	return TokenBatch{QueueLen: queueLen}
+}
+
+// HandOff materializes an owning batch; ownership transfers to it.
+func (b *BatchBuf) HandOff(queueLen int) TokenBatch {
+	return TokenBatch{QueueLen: queueLen, buf: b}
+}

@@ -1,0 +1,301 @@
+// Package atomicmix flags variables and struct fields that are
+// accessed through sync/atomic in one place and by plain load or
+// store in another — the mixed-discipline bug the -race job can only
+// catch when a test happens to interleave the two. NOMAD's
+// correctness argument (§3.1–3.3: each item column has exactly one
+// owner; progress counters are sampled, not locked) leans on every
+// shared word having ONE access discipline; a counter that is
+// atomic.AddInt64'd in a worker and `x.n++`'d in a monitor satisfies
+// neither the ownership story nor the Go memory model.
+//
+// The analysis is module-wide: the atomic side and the plain side of
+// a mix usually live in different packages (a queue length updated in
+// internal/queue, probed in internal/core). Deliberate unlocked reads
+// — the paper's monitor-style progress samples — are whitelisted with
+//
+//	//nomad:racy-read <why>
+//
+// on the access statement, or on the field declaration to bless every
+// plain access of a monitor-sampled field at once.
+//
+// Typed atomics (atomic.Bool, atomic.Int64, ...) cannot be mixed —
+// the type system already forces Load/Store — so they are out of
+// scope here, as is address-laundering through intermediate pointer
+// variables (`p := &x.n; atomic.AddInt64(p, 1)`), which the codebase
+// style forbids anyway.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nomad/internal/analysis/directive"
+	"nomad/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag mixed sync/atomic and plain access to the same variable or field",
+	Run:  run,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is
+// the address of the word they operate on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+}
+
+// atomicSite is where a word was first seen accessed atomically.
+type atomicSite struct {
+	pos token.Pos
+	fn  string // the sync/atomic function used there
+}
+
+func run(pass *framework.Pass) error {
+	// Phase 1: every &operand of a sync/atomic call marks its word
+	// atomic, module-wide.
+	atomicWords := make(map[string]atomicSite)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := atomicCall(pkg.Info, call)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				if key, ok := wordKey(pkg, un.X); ok {
+					if _, seen := atomicWords[key]; !seen {
+						atomicWords[key] = atomicSite{pos: un.X.Pos(), fn: name}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicWords) == 0 {
+		return nil
+	}
+
+	// Phase 1.5: field declarations carrying //nomad:racy-read bless
+	// every plain access of that field.
+	blessed := make(map[string]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			collectBlessedFields(pass.Fset, pkg, f, blessed)
+		}
+	}
+
+	// Phase 2: any other mention of an atomic word is a plain access.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			idx := directive.NewIndex(pass.Fset, f)
+			checkFile(pass, pkg, f, idx, atomicWords, blessed)
+		}
+	}
+	return nil
+}
+
+// atomicCall reports whether call invokes a sync/atomic package
+// function of interest, returning its name.
+func atomicCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	if !atomicFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// wordKey names a word (variable or field) stably across packages:
+// fields by defining package, receiver type and field name; package
+// vars by package and name; locals by declaration position (both
+// sides of a local mix necessarily sit in the same package, so the
+// position is stable).
+func wordKey(pkg *framework.Package, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return "var " + obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		return "local " + obj.Pkg().Path() + "." + obj.Name() + "@" + pkg.Fset.Position(obj.Pos()).String(), true
+	case *ast.SelectorExpr:
+		sel, ok := pkg.Info.Selections[e]
+		if !ok {
+			// Qualified package var: pkgname.Var.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+						return "var " + obj.Pkg().Path() + "." + obj.Name(), true
+					}
+				}
+			}
+			return "", false
+		}
+		if sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		obj := sel.Obj()
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		return "field " + obj.Pkg().Path() + "." + namedRecv(sel) + "." + obj.Name(), true
+	case *ast.ParenExpr:
+		return wordKey(pkg, e.X)
+	default:
+		return "", false
+	}
+}
+
+// namedRecv names the receiver type a selection goes through.
+func namedRecv(sel *types.Selection) string {
+	t := sel.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "_"
+}
+
+// fieldDeclKey names a field from its declaration, mirroring wordKey's
+// field form for non-embedded access.
+func fieldDeclKey(pkgPath, structName, fieldName string) string {
+	return "field " + pkgPath + "." + structName + "." + fieldName
+}
+
+// collectBlessedFields records fields whose declarations carry a
+// racy-read directive.
+func collectBlessedFields(fset *token.FileSet, pkg *framework.Package, f *ast.File, blessed map[string]bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			for _, fld := range st.Fields.List {
+				if _, ok := directive.FieldRacyRead(fset, f, fld); !ok {
+					continue
+				}
+				for _, name := range fld.Names {
+					blessed[fieldDeclKey(pkg.Types.Path(), ts.Name.Name, name.Name)] = true
+				}
+			}
+		}
+	}
+}
+
+// checkFile reports plain accesses of atomic words in one file.
+func checkFile(pass *framework.Pass, pkg *framework.Package, f *ast.File, idx *directive.Index, atomicWords map[string]atomicSite, blessed map[string]bool) {
+	// Spans of &word operands inside atomic calls: those mentions ARE
+	// the atomic accesses.
+	atomicSpans := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := atomicCall(pkg.Info, call); !ok || len(call.Args) == 0 {
+			return true
+		}
+		if un, ok := call.Args[0].(*ast.UnaryExpr); ok && un.Op == token.AND {
+			atomicSpans[un.X] = true
+		}
+		return true
+	})
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && atomicSpans[e] {
+			return false // the atomic access itself; don't descend
+		}
+		var key string
+		var tracked bool
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			key, tracked = wordKey(pkg, e)
+			if tracked {
+				if site, mixed := atomicWords[key]; mixed && !blessed[key] {
+					if _, ok := idx.Covered(directive.RacyRead, e.Pos()); !ok {
+						pass.Reportf(e.Sel.Pos(),
+							"plain access of %s, which is accessed atomically (%s at %s); use sync/atomic or annotate //nomad:racy-read",
+							exprString(e), site.fn, pass.Fset.Position(site.pos))
+					}
+				}
+				return false // don't re-flag the inner selector chain
+			}
+		case *ast.Ident:
+			key, tracked = wordKey(pkg, e)
+			if tracked {
+				if site, mixed := atomicWords[key]; mixed && !blessed[key] {
+					if _, ok := idx.Covered(directive.RacyRead, e.Pos()); !ok {
+						pass.Reportf(e.Pos(),
+							"plain access of %s, which is accessed atomically (%s at %s); use sync/atomic or annotate //nomad:racy-read",
+							e.Name, site.fn, pass.Fset.Position(site.pos))
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, visit)
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	default:
+		return "?"
+	}
+}

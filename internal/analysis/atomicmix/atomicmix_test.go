@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"nomad/internal/analysis/analysistest"
+	"nomad/internal/analysis/atomicmix"
+)
+
+// TestAtomicMix runs the analyzer over both fixture packages in one
+// pass: the mix of an atomic write in package a with a plain read in
+// package b is exactly the module-wide case the analyzer exists for.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicmix.Analyzer, "atomicmix/a", "atomicmix/b")
+}

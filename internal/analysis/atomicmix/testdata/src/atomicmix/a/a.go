@@ -1,0 +1,60 @@
+// Package a seeds atomicmix violations: words accessed through
+// sync/atomic in one place and plainly in another, at field, package
+// and local scope, plus the clean disciplines that must stay silent.
+package a
+
+import "sync/atomic"
+
+// Stats is shared between workers and a monitor.
+type Stats struct {
+	Hits   int64
+	misses int64
+	done   int64 //nomad:racy-read progress sample, final value re-read after join
+	name   string
+}
+
+// worker is the atomic side.
+func worker(s *Stats) {
+	atomic.AddInt64(&s.Hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+	atomic.AddInt64(&s.done, 1)
+	s.name = "worker" // never atomic: no mix
+}
+
+// monitor is the plain side.
+func monitor(s *Stats) int64 {
+	n := s.Hits // want `plain access of s\.Hits, which is accessed atomically \(AddInt64`
+	n += atomic.LoadInt64(&s.misses)
+	n += s.misses //nomad:racy-read queue-length gossip is approximate by design
+	return n + s.done
+}
+
+// total is a package-level mixed word.
+var total int64
+
+func bump() { atomic.AddInt64(&total, 1) }
+
+func readTotal() int64 { return total } // want `plain access of total, which is accessed atomically`
+
+// localMix mixes on a stack word that escapes into a goroutine.
+func localMix() int64 {
+	var n int64
+	go func() { atomic.AddInt64(&n, 1) }()
+	return n // want `plain access of n, which is accessed atomically`
+}
+
+// typedClean uses a typed atomic: no mixing is possible and nothing
+// is reported.
+type typedClean struct{ c atomic.Int64 }
+
+func useTyped(t *typedClean) int64 {
+	t.c.Add(1)
+	return t.c.Load()
+}
+
+var _ = worker
+var _ = monitor
+var _ = bump
+var _ = readTotal
+var _ = localMix
+var _ = useTyped

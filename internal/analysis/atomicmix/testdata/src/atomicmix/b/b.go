@@ -1,0 +1,15 @@
+// Package b reads a's atomically-written field plainly — the
+// cross-package mix the module-wide pass exists to catch.
+package b
+
+import "atomicmix/a"
+
+// Peek samples a worker counter without the atomic load.
+func Peek(s *a.Stats) int64 {
+	return s.Hits // want `plain access of s\.Hits, which is accessed atomically`
+}
+
+// PeekBlessed is the documented way to do it.
+func PeekBlessed(s *a.Stats) int64 {
+	return s.Hits //nomad:racy-read monitor-style progress sample
+}

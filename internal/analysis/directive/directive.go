@@ -1,0 +1,335 @@
+// Package directive parses the //nomad: annotation grammar the
+// nomadlint analyzers consume, and provides the analyzer that
+// validates it.
+//
+// A directive is a comment of the form
+//
+//	//nomad:<verb> <reason...>
+//
+// with no space between // and nomad:. The verbs:
+//
+//	//nomad:racy-read <reason>     atomicmix: the plain access on this
+//	                               line (or the statement below, or
+//	                               every access of the struct field
+//	                               declared on this line) is a
+//	                               deliberate unlocked read — a §3.1
+//	                               monitor-style progress sample.
+//	                               Reason required.
+//	//nomad:noalloc [reason]       noallochot: this function's body
+//	                               must produce no escape-analysis
+//	                               allocation sites. Doc comment of a
+//	                               function declaration only.
+//	//nomad:alloc-ok <reason>      noallochot: the statement this line
+//	                               covers inside a noalloc function is
+//	                               a waived allocation site (amortized
+//	                               growth, cold error path). Reason
+//	                               required.
+//	//nomad:direct-kernel <reason> kerneldispatch: the direct scalar
+//	                               kernel call on this line bypasses
+//	                               KernelFor deliberately. Reason
+//	                               required.
+//
+// Unknown verbs, missing required reasons and misplaced directives
+// are themselves diagnostics (the Analyzer in this package), so a
+// typo'd suppression fails lint instead of silently suppressing
+// nothing.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"nomad/internal/analysis/framework"
+)
+
+// Verb is a directive kind.
+type Verb string
+
+// The grammar's verbs.
+const (
+	RacyRead     Verb = "racy-read"
+	NoAlloc      Verb = "noalloc"
+	AllocOK      Verb = "alloc-ok"
+	DirectKernel Verb = "direct-kernel"
+)
+
+// reasonRequired reports whether a verb demands a reason. noalloc is
+// the one mark whose meaning is complete without one (the function
+// name is the reason); every suppression must say why.
+func reasonRequired(v Verb) bool { return v != NoAlloc }
+
+// knownVerbs lists the grammar.
+var knownVerbs = map[Verb]bool{RacyRead: true, NoAlloc: true, AllocOK: true, DirectKernel: true}
+
+// Directive is one well-formed //nomad: annotation.
+type Directive struct {
+	Pos    token.Pos
+	Line   int
+	Verb   Verb
+	Reason string
+}
+
+// Problem is one grammar violation.
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Parse parses a single comment. ok reports whether the comment is a
+// //nomad: directive at all; a non-nil Problem means it is one but is
+// malformed (the Directive is then incomplete and must not be used).
+func Parse(c *ast.Comment) (d Directive, p *Problem, ok bool) {
+	body, isDirective := strings.CutPrefix(c.Text, "//nomad:")
+	if !isDirective {
+		return Directive{}, nil, false
+	}
+	verb, reason, _ := strings.Cut(body, " ")
+	reason = strings.TrimSpace(reason)
+	if verb == "" {
+		return Directive{}, &Problem{Pos: c.Pos(), Message: "//nomad: directive with no verb"}, true
+	}
+	if !knownVerbs[Verb(verb)] {
+		return Directive{}, &Problem{Pos: c.Pos(), Message: "unknown //nomad: verb " + verb}, true
+	}
+	if reason == "" && reasonRequired(Verb(verb)) {
+		return Directive{}, &Problem{Pos: c.Pos(), Message: "//nomad:" + verb + " requires a reason"}, true
+	}
+	return Directive{Pos: c.Pos(), Verb: Verb(verb), Reason: reason}, nil, true
+}
+
+// FuncMark returns the noalloc directive of a function's doc comment.
+func FuncMark(fd *ast.FuncDecl) (Directive, bool) {
+	if fd.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if d, p, ok := Parse(c); ok && p == nil && d.Verb == NoAlloc {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Index resolves the directives of one file to the source spans they
+// cover, so analyzers can answer "is this position suppressed by
+// verb v" in one lookup.
+type Index struct {
+	fset  *token.FileSet
+	spans []coveredSpan
+}
+
+type coveredSpan struct {
+	d        Directive
+	pos, end token.Pos
+}
+
+// NewIndex builds the directive index of a file. Malformed
+// directives are excluded (the Analyzer reports them); well-formed
+// line-level directives resolve to the innermost statement or struct
+// field overlapping their line, or — for a comment alone on its line
+// — the statement beginning on the next line.
+func NewIndex(fset *token.FileSet, f *ast.File) *Index {
+	idx := &Index{fset: fset}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, p, ok := Parse(c)
+			if !ok || p != nil || d.Verb == NoAlloc {
+				continue // noalloc marks functions; FuncMark handles them
+			}
+			d.Line = fset.Position(c.Pos()).Line
+			if pos, end, found := coverage(fset, f, c, d.Line); found {
+				idx.spans = append(idx.spans, coveredSpan{d: d, pos: pos, end: end})
+			}
+		}
+	}
+	return idx
+}
+
+// Covered returns the directive of the given verb whose span contains
+// pos, if any.
+func (idx *Index) Covered(v Verb, pos token.Pos) (Directive, bool) {
+	for _, s := range idx.spans {
+		if s.d.Verb == v && s.pos <= pos && pos < s.end {
+			return s.d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// coverage computes the span a line-level directive applies to: the
+// innermost statement or struct field whose lines include the
+// directive's line (trailing comment), falling back to the outermost
+// statement starting on the following line (standalone comment).
+func coverage(fset *token.FileSet, f *ast.File, c *ast.Comment, line int) (token.Pos, token.Pos, bool) {
+	var innermost ast.Node
+	var nextLine ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, *ast.Field:
+		default:
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start <= line && line <= end && n.Pos() < c.Pos() {
+			// Trailing: the node's span includes the directive's line and
+			// the node begins before the comment. Innermost wins — keep
+			// descending.
+			if innermost == nil || n.Pos() >= innermost.Pos() {
+				innermost = n
+			}
+		}
+		if start == line+1 {
+			// Standalone: outermost node starting on the next line wins.
+			if nextLine == nil || n.Pos() < nextLine.Pos() {
+				nextLine = n
+			}
+		}
+		return true
+	})
+	if innermost != nil {
+		return innermost.Pos(), innermost.End(), true
+	}
+	if nextLine != nil {
+		return nextLine.Pos(), nextLine.End(), true
+	}
+	return token.NoPos, token.NoPos, false
+}
+
+// Analyzer validates the grammar itself: unknown verbs, missing
+// reasons, and directives placed where no analyzer will ever read
+// them (a suppression that suppresses nothing is a lie in the
+// source).
+var Analyzer = &framework.Analyzer{
+	Name: "nomaddirective",
+	Doc:  "validate the //nomad: annotation grammar (verbs, reasons, placement)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			checkFile(pass, f)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, f *ast.File) {
+	// Function docs carrying noalloc, and function body spans, for
+	// placement checks.
+	type span struct{ pos, end token.Pos }
+	var funcBodies []span
+	var noallocBodies []span
+	docOf := make(map[*ast.CommentGroup]bool) // doc groups of function decls
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Doc != nil {
+			docOf[fd.Doc] = true
+		}
+		s := span{fd.Body.Pos(), fd.Body.End()}
+		funcBodies = append(funcBodies, s)
+		if _, marked := FuncMark(fd); marked {
+			noallocBodies = append(noallocBodies, s)
+		}
+	}
+	inAny := func(spans []span, pos token.Pos) bool {
+		for _, s := range spans {
+			if s.pos <= pos && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, p, ok := Parse(c)
+			if !ok {
+				continue
+			}
+			if p != nil {
+				pass.Reportf(p.Pos, "%s", p.Message)
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			switch d.Verb {
+			case NoAlloc:
+				if !docOf[cg] {
+					pass.Reportf(c.Pos(), "//nomad:noalloc must appear in a function's doc comment")
+				}
+			case AllocOK:
+				if !inAny(noallocBodies, c.Pos()) {
+					pass.Reportf(c.Pos(), "//nomad:alloc-ok outside a //nomad:noalloc function does nothing")
+					continue
+				}
+				if _, _, found := coverage(pass.Fset, f, c, line); !found {
+					pass.Reportf(c.Pos(), "//nomad:alloc-ok covers no statement")
+				}
+			case RacyRead:
+				pos, _, found := coverage(pass.Fset, f, c, line)
+				if !found {
+					pass.Reportf(c.Pos(), "//nomad:racy-read covers no statement or field")
+					continue
+				}
+				if !inAny(funcBodies, pos) && !onStructField(pass.Fset, f, line) {
+					pass.Reportf(c.Pos(), "//nomad:racy-read must cover an access statement or a struct field")
+				}
+			case DirectKernel:
+				if !inAny(funcBodies, c.Pos()) {
+					pass.Reportf(c.Pos(), "//nomad:direct-kernel must cover a call statement inside a function")
+					continue
+				}
+				if _, _, found := coverage(pass.Fset, f, c, line); !found {
+					pass.Reportf(c.Pos(), "//nomad:direct-kernel covers no statement")
+				}
+			}
+		}
+	}
+}
+
+// onStructField reports whether some struct field's declaration spans
+// the given line.
+func onStructField(fset *token.FileSet, f *ast.File, line int) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if fset.Position(fld.Pos()).Line <= line && line <= fset.Position(fld.End()).Line {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// FieldRacyRead reports whether the struct field declared at the
+// given node carries a racy-read directive (trailing comment or the
+// line above), returning its reason. atomicmix uses it to whitelist
+// every plain access of a monitor-sampled field at the declaration,
+// instead of at each of its reads.
+func FieldRacyRead(fset *token.FileSet, f *ast.File, fld *ast.Field) (Directive, bool) {
+	fldStart := fset.Position(fld.Pos()).Line
+	fldEnd := fset.Position(fld.End()).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, p, ok := Parse(c)
+			if !ok || p != nil || d.Verb != RacyRead {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if (line >= fldStart && line <= fldEnd) || line == fldStart-1 {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}

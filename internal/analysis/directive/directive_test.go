@@ -1,0 +1,73 @@
+package directive_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"nomad/internal/analysis/analysistest"
+	"nomad/internal/analysis/directive"
+)
+
+// TestParse covers the comment-level grammar directly, including the
+// no-verb forms gofmt rewrites out of directive position (so they
+// cannot live in a fixture file).
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text    string
+		isDir   bool
+		problem string // regexp-free substring; empty means well-formed
+		verb    directive.Verb
+		reason  string
+	}{
+		{text: "// ordinary comment", isDir: false},
+		{text: "//nomad:racy-read monitor sample", isDir: true, verb: directive.RacyRead, reason: "monitor sample"},
+		{text: "//nomad:noalloc", isDir: true, verb: directive.NoAlloc},
+		{text: "//nomad:noalloc hot ring op", isDir: true, verb: directive.NoAlloc, reason: "hot ring op"},
+		{text: "//nomad:alloc-ok cold error path", isDir: true, verb: directive.AllocOK, reason: "cold error path"},
+		{text: "//nomad:direct-kernel reference side", isDir: true, verb: directive.DirectKernel, reason: "reference side"},
+		{text: "//nomad:", isDir: true, problem: "no verb"},
+		{text: "//nomad: spaced out", isDir: true, problem: "no verb"},
+		{text: "//nomad:warp-speed yes", isDir: true, problem: "unknown //nomad: verb warp-speed"},
+		{text: "//nomad:racy-read", isDir: true, problem: "requires a reason"},
+		{text: "//nomad:alloc-ok", isDir: true, problem: "requires a reason"},
+		{text: "//nomad:direct-kernel", isDir: true, problem: "requires a reason"},
+	}
+	for _, tc := range cases {
+		d, p, ok := directive.Parse(&ast.Comment{Text: tc.text})
+		if ok != tc.isDir {
+			t.Errorf("Parse(%q): directive = %v, want %v", tc.text, ok, tc.isDir)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if tc.problem != "" {
+			if p == nil {
+				t.Errorf("Parse(%q): well-formed, want problem %q", tc.text, tc.problem)
+			}
+			continue
+		}
+		if p != nil {
+			t.Errorf("Parse(%q): problem %q, want well-formed", tc.text, p.Message)
+			continue
+		}
+		if d.Verb != tc.verb || d.Reason != tc.reason {
+			t.Errorf("Parse(%q) = (%s, %q), want (%s, %q)", tc.text, d.Verb, d.Reason, tc.verb, tc.reason)
+		}
+	}
+}
+
+// TestGrammar runs the directive analyzer over a fixture holding
+// every legal placement (which must stay silent) and every class of
+// malformed or misplaced directive (which must each produce exactly
+// one diagnostic). Expectations are keyed by line because grammar
+// diagnostics land on the directive comment's own line.
+func TestGrammar(t *testing.T) {
+	analysistest.RunExpect(t, analysistest.TestData(t), directive.Analyzer, "directive/a", map[string]string{
+		"a.go:33": `unknown //nomad: verb fast-path`,
+		"a.go:36": `//nomad:racy-read requires a reason`,
+		"a.go:39": `unknown //nomad: verb racy_read`,
+		"a.go:43": `//nomad:noalloc must appear in a function's doc comment`,
+		"a.go:48": `//nomad:alloc-ok outside a //nomad:noalloc function does nothing`,
+	})
+}

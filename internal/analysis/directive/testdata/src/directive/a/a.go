@@ -1,0 +1,53 @@
+// Package a exercises the //nomad: annotation grammar: well-formed
+// directives in every legal position, and each way a directive can be
+// malformed or misplaced. The expectations live in the analyzer's
+// test (RunExpect), because grammar diagnostics land on the directive
+// comment's own line.
+package a
+
+import "sync/atomic"
+
+// counters is a struct whose field-level whitelist placement is legal.
+type counters struct {
+	n    atomic.Int64
+	seen int64 //nomad:racy-read monitor samples seen without the lock
+}
+
+// hot is a legal function-level mark.
+//
+//nomad:noalloc steady-state ring operation
+func hot(c *counters) int64 {
+	v := c.seen //nomad:racy-read progress sample only
+	return v + c.n.Load()
+}
+
+// waived holds a legal statement-level waiver inside a noalloc
+// function.
+//
+//nomad:noalloc
+func waived() *counters {
+	//nomad:alloc-ok one-time construction, not steady state
+	return &counters{}
+}
+
+//nomad:fast-path the verb does not exist
+func unknownVerb() {}
+
+//nomad:racy-read
+func missingReason() {}
+
+//nomad:racy_read underscore instead of hyphen
+func wrongSeparator() {}
+
+func misplacedNoalloc() {
+	//nomad:noalloc the mark belongs on a function doc comment
+	x := 0
+	_ = x
+}
+
+//nomad:alloc-ok waiver outside any noalloc function
+func strayWaiver() {}
+
+func strayKernel() int {
+	return 1 //nomad:direct-kernel no kernel call here is fine placement-wise
+}

@@ -1,0 +1,166 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Load enumerates and type-checks the packages matching patterns
+// (run from dir, which must lie inside the module), returning one
+// Package per match. It shells out to `go list -deps -export -json`,
+// so dependencies — the standard library included — are imported from
+// compiler export data rather than re-type-checked, exactly how the
+// compiler itself sees them; only the matched packages are parsed
+// from source, with comments, which is what the analyzers need (the
+// //nomad: directive grammar lives in comments).
+//
+// Test files are not loaded: nomadlint checks the invariants of the
+// shipping code, and the monitor-style post-join reads that pervade
+// tests would drown the atomicmix signal in suppressions.
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			InModule:   true,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	if len(pkgs) == 0 {
+		return nil, nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	return fset, pkgs, nil
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` over patterns.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// StdExports maps every standard-library import path to its export
+// file via one `go list -export std` (served from the build cache
+// after the first run). The analysistest harness resolves fixture
+// stdlib imports through it.
+func StdExports(dir string) (map[string]string, error) {
+	listed, err := goList(dir, []string{"std"})
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			m[lp.ImportPath] = lp.Export
+		}
+	}
+	return m, nil
+}
+
+// NewExportImporter returns a go/types importer resolving import
+// paths through the given path → export-file map.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return exportImporter(fset, exports)
+}
+
+// exportImporter returns a go/types importer resolving import paths
+// through the export files produced by `go list -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &unsafeAwareImporter{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAwareImporter resolves "unsafe" to types.Unsafe (it has no
+// export data) and everything else through the gc importer.
+type unsafeAwareImporter struct {
+	gc types.Importer
+}
+
+func (i *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}

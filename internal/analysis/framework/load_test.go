@@ -1,0 +1,62 @@
+package framework
+
+import (
+	"testing"
+)
+
+// TestLoadTypeChecks loads a real module package through the go list
+// + export-data pipeline and checks the analyzers' inputs are all
+// populated: comments survive parsing (the directive grammar lives
+// there) and identifier uses resolve through imported dependencies.
+func TestLoadTypeChecks(t *testing.T) {
+	fset, pkgs, err := Load(".", []string{"nomad/internal/queue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "nomad/internal/queue" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if !p.InModule {
+		t.Error("InModule = false, want true for a module package")
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Mesh") == nil {
+		t.Error("type information missing: no Mesh in package scope")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Error("Info.Uses is empty")
+	}
+	comments := 0
+	for _, f := range p.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Error("no comments parsed; directives would be invisible")
+	}
+	if fset == nil {
+		t.Error("nil fset")
+	}
+}
+
+// TestLoadMultiplePackages checks that packages depending on each
+// other load side by side, deps resolved via export data.
+func TestLoadMultiplePackages(t *testing.T) {
+	_, pkgs, err := Load(".", []string{"nomad/internal/cluster", "nomad/internal/netlink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+// TestLoadBadPattern checks that an unmatched pattern is an error,
+// not a silent empty pass.
+func TestLoadBadPattern(t *testing.T) {
+	if _, _, err := Load(".", []string{"nomad/internal/nosuchpkg"}); err == nil {
+		t.Fatal("want error for unknown package")
+	}
+}

@@ -1,0 +1,77 @@
+// Package kerneldispatch protects the PR 6 dispatch seam: every
+// SGD/eval call site must obtain its arithmetic through
+// vecmath.KernelFor / KernelFor32 / DotKernel / DotKernel32 — the
+// functions that consult the reference/SIMD/portable dispatch — and
+// never invoke the scalar reference kernels directly. A direct
+// vecmath.Dot in an eval loop silently pins that path to scalar code
+// on every machine and escapes all three A/B switches
+// (NOMAD_REFERENCE_KERNELS, NOMAD_NO_SIMD, SetSIMD), which is how a
+// 1.5× SIMD win quietly rots.
+//
+// Both calling and capturing a kernel as a value
+// (`dot := vecmath.Dot`) are flagged; vecmath itself is exempt (it IS
+// the dispatcher), and deliberate direct use — a cold path that wants
+// the reference scalar on purpose — is annotated
+//
+//	//nomad:direct-kernel <why>
+package kerneldispatch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nomad/internal/analysis/directive"
+	"nomad/internal/analysis/framework"
+)
+
+// Analyzer is the kerneldispatch pass.
+var Analyzer = &framework.Analyzer{
+	Name: "kerneldispatch",
+	Doc:  "route SGD/eval arithmetic through KernelFor/KernelFor32 instead of direct scalar kernels",
+	Run:  run,
+}
+
+// vecmathPath is the dispatcher package. Fixtures stub it under the
+// same import path.
+const vecmathPath = "nomad/internal/vecmath"
+
+// directKernels are the width-agnostic scalar kernels the dispatch
+// seam wraps. Everything else vecmath exports (Axpy, CholeskySolve,
+// Norm2Sq, the batch-solver linear algebra) is general vector math
+// with no dispatched counterpart and stays fair game.
+var directKernels = map[string]bool{
+	"Dot": true, "Dot32": true,
+	"DotUnrolled": true, "DotUnrolled32": true,
+	"SGDUpdate": true, "SGDUpdate32": true,
+	"SGDUpdateGrad": true, "SGDUpdateGrad32": true,
+	"FusedSGDStep": true, "FusedSGDStep32": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types.Path() == vecmathPath {
+			continue // the dispatcher's own internals
+		}
+		for _, f := range pkg.Files {
+			idx := directive.NewIndex(pass.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != vecmathPath || !directKernels[fn.Name()] {
+					return true
+				}
+				if _, ok := idx.Covered(directive.DirectKernel, id.Pos()); ok {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"direct use of vecmath.%s bypasses the kernel dispatch; route through vecmath.KernelFor/DotKernel (or annotate //nomad:direct-kernel)",
+					fn.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package kerneldispatch_test
+
+import (
+	"testing"
+
+	"nomad/internal/analysis/analysistest"
+	"nomad/internal/analysis/kerneldispatch"
+)
+
+func TestKernelDispatch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), kerneldispatch.Analyzer, "kerneldispatch/a")
+}

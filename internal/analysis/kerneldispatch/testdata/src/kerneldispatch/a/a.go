@@ -1,0 +1,43 @@
+// Package a seeds kerneldispatch violations: direct calls and value
+// captures of the scalar reference kernels, next to the blessed
+// dispatch-seam usage that must stay silent.
+package a
+
+import "nomad/internal/vecmath"
+
+// Predict evals with a direct scalar dot — the bug class from
+// factor.Predict.
+func Predict(u, v []float64) float64 {
+	return vecmath.Dot(u, v) // want `direct use of vecmath\.Dot bypasses the kernel dispatch`
+}
+
+// Predict32 does it in float32.
+func Predict32(u, v []float32) float32 {
+	return vecmath.Dot32(u, v) // want `direct use of vecmath\.Dot32 bypasses the kernel dispatch`
+}
+
+// capture takes a kernel as a value, which pins scalar code just as
+// hard as calling it.
+var capture = vecmath.SGDUpdate // want `direct use of vecmath\.SGDUpdate bypasses the kernel dispatch`
+
+// train uses the dispatch seam: silent.
+func train(w, h []float64, err, step, lambda float64) {
+	k := vecmath.KernelFor(len(w))
+	k.Step(w, h, err, step, lambda)
+	dot := vecmath.DotKernel()
+	_ = dot(w, h)
+}
+
+// axpyUser calls undipatched vector math: silent.
+func axpyUser(x, y []float64) {
+	vecmath.Axpy(2, x, y)
+}
+
+// referenceCheck wants the scalar kernel on purpose and says why.
+func referenceCheck(u, v []float64) float64 {
+	return vecmath.Dot(u, v) //nomad:direct-kernel oracle for kernel parity test
+}
+
+var _ = train
+var _ = axpyUser
+var _ = referenceCheck

@@ -1,0 +1,200 @@
+// Package noallochot verifies the zero-alloc claims of NOMAD's hot
+// paths against the compiler's own escape analysis. A function whose
+// doc comment carries
+//
+//	//nomad:noalloc
+//
+// is asserting the PR 5 steady-state discipline: no heap allocation
+// per call once buffers are warm. The analyzer replays
+// `go build -gcflags=-m` for the package (served from the build cache
+// on a warm tree) and reports every "escapes to heap" / "moved to
+// heap" site the compiler attributes to a line inside a marked
+// function. Deliberate allocations — pool misses, one-time arena
+// growth, error paths — are waived per statement with
+//
+//	//nomad:alloc-ok <why>
+//
+// What -m cannot see, this checker cannot either: growth inside a
+// plain `append(s, x)` is an amortized runtime reallocation, not a
+// compiler-visible allocation site, so it passes — which matches the
+// discipline being enforced (steady-state zero-alloc with warm
+// buffers), not a stricter never-allocates claim. Conversely,
+// allocation sites inlined from another package (slices.Grow's make,
+// fmt.Errorf's boxing) ARE attributed to the calling line and need a
+// waiver.
+package noallochot
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"nomad/internal/analysis/directive"
+	"nomad/internal/analysis/framework"
+)
+
+// Analyzer is the noallochot pass.
+var Analyzer = &framework.Analyzer{
+	Name: "noallochot",
+	Doc:  "check //nomad:noalloc functions against go build -gcflags=-m escape analysis",
+	Run:  run,
+}
+
+// escapeLine matches the two -m diagnostics that are real heap
+// allocations; inline reports and parameter-leak notes are noise.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// constStringEscape matches a string literal escaping on its own —
+// the compiler's note for boxing a constant into an interface, as in
+// panic("vecmath: Dot length mismatch"). The interface data points at
+// a read-only static string, so no per-call allocation happens and
+// bounds-check panics stay legal in noalloc kernels. A concatenation
+// ("prefix: " + err escapes to heap) does not match and still flags.
+var constStringEscape = regexp.MustCompile(`^"(?:[^"\\]|\\.)*" escapes to heap$`)
+
+// markedFn is a //nomad:noalloc function's line span in one file.
+type markedFn struct {
+	name       string
+	start, end int
+}
+
+func run(pass *framework.Pass) error {
+	for _, pkg := range pass.Pkgs {
+		// Marked functions per file basename; skip the compiler run
+		// entirely for packages that claim nothing.
+		marked := make(map[string][]markedFn)
+		files := make(map[string]*ast.File)
+		total := 0
+		for _, f := range pkg.Files {
+			base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			files[base] = f
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, ok := directive.FuncMark(fd); !ok {
+					continue
+				}
+				marked[base] = append(marked[base], markedFn{
+					name:  fd.Name.Name,
+					start: pass.Fset.Position(fd.Pos()).Line,
+					end:   pass.Fset.Position(fd.End()).Line,
+				})
+				total++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+
+		out, err := escapeOutput(pkg)
+		if err != nil {
+			return fmt.Errorf("noallochot: escape analysis of %s: %w", pkg.ImportPath, err)
+		}
+		indexes := make(map[string]*directive.Index)
+		for _, line := range strings.Split(out, "\n") {
+			m := escapeLine.FindStringSubmatch(line)
+			if m == nil || constStringEscape.MatchString(m[4]) {
+				continue
+			}
+			base := filepath.Base(m[1])
+			lineNo, _ := strconv.Atoi(m[2])
+			col, _ := strconv.Atoi(m[3])
+			f, ok := files[base]
+			if !ok {
+				continue
+			}
+			var fn *markedFn
+			for i := range marked[base] {
+				if mf := &marked[base][i]; lineNo >= mf.start && lineNo <= mf.end {
+					fn = mf
+					break
+				}
+			}
+			if fn == nil {
+				continue
+			}
+			pos := posAt(pass.Fset, f, lineNo, col)
+			idx, ok := indexes[base]
+			if !ok {
+				idx = directive.NewIndex(pass.Fset, f)
+				indexes[base] = idx
+			}
+			if _, ok := idx.Covered(directive.AllocOK, pos); ok {
+				continue
+			}
+			pass.Reportf(pos, "%s inside //nomad:noalloc function %s; hoist the allocation or waive it with //nomad:alloc-ok <why>",
+				m[4], fn.name)
+		}
+	}
+	return nil
+}
+
+// posAt converts a compiler file:line:col back into a token.Pos in f.
+func posAt(fset *token.FileSet, f *ast.File, line, col int) token.Pos {
+	tf := fset.File(f.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return f.Pos()
+	}
+	p := tf.LineStart(line) + token.Pos(col-1)
+	if p < tf.LineStart(line) || int(p) >= tf.Base()+tf.Size() {
+		return tf.LineStart(line)
+	}
+	return p
+}
+
+// escapeOutput obtains the compiler's -m output for pkg. Module
+// packages are built in place, flags scoped to the one package so
+// dependency noise is excluded. Out-of-module fixture packages are
+// copied into a throwaway module first: `go build` refuses ad-hoc
+// directories, and fixtures are plain directories under testdata.
+func escapeOutput(pkg *framework.Package) (string, error) {
+	if pkg.InModule {
+		cmd := exec.Command("go", "build", "-gcflags="+pkg.ImportPath+"=-m", pkg.ImportPath)
+		cmd.Dir = pkg.Dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return "", fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+		}
+		return string(out), nil
+	}
+
+	tmp, err := os.MkdirTemp("", "noallochot-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+	entries, err := os.ReadDir(pkg.Dir)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(pkg.Dir, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), src, 0o644); err != nil {
+			return "", err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module noallocfixture\n\ngo 1.24\n"), 0o644); err != nil {
+		return "", err
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = tmp
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m (fixture copy): %v\n%s", err, out)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,81 @@
+// Package a seeds noallochot violations: compiler-visible heap
+// allocations inside //nomad:noalloc functions, next to waived and
+// unmarked allocations that must stay silent.
+package a
+
+var sink *int
+
+type point struct{ x, y int }
+
+// hot claims zero-alloc but makes a variable-sized slice per call.
+//
+//nomad:noalloc
+func hot(dst []int, n int) int {
+	buf := make([]int, n) // want `make\(\[\]int, n\) escapes to heap inside //nomad:noalloc function hot`
+	copy(dst, buf)
+	return len(buf)
+}
+
+// leak claims zero-alloc but lets a local escape through a sink.
+//
+//nomad:noalloc
+func leak() int {
+	x := 42 // want `moved to heap: x inside //nomad:noalloc function leak`
+	sink = &x
+	return x
+}
+
+// boxed claims zero-alloc but returns a pointer to a literal.
+//
+//nomad:noalloc
+func boxed(p point) *point {
+	return &point{p.x, p.y} // want `&point\{\.\.\.\} escapes to heap inside //nomad:noalloc function boxed`
+}
+
+// warm allocates on purpose — arena warm-up growth — and waives it.
+//
+//nomad:noalloc
+func warm(s []float64, n int) []float64 {
+	s = append(s, make([]float64, n)...) //nomad:alloc-ok one-time arena warm-up growth
+	return s
+}
+
+// addTo is marked and genuinely allocation-free.
+//
+//nomad:noalloc
+func addTo(dst, src []int) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// guarded panics on bad input with a constant message: boxing a
+// constant string into the panic interface is static data, not a
+// per-call allocation, so the kernel-style bounds check is silent.
+//
+//nomad:noalloc
+func guarded(a, b []int) int {
+	if len(a) != len(b) {
+		panic("guarded: length mismatch")
+	}
+	s := 0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// cold allocates freely: unmarked functions are out of scope.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+var (
+	_ = hot
+	_ = leak
+	_ = boxed
+	_ = warm
+	_ = addTo
+	_ = guarded
+	_ = cold
+)

@@ -77,9 +77,13 @@ func GetBatchBuf() *BatchBuf {
 
 // Release returns the arena to the shared pool. The caller must not
 // touch the arena, or any batch materialized from it, afterwards.
+//
+//nomad:noalloc
 func (b *BatchBuf) Release() { batchPool.Put(b) }
 
 // Reset empties the arena, keeping its capacity.
+//
+//nomad:noalloc
 func (b *BatchBuf) Reset() {
 	b.items = b.items[:0]
 	b.ends = b.ends[:0]
@@ -90,8 +94,10 @@ func (b *BatchBuf) Reset() {
 func (b *BatchBuf) Len() int { return len(b.items) }
 
 // Add copies one token into the arena.
+//
+//nomad:noalloc
 func (b *BatchBuf) Add(item int32, vec []float64) {
-	copy(b.AddVec(item, len(vec)), vec)
+	copy(b.AddVec(item, len(vec)), vec) //nomad:alloc-ok arena warm-up growth, amortized away on reuse
 }
 
 // AddVec appends a token with an uninitialized k-coordinate vector
@@ -100,10 +106,12 @@ func (b *BatchBuf) Add(item int32, vec []float64) {
 // The caller must overwrite all k coordinates (reused arena capacity
 // holds stale values). The returned slice is only valid until the
 // next Add/AddVec.
+//
+//nomad:noalloc
 func (b *BatchBuf) AddVec(item int32, k int) []float64 {
 	b.items = append(b.items, item)
 	start := len(b.vals)
-	b.vals = grow(b.vals, start+k)
+	b.vals = grow(b.vals, start+k) //nomad:alloc-ok arena warm-up growth, amortized away on reuse
 	b.ends = append(b.ends, int32(start+k))
 	return b.vals[start : start+k]
 }
@@ -121,15 +129,19 @@ func grow(s []float64, n int) []float64 {
 // are views into the flat payload. The arena retains ownership: the
 // caller may Reset and refill it as soon as the batch's consumer
 // returns (Link.Send copies or encodes before returning).
+//
+//nomad:noalloc
 func (b *BatchBuf) Batch(queueLen int) TokenBatch {
-	return TokenBatch{Tokens: b.views(), QueueLen: queueLen}
+	return TokenBatch{Tokens: b.views(), QueueLen: queueLen} //nomad:alloc-ok token-view warm-up growth on cap miss
 }
 
 // HandOff materializes like Batch but transfers ownership to the
 // batch: the consumer that finishes with the tokens calls
 // TokenBatch.Release, which returns the arena to the shared pool.
+//
+//nomad:noalloc
 func (b *BatchBuf) HandOff(queueLen int) TokenBatch {
-	return TokenBatch{Tokens: b.views(), QueueLen: queueLen, buf: b}
+	return TokenBatch{Tokens: b.views(), QueueLen: queueLen, buf: b} //nomad:alloc-ok token-view warm-up growth on cap miss
 }
 
 // views rebuilds the token view slice over the current arena state.

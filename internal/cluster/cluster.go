@@ -41,6 +41,8 @@ type TokenBatch struct {
 // invalidates the batch's token views. It is a no-op for batches that
 // own no arena, so consumers may call it unconditionally — but at
 // most once per delivered batch, on the delivered value itself.
+//
+//nomad:noalloc
 func (b *TokenBatch) Release() {
 	if b.buf == nil {
 		return
@@ -104,6 +106,8 @@ func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 // for that destination is full. The token's vector is copied; the
 // caller may reuse it as soon as Add returns (except under the
 // reference wire path, which retains it until flush).
+//
+//nomad:noalloc
 func (s *Sender) Add(dst int, t Token) {
 	if s.refwire {
 		s.pending[dst] = append(s.pending[dst], t)
@@ -112,7 +116,7 @@ func (s *Sender) Add(dst int, t Token) {
 		}
 		return
 	}
-	s.bufs[dst].Add(t.Item, t.Vec)
+	s.bufs[dst].Add(t.Item, t.Vec) //nomad:alloc-ok arena warm-up growth, amortized away on reuse
 	if s.bufs[dst].Len() >= s.batchSize {
 		s.Flush(dst) //nolint:errcheck // surfaced by the next FlushAll/Close
 	}

@@ -161,12 +161,15 @@ func (md *Model) ItemRow32(j int) []float32 {
 
 // Predict returns the model's estimate of rating (i, j): ⟨wᵢ, hⱼ⟩. For
 // Float32 models the product accumulates in float32 — the same
-// arithmetic the float32 training kernels use.
+// arithmetic the float32 training kernels use. The dot goes through
+// the rank-dispatched kernel, so Predict sees the same SIMD/scalar
+// selection as training; eval loops that predict in bulk should hoist
+// vecmath.DotKernel(md.K) out of the loop instead.
 func (md *Model) Predict(i, j int) float64 {
 	if md.prec == Float32 {
-		return float64(vecmath.Dot32(md.UserRow32(i), md.ItemRow32(j)))
+		return float64(vecmath.DotKernel32(md.K)(md.UserRow32(i), md.ItemRow32(j)))
 	}
-	return vecmath.Dot(md.UserRow(i), md.ItemRow(j))
+	return vecmath.DotKernel(md.K)(md.UserRow(i), md.ItemRow(j))
 }
 
 // Clone returns a deep copy of the model.

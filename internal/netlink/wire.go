@@ -121,6 +121,8 @@ func finishFrame(buf []byte, off int) []byte {
 
 // AppendFrame appends the encoded frame to buf and returns it. The
 // payload may be nil.
+//
+//nomad:noalloc
 func AppendFrame(buf []byte, typ FrameType, from int, payload []byte) []byte {
 	off := len(buf)
 	buf = beginFrame(buf, typ, from)
@@ -133,6 +135,8 @@ func AppendFrame(buf []byte, typ FrameType, from int, payload []byte) []byte {
 // single copy of the send path. With a buffer of sufficient capacity
 // (a connection's reusable write buffer after warm-up) it allocates
 // nothing. Oversized batches are rejected before any encoding.
+//
+//nomad:noalloc
 func AppendTokenFrame(buf []byte, from int, batch cluster.TokenBatch, k int) ([]byte, error) {
 	if batchWireSize(len(batch.Tokens), k) > MaxPayload {
 		return nil, ErrOversize
@@ -174,12 +178,13 @@ func ReadFrameReuse(r io.Reader, buf []byte) (Frame, []byte, error) {
 	return readFrame(r, buf)
 }
 
+//nomad:noalloc
 func readFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 	// The header is read into the reusable buffer too (a stack array
 	// would escape through the io.Reader interface and cost one heap
 	// allocation per frame); every header field is parsed into locals
 	// before the payload read below overwrites it.
-	buf = slices.Grow(buf[:0], headerSize)[:headerSize]
+	buf = slices.Grow(buf[:0], headerSize)[:headerSize] //nomad:alloc-ok reusable buffer warm-up growth
 	hdr := buf[:headerSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return Frame{}, buf, err
@@ -188,10 +193,10 @@ func readFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		return Frame{}, buf, ErrBadMagic
 	}
 	if hdr[4] != Version {
-		return Frame{}, buf, &VersionError{Got: hdr[4], Want: Version}
+		return Frame{}, buf, &VersionError{Got: hdr[4], Want: Version} //nomad:alloc-ok rejection path, terminal for the stream
 	}
 	if hdr[6] != 0 || hdr[7] != 0 {
-		return Frame{}, buf, fmt.Errorf("netlink: reserved header bytes must be zero")
+		return Frame{}, buf, fmt.Errorf("netlink: reserved header bytes must be zero") //nomad:alloc-ok rejection path, terminal for the stream
 	}
 	f := Frame{
 		Type: FrameType(hdr[5]),
@@ -213,7 +218,7 @@ func readFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		for remaining := int(length); remaining > 0; {
 			c := min(remaining, chunk)
 			start := len(payload)
-			payload = slices.Grow(payload, c)[:start+c]
+			payload = slices.Grow(payload, c)[:start+c] //nomad:alloc-ok reusable buffer warm-up growth
 			if _, err := io.ReadFull(r, payload[start:]); err != nil {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
@@ -246,17 +251,19 @@ func batchWireSize(tokens, k int) int { return 12 + tokens*tokenWireSize(k) }
 // coordinates. The payload is pre-sized once and the vectors are
 // stored with batched little-endian writes straight into it, so a
 // buffer with warm capacity costs zero allocations.
+//
+//nomad:noalloc
 func AppendTokenBatch(buf []byte, batch cluster.TokenBatch, k int) ([]byte, error) {
 	le := binary.LittleEndian
 	base := len(buf)
-	buf = slices.Grow(buf, batchWireSize(len(batch.Tokens), k))[:base+batchWireSize(len(batch.Tokens), k)]
+	buf = slices.Grow(buf, batchWireSize(len(batch.Tokens), k))[:base+batchWireSize(len(batch.Tokens), k)] //nomad:alloc-ok reusable buffer warm-up growth
 	le.PutUint64(buf[base:], uint64(int64(batch.QueueLen)))
 	le.PutUint32(buf[base+8:], uint32(len(batch.Tokens)))
 	pos := base + 12
 	for i := range batch.Tokens {
 		t := &batch.Tokens[i]
 		if len(t.Vec) != k {
-			return nil, fmt.Errorf("netlink: token %d has %d coordinates, link rank is %d", t.Item, len(t.Vec), k)
+			return nil, fmt.Errorf("netlink: token %d has %d coordinates, link rank is %d", t.Item, len(t.Vec), k) //nomad:alloc-ok malformed-batch error path
 		}
 		le.PutUint32(buf[pos:], uint32(t.Item))
 		pos += 4
@@ -273,14 +280,17 @@ func AppendTokenBatch(buf []byte, batch cluster.TokenBatch, k int) ([]byte, erro
 // allocation, and without ever multiplying the wire-supplied count
 // (which could overflow): the count must equal the number of whole
 // rank-k tokens the payload's bytes can hold.
+//
+//nomad:noalloc
 func tokenBatchCount(payload []byte, k int) (int, error) {
 	if len(payload) < 12 {
-		return 0, fmt.Errorf("netlink: token batch payload %d bytes, want ≥ 12", len(payload))
+		return 0, fmt.Errorf("netlink: token batch payload %d bytes, want ≥ 12", len(payload)) //nomad:alloc-ok malformed-batch error path
 	}
 	count := int(binary.LittleEndian.Uint32(payload[8:]))
 	per := tokenWireSize(k)
 	rem := len(payload) - 12
 	if rem%per != 0 || count != rem/per {
+		//nomad:alloc-ok malformed-batch error path
 		return 0, fmt.Errorf("netlink: token batch declares %d rank-%d tokens but payload holds %d bytes of token data",
 			count, k, rem)
 	}
@@ -318,6 +328,8 @@ func DecodeTokenBatch(payload []byte, k int) (cluster.TokenBatch, error) {
 // the consumer calls Release when the tokens have been copied out,
 // which recycles a pooled arena (cluster.GetBatchBuf) for the next
 // frame. With a warm arena the decode allocates nothing.
+//
+//nomad:noalloc
 func DecodeTokenBatchInto(payload []byte, k int, buf *cluster.BatchBuf) (cluster.TokenBatch, error) {
 	count, err := tokenBatchCount(payload, k)
 	if err != nil {
@@ -329,7 +341,7 @@ func DecodeTokenBatchInto(payload []byte, k int, buf *cluster.BatchBuf) (cluster
 	for i := 0; i < count; i++ {
 		item := int32(le.Uint32(payload[pos:]))
 		pos += 4
-		vec := buf.AddVec(item, k)
+		vec := buf.AddVec(item, k) //nomad:alloc-ok arena warm-up growth, amortized away on reuse
 		for c := range vec {
 			vec[c] = math.Float64frombits(le.Uint64(payload[pos:]))
 			pos += 8

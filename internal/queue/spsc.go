@@ -63,6 +63,8 @@ func (r *Ring[T]) Len() int {
 }
 
 // Push appends v and reports whether there was room.
+//
+//nomad:noalloc
 func (r *Ring[T]) Push(v T) bool {
 	t := r.tail.Load()
 	if t-r.cachedHead == uint64(len(r.buf)) {
@@ -78,6 +80,8 @@ func (r *Ring[T]) Push(v T) bool {
 
 // Pop removes and returns the oldest element, or reports false if the
 // ring is (momentarily) empty.
+//
+//nomad:noalloc
 func (r *Ring[T]) Pop() (T, bool) {
 	var zero T
 	h := r.head.Load()
@@ -96,6 +100,8 @@ func (r *Ring[T]) Pop() (T, bool) {
 // PushBatch appends as many elements of vs as fit, in order, and
 // returns how many were accepted. One atomic release publishes the
 // whole batch.
+//
+//nomad:noalloc
 func (r *Ring[T]) PushBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -122,6 +128,8 @@ func (r *Ring[T]) PushBatch(vs []T) int {
 // PopBatch removes up to len(dst) oldest elements into dst, in order,
 // and returns how many were moved. One atomic release frees the whole
 // batch.
+//
+//nomad:noalloc
 func (r *Ring[T]) PopBatch(dst []T) int {
 	if len(dst) == 0 {
 		return 0
@@ -198,6 +206,8 @@ func (m *Mesh[T]) RingCap() int { return m.rings[0].Cap() }
 
 // Send enqueues v from src to dst and reports whether the lane had
 // room. Only endpoint src may call it for a given src.
+//
+//nomad:noalloc
 func (m *Mesh[T]) Send(src, dst int, v T) bool {
 	if !m.rings[dst*m.p+src].Push(v) {
 		return false
@@ -208,6 +218,8 @@ func (m *Mesh[T]) Send(src, dst int, v T) bool {
 
 // SendBatch enqueues as many elements of vs as fit from src to dst, in
 // order, returning how many were accepted.
+//
+//nomad:noalloc
 func (m *Mesh[T]) SendBatch(src, dst int, vs []T) int {
 	n := m.rings[dst*m.p+src].PushBatch(vs)
 	if n > 0 {
@@ -219,6 +231,8 @@ func (m *Mesh[T]) SendBatch(src, dst int, vs []T) int {
 // RecvBatch dequeues up to len(dst) elements addressed to endpoint d,
 // sweeping the row's lanes round-robin from where the previous call
 // stopped so no producer is starved. Only endpoint d may call it.
+//
+//nomad:noalloc
 func (m *Mesh[T]) RecvBatch(d int, dst []T) int {
 	row := m.rings[d*m.p : (d+1)*m.p]
 	start := int(m.curs[d].v.Load())
@@ -248,9 +262,13 @@ func (m *Mesh[T]) RecvBatch(d int, dst []T) int {
 
 // ApproxLen returns the approximate backlog of endpoint d: one atomic
 // load, no locks. The value is what §3.3 least-loaded routing compares.
+//
+//nomad:noalloc
 func (m *Mesh[T]) ApproxLen(d int) int { return int(m.lens[d].v.Load()) }
 
 // TotalLen returns the approximate total number of tokens in the mesh.
+//
+//nomad:noalloc
 func (m *Mesh[T]) TotalLen() int {
 	n := 0
 	for d := 0; d < m.p; d++ {

@@ -175,6 +175,8 @@ func DotKernel(k int) DotFunc {
 // computes the residual with the unrolled dot and applies the
 // simultaneous SGDUpdate step. It matches SGDUpdate up to the dot
 // product's summation order and returns the residual e.
+//
+//nomad:noalloc
 func FusedSGDStep(w, h []float64, rating, step, lambda float64) float64 {
 	if len(w) != len(h) {
 		panic("vecmath: FusedSGDStep length mismatch")
@@ -187,6 +189,8 @@ func FusedSGDStep(w, h []float64, rating, step, lambda float64) float64 {
 // DotUnrolled is the generic-width multi-accumulator inner product:
 // four independent partial sums over array-pointer chunks, plus a
 // scalar tail. It panics if lengths differ.
+//
+//nomad:noalloc
 func DotUnrolled(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")

@@ -70,6 +70,8 @@ func DotKernel32(k int) DotFunc32 {
 // Dot32 is the reference float32 inner product: strictly sequential
 // accumulation, the ground truth the unrolled and AVX2 float32 dots are
 // compared against.
+//
+//nomad:noalloc
 func Dot32(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
@@ -84,6 +86,8 @@ func Dot32(a, b []float32) float32 {
 // SGDUpdate32 is the reference fused float32 SGD step: residual against
 // the sequential dot, then the simultaneous update, element
 // expressions identical to the float64 SGDUpdate.
+//
+//nomad:noalloc
 func SGDUpdate32(w, h []float32, rating, step, lambda float32) float32 {
 	if len(w) != len(h) {
 		panic("vecmath: SGDUpdate length mismatch")
@@ -99,6 +103,8 @@ func SGDUpdate32(w, h []float32, rating, step, lambda float32) float32 {
 }
 
 // SGDUpdateGrad32 is the reference generic separable-loss float32 step.
+//
+//nomad:noalloc
 func SGDUpdateGrad32(w, h []float32, g, step, lambda float32) {
 	if len(w) != len(h) {
 		panic("vecmath: SGDUpdateGrad length mismatch")
@@ -113,6 +119,8 @@ func SGDUpdateGrad32(w, h []float32, g, step, lambda float32) {
 
 // Norm2Sq32 is the squared Euclidean norm of a float32 row, accumulated
 // in float64 because it feeds the whole-model regularization term.
+//
+//nomad:noalloc
 func Norm2Sq32(a []float32) float64 {
 	var s float64
 	for _, v := range a {
@@ -125,6 +133,8 @@ func Norm2Sq32(a []float32) float64 {
 
 // DotUnrolled32 is the generic-width multi-accumulator float32 inner
 // product, the float32 twin of DotUnrolled.
+//
+//nomad:noalloc
 func DotUnrolled32(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
@@ -148,6 +158,8 @@ func DotUnrolled32(a, b []float32) float32 {
 }
 
 // FusedSGDStep32 is the generic-width fused float32 step.
+//
+//nomad:noalloc
 func FusedSGDStep32(w, h []float32, rating, step, lambda float32) float32 {
 	if len(w) != len(h) {
 		panic("vecmath: FusedSGDStep length mismatch")

@@ -13,6 +13,8 @@ import (
 )
 
 // Dot returns the inner product of a and b. It panics if lengths differ.
+//
+//nomad:noalloc
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
@@ -25,6 +27,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2Sq returns the squared Euclidean norm of a.
+//
+//nomad:noalloc
 func Norm2Sq(a []float64) float64 {
 	var s float64
 	for _, v := range a {
@@ -34,6 +38,8 @@ func Norm2Sq(a []float64) float64 {
 }
 
 // Axpy computes y += alpha*x in place. It panics if lengths differ.
+//
+//nomad:noalloc
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("vecmath: Axpy length mismatch")
@@ -44,6 +50,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // Scale multiplies every element of x by alpha in place.
+//
+//nomad:noalloc
 func Scale(alpha float64, x []float64) {
 	for i := range x {
 		x[i] *= alpha
@@ -62,6 +70,8 @@ func Scale(alpha float64, x []float64) {
 // sign corrected; the paper's displayed equations (9)–(10) have a
 // transcription sign slip). Both rows are read at their old values, as a
 // simultaneous update requires. It returns the prediction error e.
+//
+//nomad:noalloc
 func SGDUpdate(w, h []float64, rating, step, lambda float64) float64 {
 	if len(w) != len(h) {
 		panic("vecmath: SGDUpdate length mismatch")
@@ -85,6 +95,8 @@ func SGDUpdate(w, h []float64, rating, step, lambda float64) float64 {
 //	h ← h + step·(g·w_old − λ·h)
 //
 // With g = rating − ⟨w,h⟩ this is exactly SGDUpdate.
+//
+//nomad:noalloc
 func SGDUpdateGrad(w, h []float64, g, step, lambda float64) {
 	if len(w) != len(h) {
 		panic("vecmath: SGDUpdateGrad length mismatch")
