@@ -57,6 +57,9 @@ type distProtocol struct {
 	Workers  int                `json:"workers_per_machine"`
 	Machines []int              `json:"machines"`
 	Backend  string             `json:"backend"`
+	// Chaos is the fault-injection spec the runs were subjected to
+	// (empty for undisturbed measurements). Chaos runs enable failover.
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // distPoint is one (dataset, machines, wire side) end-to-end training
@@ -72,6 +75,10 @@ type distPoint struct {
 	MessagesSent int64   `json:"messages_sent"`
 	FinalRMSE    float64 `json:"final_rmse"`
 	Updates      int64   `json:"updates"`
+	// RecoveryMs is the failover detection→resume latency of the
+	// best-throughput rep, present only on -chaos runs that killed a
+	// machine.
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
 }
 
 // codecPoint is one isolated codec measurement: a §3.5-sized token
@@ -95,7 +102,9 @@ var distWireSides = []struct {
 }{{"reference", true}, {"pooled", false}}
 
 // runDist measures the distributed data plane and writes the record.
-func runDist(path string, machineList []int, reps int) error {
+// A non-empty chaos spec subjects every end-to-end run to that fault
+// (with failover enabled) and records the recovery latency.
+func runDist(path string, machineList []int, reps int, chaos string) error {
 	const (
 		seed   = 7
 		epochs = 2
@@ -109,7 +118,7 @@ func runDist(path string, machineList []int, reps int) error {
 		Env: benchenv.Capture(),
 		Protocol: distProtocol{Datasets: map[string]float64{}, K: k, Seed: seed,
 			Epochs: epochs, Reps: reps, Workers: 1, Machines: machineList,
-			Backend: "tcp-loopback"},
+			Backend: "tcp-loopback", Chaos: chaos},
 	}
 	defer cluster.SetReferenceWire(false)
 	for _, prof := range profiles {
@@ -128,7 +137,7 @@ func runDist(path string, machineList []int, reps int) error {
 			for rep := 0; rep < reps+1; rep++ {
 				for i, side := range distWireSides {
 					cluster.SetReferenceWire(side.ref)
-					res, err := runDistTraining(ds, machines, seed, epochs)
+					res, recoveryMs, err := runDistTraining(ds, machines, seed, epochs, chaos)
 					if err != nil {
 						return fmt.Errorf("%s p=%d %s wire: %w", prof.name, machines, side.name, err)
 					}
@@ -145,6 +154,7 @@ func runDist(path string, machineList []int, reps int) error {
 						pt.BytesSent = res.BytesSent
 						pt.MessagesSent = res.MessagesSent
 						pt.TokensPerSec = approxWireTokens(res.BytesSent, res.MessagesSent, k) / res.Seconds
+						pt.RecoveryMs = recoveryMs
 					}
 				}
 			}
@@ -170,16 +180,43 @@ func runDist(path string, machineList []int, reps int) error {
 
 // runDistTraining is one end-to-end NOMAD run over a TCP loopback
 // cluster: real sockets, one worker per machine, the async runner.
-func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int) (*nomad.Result, error) {
-	s, err := nomad.NewSession(ds,
+// With a chaos spec, failover is enabled and the recovery latency (ms,
+// 0 when no failover happened) is returned alongside the result.
+func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, chaos string) (*nomad.Result, float64, error) {
+	opts := []nomad.Option{
 		nomad.WithWorkers(1),
 		nomad.WithSeed(seed),
 		nomad.WithCluster(machines, "tcp"),
-		nomad.WithStopConditions(nomad.MaxEpochs(epochs)))
-	if err != nil {
-		return nil, err
+		nomad.WithStopConditions(nomad.MaxEpochs(epochs)),
 	}
-	return s.Run(context.Background())
+	if chaos != "" {
+		opts = append(opts, nomad.WithFailover(), nomad.WithChaos(chaos))
+	}
+	s, err := nomad.NewSession(ds, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	recoveryMs := 0.0
+	done := make(chan struct{})
+	cancelSub := func() {}
+	if chaos != "" {
+		var events <-chan nomad.Event
+		events, cancelSub = s.Subscribe(64)
+		go func() {
+			defer close(done)
+			for e := range events {
+				if ev, ok := e.(nomad.PeerRecoveredEvent); ok {
+					recoveryMs = ev.RecoverySeconds * 1e3
+				}
+			}
+		}()
+	} else {
+		close(done)
+	}
+	res, err := s.Run(context.Background())
+	cancelSub()
+	<-done
+	return res, recoveryMs, err
 }
 
 // approxWireTokens estimates how many tokens crossed the wire from

@@ -68,6 +68,7 @@ func run() int {
 		distPath  = flag.String("dist", "", "measure the TCP data plane (loopback clusters on both wire sides, plus codec microbenchmarks) and write it to this JSON file")
 		distMachs = flag.String("distmachines", "2,4", "comma-separated machine counts for -dist")
 		distReps  = flag.Int("distreps", 3, "measured reps per -dist point (plus one warm-up)")
+		distChaos = flag.String("chaos", "", "fault injection for -dist runs, e.g. kill:rank=2,at=mid-epoch (enables failover, adds recovery_ms to the record)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -154,7 +155,7 @@ func run() int {
 	if *distPath != "" {
 		// Same contract as -sweep: the datasets, seed, rank and epoch
 		// budget are pinned; only the machine list and rep count vary.
-		if clash := clashingFlags("dist", "distmachines", "distreps"); len(clash) > 0 {
+		if clash := clashingFlags("dist", "distmachines", "distreps", "chaos"); len(clash) > 0 {
 			fmt.Fprintf(os.Stderr, "nomad-bench: -dist measures a pinned protocol and cannot be combined with %s\n",
 				strings.Join(clash, ", "))
 			return 2
@@ -169,12 +170,16 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "nomad-bench: -distmachines entries must be ≥ 2 (a cluster needs peers)")
 				return 2
 			}
+			if *distChaos != "" && m < 3 {
+				fmt.Fprintln(os.Stderr, "nomad-bench: -chaos runs use failover, which needs ≥ 3 machines per -distmachines entry")
+				return 2
+			}
 		}
 		if *distReps < 1 {
 			fmt.Fprintln(os.Stderr, "nomad-bench: -distreps must be ≥ 1")
 			return 2
 		}
-		if err := runDist(*distPath, ml, *distReps); err != nil {
+		if err := runDist(*distPath, ml, *distReps, *distChaos); err != nil {
 			fmt.Fprintf(os.Stderr, "nomad-bench: dist: %v\n", err)
 			return 1
 		}

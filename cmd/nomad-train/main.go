@@ -53,6 +53,10 @@ func main() {
 		join       = flag.String("join", "", "coordinator address a worker joins")
 		lockstep   = flag.Bool("lockstep", false, "deterministic round-based distributed runner (bitwise-reproducible across backends)")
 		balance    = flag.Bool("balance", false, "enable §3.3 dynamic load balancing")
+		failover   = flag.Bool("failover", false, "survive a machine death: buddy replication + token-ownership failover")
+		chaos      = flag.String("chaos", "", "fault injection, e.g. kill:rank=2,at=mid-epoch (kill/partition/delay/drop; implies -failover for kill)")
+		hbEvery    = flag.Duration("heartbeat-interval", 0, "tcp liveness probe interval (0 = default 500ms)")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "declare a silent tcp peer dead after this long (0 = default 10s)")
 		epochs     = flag.Int("epochs", 10, "training epochs (cumulative across -resume segments)")
 		seconds    = flag.Float64("seconds", 0, "wall-clock budget (0 = epochs only)")
 		testFrac   = flag.Float64("test", 0.1, "test fraction for -input files")
@@ -105,6 +109,15 @@ func main() {
 	if *balance {
 		opts = append(opts, nomad.WithLoadBalance())
 	}
+	if *failover {
+		opts = append(opts, nomad.WithFailover())
+	}
+	if *chaos != "" {
+		opts = append(opts, nomad.WithChaos(*chaos))
+	}
+	if *hbEvery != 0 || *hbTimeout != 0 {
+		opts = append(opts, nomad.WithHeartbeat(*hbEvery, *hbTimeout))
+	}
 	stops := []nomad.StopCondition{nomad.MaxEpochs(*epochs)}
 	if *seconds > 0 {
 		stops = append(stops, nomad.MaxDuration(time.Duration(*seconds*float64(time.Second))))
@@ -132,6 +145,7 @@ func main() {
 	// boundaries, network accounting for distributed runs.
 	done := make(chan struct{})
 	cancelSub := func() {}
+	recoveryMs := -1.0 // set by the printer goroutine, read after <-done
 	if *quiet {
 		close(done)
 	} else {
@@ -146,6 +160,12 @@ func main() {
 					fmt.Printf("%-10.3f %-12d %.6f\n", ev.Seconds, ev.Updates, ev.RMSE)
 				case nomad.EpochEvent:
 					fmt.Printf("          [epoch %d complete at %d updates]\n", ev.Epoch, ev.Updates)
+				case nomad.PeerDownEvent:
+					fmt.Printf("          [machine %d DOWN: %s]\n", ev.Rank, ev.Reason)
+				case nomad.PeerRecoveredEvent:
+					fmt.Printf("          [machine %d recovered by failover in %.1fms]\n",
+						ev.Rank, ev.RecoverySeconds*1e3)
+					recoveryMs = ev.RecoverySeconds * 1e3
 				}
 			}
 		}()
@@ -192,8 +212,12 @@ func main() {
 		}
 		fmt.Println()
 		// Machine-readable lines for scripts (the CI distributed job
-		// asserts RMSE parity across backends on the rmse line).
+		// asserts RMSE parity across backends on the rmse line; the
+		// fault-injection job asserts recovery on recovery_ms).
 		fmt.Printf("rmse: %.12f\n", res.TestRMSE)
+		if recoveryMs >= 0 {
+			fmt.Printf("recovery_ms: %.3f\n", recoveryMs)
+		}
 		if *algo == "nomad" && (*machines > 1 || *role == "coordinator") {
 			// Every distributed teardown verifies the ownership
 			// invariant — each of the n item tokens recovered exactly

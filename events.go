@@ -60,15 +60,27 @@ type NetworkEvent struct {
 
 // PeerDownEvent reports a cluster machine failure on the real-network
 // backend: machine Rank stopped responding — its connection broke
-// without an orderly end-of-stream, or its heartbeats timed out. The
-// run aborts shortly after with a *PeerError from Run.
+// without an orderly end-of-stream, or its heartbeats timed out.
+// Without WithFailover the run aborts shortly after with a *PeerError
+// from Run; with it, the survivors reconfigure and a
+// PeerRecoveredEvent follows.
 type PeerDownEvent struct {
 	Rank   int
 	Reason string
 }
 
-func (TraceEvent) event()    {}
-func (EpochEvent) event()    {}
-func (BalanceEvent) event()  {}
-func (NetworkEvent) event()  {}
-func (PeerDownEvent) event() {}
+// PeerRecoveredEvent reports a completed failover (WithFailover):
+// dead machine Rank's item tokens were regenerated on its ring buddy,
+// its user rows adopted, and token circulation resumed among the
+// survivors. RecoverySeconds is the detection→resume latency.
+type PeerRecoveredEvent struct {
+	Rank            int
+	RecoverySeconds float64
+}
+
+func (TraceEvent) event()         {}
+func (EpochEvent) event()         {}
+func (BalanceEvent) event()       {}
+func (NetworkEvent) event()       {}
+func (PeerDownEvent) event()      {}
+func (PeerRecoveredEvent) event() {}

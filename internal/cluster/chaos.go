@@ -1,0 +1,416 @@
+package cluster
+
+// Chaos injection: a deterministic, seeded fault harness that wraps
+// cluster links and perturbs one machine (the victim) at a named
+// protocol point — the failure half of the failover test matrix. The
+// harness is driven by a ChaosSpec (parsed from the `-chaos=...`
+// flag syntax) and a ChaosController shared by every endpoint of the
+// run: the controller counts the victim's protocol events (data
+// sends, replication snapshots, barrier entries) and fires the
+// configured fault exactly once when the trigger point is reached.
+//
+// Faults:
+//
+//   - kill: the victim machine dies — the registered kill function
+//     (installed by the training runner) stops its goroutines and
+//     severs its connections, exactly like a crashed process.
+//   - partition: the victim's outbound traffic (tokens and control
+//     frames alike) stalls for a window, then heals. Heartbeats ride
+//     the same connections, so a long window is indistinguishable
+//     from a death and triggers failover; a short one only delays.
+//   - delay: every victim send after the trigger is slowed by the
+//     configured window — a persistent straggler link.
+//   - drop: replication snapshot frames from the victim are dropped
+//     with probability P (seeded, deterministic). Only the lossy-
+//     tolerant replication plane may be dropped: dropping token
+//     frames would silently break conservation rather than test it.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/rng"
+)
+
+// ChaosOp is the fault to inject.
+type ChaosOp uint8
+
+const (
+	// OpKill stops the victim machine mid-run.
+	OpKill ChaosOp = iota + 1
+	// OpPartition stalls the victim's outbound traffic for Window.
+	OpPartition
+	// OpDelay slows every victim send by Window after the trigger.
+	OpDelay
+	// OpDrop drops victim replication snapshots with probability P.
+	OpDrop
+)
+
+func (o ChaosOp) String() string {
+	switch o {
+	case OpKill:
+		return "kill"
+	case OpPartition:
+		return "partition"
+	case OpDelay:
+		return "delay"
+	case OpDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("ChaosOp(%d)", uint8(o))
+}
+
+// ChaosPoint names the protocol point the fault triggers at.
+type ChaosPoint uint8
+
+const (
+	// PointRendezvous triggers as soon as the cluster is armed, before
+	// any token circulates — the victim dies on the starting line.
+	PointRendezvous ChaosPoint = iota + 1
+	// PointMidEpoch triggers on the victim's After-th outbound token
+	// batch, i.e. in the middle of asynchronous circulation.
+	PointMidEpoch
+	// PointBarrier triggers on the victim's After-th Barrier entry.
+	PointBarrier
+	// PointSnapshot triggers on the victim's After-th replication
+	// snapshot send (the control kind registered by the runner).
+	PointSnapshot
+)
+
+func (p ChaosPoint) String() string {
+	switch p {
+	case PointRendezvous:
+		return "rendezvous"
+	case PointMidEpoch:
+		return "mid-epoch"
+	case PointBarrier:
+		return "barrier"
+	case PointSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("ChaosPoint(%d)", uint8(p))
+}
+
+// ChaosSpec describes one injected fault.
+type ChaosSpec struct {
+	Op   ChaosOp
+	Rank int        // victim machine
+	At   ChaosPoint // trigger point
+	// After is how many occurrences of the trigger point happen before
+	// the fault fires (default 1; mid-epoch defaults to 5 so some
+	// circulation happens first).
+	After int
+	// P is the drop probability for OpDrop (default 0.5).
+	P float64
+	// Window is the stall duration for OpPartition / per-send delay
+	// for OpDelay (default 50ms).
+	Window time.Duration
+	// Seed drives the deterministic drop decisions (default 1).
+	Seed uint64
+}
+
+func (s *ChaosSpec) String() string {
+	return fmt.Sprintf("%s:rank=%d,at=%s,after=%d", s.Op, s.Rank, s.At, s.After)
+}
+
+// normalize fills spec defaults in place.
+func (s *ChaosSpec) normalize() {
+	if s.After <= 0 {
+		if s.At == PointMidEpoch {
+			s.After = 5
+		} else {
+			s.After = 1
+		}
+	}
+	if s.P <= 0 || s.P > 1 {
+		s.P = 0.5
+	}
+	if s.Window <= 0 {
+		s.Window = 50 * time.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// ParseChaos parses the -chaos flag syntax:
+//
+//	op:key=value,key=value,...
+//
+// e.g. "kill:rank=2,at=mid-epoch", "drop:rank=1,at=snapshot,p=0.5",
+// "partition:rank=2,at=mid-epoch,window=100ms". Keys: rank (victim
+// machine, required), at (trigger point, required), after (trigger
+// occurrence count), p (drop probability), window (duration), seed.
+func ParseChaos(s string) (*ChaosSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	opName, rest, found := strings.Cut(s, ":")
+	if !found {
+		return nil, fmt.Errorf("cluster: chaos spec %q: want op:key=value,...", s)
+	}
+	spec := &ChaosSpec{Rank: -1}
+	switch opName {
+	case "kill":
+		spec.Op = OpKill
+	case "partition":
+		spec.Op = OpPartition
+	case "delay":
+		spec.Op = OpDelay
+	case "drop":
+		spec.Op = OpDrop
+	default:
+		return nil, fmt.Errorf("cluster: unknown chaos op %q (kill, partition, delay, drop)", opName)
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return nil, fmt.Errorf("cluster: chaos spec %q: bad pair %q", s, kv)
+		}
+		var err error
+		switch key {
+		case "rank":
+			spec.Rank, err = strconv.Atoi(val)
+		case "at":
+			switch val {
+			case "rendezvous":
+				spec.At = PointRendezvous
+			case "mid-epoch":
+				spec.At = PointMidEpoch
+			case "barrier":
+				spec.At = PointBarrier
+			case "snapshot":
+				spec.At = PointSnapshot
+			default:
+				err = fmt.Errorf("unknown point %q (rendezvous, mid-epoch, barrier, snapshot)", val)
+			}
+		case "after":
+			spec.After, err = strconv.Atoi(val)
+		case "p":
+			spec.P, err = strconv.ParseFloat(val, 64)
+		case "window":
+			spec.Window, err = time.ParseDuration(val)
+		case "seed":
+			var u uint64
+			u, err = strconv.ParseUint(val, 10, 64)
+			spec.Seed = u
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: chaos spec %q: %s: %v", s, key, err)
+		}
+	}
+	if spec.Rank < 0 {
+		return nil, fmt.Errorf("cluster: chaos spec %q: rank is required", s)
+	}
+	if spec.At == 0 {
+		return nil, fmt.Errorf("cluster: chaos spec %q: at is required", s)
+	}
+	spec.normalize()
+	return spec, nil
+}
+
+// ChaosController is the shared state of one injected fault: it
+// counts the victim's trigger-point occurrences and fires the fault
+// exactly once. One controller wraps every endpoint of a run.
+type ChaosController struct {
+	spec  ChaosSpec
+	fired atomic.Bool
+
+	sends    atomic.Int64 // victim outbound token batches
+	snaps    atomic.Int64 // victim replication snapshot sends
+	barriers atomic.Int64 // victim Barrier entries
+
+	snapKind atomic.Uint32 // 1+kind of the replication ctl frames, 0 = unset
+
+	// until is the partition heal deadline (unix nanos), 0 while the
+	// partition has not triggered.
+	until atomic.Int64
+
+	mu   sync.Mutex
+	kill func(victim int) // installed by the runner
+	rnd  *rng.Source      // deterministic drop decisions
+}
+
+// NewChaosController builds a controller for the spec. The spec is
+// normalized (defaults filled) in place.
+func NewChaosController(spec *ChaosSpec) *ChaosController {
+	spec.normalize()
+	return &ChaosController{spec: *spec, rnd: rng.New(spec.Seed)}
+}
+
+// Spec returns the (normalized) fault description.
+func (c *ChaosController) Spec() ChaosSpec { return c.spec }
+
+// OnKill installs the kill function the runner uses to stop the
+// victim machine in-process. Without one, a fired kill falls back to
+// aborting the victim's link (netlink-level tests).
+func (c *ChaosController) OnKill(fn func(victim int)) {
+	c.mu.Lock()
+	c.kill = fn
+	c.mu.Unlock()
+}
+
+// SetSnapshotKind registers the control-frame kind that carries
+// replication snapshots, so PointSnapshot and OpDrop can recognize
+// them.
+func (c *ChaosController) SetSnapshotKind(kind uint8) {
+	c.snapKind.Store(1 + uint32(kind))
+}
+
+// WrapAll wraps every link of a run; the victim's wrapper observes
+// and injects, the others only forward (a uniform wrapper keeps the
+// teardown paths identical across ranks).
+func (c *ChaosController) WrapAll(links []Link) []Link {
+	out := make([]Link, len(links))
+	for i, l := range links {
+		out[i] = &ChaosLink{Link: l, ctrl: c, victim: l != nil && l.Rank() == c.spec.Rank}
+	}
+	return out
+}
+
+// Wrap wraps a single link.
+func (c *ChaosController) Wrap(l Link) Link {
+	return &ChaosLink{Link: l, ctrl: c, victim: l.Rank() == c.spec.Rank}
+}
+
+// Arm fires rendezvous-point faults: the run is assembled and about
+// to start. Called by the runner after links are built.
+func (c *ChaosController) Arm(victimLink Link) {
+	if c.spec.At == PointRendezvous {
+		c.trigger(victimLink)
+	}
+}
+
+// Fired reports whether the fault has triggered.
+func (c *ChaosController) Fired() bool { return c.fired.Load() }
+
+// isSnapshot reports whether a ctl kind is the registered
+// replication-snapshot kind.
+func (c *ChaosController) isSnapshot(kind uint8) bool {
+	sk := c.snapKind.Load()
+	return sk != 0 && uint8(sk-1) == kind
+}
+
+// dropSnapshot decides (deterministically) whether to drop one
+// replication snapshot.
+func (c *ChaosController) dropSnapshot() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rnd.Float64() < c.spec.P
+}
+
+// trigger fires the fault once. victimLink is the victim's own link
+// (used by the kill fallback and by partition/delay windows).
+func (c *ChaosController) trigger(victimLink Link) {
+	if !c.fired.CompareAndSwap(false, true) {
+		return
+	}
+	switch c.spec.Op {
+	case OpKill:
+		c.mu.Lock()
+		kill := c.kill
+		c.mu.Unlock()
+		if kill != nil {
+			kill(c.spec.Rank)
+			return
+		}
+		// Netlink-level fallback: sever the victim's connections.
+		if a, ok := victimLink.(interface{ Abort() }); ok {
+			a.Abort()
+		}
+	case OpPartition, OpDelay:
+		c.until.Store(time.Now().Add(c.spec.Window).UnixNano())
+	case OpDrop:
+		// Nothing to do at trigger time: dropSnapshot consults the
+		// fired flag per frame.
+	}
+}
+
+// ChaosLink wraps one endpoint. Non-victim wrappers forward
+// everything unchanged.
+type ChaosLink struct {
+	Link
+	ctrl   *ChaosController
+	victim bool
+}
+
+// Unwrap exposes the wrapped endpoint (e.g. for Abort on a TCP link).
+func (c *ChaosLink) Unwrap() Link { return c.Link }
+
+// Abort forwards to the underlying link's Abort when it has one, so
+// the in-process kill path works through the wrapper.
+func (c *ChaosLink) Abort() {
+	if a, ok := c.Link.(interface{ Abort() }); ok {
+		a.Abort()
+	}
+}
+
+// stall applies a pending partition/delay window to a victim send.
+func (c *ChaosLink) stall() {
+	spec := &c.ctrl.spec
+	switch spec.Op {
+	case OpPartition:
+		until := c.ctrl.until.Load()
+		if until == 0 {
+			return
+		}
+		if d := time.Until(time.Unix(0, until)); d > 0 {
+			time.Sleep(d)
+		}
+	case OpDelay:
+		if c.ctrl.until.Load() != 0 {
+			time.Sleep(spec.Window)
+		}
+	}
+}
+
+// Send implements cluster.Link, counting the victim's outbound token
+// batches toward a mid-epoch trigger and applying stall windows.
+func (c *ChaosLink) Send(dst int, batch TokenBatch) error {
+	if c.victim && !c.ctrl.fired.Load() && c.ctrl.spec.At == PointMidEpoch {
+		if c.ctrl.sends.Add(1) == int64(c.ctrl.spec.After) {
+			c.ctrl.trigger(c)
+		}
+	}
+	if c.victim {
+		c.stall()
+	}
+	return c.Link.Send(dst, batch)
+}
+
+// SendCtl implements cluster.Link, counting the victim's replication
+// snapshots toward a snapshot trigger and dropping them under OpDrop.
+func (c *ChaosLink) SendCtl(dst int, kind uint8, payload []byte) error {
+	if c.victim && c.ctrl.isSnapshot(kind) {
+		if !c.ctrl.fired.Load() && c.ctrl.spec.At == PointSnapshot {
+			if c.ctrl.snaps.Add(1) == int64(c.ctrl.spec.After) {
+				c.ctrl.trigger(c)
+			}
+		}
+		if c.ctrl.spec.Op == OpDrop && c.ctrl.fired.Load() && c.ctrl.dropSnapshot() {
+			return nil // dropped on the wire
+		}
+	}
+	if c.victim {
+		c.stall()
+	}
+	return c.Link.SendCtl(dst, kind, payload)
+}
+
+// Barrier implements cluster.Link, counting the victim's barrier
+// entries toward a barrier trigger — the victim dies inside the
+// barrier, after peers have started waiting on it.
+func (c *ChaosLink) Barrier() error {
+	if c.victim && !c.ctrl.fired.Load() && c.ctrl.spec.At == PointBarrier {
+		if c.ctrl.barriers.Add(1) == int64(c.ctrl.spec.After) {
+			c.ctrl.trigger(c)
+		}
+	}
+	return c.Link.Barrier()
+}

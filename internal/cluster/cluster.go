@@ -71,6 +71,7 @@ type Sender struct {
 	refwire   bool
 	pending   [][]Token   // reference wire: per-destination retained tokens
 	bufs      []*BatchBuf // arena path: per-destination reusable arenas
+	dead      []bool      // failover: destinations evicted from routing
 	closed    bool
 	err       error // first non-closure Send failure, surfaced until Close
 }
@@ -99,7 +100,52 @@ func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 			s.bufs[i] = NewBatchBuf()
 		}
 	}
+	s.dead = make([]bool, link.Machines())
 	return s
+}
+
+// MarkDead evicts dst from the sender's routing: tokens still pending
+// for it are dropped (the failover protocol regenerates them from the
+// ownership report — they hold no bit anywhere, so they are counted
+// missing) and every later Add/Flush toward dst is a no-op. Prefer
+// Redirect when the tokens should survive locally instead.
+func (s *Sender) MarkDead(dst int) {
+	if s.dead[dst] {
+		return
+	}
+	s.dead[dst] = true
+	if s.refwire {
+		s.pending[dst] = nil
+		return
+	}
+	s.bufs[dst].Reset()
+}
+
+// Redirect re-routes every token pending for the dead destination to
+// live destinations chosen by pick, then marks dead dead. pick must
+// never return dead (or another dead destination). The re-adds flush
+// through the normal batching path.
+func (s *Sender) Redirect(dead int, pick func() int) {
+	if s.dead[dead] {
+		return
+	}
+	if s.refwire {
+		moved := s.pending[dead]
+		s.pending[dead] = nil
+		s.dead[dead] = true
+		for _, t := range moved {
+			s.Add(pick(), t)
+		}
+		return
+	}
+	// The arena's views stay valid while we re-add: Add copies into
+	// the destination arenas, and dead's arena is only Reset after.
+	batch := s.bufs[dead].Batch(0)
+	s.dead[dead] = true
+	for _, t := range batch.Tokens {
+		s.Add(pick(), t)
+	}
+	s.bufs[dead].Reset()
 }
 
 // Add enqueues a token for dst, flushing automatically when the batch
@@ -109,6 +155,9 @@ func NewSender(link Link, batchSize int, queueLen func() int) *Sender {
 //
 //nomad:noalloc
 func (s *Sender) Add(dst int, t Token) {
+	if s.dead[dst] {
+		return // evicted destination: counted missing, regenerated by failover
+	}
 	if s.refwire {
 		s.pending[dst] = append(s.pending[dst], t)
 		if len(s.pending[dst]) >= s.batchSize {
@@ -132,6 +181,9 @@ func (s *Sender) Flush(dst int) error {
 	if s.closed {
 		return s.err
 	}
+	if s.dead[dst] {
+		return s.err
+	}
 	var batch TokenBatch
 	if s.refwire {
 		if len(s.pending[dst]) == 0 {
@@ -145,14 +197,26 @@ func (s *Sender) Flush(dst int) error {
 		batch = s.bufs[dst].Batch(s.queueLen())
 	}
 	if err := s.link.Send(dst, batch); err != nil {
-		s.closed = true
 		if errors.Is(err, ErrLinkClosed) {
+			s.closed = true
 			return nil // orderly teardown already ended the stream
 		}
-		// Real failures (a downed peer, an encode rejection) stick:
-		// every later Flush/FlushAll/Close keeps reporting them, so a
-		// caller that only checks the final Close still sees the root
-		// cause instead of a bare conservation violation.
+		var pd *PeerDownError
+		if errors.As(err, &pd) && s.link.Err() == nil {
+			// Failover: one peer died but the link as a whole is still
+			// up. Evict the destination and drop the undeliverable
+			// batch — its tokens hold no ownership bit anywhere, so
+			// the reconfiguration protocol counts them missing and
+			// regenerates them on the dead machine's buddy.
+			s.MarkDead(dst)
+			return nil
+		}
+		s.closed = true
+		// Real failures (a downed peer outside failover mode, an
+		// encode rejection) stick: every later Flush/FlushAll/Close
+		// keeps reporting them, so a caller that only checks the final
+		// Close still sees the root cause instead of a bare
+		// conservation violation.
 		s.err = err
 		return err
 	}

@@ -125,9 +125,17 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
-	links, err := buildLinks(ctx, ds, cfg, hooks)
+	fo := newFailoverRuntime(cfg, hooks, n)
+	links, err := buildLinks(ctx, ds, cfg, hooks, fo.detectFunc())
 	if err != nil {
 		return nil, err
+	}
+	var chaos *cluster.ChaosController
+	if cfg.Chaos != nil {
+		chaos = cluster.NewChaosController(cfg.Chaos)
+		chaos.SetSnapshotKind(ctlFoReplToks)
+		chaos.OnKill(func(victim int) { fo.killMachine(victim) })
+		links = chaos.WrapAll(links)
 	}
 	root := rng.New(cfg.Seed)
 
@@ -168,6 +176,9 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		md.CopyItemRowTo64(j, vec)
 		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
 		mc := machines[root.Intn(M)]
+		if fo != nil {
+			fo.noteOwned(mc.id, int32(j))
+		}
 		deliverLocal(mc, tok, cfg.Circulate, root, permScratch)
 	}
 
@@ -181,6 +192,18 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
+	fo.bind(links, md, local, users, func(victim int) {
+		// Poison the gossip tables so every §3.3 least-loaded picker
+		// shuns the dead machine from its next decision on.
+		for _, mc := range machines {
+			mc.lastKnown[victim].Store(poisonedQueueLen)
+		}
+	}, &stop, cancelRun)
+	fo.startAgents()
+	if chaos != nil {
+		chaos.Arm(links[chaos.Spec().Rank])
+	}
+
 	// Compute workers.
 	var workerWG sync.WaitGroup
 	for mcID := 0; mcID < M; mcID++ {
@@ -189,7 +212,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 			go func(mc *machine, w int) {
 				defer workerWG.Done()
 				runDistWorker(mc, w, md, local[mc.id*W+w], schedule, cfg, counter, &stop,
-					workerRNG[mc.id*W+w])
+					workerRNG[mc.id*W+w], fo)
 			}(machines[mcID], w)
 		}
 	}
@@ -204,13 +227,13 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		senderWG.Add(1)
 		go func(mc *machine) {
 			defer senderWG.Done()
-			runSender(mc, links[mc.id], cfg, senderRNG, hooks)
+			runSender(mc, links[mc.id], cfg, senderRNG, hooks, fo)
 		}(machines[mcID])
 		receiverWG.Add(1)
 		go func(mc *machine) {
 			defer receiverWG.Done()
-			runReceiver(mc, links[mc.id], cfg, receiverRNG)
-			if links[mc.id].Err() != nil {
+			runReceiver(mc, links[mc.id], cfg, receiverRNG, fo)
+			if links[mc.id].Err() != nil && !fo.machineDead(mc.id) {
 				cancelRun()
 			}
 		}(machines[mcID])
@@ -220,7 +243,10 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 
 	// Orderly teardown: workers → senders (flush + end-of-stream) →
 	// receivers (drain until every peer's stream has ended). Each stage
-	// drains the previous one so no token is lost.
+	// drains the previous one so no token is lost. The failover runtime
+	// is released first so parked senders and mid-protocol agents never
+	// block the stages behind them.
+	fo.shutdown()
 	workerWG.Wait()
 	for _, mc := range machines {
 		close(mc.out)
@@ -230,8 +256,12 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	for _, l := range links {
 		l.Close() //nolint:errcheck // idempotent release
 	}
-	if lerr := firstLinkErr(links); lerr != nil {
+	fo.wait()
+	if lerr := fo.liveLinkErr(links); lerr != nil {
 		return nil, fmt.Errorf("core: distributed transport failed: %w", lerr)
+	}
+	if ferr := fo.failErr(); ferr != nil {
+		return nil, fmt.Errorf("core: failover failed: %w", ferr)
 	}
 	if runErr != nil && ctx.Err() == nil {
 		runErr = nil // monitor was cancelled by teardown plumbing, not the caller
@@ -240,9 +270,13 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	// Collect every token still queued and write its vector back into
 	// the model, completing the final H state. Token conservation is
 	// the ownership invariant: each of the n items must be recovered
-	// exactly once.
+	// exactly once — a dead machine's queues are skipped (their tokens
+	// were regenerated on the buddy during failover).
 	collected := 0
 	for _, mc := range machines {
+		if fo.machineDead(mc.id) {
+			continue
+		}
 		for _, q := range mc.queues {
 			for {
 				tok, ok := q.TryPop()
@@ -318,14 +352,16 @@ func deliverLocal(mc *machine, tok *distToken, circulate int, r *rng.Source, scr
 // or to the sender thread.
 func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 	schedule sched.Schedule, cfg train.Config, counter *train.Counter,
-	stop *atomic.Bool, r *rng.Source) {
+	stop *atomic.Bool, r *rng.Source, fo *failoverRuntime) {
 
 	gw := mc.id*mc.workers + w // global worker id (counter shard)
 	hp := newHotPath(md, schedule, cfg)
 	straggler := gw == 0 && cfg.Straggle > 1
 	var idle idleBackoff
 	var batch int64
-	for !stop.Load() {
+	var adoptSeen uint64
+	var adopted *localRatings // dead buddy's rating shard, once remapped here
+	for !stop.Load() && !fo.machineDead(mc.id) {
 		tok, ok := mc.queues[w].TryPop()
 		if !ok {
 			idle.wait()
@@ -348,6 +384,21 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 			time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 		}
 		batch += int64(len(usersJ))
+		if fo != nil {
+			// After a failover remapped a dead machine's users here, this
+			// worker also trains the adopted shard's ratings of item j.
+			if g := fo.adoptGen.Load(); g != adoptSeen {
+				adoptSeen = g
+				adopted = fo.adoptedShard(gw)
+			}
+			if adopted != nil {
+				au, av, ac := adopted.itemRatings(j)
+				if len(au) > 0 {
+					hp.itemSGDVec(j, au, av, ac, tok.tok.Vec)
+					batch += int64(len(au))
+				}
+			}
+		}
 		if batch >= 256 {
 			counter.Add(gw, batch)
 			batch = 0
@@ -375,28 +426,65 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 // least-loaded routing decision is reported as a BalanceEvent. On exit
 // it flushes everything pending and ends the machine's outbound
 // stream, so peers' receivers know the drain is complete.
-func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, hooks *train.Hooks) {
+func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, hooks *train.Hooks, fo *failoverRuntime) {
 	s := cluster.NewSender(link, cfg.BatchSize, mc.queueLen)
-	pick := machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
+	pick := fo.wrapPick(machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks))
+	cmds := fo.sendCmds(mc.id) // nil (never ready) without failover
+	add := func(tok *distToken) {
+		d := pick()
+		if fo != nil {
+			// The token is leaving this machine: clear its ownership bit
+			// before it becomes observable anywhere else.
+			fo.noteSent(mc.id, d, tok.tok.Item)
+		}
+		s.Add(d, tok.tok) // copies the vector into the batch arena
+		mc.pool.put(tok)
+	}
+	// die winds down a killed machine's sender like a crashed process:
+	// nothing pending is flushed (those tokens are exactly what failover
+	// regenerates), the outbound stream ends so the simulated courier can
+	// retire, and the worker channel keeps draining so workers blocked on
+	// a final hand-off are released.
+	die := func() {
+		link.CloseSend()   //nolint:errcheck // aborted transport: best-effort
+		for range mc.out { //nolint:revive // drain until closed
+		}
+	}
 	for {
+		if fo.machineDead(mc.id) {
+			die()
+			return
+		}
 		select {
+		case cmd := <-cmds:
+			fo.runSenderCmd(mc.id, cmd, s, pick)
 		case tok, ok := <-mc.out:
 			if !ok {
-				s.Close() //nolint:errcheck // link failure surfaces via link.Err
+				if fo.machineDead(mc.id) {
+					link.CloseSend() //nolint:errcheck
+				} else {
+					s.Close() //nolint:errcheck // link failure surfaces via link.Err
+				}
 				return
 			}
-			s.Add(pick(), tok.tok) // copies the vector into the batch arena
-			mc.pool.put(tok)
+			add(tok)
 		default:
 			// Channel dry: push out partial batches, then block.
 			s.FlushAll() //nolint:errcheck
-			tok, ok := <-mc.out
-			if !ok {
-				s.Close() //nolint:errcheck
-				return
+			select {
+			case cmd := <-cmds:
+				fo.runSenderCmd(mc.id, cmd, s, pick)
+			case tok, ok := <-mc.out:
+				if !ok {
+					if fo.machineDead(mc.id) {
+						link.CloseSend() //nolint:errcheck
+					} else {
+						s.Close() //nolint:errcheck
+					}
+					return
+				}
+				add(tok)
 			}
-			s.Add(pick(), tok.tok)
-			mc.pool.put(tok)
 		}
 	}
 }
@@ -406,18 +494,49 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 // are arena-backed: each token's vector is copied into a recycled
 // distToken and the arena is released back to the link's pool. It
 // runs until every peer has ended its stream (or the link fails).
-func runReceiver(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source) {
+func runReceiver(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, fo *failoverRuntime) {
 	scratch := make([]int, mc.workers)
-	for inb := range link.Recv() {
-		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
-		for _, t := range inb.Batch.Tokens {
-			deliverLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
-		}
-		if mc.pool != nil {
-			// The vectors were copied out above; recycle the arena. The
-			// reference wire path retains them, so there the batch must
-			// keep its backing storage (Release would corrupt it).
-			inb.Batch.Release()
+	deliver := func(t cluster.Token) {
+		deliverLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
+	}
+	cmds := fo.recvCmds(mc.id) // nil (never ready) without failover
+	recv := link.Recv()
+	for {
+		select {
+		case cmd := <-cmds:
+			fo.handleRecvCmd(mc.id, cmd, deliver)
+		case inb, ok := <-recv:
+			if !ok {
+				// A late injection racing teardown must still land.
+				fo.drainRecvCmds(mc.id, deliver)
+				return
+			}
+			if fo != nil && !fo.acceptBatch(mc.id, inb.From) {
+				// Dead self or evicted source: discard, but keep draining —
+				// a stalled receive channel wedges the transport.
+				if mc.pool != nil {
+					inb.Batch.Release()
+				}
+				continue
+			}
+			mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
+			if fo != nil {
+				// Ownership bits are set before any token can reach a
+				// worker queue (and hence the sender, which clears them).
+				fo.beforeDeliver(mc.id, inb.Batch.Tokens)
+			}
+			for _, t := range inb.Batch.Tokens {
+				deliver(t)
+			}
+			if fo != nil {
+				fo.afterDeliver(mc.id, inb.From, inb.Batch.Tokens, link)
+			}
+			if mc.pool != nil {
+				// The vectors were copied out above; recycle the arena. The
+				// reference wire path retains them, so there the batch must
+				// keep its backing storage (Release would corrupt it).
+				inb.Batch.Release()
+			}
 		}
 	}
 }

@@ -120,9 +120,17 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
 	schedule := cfg.Schedule()
-	links, err := buildLinks(ctx, ds, cfg, hooks)
+	fo := newFailoverRuntime(cfg, hooks, n)
+	links, err := buildLinks(ctx, ds, cfg, hooks, fo.detectFunc())
 	if err != nil {
 		return nil, err
+	}
+	var chaos *cluster.ChaosController
+	if cfg.Chaos != nil {
+		chaos = cluster.NewChaosController(cfg.Chaos)
+		chaos.SetSnapshotKind(ctlFoReplToks)
+		chaos.OnKill(func(victim int) { fo.killMachine(victim) })
+		links = chaos.WrapAll(links)
 	}
 	root := rng.New(cfg.Seed)
 
@@ -160,12 +168,32 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		md.CopyItemRowTo64(j, vec)
 		tok := &distToken{tok: cluster.Token{Item: int32(j), Vec: vec}}
 		mc := machines[root.Intn(M)]
+		if fo != nil {
+			fo.noteOwned(mc.id, int32(j))
+		}
 		deliverMeshLocal(mc, tok, cfg.Circulate, root, permScratch)
 	}
 
 	counter := train.NewCounterFor(cfg, p)
 	rec := train.NewRecorderFor(cfg, ds.Test, md, hooks)
 	var stop atomic.Bool
+
+	// A transport failure (TCP peer down) must end the run even though
+	// the update budget can no longer be reached.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	fo.bind(links, md, local, users, func(victim int) {
+		// Poison the gossip tables so every §3.3 least-loaded picker
+		// shuns the dead machine from its next decision on.
+		for _, mc := range machines {
+			mc.lastKnown[victim].Store(poisonedQueueLen)
+		}
+	}, &stop, cancelRun)
+	fo.startAgents()
+	if chaos != nil {
+		chaos.Arm(links[chaos.Spec().Rank])
+	}
 
 	// Compute workers. residual[mc][w] keeps each worker's unflushed
 	// out-buffers for the final collection.
@@ -178,15 +206,10 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 			go func(mc *meshMachine, w int) {
 				defer workerWG.Done()
 				residual[mc.id][w] = runDistWorkerMesh(mc, w, md, local[mc.id*W+w], schedule, cfg,
-					counter, &stop, workerRNG[mc.id*W+w])
+					counter, &stop, workerRNG[mc.id*W+w], fo)
 			}(machines[mcID], w)
 		}
 	}
-
-	// A transport failure (TCP peer down) must end the run even though
-	// the update budget can no longer be reached.
-	runCtx, cancelRun := context.WithCancel(ctx)
-	defer cancelRun()
 
 	// Sender and receiver threads, one of each per machine. Senders
 	// exit once workersDone is raised and their port row is dry.
@@ -200,13 +223,13 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		senderWG.Add(1)
 		go func(mc *meshMachine) {
 			defer senderWG.Done()
-			runMeshSender(mc, links[mc.id], cfg, senderRNG, hooks, &workersDone)
+			runMeshSender(mc, links[mc.id], cfg, senderRNG, hooks, &workersDone, fo)
 		}(machines[mcID])
 		receiverWG.Add(1)
 		go func(mc *meshMachine) {
 			defer receiverWG.Done()
-			runMeshReceiver(mc, links[mc.id], cfg, receiverRNG)
-			if links[mc.id].Err() != nil {
+			runMeshReceiver(mc, links[mc.id], cfg, receiverRNG, fo)
+			if links[mc.id].Err() != nil && !fo.machineDead(mc.id) {
 				cancelRun()
 			}
 		}(machines[mcID])
@@ -218,6 +241,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	// receivers (drain until every peer's stream has ended). The
 	// workers' exit flushes are published by workerWG.Wait, so a sender
 	// observing workersDone drains a complete port row.
+	fo.shutdown()
 	workerWG.Wait()
 	workersDone.Store(true)
 	senderWG.Wait()
@@ -225,8 +249,12 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	for _, l := range links {
 		l.Close() //nolint:errcheck // idempotent release
 	}
-	if lerr := firstLinkErr(links); lerr != nil {
+	fo.wait()
+	if lerr := fo.liveLinkErr(links); lerr != nil {
 		return nil, fmt.Errorf("core: distributed transport failed: %w", lerr)
+	}
+	if ferr := fo.failErr(); ferr != nil {
+		return nil, fmt.Errorf("core: failover failed: %w", ferr)
 	}
 	if runErr != nil && ctx.Err() == nil {
 		runErr = nil // monitor cancelled by teardown plumbing, not the caller
@@ -234,13 +262,17 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 
 	// Collect every token still held anywhere — mesh lanes, receiver
 	// overflow, worker residual buffers — and write its vector back
-	// into the model. Token conservation is the ownership invariant.
+	// into the model. Token conservation is the ownership invariant;
+	// a dead machine's holdings are skipped (regenerated on the buddy).
 	collected := 0
 	collect := func(tok *distToken) {
 		md.SetItemRowFrom64(int(tok.tok.Item), tok.tok.Vec)
 		collected++
 	}
 	for _, mc := range machines {
+		if fo.machineDead(mc.id) {
+			continue
+		}
 		for d := 0; d <= mc.workers; d++ {
 			mc.mesh.Drain(d, collect)
 			for _, tok := range mc.pending[d] {
@@ -248,7 +280,10 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 			}
 		}
 	}
-	for _, perWorker := range residual {
+	for mcID, perWorker := range residual {
+		if fo.machineDead(mcID) {
+			continue
+		}
 		for _, outs := range perWorker {
 			for _, toks := range outs {
 				for _, tok := range toks {
@@ -302,7 +337,7 @@ func deliverMeshLocal(mc *meshMachine, tok *distToken, circulate int, r *rng.Sou
 // out-buffers for the coordinator's final collection.
 func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRatings,
 	schedule sched.Schedule, cfg train.Config, counter *train.Counter,
-	stop *atomic.Bool, r *rng.Source) [][]*distToken {
+	stop *atomic.Bool, r *rng.Source, fo *failoverRuntime) [][]*distToken {
 
 	gw := mc.id*mc.workers + w // global worker id (counter shard)
 	hp := newHotPath(md, schedule, cfg)
@@ -333,7 +368,9 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 
 	var idle idleBackoff
 	var batch int64
-	for !stop.Load() {
+	var adoptSeen uint64
+	var adopted *localRatings // dead buddy's rating shard, once remapped here
+	for !stop.Load() && !fo.machineDead(mc.id) {
 		k := mc.mesh.RecvBatch(w, in[:])
 		if k == 0 {
 			moved := false
@@ -368,6 +405,21 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 				time.Sleep(time.Duration(float64(time.Since(began)) * (cfg.Straggle - 1)))
 			}
 			batch += int64(len(usersJ))
+			if fo != nil {
+				// After a failover remapped a dead machine's users here,
+				// this worker also trains the adopted shard's ratings of j.
+				if g := fo.adoptGen.Load(); g != adoptSeen {
+					adoptSeen = g
+					adopted = fo.adoptedShard(gw)
+				}
+				if adopted != nil {
+					au, av, ac := adopted.itemRatings(j)
+					if len(au) > 0 {
+						hp.itemSGDVec(j, au, av, ac, tok.tok.Vec)
+						batch += int64(len(au))
+					}
+				}
+			}
 			if batch >= 256 {
 				counter.Add(gw, batch)
 				batch = 0
@@ -402,14 +454,40 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 // On exit it ends the machine's outbound stream so peers' receivers
 // know the drain is complete.
 func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source,
-	hooks *train.Hooks, workersDone *atomic.Bool) {
+	hooks *train.Hooks, workersDone *atomic.Bool, fo *failoverRuntime) {
 
 	s := cluster.NewSender(link, cfg.BatchSize, mc.queueLen)
-	pick := machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks)
+	pick := fo.wrapPick(machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks))
+	cmds := fo.sendCmds(mc.id) // nil (never ready) without failover
 	port := mc.port()
+	add := func(tok *distToken) {
+		d := pick()
+		if fo != nil {
+			// The token is leaving this machine: clear its ownership bit
+			// before it becomes observable anywhere else.
+			fo.noteSent(mc.id, d, tok.tok.Item)
+		}
+		// Add copies the vector into the batch arena, so the token
+		// itself goes straight back to the receive-side pool.
+		s.Add(d, tok.tok)
+		mc.pool.put(tok)
+	}
 	var buf [meshBlock]*distToken
 	var idle idleBackoff
 	for {
+		if fo.machineDead(mc.id) {
+			// A killed machine's sender winds down like a crashed process:
+			// nothing pending is flushed (those tokens are exactly what
+			// failover regenerates) and the outbound stream just ends.
+			link.CloseSend() //nolint:errcheck // aborted transport: best-effort
+			return
+		}
+		select {
+		case cmd := <-cmds:
+			fo.runSenderCmd(mc.id, cmd, s, pick)
+			continue
+		default:
+		}
 		k := mc.mesh.RecvBatch(port, buf[:])
 		if k == 0 {
 			// Row dry: push out partial batches, then back off.
@@ -423,8 +501,7 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 						break
 					}
 					for i := 0; i < k; i++ {
-						s.Add(pick(), buf[i].tok)
-						mc.pool.put(buf[i])
+						add(buf[i])
 						buf[i] = nil
 					}
 				}
@@ -436,10 +513,7 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 		}
 		idle.reset()
 		for i := 0; i < k; i++ {
-			// Add copies the vector into the batch arena, so the token
-			// itself goes straight back to the receive-side pool.
-			s.Add(pick(), buf[i].tok)
-			mc.pool.put(buf[i])
+			add(buf[i])
 			buf[i] = nil
 		}
 	}
@@ -451,18 +525,49 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 // recycled distToken, then the arena is released back to the link's
 // pool. It runs until every peer has ended its stream (or the link
 // fails).
-func runMeshReceiver(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source) {
+func runMeshReceiver(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.Source, fo *failoverRuntime) {
 	scratch := make([]int, mc.workers)
-	for inb := range link.Recv() {
-		mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
-		mc.retryPending()
-		for _, t := range inb.Batch.Tokens {
-			deliverMeshLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
-		}
-		if mc.pool != nil {
-			// Copied out above; reference wire retains the vectors, so
-			// only the pooled path may recycle the arena.
-			inb.Batch.Release()
+	deliver := func(t cluster.Token) {
+		deliverMeshLocal(mc, mc.pool.fromInbound(t, cfg.K), cfg.Circulate, r, scratch)
+	}
+	cmds := fo.recvCmds(mc.id) // nil (never ready) without failover
+	recv := link.Recv()
+	for {
+		select {
+		case cmd := <-cmds:
+			fo.handleRecvCmd(mc.id, cmd, deliver)
+		case inb, ok := <-recv:
+			if !ok {
+				// A late injection racing teardown must still land.
+				fo.drainRecvCmds(mc.id, deliver)
+				return
+			}
+			if fo != nil && !fo.acceptBatch(mc.id, inb.From) {
+				// Dead self or evicted source: discard, but keep draining —
+				// a stalled receive channel wedges the transport.
+				if mc.pool != nil {
+					inb.Batch.Release()
+				}
+				continue
+			}
+			mc.lastKnown[inb.From].Store(int64(inb.Batch.QueueLen))
+			mc.retryPending()
+			if fo != nil {
+				// Ownership bits are set before any token can reach a
+				// worker lane (and hence the sender, which clears them).
+				fo.beforeDeliver(mc.id, inb.Batch.Tokens)
+			}
+			for _, t := range inb.Batch.Tokens {
+				deliver(t)
+			}
+			if fo != nil {
+				fo.afterDeliver(mc.id, inb.From, inb.Batch.Tokens, link)
+			}
+			if mc.pool != nil {
+				// Copied out above; reference wire retains the vectors, so
+				// only the pooled path may recycle the arena.
+				inb.Batch.Release()
+			}
 		}
 	}
 }

@@ -1,0 +1,1166 @@
+package core
+
+// Failover: surviving the mid-epoch death of a machine in the
+// asynchronous distributed runners. NOMAD's ownership discipline makes
+// this tractable — at any instant each item token (j, hⱼ) is owned by
+// exactly one machine — so recovering from a death is a bookkeeping
+// problem: figure out which tokens died with the machine, regenerate
+// them once, and re-home the dead machine's user rows.
+//
+// The protocol is coordinator-driven over the links' control plane
+// (frame kinds ≥ 16; the lockstep runner owns 1..6) and runs in a
+// per-machine "agent" goroutine alongside the sender/receiver pair:
+//
+//	detect     a survivor's transport notices the death (TCP read
+//	           error, heartbeat timeout, or the chaos controller
+//	           acting as netsim's failure detector)
+//	suspect    the survivor reports the victim to the arbiter — the
+//	           lowest live rank
+//	evict      the arbiter broadcasts the eviction; every survivor
+//	           stops accepting the victim's frames (receiver), drains
+//	           the victim's pending batch over live peers and parks
+//	           its sender — token circulation pauses
+//	fence      each survivor announces its cumulative per-peer send
+//	           counts; a peer's fence is satisfied when its receive
+//	           counter catches up, i.e. nothing is in flight
+//	report     with senders parked and flights drained, each survivor
+//	           snapshots its token-ownership bitmap and reports it
+//	remap      the arbiter unions the reports (a duplicate bit is a
+//	           conservation violation and aborts), computes the missing
+//	           items, and remaps them to the victim's ring buddy
+//	regen      the buddy regenerates each missing token from its
+//	           replica of the victim's state (falling back to the
+//	           model's last owner write-back), installs the victim's
+//	           replicated user rows, and its workers adopt the
+//	           victim's rating shards
+//	resume     the arbiter broadcasts resume; senders unpark and
+//	           circulation continues with M-1 machines — the epoch is
+//	           never restarted
+//
+// Exactly one failure per run is survivable; a second death during or
+// after reconfiguration aborts with a typed error. Buddy replication
+// is receiver-driven and lossy-tolerant: every machine streams the
+// tokens it delivers (and rotating chunks of its user-factor rows) to
+// its ring successor as control frames; what was updated since the
+// last replicated snapshot is lost on failure, conservation is not.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/cluster"
+	"nomad/internal/factor"
+	"nomad/internal/netlink"
+	"nomad/internal/partition"
+	"nomad/internal/train"
+)
+
+// Failover control-frame kinds. The lockstep protocol owns 1..6;
+// everything here lives at 16+ so the planes can never collide.
+const (
+	ctlFoSuspect   = uint8(16) + iota // survivor → arbiter: victim rank
+	ctlFoEvict                        // arbiter broadcast: victim rank
+	ctlFoFence                        // survivor → survivor: victim, cumulative send count
+	ctlFoReport                       // survivor → arbiter: victim, ownership bitmap
+	ctlFoRemap                        // arbiter → buddy: victim, missing item list
+	ctlFoRegenDone                    // buddy → arbiter: victim
+	ctlFoResume                       // arbiter broadcast: victim
+	ctlFoReplToks                     // replication: delivered-token snapshot (AppendTokenBatch payload)
+	ctlFoReplRows                     // replication: user-factor row chunk
+)
+
+const (
+	// foFenceTimeout bounds the quiesce wait; a fence that cannot be
+	// satisfied (e.g. a second machine died mid-protocol) aborts the run.
+	foFenceTimeout = 5 * time.Second
+	// foFencePoll is the agent's receive-counter polling cadence while
+	// fencing.
+	foFencePoll = 200 * time.Microsecond
+	// replEveryTokens is the replication snapshot cadence: one ctl frame
+	// to the ring buddy per this many delivered tokens.
+	replEveryTokens = 64
+	// replRowChunk is how many user-factor rows ride along with each
+	// token snapshot (rotating cursor over the machine's users).
+	replRowChunk = 128
+	// poisonedQueueLen makes a dead machine lose every §3.3 least-loaded
+	// comparison without disturbing the gossip table's type.
+	poisonedQueueLen = int64(1) << 60
+)
+
+// Agent phases.
+const (
+	foIdle = iota
+	foFencing
+	foAwaitResume
+)
+
+// foEvent kinds (runner/transport → agent notifications).
+const (
+	evDetect = iota // a peer died (victim, cause)
+	evFenced        // own sender redirected, flushed and parked
+)
+
+type foEvent struct {
+	kind   int
+	victim int
+	cause  string
+}
+
+// foSendCmd kinds (agent → sender goroutine).
+const (
+	sendEvict = iota
+	sendResume
+)
+
+type foSendCmd struct {
+	kind   int
+	victim int
+}
+
+// foRecvCmd kinds (agent → receiver goroutine). The command channel is
+// FIFO with respect to itself, which is the protocol's ordering
+// argument: markDead is enqueued before any later snapshot, so by the
+// time the receiver answers the snapshot it has already stopped
+// accepting the victim's frames.
+const (
+	recvMarkDead = iota
+	recvSnapshot
+	recvInject
+)
+
+type foRecvCmd struct {
+	kind   int
+	victim int
+	reply  chan []uint64   // snapshot: ownership bitmap copy
+	toks   []cluster.Token // inject: regenerated tokens (fresh vectors)
+}
+
+// replicaStore is one machine's replica of a peer's state, fed by the
+// peer's replication stream and consumed only if the peer dies.
+type replicaStore struct {
+	items map[int32][]float64 // last replicated hⱼ per item delivered there
+	users map[int32][]float64 // last replicated user-factor rows
+}
+
+// foMachine is the per-machine mailbox set.
+type foMachine struct {
+	notify  chan foEvent
+	sendCmd chan foSendCmd
+	recvCmd chan foRecvCmd
+
+	// Receiver-goroutine-owned state (no locks needed).
+	dropFrom []bool            // evicted sources
+	repl     *cluster.BatchBuf // pending replication snapshot
+	replN    int               // tokens accumulated in repl
+	rowCur   int               // rotating cursor into the machine's user list
+	rowBuf   []float64         // scratch row for CopyUserRowTo64
+}
+
+// failoverRuntime is the shared state of one failover-enabled run: the
+// ownership bitmaps, fence counters and mailboxes of every simulated
+// machine, plus the global death/recovery record. A nil receiver is
+// valid everywhere and means "failover disabled" — the runners call
+// straight through without guards on their hot paths beyond a nil
+// check and, on the data planes, one atomic op per token.
+type failoverRuntime struct {
+	M, W, K, n int
+	backendTCP bool
+
+	hooks *train.Hooks
+
+	links     []cluster.Link
+	md        *factor.Model
+	local     []*localRatings
+	userLists [][]int32 // per machine: global user ids its workers own
+
+	m []*foMachine
+
+	dead  []atomic.Bool     // machine-level death (global: shared-process detector)
+	owned [][]atomic.Uint64 // [machine][word]: token-ownership bitmaps
+	sent  [][]atomic.Int64  // [src][dst] cumulative tokens handed to the sender
+	rcvd  [][]atomic.Int64  // [dst][src] cumulative tokens delivered
+
+	paused atomic.Bool // replication paused during reconfiguration
+
+	stopping chan struct{}
+	stopOnce sync.Once
+
+	detectNanos atomic.Int64
+	victimRank  atomic.Int64 // first victim, -1 while none
+	recovered   atomic.Bool
+
+	fatal  atomic.Pointer[foFatal]
+	stop   *atomic.Bool
+	cancel func()
+	poison func(victim int) // poisons gossip tables so pickers shun the victim
+
+	adoption atomic.Pointer[foAdoption]
+	adoptGen atomic.Uint64
+
+	agentWG sync.WaitGroup
+}
+
+type foFatal struct{ err error }
+
+// foAdoption maps the victim's per-worker rating shards onto the
+// buddy's workers: buddy worker w adopts local[victim*W+w].
+type foAdoption struct{ victim, buddy int }
+
+// newFailoverRuntime allocates the runtime, or returns nil when the
+// config does not enable failover. Allocation is split from bind so
+// the detection callback can be wired into the links at build time.
+func newFailoverRuntime(cfg train.Config, hooks *train.Hooks, n int) *failoverRuntime {
+	if !cfg.Failover {
+		return nil
+	}
+	M, W := cfg.Machines, cfg.Workers
+	words := (n + 63) / 64
+	fo := &failoverRuntime{
+		M: M, W: W, K: cfg.K, n: n,
+		backendTCP: cfg.Backend == "tcp",
+		hooks:      hooks,
+		m:          make([]*foMachine, M),
+		dead:       make([]atomic.Bool, M),
+		owned:      make([][]atomic.Uint64, M),
+		sent:       make([][]atomic.Int64, M),
+		rcvd:       make([][]atomic.Int64, M),
+		stopping:   make(chan struct{}),
+	}
+	fo.victimRank.Store(-1)
+	for i := 0; i < M; i++ {
+		fo.m[i] = &foMachine{
+			notify:   make(chan foEvent, 4*M+16),
+			sendCmd:  make(chan foSendCmd, 4),
+			recvCmd:  make(chan foRecvCmd, 8),
+			dropFrom: make([]bool, M),
+			repl:     cluster.NewBatchBuf(),
+			rowBuf:   make([]float64, cfg.K),
+		}
+		fo.owned[i] = make([]atomic.Uint64, words)
+		fo.sent[i] = make([]atomic.Int64, M)
+		fo.rcvd[i] = make([]atomic.Int64, M)
+	}
+	return fo
+}
+
+// bind attaches the run's shared objects once they exist: the (possibly
+// chaos-wrapped) links, the model, the per-worker rating shards, the
+// user partition (p = M·W parts, machine i owns parts i·W..(i+1)·W-1)
+// and the teardown levers.
+func (fo *failoverRuntime) bind(links []cluster.Link, md *factor.Model, local []*localRatings,
+	users *partition.Partition, poison func(victim int), stop *atomic.Bool, cancel func()) {
+	if fo == nil {
+		return
+	}
+	fo.links, fo.md, fo.local = links, md, local
+	fo.poison, fo.stop, fo.cancel = poison, stop, cancel
+	fo.userLists = make([][]int32, fo.M)
+	for mc := 0; mc < fo.M; mc++ {
+		var list []int32
+		for w := 0; w < fo.W; w++ {
+			list = append(list, users.Part(mc*fo.W+w)...)
+		}
+		fo.userLists[mc] = list
+	}
+}
+
+// detectFunc returns the OnPeerDown sink wired into the TCP links, or
+// nil when failover is disabled.
+func (fo *failoverRuntime) detectFunc() func(self, rank int, err error) {
+	if fo == nil {
+		return nil
+	}
+	return fo.detect
+}
+
+// detect is the failure-detection entry point: transport callbacks and
+// the chaos controller land here. self is the observing machine.
+func (fo *failoverRuntime) detect(self, rank int, err error) {
+	if fo == nil || fo.dead[self].Load() {
+		return // a dying machine's own link sees every peer vanish; ignore it
+	}
+	cause := "peer down"
+	if err != nil {
+		cause = err.Error()
+	}
+	fo.noteDeath(rank, cause)
+	select {
+	case fo.m[self].notify <- foEvent{kind: evDetect, victim: rank, cause: cause}:
+	default: // mailbox full: detection is idempotent, another observer's event is queued
+	}
+}
+
+// noteDeath records a machine death exactly once: the global dead flag
+// (the in-process failure detector every picker consults), the gossip
+// poison, the detection timestamp and the PeerDown event. A second
+// distinct victim is fatal — the protocol survives one failure per run.
+func (fo *failoverRuntime) noteDeath(rank int, cause string) {
+	if !fo.dead[rank].CompareAndSwap(false, true) {
+		return
+	}
+	if !fo.victimRank.CompareAndSwap(-1, int64(rank)) {
+		fo.fail(fmt.Errorf("core: machine %d died after machine %d; only one failure per run is survivable",
+			rank, fo.victimRank.Load()))
+		return
+	}
+	fo.detectNanos.CompareAndSwap(0, time.Now().UnixNano())
+	if fo.poison != nil {
+		fo.poison(rank)
+	}
+	fo.hooks.EmitPeer(train.PeerEvent{Rank: rank, Reason: cause})
+}
+
+// killMachine is the chaos controller's kill function: machine victim
+// dies in-process. Its workers, sender and receiver observe the dead
+// flag and wind down like a crashed process would (workers stop, the
+// sender drops its pending batch and stops transmitting, the receiver
+// discards); on TCP the victim's link is additionally severed so the
+// survivors' transports see a real failure. The direct notifications
+// double as netsim's failure detector — the simulated network has no
+// failure semantics of its own.
+func (fo *failoverRuntime) killMachine(victim int) {
+	if fo == nil {
+		return
+	}
+	fo.noteDeath(victim, "chaos kill")
+	if fo.backendTCP && fo.links != nil {
+		if a, ok := fo.links[victim].(interface{ Abort() }); ok {
+			a.Abort()
+		}
+	}
+	for s := 0; s < fo.M; s++ {
+		if s == victim || fo.dead[s].Load() {
+			continue
+		}
+		select {
+		case fo.m[s].notify <- foEvent{kind: evDetect, victim: victim, cause: "chaos kill"}:
+		default:
+		}
+	}
+}
+
+// machineDead reports whether machine i has died this run.
+func (fo *failoverRuntime) machineDead(i int) bool { return fo != nil && fo.dead[i].Load() }
+
+// wrapPick makes a destination picker failover-aware: dead machines
+// are re-drawn (the gossip poison makes the least-loaded picker avoid
+// them on its own; the uniform picker needs the retry).
+func (fo *failoverRuntime) wrapPick(pick func() int) func() int {
+	if fo == nil {
+		return pick
+	}
+	return func() int {
+		for {
+			if d := pick(); !fo.dead[d].Load() {
+				return d
+			}
+		}
+	}
+}
+
+// sendCmds returns machine i's sender mailbox (nil channel — never
+// ready — without failover).
+func (fo *failoverRuntime) sendCmds(i int) chan foSendCmd {
+	if fo == nil {
+		return nil
+	}
+	return fo.m[i].sendCmd
+}
+
+// recvCmds returns machine i's receiver mailbox (nil without failover).
+func (fo *failoverRuntime) recvCmds(i int) chan foRecvCmd {
+	if fo == nil {
+		return nil
+	}
+	return fo.m[i].recvCmd
+}
+
+// noteOwned sets item's ownership bit for machine i: called at initial
+// placement, on every delivery (before the token enters the worker
+// queues, so it can never be re-sent while unset) and on injection.
+//
+//nomad:noalloc
+func (fo *failoverRuntime) noteOwned(i int, item int32) {
+	fo.owned[i][item>>6].Or(1 << uint(item&63))
+}
+
+// noteSent records a token handed to machine i's sender toward dst:
+// the ownership bit clears (the token is leaving; if it never arrives
+// anywhere it is "missing" and the protocol regenerates it) and the
+// per-destination fence counter advances.
+//
+//nomad:noalloc
+func (fo *failoverRuntime) noteSent(i, dst int, item int32) {
+	fo.owned[i][item>>6].And(^(uint64(1) << uint(item&63)))
+	fo.sent[i][dst].Add(1)
+}
+
+// acceptBatch reports whether machine i's receiver should deliver a
+// batch from src: a dead machine discards everything (it must keep
+// draining — the netsim courier stalls network-wide otherwise), and
+// survivors drop frames from evicted peers.
+func (fo *failoverRuntime) acceptBatch(i, src int) bool {
+	if fo == nil {
+		return true
+	}
+	if fo.dead[i].Load() {
+		return false
+	}
+	return !fo.m[i].dropFrom[src]
+}
+
+// beforeDeliver sets the ownership bits of an accepted batch. This
+// runs before the tokens enter the worker queues: a token must never
+// be observable by the sender (which clears bits) before its bit is
+// set, or a snapshot could double- or zero-count it.
+func (fo *failoverRuntime) beforeDeliver(i int, toks []cluster.Token) {
+	for x := range toks {
+		fo.noteOwned(i, toks[x].Item)
+	}
+}
+
+// afterDeliver completes a delivery's accounting: the fence counter
+// (strictly after the bits, so a satisfied fence implies the bits are
+// visible) and the replication stream to the ring buddy.
+func (fo *failoverRuntime) afterDeliver(i, src int, toks []cluster.Token, link cluster.Link) {
+	fo.rcvd[i][src].Add(int64(len(toks)))
+	m := fo.m[i]
+	for x := range toks {
+		m.repl.Add(toks[x].Item, toks[x].Vec)
+	}
+	m.replN += len(toks)
+	if m.replN < replEveryTokens || fo.paused.Load() || fo.isStopping() {
+		return
+	}
+	fo.flushReplication(i, link)
+}
+
+// flushReplication streams the pending delta snapshot — delivered
+// tokens plus a rotating chunk of user-factor rows — to the machine's
+// ring buddy. Replication is lossy-tolerant: a failed or dropped
+// frame only widens the window of updates lost if this machine dies.
+func (fo *failoverRuntime) flushReplication(i int, link cluster.Link) {
+	m := fo.m[i]
+	buddy := fo.buddyOf(i)
+	if buddy < 0 {
+		m.repl.Reset()
+		m.replN = 0
+		return
+	}
+	payload, err := netlink.AppendTokenBatch(nil, m.repl.Batch(0), fo.K)
+	if err == nil {
+		link.SendCtl(buddy, ctlFoReplToks, payload) //nolint:errcheck // lossy-tolerant plane
+	}
+	m.repl.Reset()
+	m.replN = 0
+
+	users := fo.userLists[i]
+	if len(users) == 0 {
+		return
+	}
+	count := replRowChunk
+	if count > len(users) {
+		count = len(users)
+	}
+	rows := make([]byte, 4+count*(4+8*fo.K))
+	binary.LittleEndian.PutUint32(rows, uint32(count))
+	pos := 4
+	for c := 0; c < count; c++ {
+		u := users[m.rowCur]
+		m.rowCur++
+		if m.rowCur == len(users) {
+			m.rowCur = 0
+		}
+		binary.LittleEndian.PutUint32(rows[pos:], uint32(u))
+		pos += 4
+		// The row is being written by this machine's own workers; the
+		// torn-read risk is the same one the unlocked monitor sampling
+		// accepts, and a torn replica row only costs replication fidelity.
+		fo.md.CopyUserRowTo64(int(u), m.rowBuf) //nomad:racy-read replication snapshot of live rows
+		for _, v := range m.rowBuf {
+			binary.LittleEndian.PutUint64(rows[pos:], math.Float64bits(v))
+			pos += 8
+		}
+	}
+	link.SendCtl(buddy, ctlFoReplRows, rows) //nolint:errcheck // lossy-tolerant plane
+}
+
+// handleRecvCmd executes an agent command on the receiver goroutine.
+// deliver is the runner's delivery closure (shared with the normal
+// inbound path so injection uses the same visit planning).
+func (fo *failoverRuntime) handleRecvCmd(i int, cmd foRecvCmd, deliver func(cluster.Token)) {
+	switch cmd.kind {
+	case recvMarkDead:
+		fo.m[i].dropFrom[cmd.victim] = true
+	case recvSnapshot:
+		bm := make([]uint64, len(fo.owned[i]))
+		for w := range bm {
+			bm[w] = fo.owned[i][w].Load()
+		}
+		cmd.reply <- bm
+	case recvInject:
+		for _, t := range cmd.toks {
+			fo.noteOwned(i, t.Item)
+			deliver(t)
+		}
+	}
+}
+
+// drainRecvCmds runs any still-queued commands before a receiver
+// returns, so a late injection racing teardown is not lost.
+func (fo *failoverRuntime) drainRecvCmds(i int, deliver func(cluster.Token)) {
+	if fo == nil {
+		return
+	}
+	for {
+		select {
+		case cmd := <-fo.m[i].recvCmd:
+			fo.handleRecvCmd(i, cmd, deliver)
+		default:
+			return
+		}
+	}
+}
+
+// runSenderCmd executes a failover command on the sender goroutine.
+// An eviction redirects the victim's pending batch over the survivors,
+// flushes everything (making the fence counters final), acknowledges
+// to the local agent and parks until resume — this machine's share of
+// token circulation pauses, which is what lets the snapshot see a
+// quiescent network.
+func (fo *failoverRuntime) runSenderCmd(i int, cmd foSendCmd, s *cluster.Sender, pick func() int) {
+	if cmd.kind != sendEvict {
+		return // stray resume from an abandoned protocol
+	}
+	counting := func() int {
+		d := pick()
+		fo.sent[i][d].Add(1)
+		return d
+	}
+	s.Redirect(cmd.victim, counting)
+	s.FlushAll() //nolint:errcheck // a real failure surfaces via link.Err
+	select {
+	case fo.m[i].notify <- foEvent{kind: evFenced}:
+	case <-fo.stopping:
+		return
+	}
+	for {
+		select {
+		case c := <-fo.m[i].sendCmd:
+			if c.kind == sendResume {
+				return
+			}
+		case <-fo.stopping:
+			return
+		}
+	}
+}
+
+// adoptedShard returns the victim rating shard global worker gw has
+// adopted, or nil. Workers re-check only when adoptGen moves.
+func (fo *failoverRuntime) adoptedShard(gw int) *localRatings {
+	a := fo.adoption.Load()
+	if a == nil || gw/fo.W != a.buddy {
+		return nil
+	}
+	return fo.local[a.victim*fo.W+gw%fo.W]
+}
+
+// buddyOf returns i's ring successor among the live machines, or -1.
+func (fo *failoverRuntime) buddyOf(i int) int {
+	for d := 1; d < fo.M; d++ {
+		if c := (i + d) % fo.M; !fo.dead[c].Load() {
+			return c
+		}
+	}
+	return -1
+}
+
+// arbiter is the reconfiguration coordinator: the lowest live rank.
+func (fo *failoverRuntime) arbiter() int {
+	for r := 0; r < fo.M; r++ {
+		if !fo.dead[r].Load() {
+			return r
+		}
+	}
+	return 0
+}
+
+// noteRecovered records the completed failover (once) and emits the
+// recovery event with the detection→resume latency.
+func (fo *failoverRuntime) noteRecovered(victim int) {
+	if !fo.recovered.CompareAndSwap(false, true) {
+		return
+	}
+	d := time.Duration(time.Now().UnixNano() - fo.detectNanos.Load())
+	fo.hooks.EmitPeerRecovered(train.PeerRecoveredEvent{Rank: victim, Recovery: d.Seconds()})
+}
+
+// fail aborts the run with a failover-level error: stop the workers,
+// cancel the monitor and release everything parked on the protocol.
+func (fo *failoverRuntime) fail(err error) {
+	if fo == nil {
+		return
+	}
+	if !fo.fatal.CompareAndSwap(nil, &foFatal{err: err}) {
+		return
+	}
+	if fo.stop != nil {
+		fo.stop.Store(true)
+	}
+	if fo.cancel != nil {
+		fo.cancel()
+	}
+	fo.shutdown()
+}
+
+// shutdown releases the protocol's blocking points for teardown:
+// parked senders unpark, agents abandon any half-finished
+// reconfiguration (they keep draining their ctl channels so the
+// transports never stall). Idempotent; the runners call it as soon as
+// the monitor returns.
+func (fo *failoverRuntime) shutdown() {
+	if fo == nil {
+		return
+	}
+	fo.stopOnce.Do(func() { close(fo.stopping) })
+}
+
+// isStopping reports whether shutdown has begun.
+func (fo *failoverRuntime) isStopping() bool {
+	select {
+	case <-fo.stopping:
+		return true
+	default:
+		return false
+	}
+}
+
+// wait joins the agent goroutines; called after the links are closed
+// (closing the ctl channels is what lets the agents return).
+func (fo *failoverRuntime) wait() {
+	if fo == nil {
+		return
+	}
+	fo.agentWG.Wait()
+}
+
+// liveLinkErr is firstLinkErr restricted to live machines: a killed
+// victim's endpoint legitimately reports a failure.
+func (fo *failoverRuntime) liveLinkErr(links []cluster.Link) error {
+	if fo == nil {
+		return firstLinkErr(links)
+	}
+	for i, l := range links {
+		if fo.dead[i].Load() {
+			continue
+		}
+		if err := l.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failErr is the run's failover verdict, checked at teardown: a fatal
+// protocol error, or a death the protocol did not finish recovering
+// from before the run ended.
+func (fo *failoverRuntime) failErr() error {
+	if fo == nil {
+		return nil
+	}
+	if f := fo.fatal.Load(); f != nil {
+		return f.err
+	}
+	if v := int(fo.victimRank.Load()); v >= 0 && !fo.recovered.Load() {
+		return &cluster.PeerDownError{Rank: v, Cause: fmt.Errorf("run ended before failover completed")}
+	}
+	return nil
+}
+
+// startAgents launches one protocol agent per machine.
+func (fo *failoverRuntime) startAgents() {
+	if fo == nil {
+		return
+	}
+	for i := 0; i < fo.M; i++ {
+		fo.agentWG.Add(1)
+		go fo.runAgent(i)
+	}
+}
+
+// foAgent is one machine's protocol state machine, driven by its ctl
+// channel and notify mailbox. All fields are agent-goroutine-owned.
+type foAgent struct {
+	fo   *failoverRuntime
+	i    int
+	link cluster.Link
+
+	phase       int
+	victim      int
+	senderAcked bool
+	fenceStart  time.Time
+	suspected   map[int]bool
+	done        map[int]bool
+	fences      map[int]int64    // live peer → announced cumulative send count
+	reports     map[int][]uint64 // arbiter: live machine → ownership bitmap
+	replicas    map[int]*replicaStore
+}
+
+func (fo *failoverRuntime) runAgent(i int) {
+	defer fo.agentWG.Done()
+	a := &foAgent{
+		fo: fo, i: i, link: fo.links[i],
+		victim:    -1,
+		suspected: map[int]bool{},
+		done:      map[int]bool{},
+		fences:    map[int]int64{},
+		reports:   map[int][]uint64{},
+		replicas:  map[int]*replicaStore{},
+	}
+	notify := fo.m[i].notify
+	ctl := a.link.Ctl()
+	var tick *time.Ticker
+	var tickC <-chan time.Time
+	stopTick := func() {
+		if tick != nil {
+			tick.Stop()
+			tick, tickC = nil, nil
+		}
+	}
+	defer stopTick()
+	for {
+		select {
+		case ev := <-notify:
+			a.handleEvent(ev)
+		case ct, ok := <-ctl:
+			if !ok {
+				return
+			}
+			a.handleCtl(ct)
+		case <-tickC:
+			a.checkFences()
+		case <-fo.stopping:
+			// Abandon the protocol but keep the ctl channel draining: a
+			// blocked channel would wedge the transport (the netsim
+			// courier and the TCP readers both block on it) and deadlock
+			// the teardown this shutdown is part of.
+			for range ctl { //nolint:revive // drain until closed
+			}
+			return
+		}
+		if a.phase == foFencing && tickC == nil {
+			tick = time.NewTicker(foFencePoll)
+			tickC = tick.C
+		} else if a.phase != foFencing {
+			stopTick()
+		}
+	}
+}
+
+func (a *foAgent) handleEvent(ev foEvent) {
+	fo := a.fo
+	if fo.dead[a.i].Load() {
+		return
+	}
+	switch ev.kind {
+	case evDetect:
+		v := ev.victim
+		if a.done[v] || a.suspected[v] {
+			return
+		}
+		if a.phase != foIdle && v != a.victim {
+			fo.fail(fmt.Errorf("core: machine %d died while reconfiguring for machine %d", v, a.victim))
+			return
+		}
+		a.suspected[v] = true
+		if arb := fo.arbiter(); arb == a.i {
+			a.onSuspect(v)
+		} else {
+			a.link.SendCtl(arb, ctlFoSuspect, foEncodeVictim(v)) //nolint:errcheck // loss → fence timeout → typed abort
+		}
+	case evFenced:
+		if a.phase != foFencing {
+			return
+		}
+		a.senderAcked = true
+		// The sender is parked and flushed: the per-peer counts are
+		// final. Announce them so every survivor can quiesce.
+		for p := 0; p < fo.M; p++ {
+			if p == a.i || fo.dead[p].Load() {
+				continue
+			}
+			a.link.SendCtl(p, ctlFoFence, foEncodeFence(a.victim, fo.sent[a.i][p].Load())) //nolint:errcheck
+		}
+		a.checkFences()
+	}
+}
+
+func (a *foAgent) handleCtl(ct cluster.Ctl) {
+	fo := a.fo
+	if fo.dead[a.i].Load() {
+		return // dead machine: drain and ignore
+	}
+	switch ct.Kind {
+	case ctlFoSuspect:
+		if v, ok := foDecodeVictim(ct.Payload); ok && a.i == fo.arbiter() {
+			a.onSuspect(v)
+		}
+	case ctlFoEvict:
+		if v, ok := foDecodeVictim(ct.Payload); ok {
+			a.onEvict(v, "evicted by arbiter")
+		}
+	case ctlFoFence:
+		if _, count, ok := foDecodeFence(ct.Payload); ok {
+			a.fences[ct.From] = count
+			a.checkFences()
+		}
+	case ctlFoReport:
+		if _, bm, ok := foDecodeReport(ct.Payload); ok {
+			a.onReport(ct.From, bm)
+		}
+	case ctlFoRemap:
+		if v, items, ok := foDecodeRemap(ct.Payload); ok && v == a.victim {
+			a.onRemap(items)
+		}
+	case ctlFoRegenDone:
+		if _, ok := foDecodeVictim(ct.Payload); ok && a.i == fo.arbiter() {
+			a.onRegenDone()
+		}
+	case ctlFoResume:
+		a.onResume()
+	case ctlFoReplToks:
+		if b, err := netlink.DecodeTokenBatch(ct.Payload, fo.K); err == nil {
+			rs := a.replica(ct.From)
+			for _, t := range b.Tokens {
+				rs.items[t.Item] = t.Vec // freshly allocated by the decode
+			}
+		}
+	case ctlFoReplRows:
+		a.storeReplRows(ct.From, ct.Payload)
+	}
+}
+
+// onSuspect (arbiter only): broadcast the eviction and enter it locally.
+func (a *foAgent) onSuspect(v int) {
+	if a.done[v] || a.phase != foIdle {
+		if a.phase != foIdle && v != a.victim {
+			a.fo.fail(fmt.Errorf("core: machine %d suspected while reconfiguring for machine %d", v, a.victim))
+		}
+		return
+	}
+	a.link.SendCtl(-1, ctlFoEvict, foEncodeVictim(v)) //nolint:errcheck // dead peers are skipped/harmless
+	a.onEvict(v, "evicted by arbiter")
+}
+
+// onEvict starts this machine's reconfiguration: receiver stops
+// accepting the victim, sender redirects + parks, fencing begins.
+func (a *foAgent) onEvict(v int, cause string) {
+	fo := a.fo
+	if a.done[v] || a.phase != foIdle {
+		if a.phase != foIdle && v != a.victim {
+			fo.fail(fmt.Errorf("core: machine %d evicted while reconfiguring for machine %d", v, a.victim))
+		}
+		return
+	}
+	fo.noteDeath(v, cause) // machines that never detected locally learn here
+	a.victim, a.phase, a.fenceStart = v, foFencing, time.Now()
+	a.senderAcked = false
+	fo.paused.Store(true)
+	if !a.sendRecvCmd(foRecvCmd{kind: recvMarkDead, victim: v}) {
+		return
+	}
+	a.sendSendCmd(foSendCmd{kind: sendEvict, victim: v})
+}
+
+// checkFences advances from fencing to reporting once the network is
+// quiescent from this machine's point of view: its own sender is
+// parked, and every live peer's announced send count has been matched
+// by the local receive counter (nothing in flight toward us).
+func (a *foAgent) checkFences() {
+	fo := a.fo
+	if a.phase != foFencing {
+		return
+	}
+	complete := a.senderAcked
+	if complete {
+		for p := 0; p < fo.M; p++ {
+			if p == a.i || fo.dead[p].Load() {
+				continue
+			}
+			c, ok := a.fences[p]
+			if !ok || fo.rcvd[a.i][p].Load() < c {
+				complete = false
+				break
+			}
+		}
+	}
+	if !complete {
+		if time.Since(a.fenceStart) > foFenceTimeout {
+			fo.fail(fmt.Errorf("core: failover fence timed out after %v on machine %d", foFenceTimeout, a.i))
+		}
+		return
+	}
+	// Quiesced: the ownership bitmap is stable. Snapshot it through the
+	// receiver (FIFO after markDead) and report to the arbiter.
+	reply := make(chan []uint64, 1)
+	if !a.sendRecvCmd(foRecvCmd{kind: recvSnapshot, reply: reply}) {
+		return
+	}
+	var bm []uint64
+	select {
+	case bm = <-reply:
+	case <-fo.stopping:
+		return
+	}
+	a.phase = foAwaitResume
+	if arb := fo.arbiter(); arb == a.i {
+		a.onReport(a.i, bm)
+	} else {
+		a.link.SendCtl(arb, ctlFoReport, foEncodeReport(a.victim, bm)) //nolint:errcheck
+	}
+}
+
+// onReport (arbiter only): once every live machine has reported, union
+// the bitmaps — a duplicate is a conservation violation — and remap
+// the missing items to the victim's buddy.
+func (a *foAgent) onReport(from int, bm []uint64) {
+	fo := a.fo
+	a.reports[from] = bm
+	live := 0
+	for r := 0; r < fo.M; r++ {
+		if !fo.dead[r].Load() {
+			live++
+		}
+	}
+	if len(a.reports) < live {
+		return
+	}
+	words := (fo.n + 63) / 64
+	union := make([]uint64, words)
+	for _, rep := range a.reports {
+		for w := 0; w < words && w < len(rep); w++ {
+			if union[w]&rep[w] != 0 {
+				fo.fail(fmt.Errorf("core: failover conservation broken: an item token is owned by two machines"))
+				return
+			}
+			union[w] |= rep[w]
+		}
+	}
+	missing := make([]int32, 0, 64)
+	for j := 0; j < fo.n; j++ {
+		if union[j>>6]&(1<<uint(j&63)) == 0 {
+			missing = append(missing, int32(j))
+		}
+	}
+	buddy := fo.buddyOf(a.victim)
+	if buddy < 0 {
+		fo.fail(fmt.Errorf("core: no live buddy for dead machine %d", a.victim))
+		return
+	}
+	if buddy == a.i {
+		a.onRemap(missing)
+	} else {
+		a.link.SendCtl(buddy, ctlFoRemap, foEncodeRemap(a.victim, missing)) //nolint:errcheck
+	}
+}
+
+// onRemap (buddy only): regenerate the missing tokens — replica first,
+// model row (the victim's last owner write-back) as fallback — install
+// the victim's replicated user rows, adopt its rating shards, report
+// regeneration done.
+func (a *foAgent) onRemap(missing []int32) {
+	fo := a.fo
+	rs := a.replicas[a.victim]
+	toks := make([]cluster.Token, 0, len(missing))
+	for _, j := range missing {
+		var vec []float64
+		if rs != nil {
+			if rv, ok := rs.items[j]; ok {
+				vec = make([]float64, len(rv))
+				copy(vec, rv)
+			}
+		}
+		if vec == nil {
+			vec = make([]float64, fo.K)
+			fo.md.CopyItemRowTo64(int(j), vec)
+		}
+		toks = append(toks, cluster.Token{Item: j, Vec: vec})
+	}
+	if rs != nil {
+		// The victim's workers are dead and its shards not yet adopted:
+		// nobody else writes these rows, so the install is race-free.
+		for u, row := range rs.users {
+			fo.md.SetUserRowFrom64(int(u), row)
+		}
+	}
+	if len(toks) > 0 {
+		if !a.sendRecvCmd(foRecvCmd{kind: recvInject, toks: toks}) {
+			return
+		}
+	}
+	// Publish the adoption: buddy worker w takes over the victim's
+	// worker-w rating shard. The atomic gen is the workers' cheap
+	// "anything changed?" check.
+	fo.adoption.Store(&foAdoption{victim: a.victim, buddy: a.i})
+	fo.adoptGen.Add(1)
+	if arb := fo.arbiter(); arb == a.i {
+		a.onRegenDone()
+	} else {
+		a.link.SendCtl(arb, ctlFoRegenDone, foEncodeVictim(a.victim)) //nolint:errcheck
+	}
+}
+
+// onRegenDone (arbiter only): the cluster state is whole again —
+// record the recovery and broadcast resume.
+func (a *foAgent) onRegenDone() {
+	if a.phase == foIdle {
+		return
+	}
+	a.fo.noteRecovered(a.victim)
+	a.link.SendCtl(-1, ctlFoResume, foEncodeVictim(a.victim)) //nolint:errcheck
+	a.onResume()
+}
+
+// onResume unparks the local sender and re-enables replication.
+func (a *foAgent) onResume() {
+	if a.phase == foIdle {
+		return
+	}
+	a.done[a.victim] = true
+	a.phase = foIdle
+	a.fo.paused.Store(false)
+	a.sendSendCmd(foSendCmd{kind: sendResume})
+}
+
+func (a *foAgent) sendRecvCmd(cmd foRecvCmd) bool {
+	select {
+	case a.fo.m[a.i].recvCmd <- cmd:
+		return true
+	case <-a.fo.stopping:
+		return false
+	}
+}
+
+func (a *foAgent) sendSendCmd(cmd foSendCmd) bool {
+	select {
+	case a.fo.m[a.i].sendCmd <- cmd:
+		return true
+	case <-a.fo.stopping:
+		return false
+	}
+}
+
+func (a *foAgent) replica(from int) *replicaStore {
+	rs := a.replicas[from]
+	if rs == nil {
+		rs = &replicaStore{items: map[int32][]float64{}, users: map[int32][]float64{}}
+		a.replicas[from] = rs
+	}
+	return rs
+}
+
+// storeReplRows decodes a ctlFoReplRows chunk into the sender's replica.
+func (a *foAgent) storeReplRows(from int, payload []byte) {
+	if len(payload) < 4 {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	per := 4 + 8*a.fo.K
+	if count < 0 || len(payload)-4 != count*per {
+		return
+	}
+	rs := a.replica(from)
+	pos := 4
+	for c := 0; c < count; c++ {
+		u := int32(binary.LittleEndian.Uint32(payload[pos:]))
+		pos += 4
+		row := rs.users[u]
+		if row == nil {
+			row = make([]float64, a.fo.K)
+			rs.users[u] = row
+		}
+		for x := range row {
+			row[x] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+			pos += 8
+		}
+	}
+}
+
+// ---- frame codecs ----
+
+func foEncodeVictim(v int) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	return b
+}
+
+func foDecodeVictim(p []byte) (int, bool) {
+	if len(p) < 4 {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint32(p)), true
+}
+
+func foEncodeFence(v int, count int64) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	binary.LittleEndian.PutUint64(b[4:], uint64(count))
+	return b
+}
+
+func foDecodeFence(p []byte) (int, int64, bool) {
+	if len(p) < 12 {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(p)), int64(binary.LittleEndian.Uint64(p[4:])), true
+}
+
+func foEncodeReport(v int, bm []uint64) []byte {
+	b := make([]byte, 4+8*len(bm))
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	for w, x := range bm {
+		binary.LittleEndian.PutUint64(b[4+8*w:], x)
+	}
+	return b
+}
+
+func foDecodeReport(p []byte) (int, []uint64, bool) {
+	if len(p) < 4 || (len(p)-4)%8 != 0 {
+		return 0, nil, false
+	}
+	bm := make([]uint64, (len(p)-4)/8)
+	for w := range bm {
+		bm[w] = binary.LittleEndian.Uint64(p[4+8*w:])
+	}
+	return int(binary.LittleEndian.Uint32(p)), bm, true
+}
+
+func foEncodeRemap(v int, items []int32) []byte {
+	b := make([]byte, 8+4*len(items))
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(items)))
+	for x, j := range items {
+		binary.LittleEndian.PutUint32(b[8+4*x:], uint32(j))
+	}
+	return b
+}
+
+func foDecodeRemap(p []byte) (int, []int32, bool) {
+	if len(p) < 8 {
+		return 0, nil, false
+	}
+	count := int(binary.LittleEndian.Uint32(p[4:]))
+	if count < 0 || len(p)-8 != 4*count {
+		return 0, nil, false
+	}
+	items := make([]int32, count)
+	for x := range items {
+		items[x] = int32(binary.LittleEndian.Uint32(p[8+4*x:]))
+	}
+	return int(binary.LittleEndian.Uint32(p)), items, true
+}

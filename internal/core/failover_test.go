@@ -1,0 +1,195 @@
+package core
+
+// The failover matrix: a 4-machine asynchronous run survives the
+// chaos-injected death of machine 2 — on both link backends and both
+// token transports, at several protocol points — and still converges,
+// conserving all n item tokens through the remap.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"nomad/internal/cluster"
+	"nomad/internal/queue"
+	"nomad/internal/train"
+)
+
+// failoverConfig is the shared 4-machine failover-enabled run.
+func failoverConfig(backend string, kind queue.Kind) train.Config {
+	cfg := baseConfig()
+	cfg.Machines, cfg.Workers = 4, 2
+	cfg.Backend = backend
+	cfg.QueueKind = kind
+	cfg.Failover = true
+	return cfg
+}
+
+// runFailover trains with the given chaos spec, capturing the typed
+// peer events, and requires the run to finish without error (token
+// conservation is checked inside the runner's teardown and would
+// surface here).
+func runFailover(t *testing.T, cfg train.Config, chaos string) (*train.Result, []train.PeerEvent, []train.PeerRecoveredEvent) {
+	t.Helper()
+	if chaos != "" {
+		spec, err := cluster.ParseChaos(chaos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Chaos = spec
+	}
+	var downs []train.PeerEvent
+	var recovs []train.PeerRecoveredEvent
+	hooks := &train.Hooks{
+		Peer:          func(e train.PeerEvent) { downs = append(downs, e) },
+		PeerRecovered: func(e train.PeerRecoveredEvent) { recovs = append(recovs, e) },
+	}
+	res, err := New().Train(context.Background(), testData(t), cfg, hooks)
+	if err != nil {
+		t.Fatalf("failover run failed: %v", err)
+	}
+	return res, downs, recovs
+}
+
+// requireRecovered asserts the typed event sequence of one survived
+// failure of the given rank: PeerDown then PeerRecovered, with a
+// plausible recovery latency.
+func requireRecovered(t *testing.T, downs []train.PeerEvent, recovs []train.PeerRecoveredEvent, victim int) {
+	t.Helper()
+	if len(downs) == 0 {
+		t.Fatal("no PeerEvent emitted for the killed machine")
+	}
+	for _, e := range downs {
+		if e.Rank != victim {
+			t.Fatalf("PeerEvent blames rank %d, killed %d", e.Rank, victim)
+		}
+	}
+	if len(recovs) != 1 {
+		t.Fatalf("want exactly one PeerRecoveredEvent, got %d", len(recovs))
+	}
+	if recovs[0].Rank != victim {
+		t.Fatalf("PeerRecoveredEvent names rank %d, killed %d", recovs[0].Rank, victim)
+	}
+	if recovs[0].Recovery <= 0 || recovs[0].Recovery > 30 {
+		t.Fatalf("implausible recovery latency %v s", recovs[0].Recovery)
+	}
+}
+
+// TestFailoverChaosMatrix kills machine 2 mid-epoch on every
+// (backend × transport) combination and requires the survivors to
+// reconfigure, conserve all tokens and converge to within 1e-2 of the
+// undisturbed run's final RMSE.
+func TestFailoverChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failover matrix")
+	}
+	// The undisturbed reference: same dataset, seed and budget, no
+	// failure. Async runs are nondeterministic, but both settle onto the
+	// same noise floor.
+	base, _, _ := runFailover(t, failoverConfig("sim", queue.KindSPSC), "")
+	baseline := base.Trace.Final().RMSE
+	for _, backend := range []string{"sim", "tcp"} {
+		for _, kind := range []queue.Kind{queue.KindSPSC, queue.KindMutex} {
+			t.Run(fmt.Sprintf("%s_%s", backend, kind), func(t *testing.T) {
+				res, downs, recovs := runFailover(t, failoverConfig(backend, kind), "kill:rank=2,at=mid-epoch")
+				requireRecovered(t, downs, recovs, 2)
+				requireConverged(t, res)
+				if d := math.Abs(res.Trace.Final().RMSE - baseline); d > 1e-2 {
+					t.Errorf("final RMSE %.4f drifted %.4f from undisturbed %.4f (> 1e-2)",
+						res.Trace.Final().RMSE, d, baseline)
+				}
+			})
+		}
+	}
+}
+
+// TestFailoverKillPoints kills machine 2 at the remaining injection
+// points — rendezvous (before any circulation) and snapshot (mid
+// replication stream) — on both backends.
+func TestFailoverKillPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failover runs")
+	}
+	for _, backend := range []string{"sim", "tcp"} {
+		for _, at := range []string{"rendezvous", "snapshot"} {
+			t.Run(backend+"_"+at, func(t *testing.T) {
+				res, downs, recovs := runFailover(t, failoverConfig(backend, queue.KindSPSC),
+					"kill:rank=2,at="+at)
+				requireRecovered(t, downs, recovs, 2)
+				requireConverged(t, res)
+			})
+		}
+	}
+}
+
+// TestFailoverPartitionHeals: a partition (stalled victim) is not a
+// death — the victim must come back and the run must finish with no
+// failover at all.
+func TestFailoverPartitionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failover run")
+	}
+	res, _, recovs := runFailover(t, failoverConfig("sim", queue.KindSPSC),
+		"partition:rank=1,at=mid-epoch,window=50ms")
+	if len(recovs) != 0 {
+		t.Fatalf("a healed partition triggered %d failovers", len(recovs))
+	}
+	requireConverged(t, res)
+}
+
+// TestFailoverDropsReplication: lossy replication (dropped snapshots)
+// must not break a subsequent kill-failover — regeneration falls back
+// to the model's last owner write-back for unreplicated rows.
+func TestFailoverDropsReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failover run")
+	}
+	res, downs, recovs := runFailover(t, failoverConfig("sim", queue.KindSPSC),
+		"drop:rank=2,at=snapshot,p=1.0")
+	// Dropping frames alone kills nobody.
+	_ = res
+	if len(downs) != 0 || len(recovs) != 0 {
+		t.Fatalf("drop chaos caused peer events: %d down, %d recovered", len(downs), len(recovs))
+	}
+	requireConverged(t, res)
+}
+
+// TestFailoverConfigValidation: the modes failover cannot compose with
+// are rejected up front.
+func TestFailoverConfigValidation(t *testing.T) {
+	ds := testData(t)
+	twoMachines := failoverConfig("sim", queue.KindSPSC)
+	twoMachines.Machines = 2
+	if _, err := twoMachines.Normalize(ds); err == nil {
+		t.Error("failover with 2 machines accepted")
+	}
+	lockstep := failoverConfig("sim", queue.KindSPSC)
+	lockstep.Lockstep = true
+	if _, err := lockstep.Normalize(ds); err == nil {
+		t.Error("failover with lockstep accepted")
+	}
+	badRank := failoverConfig("sim", queue.KindSPSC)
+	spec, err := cluster.ParseChaos("kill:rank=9,at=mid-epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badRank.Chaos = spec
+	if _, err := badRank.Normalize(ds); err == nil {
+		t.Error("chaos rank out of range accepted")
+	}
+	implied, err := cluster.ParseChaos("kill:rank=1,at=mid-epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	killNoFo := baseConfig()
+	killNoFo.Machines, killNoFo.Workers = 4, 2
+	killNoFo.Chaos = implied
+	norm, err := killNoFo.Normalize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm.Failover {
+		t.Error("kill chaos did not imply failover")
+	}
+}

@@ -35,26 +35,37 @@ func configDigest(ds *dataset.Dataset, cfg train.Config) uint64 {
 }
 
 // netlinkOptions builds the TCP link options for a run, wiring peer
-// failures into the typed event stream.
-func netlinkOptions(cfg train.Config, hooks *train.Hooks) netlink.Options {
-	return netlink.Options{
-		K: cfg.K,
-		OnPeerDown: func(rank int, err error) {
-			hooks.EmitPeer(train.PeerEvent{Rank: rank, Reason: err.Error()})
-		},
+// failures into the typed event stream. onPeerDown, when non-nil,
+// overrides the default whole-run reporting — the failover runtime
+// installs its detection entry point there and enables per-peer
+// eviction on the links.
+func netlinkOptions(cfg train.Config, hooks *train.Hooks, onPeerDown func(self, rank int, err error)) netlink.Options {
+	opts := netlink.Options{
+		K:                 cfg.K,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		Failover:          cfg.Failover,
+		OnPeerDown:        onPeerDown,
 	}
+	if opts.OnPeerDown == nil {
+		opts.OnPeerDown = func(self, rank int, err error) {
+			hooks.EmitPeer(train.PeerEvent{Rank: rank, Reason: err.Error()})
+		}
+	}
+	return opts
 }
 
 // buildLinks returns one Link per machine for a single-process
 // distributed run: netsim endpoints for the sim backend, or a real TCP
 // loopback mesh (full rendezvous, wire protocol and failure detection
-// on 127.0.0.1) for the tcp backend.
-func buildLinks(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) ([]cluster.Link, error) {
+// on 127.0.0.1) for the tcp backend. onPeerDown is the failover
+// detection sink (nil without failover).
+func buildLinks(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks, onPeerDown func(self, rank int, err error)) ([]cluster.Link, error) {
 	switch cfg.Backend {
 	case "", "sim":
 		return cluster.NewSimCluster(cfg.Machines, cfg.Profile, cfg.K).Links(), nil
 	case "tcp":
-		return netlink.Loopback(ctx, cfg.Machines, configDigest(ds, cfg), nil, nil, netlinkOptions(cfg, hooks))
+		return netlink.Loopback(ctx, cfg.Machines, configDigest(ds, cfg), nil, nil, netlinkOptions(cfg, hooks, onPeerDown))
 	}
 	return nil, fmt.Errorf("core: unknown distributed backend %q (sim, tcp)", cfg.Backend)
 }

@@ -345,7 +345,7 @@ func trainLockstep(ctx context.Context, ds *dataset.Dataset, cfg train.Config, h
 		// latency has nothing to verify in a determinism harness.
 		linkCfg.Profile = netsim.Instant()
 	}
-	links, err := buildLinks(ctx, ds, linkCfg, hooks)
+	links, err := buildLinks(ctx, ds, linkCfg, hooks, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +390,7 @@ func trainLockstep(ctx context.Context, ds *dataset.Dataset, cfg train.Config, h
 // them then run the same lockstepMachine.
 func trainMultiProcess(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
 	digest := configDigest(ds, cfg)
-	opts := netlinkOptions(cfg, hooks)
+	opts := netlinkOptions(cfg, hooks, nil)
 	if cfg.Role == "coordinator" {
 		owner := lockstepOwner(cfg.Seed, ds.Cols(), cfg.Machines)
 		coord, err := netlink.NewCoordinator(cfg.Listen, cfg.Machines, digest, owner, cfg.Resume, opts)

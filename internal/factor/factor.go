@@ -277,6 +277,35 @@ func (md *Model) SetItemRowFrom64(j int, src []float64) {
 	copy(md.ItemRow(j), src)
 }
 
+// CopyUserRowTo64 widens user i's row into dst (length K), whatever
+// the model's precision. The replication plane ships user rows as
+// float64 regardless of model precision, mirroring the token wire
+// format.
+func (md *Model) CopyUserRowTo64(i int, dst []float64) {
+	if md.prec == Float32 {
+		row := md.UserRow32(i)
+		for l, v := range row {
+			dst[l] = float64(v)
+		}
+		return
+	}
+	copy(dst, md.UserRow(i))
+}
+
+// SetUserRowFrom64 narrows src (length K) into user i's row, whatever
+// the model's precision — the receiving half of CopyUserRowTo64, used
+// when a buddy re-materializes a dead machine's user rows.
+func (md *Model) SetUserRowFrom64(i int, src []float64) {
+	if md.prec == Float32 {
+		row := md.UserRow32(i)
+		for l, v := range src {
+			row[l] = float32(v)
+		}
+		return
+	}
+	copy(md.UserRow(i), src)
+}
+
 const modelMagic uint32 = 0x4e4d444d // "NMDM"
 
 // binHeader is the on-disk model header. Prec occupies what was a

@@ -1,6 +1,7 @@
 package netlink
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -24,10 +25,22 @@ type Options struct {
 	HeartbeatTimeout time.Duration
 	// RendezvousTimeout bounds the whole handshake (default 60s).
 	RendezvousTimeout time.Duration
-	// OnPeerDown, when non-nil, is invoked (once per link failure, from
-	// a link-internal goroutine) when a peer's connection breaks without
-	// an orderly end-of-stream or its heartbeats time out.
-	OnPeerDown func(rank int, err error)
+	// BarrierTimeout bounds every Barrier call: a member that waits
+	// longer fails fast with a *cluster.PeerDownError blaming the
+	// missing participant instead of hanging until the silent-peer
+	// timeout (default 30s; 0 keeps the default, negative disables).
+	BarrierTimeout time.Duration
+	// Failover keeps the link alive when a peer dies: the dead peer is
+	// evicted (sends toward it return a per-peer
+	// *cluster.PeerDownError, its stream is treated as ended) while
+	// traffic among survivors continues and Err stays nil. Without it
+	// the first peer failure fails the whole link.
+	Failover bool
+	// OnPeerDown, when non-nil, is invoked (once per dead peer, from a
+	// link-internal goroutine) when a peer's connection breaks without
+	// an orderly end-of-stream or its heartbeats time out. self is the
+	// observing endpoint's rank, rank the dead peer's.
+	OnPeerDown func(self, rank int, err error)
 }
 
 func (o Options) heartbeatInterval() time.Duration {
@@ -51,6 +64,13 @@ func (o Options) rendezvousTimeout() time.Duration {
 	return o.RendezvousTimeout
 }
 
+func (o Options) barrierTimeout() time.Duration {
+	if o.BarrierTimeout == 0 {
+		return 30 * time.Second
+	}
+	return o.BarrierTimeout
+}
+
 // peer is one established connection of the mesh.
 type peer struct {
 	rank     int
@@ -59,20 +79,27 @@ type peer struct {
 	wbuf     []byte       // reusable frame-encode buffer: one flush is one syscall
 	lastRecv atomic.Int64 // unix nanos of the last frame from this peer
 	lastSend atomic.Int64 // unix nanos of the last frame written to this peer
-	eof      atomic.Bool  // FrameEOF received: stream ended in order
+	eof      atomic.Bool  // stream ended: FrameEOF received, or peer evicted
+	dead     atomic.Bool  // failover: peer failed and was evicted from the mesh
 }
 
 // TCP is a full-mesh cluster.Link over TCP connections, one per peer.
 // Frames within a connection are FIFO, so per-peer ordering holds
-// across the token and control planes. Failure of any peer fails the
-// whole link: NOMAD's token conservation cannot survive losing a
-// machine that holds item tokens, so the run is aborted with a typed
-// *cluster.PeerDownError rather than silently diverging.
+// across the token and control planes. By default failure of any peer
+// fails the whole link: NOMAD's token conservation cannot survive
+// losing a machine that holds item tokens, so the run is aborted with
+// a typed *cluster.PeerDownError rather than silently diverging. With
+// Options.Failover the dead peer is instead evicted from the mesh —
+// its stream is treated as ended, sends toward it return a per-peer
+// *cluster.PeerDownError, Err stays nil — and the failover protocol
+// in internal/core restores conservation by regenerating the tokens
+// that died with it.
 type TCP struct {
 	rank     int
 	machines int
 	opts     Options
-	refwire  bool // NOMAD_REFERENCE_WIRE: legacy allocating codec paths
+	refwire  bool            // NOMAD_REFERENCE_WIRE: legacy allocating codec paths
+	ctx      context.Context // rendezvous context: cancellation fails barriers fast
 
 	peers []*peer // indexed by rank; self is nil
 
@@ -83,17 +110,18 @@ type TCP struct {
 	sendClosed atomic.Bool
 	failErr    atomic.Pointer[cluster.PeerDownError]
 	eofLeft    atomic.Int32
-	chanOnce   sync.Once // closes recv+ctl
-	downOnce   sync.Once // closes down + conns
-	failOnce   sync.Once // peer-down reporting
+	deadPeers  atomic.Int32 // failover: peers evicted so far
+	chanOnce   sync.Once    // closes recv+ctl
+	downOnce   sync.Once    // closes down + conns
+	failOnce   sync.Once    // peer-down reporting
 
 	// Coordinator-mediated barrier state (rank 0 collects arrivals and
 	// releases; see Barrier). gen counts this endpoint's Barrier calls.
 	bmu      sync.Mutex
 	bcond    *sync.Cond
 	gen      uint32
-	arrivals map[uint32]int  // rank 0: arrivals per generation (self included)
-	released map[uint32]bool // others: releases seen
+	arrivals map[uint32]map[int]bool // rank 0: arrived ranks per generation (self included)
+	released map[uint32]bool         // others: releases seen
 
 	wg        sync.WaitGroup
 	bytesSent atomic.Int64
@@ -103,18 +131,23 @@ type TCP struct {
 var _ cluster.Link = (*TCP)(nil)
 
 // newTCP wires an established mesh into a running link: one reader
-// goroutine per peer plus the heartbeat monitor.
-func newTCP(rank, machines int, conns map[int]net.Conn, opts Options) *TCP {
+// goroutine per peer plus the heartbeat monitor. ctx is the
+// rendezvous context; its cancellation fails in-flight barriers fast.
+func newTCP(ctx context.Context, rank, machines int, conns map[int]net.Conn, opts Options) *TCP {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	l := &TCP{
 		rank:     rank,
 		machines: machines,
 		opts:     opts,
 		refwire:  cluster.ReferenceWire(),
+		ctx:      ctx,
 		peers:    make([]*peer, machines),
 		recv:     make(chan cluster.Inbound, 4*machines),
 		ctl:      make(chan cluster.Ctl, 16*machines),
 		down:     make(chan struct{}),
-		arrivals: make(map[uint32]int),
+		arrivals: make(map[uint32]map[int]bool),
 		released: make(map[uint32]bool),
 	}
 	l.bcond = sync.NewCond(&l.bmu)
@@ -206,14 +239,16 @@ func (l *TCP) Send(dst int, batch cluster.TokenBatch) error {
 	if p == nil {
 		return fmt.Errorf("netlink: send to self (machine %d)", dst)
 	}
+	if p.dead.Load() {
+		return &cluster.PeerDownError{Rank: dst, Cause: errPeerEvicted}
+	}
 	if l.refwire {
 		payload, err := AppendTokenBatch(make([]byte, 0, batchWireSize(len(batch.Tokens), l.opts.K)), batch, l.opts.K)
 		if err != nil {
 			return err
 		}
 		if err := l.writeFrame(p, FrameTokens, payload); err != nil {
-			l.peerDown(p, fmt.Errorf("write: %w", err))
-			return l.Err()
+			return l.sendFailed(p, err)
 		}
 		return nil
 	}
@@ -230,12 +265,29 @@ func (l *TCP) Send(dst int, batch cluster.TokenBatch) error {
 	}
 	p.wmu.Unlock()
 	if werr != nil {
-		l.peerDown(p, fmt.Errorf("write: %w", werr))
-		return l.Err()
+		return l.sendFailed(p, werr)
 	}
 	l.bytesSent.Add(int64(len(buf)))
 	l.msgsSent.Add(1)
 	return nil
+}
+
+// errPeerEvicted is the cause carried by sends toward a peer that
+// failover already evicted.
+var errPeerEvicted = fmt.Errorf("netlink: peer evicted after failure")
+
+// sendFailed reports a write failure toward p: the peer goes down, and
+// the caller gets the link error (whole-link mode) or a per-peer
+// *cluster.PeerDownError (failover mode, where Err stays nil).
+func (l *TCP) sendFailed(p *peer, werr error) error {
+	l.peerDown(p, fmt.Errorf("write: %w", werr))
+	if err := l.Err(); err != nil {
+		return err
+	}
+	if l.isDown() {
+		return cluster.ErrLinkClosed
+	}
+	return &cluster.PeerDownError{Rank: p.rank, Cause: werr}
 }
 
 // Recv implements cluster.Link.
@@ -254,12 +306,15 @@ func (l *TCP) SendCtl(dst int, kind uint8, payload []byte) error {
 	framed = append(framed, payload...)
 	if dst == -1 {
 		for _, p := range l.peers {
-			if p == nil {
-				continue
+			if p == nil || p.dead.Load() {
+				continue // an evicted peer never truncates the broadcast
 			}
 			if err := l.writeFrame(p, FrameCtl, framed); err != nil {
-				l.peerDown(p, fmt.Errorf("write: %w", err))
-				return l.Err()
+				if serr := l.sendFailed(p, err); l.Err() != nil || l.isDown() {
+					return serr
+				}
+				// Failover: this peer just died, the rest of the
+				// broadcast still goes out.
 			}
 		}
 		return nil
@@ -268,9 +323,11 @@ func (l *TCP) SendCtl(dst int, kind uint8, payload []byte) error {
 	if p == nil {
 		return fmt.Errorf("netlink: ctl to self (machine %d)", dst)
 	}
+	if p.dead.Load() {
+		return &cluster.PeerDownError{Rank: dst, Cause: errPeerEvicted}
+	}
 	if err := l.writeFrame(p, FrameCtl, framed); err != nil {
-		l.peerDown(p, fmt.Errorf("write: %w", err))
-		return l.Err()
+		return l.sendFailed(p, err)
 	}
 	return nil
 }
@@ -285,7 +342,7 @@ func (l *TCP) CloseSend() error {
 		return nil
 	}
 	for _, p := range l.peers {
-		if p == nil {
+		if p == nil || p.dead.Load() {
 			continue
 		}
 		// Best effort: a peer that is already gone has either failed the
@@ -356,16 +413,41 @@ func (l *TCP) closeChannels() {
 	})
 }
 
-// peerDown fails the link: record the typed error, report it, and tear
-// every connection down so all blocked I/O unwinds. Surviving peers
-// get an orderly EOF first, so they attribute the cluster failure to
-// the machine that actually died, not to this endpoint's teardown.
+// peerDown handles a failed peer. In failover mode the peer is
+// evicted: its connection closes, its stream counts as ended (so the
+// orderly all-EOF teardown still completes), sends toward it return
+// per-peer errors, and the link — Err() included — stays up for the
+// survivors. Otherwise the whole link fails: record the typed error,
+// report it, and tear every connection down so all blocked I/O
+// unwinds. Surviving peers get an orderly EOF first, so they
+// attribute the cluster failure to the machine that actually died,
+// not to this endpoint's teardown.
 func (l *TCP) peerDown(p *peer, cause error) {
+	if l.opts.Failover && !l.isDown() {
+		if !p.dead.CompareAndSwap(false, true) {
+			return // already evicted
+		}
+		l.deadPeers.Add(1)
+		err := &cluster.PeerDownError{Rank: p.rank, Cause: cause}
+		if l.opts.OnPeerDown != nil {
+			l.opts.OnPeerDown(l.rank, p.rank, err)
+		}
+		p.conn.Close()
+		if p.eof.CompareAndSwap(false, true) {
+			if l.eofLeft.Add(-1) == 0 {
+				l.closeChannels()
+			}
+		}
+		// Barrier waiters re-evaluate: the quorum shrank, or their
+		// coordinator died.
+		l.broadcastBarrier()
+		return
+	}
 	l.failOnce.Do(func() {
 		err := &cluster.PeerDownError{Rank: p.rank, Cause: cause}
 		l.failErr.Store(err)
 		if l.opts.OnPeerDown != nil {
-			l.opts.OnPeerDown(p.rank, err)
+			l.opts.OnPeerDown(l.rank, p.rank, err)
 		}
 		l.sendClosed.Store(true)
 		for _, q := range l.peers {
@@ -383,6 +465,12 @@ func (l *TCP) peerDown(p *peer, cause error) {
 		})
 		l.broadcastBarrier()
 	})
+}
+
+// peerDead reports whether failover evicted the given rank.
+func (l *TCP) peerDead(rank int) bool {
+	p := l.peers[rank]
+	return p != nil && p.dead.Load()
 }
 
 // reader drains one peer's connection, dispatching frames onto the
@@ -453,18 +541,21 @@ func (l *TCP) reader(p *peer) {
 				return
 			}
 		case FrameEOF:
-			p.eof.Store(true)
-			if l.eofLeft.Add(-1) == 0 {
-				// Every peer has ended its stream in order; nothing can
-				// be in flight behind a per-connection FIFO, so the
-				// inbound channels are complete.
-				l.closeChannels()
+			// CAS: a failover eviction may already have counted this
+			// peer's stream as ended.
+			if p.eof.CompareAndSwap(false, true) {
+				if l.eofLeft.Add(-1) == 0 {
+					// Every peer has ended its stream in order; nothing can
+					// be in flight behind a per-connection FIFO, so the
+					// inbound channels are complete.
+					l.closeChannels()
+				}
 			}
 		case FrameHeartbeat:
 			// lastRecv update above is the whole point.
 		case FrameBarrierReq:
 			l.bmu.Lock()
-			l.arrivals[barrierGen(f.Payload)]++
+			l.arriveLocked(barrierGen(f.Payload), p.rank)
 			l.bcond.Broadcast()
 			l.bmu.Unlock()
 		case FrameBarrierRel:
@@ -501,18 +592,23 @@ func (l *TCP) heartbeat() {
 		now := time.Now().UnixNano()
 		for _, p := range l.peers {
 			if p == nil || p.eof.Load() {
-				continue // drained peers owe us nothing further
+				continue // drained (or evicted) peers owe us nothing further
 			}
 			if timeout > 0 && now-p.lastRecv.Load() > int64(timeout) {
 				l.peerDown(p, fmt.Errorf("no frames for %s", timeout))
-				return
+				if l.Err() != nil || l.isDown() {
+					return
+				}
+				continue // failover: keep watching the survivors
 			}
 			if !l.refwire && now-p.lastSend.Load() < int64(interval) {
 				continue // a recent data frame already carried our liveness
 			}
 			if err := l.writeFrame(p, FrameHeartbeat, nil); err != nil && !p.eof.Load() && !l.isDown() {
 				l.peerDown(p, fmt.Errorf("heartbeat write: %w", err))
-				return
+				if l.Err() != nil || l.isDown() {
+					return
+				}
 			}
 		}
 	}
@@ -530,20 +626,99 @@ func barrierPayload(gen uint32) []byte {
 	return []byte{byte(gen), byte(gen >> 8), byte(gen >> 16), byte(gen >> 24)}
 }
 
+// arriveLocked records one barrier arrival. Callers hold bmu.
+func (l *TCP) arriveLocked(gen uint32, rank int) {
+	set := l.arrivals[gen]
+	if set == nil {
+		set = make(map[int]bool)
+		l.arrivals[gen] = set
+	}
+	set[rank] = true
+}
+
+// barrierQuorum is how many arrivals rank 0 needs: every machine that
+// failover has not evicted.
+func (l *TCP) barrierQuorum() int {
+	return l.machines - int(l.deadPeers.Load())
+}
+
+// blame picks the rank a stuck barrier is attributed to: rank 0
+// blames the lowest live member that has not arrived; members blame
+// the coordinator they are waiting on.
+func (l *TCP) blame(gen uint32) int {
+	if l.rank != 0 {
+		return 0
+	}
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	arrived := l.arrivals[gen]
+	for r, p := range l.peers {
+		if p == nil || p.dead.Load() || arrived[r] {
+			continue
+		}
+		return r
+	}
+	return 0 // everyone arrived or died between the timeout and now
+}
+
+// barrierWatchdog bounds one Barrier call: if the configured timeout
+// elapses or the rendezvous context is canceled before the barrier
+// completes, the blamed peer is taken down — failing the whole link
+// (default mode) or evicting the peer and shrinking the quorum
+// (failover) — so waiters unblock with a typed error instead of
+// hanging until the silent-peer timeout. The returned stop func must
+// run when the barrier completes.
+func (l *TCP) barrierWatchdog(gen uint32) func() {
+	timeout := l.opts.barrierTimeout()
+	if timeout <= 0 && l.ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		var timerC <-chan time.Time
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			timerC = t.C
+		}
+		var cause error
+		select {
+		case <-done:
+			return
+		case <-l.down:
+			return
+		case <-timerC:
+			cause = fmt.Errorf("barrier %d timed out after %s", gen, timeout)
+		case <-l.ctx.Done():
+			cause = fmt.Errorf("barrier %d canceled: %w", gen, context.Cause(l.ctx))
+		}
+		if p := l.peers[l.blame(gen)]; p != nil {
+			l.peerDown(p, cause)
+		}
+	}()
+	return func() { close(done) }
+}
+
 // Barrier implements cluster.Link: rank 0 collects one arrival per
 // member (its own included) for the current generation, then releases
 // everyone. Each endpoint must call Barrier the same number of times;
-// concurrent calls on one endpoint are not supported.
+// concurrent calls on one endpoint are not supported. A member that
+// failover has evicted is not waited for; a barrier that outlives
+// Options.BarrierTimeout or the rendezvous context fails fast with a
+// *cluster.PeerDownError blaming the missing participant.
 func (l *TCP) Barrier() error {
 	l.bmu.Lock()
 	gen := l.gen
 	l.gen++
 	l.bmu.Unlock()
 
+	stop := l.barrierWatchdog(gen)
+	defer stop()
+
 	if l.rank == 0 {
 		l.bmu.Lock()
-		l.arrivals[gen]++ // self
-		for l.arrivals[gen] < l.machines && l.Err() == nil && !l.isDown() {
+		l.arriveLocked(gen, 0) // self
+		for len(l.arrivals[gen]) < l.barrierQuorum() && l.Err() == nil && !l.isDown() {
 			l.bcond.Wait()
 		}
 		delete(l.arrivals, gen)
@@ -555,31 +730,37 @@ func (l *TCP) Barrier() error {
 			return cluster.ErrLinkClosed
 		}
 		for _, p := range l.peers {
-			if p == nil {
+			if p == nil || p.dead.Load() {
 				continue
 			}
 			if err := l.writeFrame(p, FrameBarrierRel, barrierPayload(gen)); err != nil {
-				l.peerDown(p, fmt.Errorf("barrier release: %w", err))
-				return l.Err()
+				if serr := l.sendFailed(p, fmt.Errorf("barrier release: %w", err)); l.Err() != nil || l.isDown() {
+					return serr
+				}
+				// Failover: the member died after arriving; the release
+				// it will never read is not owed to anyone else.
 			}
 		}
 		return nil
 	}
 
 	if err := l.writeFrame(l.peers[0], FrameBarrierReq, barrierPayload(gen)); err != nil {
-		l.peerDown(l.peers[0], fmt.Errorf("barrier arrive: %w", err))
-		return l.Err()
+		return l.sendFailed(l.peers[0], fmt.Errorf("barrier arrive: %w", err))
 	}
 	l.bmu.Lock()
-	for !l.released[gen] && l.Err() == nil && !l.isDown() {
+	for !l.released[gen] && l.Err() == nil && !l.isDown() && !l.peerDead(0) {
 		l.bcond.Wait()
 	}
+	released := l.released[gen]
 	delete(l.released, gen)
 	l.bmu.Unlock()
 	if err := l.Err(); err != nil {
 		return err
 	}
-	if l.isDown() {
+	if !released && l.peerDead(0) {
+		return &cluster.PeerDownError{Rank: 0, Cause: fmt.Errorf("barrier coordinator died")}
+	}
+	if !released && l.isDown() {
 		return cluster.ErrLinkClosed
 	}
 	return nil

@@ -149,7 +149,7 @@ func TestLoopbackPeerDeathDetected(t *testing.T) {
 	downRank.Store(-1)
 	links := testLoopback(t, 3, Options{
 		K: 1,
-		OnPeerDown: func(rank int, err error) {
+		OnPeerDown: func(self, rank int, err error) {
 			downRank.Store(int32(rank))
 		},
 	})
@@ -219,7 +219,7 @@ func TestLoopbackHeartbeatTimeout(t *testing.T) {
 		K:                 1,
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatTimeout:  200 * time.Millisecond,
-		OnPeerDown:        func(rank int, err error) { fired.Store(true) },
+		OnPeerDown:        func(self, rank int, err error) { fired.Store(true) },
 	})
 	if err != nil {
 		t.Fatalf("Join: %v", err)

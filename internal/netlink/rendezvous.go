@@ -37,6 +37,31 @@ import (
 // digest differs from the coordinator's.
 var ErrConfigMismatch = errors.New("netlink: handshake config digest mismatch")
 
+// Dial backoff schedule: 10ms doubling to a 1s cap.
+const (
+	dialBackoffBase = 10 * time.Millisecond
+	dialBackoffCap  = time.Second
+)
+
+// dialBackoff returns the wait before dial attempt+1: capped
+// exponential growth from dialBackoffBase, with up to 50% added
+// jitter derived from seed so concurrent workers desynchronize.
+func dialBackoff(attempt int, seed int64) time.Duration {
+	d := dialBackoffBase
+	for i := 0; i < attempt && d < dialBackoffCap; i++ {
+		d *= 2
+	}
+	if d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	// splitmix64 step: cheap, stateless jitter from the seed.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
+}
+
 // RejectedError is returned by Join when the coordinator refuses the
 // handshake with a FrameError.
 type RejectedError struct{ Reason string }
@@ -166,7 +191,7 @@ func (c *Coordinator) Run(ctx context.Context) (*TCP, error) {
 	for _, conn := range conns {
 		conn.SetDeadline(time.Time{}) //nolint:errcheck
 	}
-	return newTCP(0, c.machines, conns, c.opts), nil
+	return newTCP(ctx, 0, c.machines, conns, c.opts), nil
 }
 
 // welcomePayload encodes the Welcome for one worker.
@@ -327,10 +352,12 @@ func Join(ctx context.Context, join, listen string, configSum uint64, opts Optio
 
 	// The coordinator may come up after its workers (CI launches all
 	// processes at once), so dialling retries until the rendezvous
-	// deadline.
+	// deadline with capped exponential backoff plus jitter — fast when
+	// the coordinator appears quickly, and no thundering herd of
+	// synchronized redials when many workers race a slow one.
 	d := net.Dialer{Deadline: deadline}
 	var coord net.Conn
-	for {
+	for attempt := 0; ; attempt++ {
 		var derr error
 		coord, derr = d.DialContext(ctx, "tcp", join)
 		if derr == nil {
@@ -339,7 +366,11 @@ func Join(ctx context.Context, join, listen string, configSum uint64, opts Optio
 		if ctx.Err() != nil || time.Now().After(deadline) {
 			return nil, nil, fmt.Errorf("netlink: dial coordinator %s: %w", join, derr)
 		}
-		time.Sleep(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("netlink: dial coordinator %s: %w", join, context.Cause(ctx))
+		case <-time.After(dialBackoff(attempt, time.Now().UnixNano())):
+		}
 	}
 	conns := map[int]net.Conn{0: coord}
 	fail := func(err error) (*TCP, *Handshake, error) {
@@ -432,7 +463,7 @@ func Join(ctx context.Context, join, listen string, configSum uint64, opts Optio
 	for _, conn := range conns {
 		conn.SetDeadline(time.Time{}) //nolint:errcheck
 	}
-	return newTCP(rank, machines, conns, opts), &Handshake{Owner: owner, State: st}, nil
+	return newTCP(ctx, rank, machines, conns, opts), &Handshake{Owner: owner, State: st}, nil
 }
 
 // Loopback builds a whole cluster of real TCP links inside one

@@ -44,11 +44,22 @@ type NetworkEvent struct {
 
 // PeerEvent reports a cluster peer failure on the real-network
 // backend: machine Rank stopped responding (connection broke without
-// an orderly end-of-stream, or heartbeats timed out). The run aborts
-// with a typed error after emitting it.
+// an orderly end-of-stream, or heartbeats timed out). Without
+// failover the run aborts with a typed error after emitting it; with
+// failover a PeerRecoveredEvent follows once the survivors have
+// re-assigned the dead machine's state and resumed.
 type PeerEvent struct {
 	Rank   int
 	Reason string
+}
+
+// PeerRecoveredEvent reports a completed failover: dead machine
+// Rank's item tokens were regenerated on its buddy, its user rows
+// adopted, and token circulation resumed among the survivors. Recovery
+// is the detection→resume latency in seconds.
+type PeerRecoveredEvent struct {
+	Rank     int
+	Recovery float64
 }
 
 // Hooks carries the event callbacks a training run reports through.
@@ -58,17 +69,26 @@ type PeerEvent struct {
 // machine's sender) and must not block: a stalled subscriber would
 // stall training.
 type Hooks struct {
-	Trace   func(TraceEvent)
-	Epoch   func(EpochEvent)
-	Balance func(BalanceEvent)
-	Network func(NetworkEvent)
-	Peer    func(PeerEvent)
+	Trace         func(TraceEvent)
+	Epoch         func(EpochEvent)
+	Balance       func(BalanceEvent)
+	Network       func(NetworkEvent)
+	Peer          func(PeerEvent)
+	PeerRecovered func(PeerRecoveredEvent)
 }
 
 // EmitPeer reports a peer failure; safe on a nil receiver.
 func (h *Hooks) EmitPeer(e PeerEvent) {
 	if h != nil && h.Peer != nil {
 		h.Peer(e)
+	}
+}
+
+// EmitPeerRecovered reports a completed failover; safe on a nil
+// receiver.
+func (h *Hooks) EmitPeerRecovered(e PeerRecoveredEvent) {
+	if h != nil && h.PeerRecovered != nil {
+		h.PeerRecovered(e)
 	}
 }
 

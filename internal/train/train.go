@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nomad/internal/cluster"
 	"nomad/internal/dataset"
 	"nomad/internal/factor"
 	"nomad/internal/loss"
@@ -116,6 +117,25 @@ type Config struct {
 	// multi-core scaling experiments. Best-effort elsewhere (the thread
 	// is still locked, but affinity is left to the scheduler).
 	PinWorkers bool
+
+	// Failover lets a multi-machine asynchronous run survive the death
+	// of a machine: survivors evict it, regenerate the item tokens it
+	// held from its buddy's replicated snapshot, adopt its user rows,
+	// and resume the epoch (DESIGN.md §11). Only the asynchronous
+	// runners support it; lockstep and multi-process runs reject it.
+	Failover bool
+
+	// Chaos injects one deterministic fault into the run (kill,
+	// partition, delay or drop a machine at a named protocol point) —
+	// the failure half of the failover test matrix. Kill and partition
+	// imply Failover.
+	Chaos *cluster.ChaosSpec
+
+	// HeartbeatInterval and HeartbeatTimeout tune the tcp backend's
+	// liveness probes and silent-peer detection (defaults 500ms / 10s;
+	// zero keeps the default, negative timeout disables detection).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 
 	Seed uint64
 }
@@ -223,6 +243,25 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 		if c.Backend == "tcp" {
 			return c, fmt.Errorf("train: the tcp backend needs at least 2 machines, got %d", c.Machines)
 		}
+	}
+	if c.Chaos != nil && (c.Chaos.Op == cluster.OpKill || c.Chaos.Op == cluster.OpPartition) {
+		// A killed (or long-partitioned) machine takes tokens with it;
+		// only a failover run can restore conservation and finish.
+		c.Failover = true
+	}
+	if c.Failover {
+		if c.Lockstep || c.Role != "" {
+			return c, fmt.Errorf("train: failover is only supported by the asynchronous single-process runners (not lockstep or multi-process)")
+		}
+		if c.Machines < 3 {
+			// Two survivors minimum: the arbiter and the buddy must
+			// outlive the victim, and a lone survivor has no peer to
+			// circulate tokens with.
+			return c, fmt.Errorf("train: failover needs at least 3 machines, got %d", c.Machines)
+		}
+	}
+	if c.Chaos != nil && (c.Chaos.Rank < 0 || c.Chaos.Rank >= c.Machines) {
+		return c, fmt.Errorf("train: chaos victim rank %d out of range for %d machines", c.Chaos.Rank, c.Machines)
 	}
 	return c, nil
 }

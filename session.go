@@ -96,6 +96,10 @@ type settings struct {
 	epochs       *int
 	maxDuration  *time.Duration
 	maxUpdates   *int64
+	failover     bool
+	chaos        string
+	hbInterval   *time.Duration
+	hbTimeout    *time.Duration
 }
 
 // Option configures a Session at construction. Options are applied in
@@ -340,6 +344,50 @@ func WithStraggler(factor float64) Option {
 	}
 }
 
+// WithFailover lets a multi-machine asynchronous run survive the death
+// of one worker machine: survivors detect the failure, pause token
+// circulation, re-assign the dead machine's item tokens and user rows
+// to its ring buddy (re-materialized from the buddy's replica of the
+// dead machine's state), and resume mid-epoch without restarting. The
+// run emits a PeerDownEvent at detection and a PeerRecoveredEvent once
+// circulation has resumed. Requires at least 3 machines and the
+// asynchronous distributed runners (not lockstep or multi-process
+// roles).
+func WithFailover() Option {
+	return func(st *settings) error { st.failover = true; return nil }
+}
+
+// WithHeartbeat tunes the tcp backend's failure detector: interval
+// between heartbeat frames and the silent-peer timeout after which a
+// peer is declared dead. Zero keeps a parameter's default (1s / 5s).
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(st *settings) error {
+		if interval < 0 || timeout < 0 {
+			return fmt.Errorf("nomad: heartbeat interval and timeout must be non-negative")
+		}
+		if interval > 0 && timeout > 0 && timeout <= interval {
+			return fmt.Errorf("nomad: heartbeat timeout %v must exceed the interval %v", timeout, interval)
+		}
+		st.hbInterval, st.hbTimeout = &interval, &timeout
+		return nil
+	}
+}
+
+// WithChaos injects one deterministic, seeded fault into the run for
+// resilience testing — the same injection points the failover test
+// matrix uses. The spec reads op:rank=N,at=point[,after=N,p=F,
+// window=D,seed=N], e.g. "kill:rank=2,at=mid-epoch". Kill and
+// partition faults imply WithFailover.
+func WithChaos(spec string) Option {
+	return func(st *settings) error {
+		if _, err := cluster.ParseChaos(spec); err != nil {
+			return fmt.Errorf("nomad: %w", err)
+		}
+		st.chaos = spec
+		return nil
+	}
+}
+
 // WithSeed fixes the run's random seed. Default 1.
 func WithSeed(seed uint64) Option {
 	return func(st *settings) error { st.seed = &seed; return nil }
@@ -505,6 +553,20 @@ func (st *settings) trainConfig() (train.Config, error) {
 	if st.maxUpdates != nil {
 		cfg.MaxUpdates = *st.maxUpdates
 	}
+	cfg.Failover = st.failover
+	if st.chaos != "" {
+		spec, err := cluster.ParseChaos(st.chaos)
+		if err != nil {
+			return cfg, fmt.Errorf("nomad: %w", err)
+		}
+		cfg.Chaos = spec
+	}
+	if st.hbInterval != nil {
+		cfg.HeartbeatInterval = *st.hbInterval
+	}
+	if st.hbTimeout != nil {
+		cfg.HeartbeatTimeout = *st.hbTimeout
+	}
 	return cfg, nil
 }
 
@@ -618,6 +680,9 @@ func (s *Session) hooks() *train.Hooks {
 		},
 		Peer: func(e train.PeerEvent) {
 			s.publish(PeerDownEvent{Rank: e.Rank, Reason: e.Reason})
+		},
+		PeerRecovered: func(e train.PeerRecoveredEvent) {
+			s.publish(PeerRecoveredEvent{Rank: e.Rank, RecoverySeconds: e.Recovery})
 		},
 	}
 }
