@@ -75,9 +75,10 @@ type distPoint struct {
 	MessagesSent int64   `json:"messages_sent"`
 	FinalRMSE    float64 `json:"final_rmse"`
 	Updates      int64   `json:"updates"`
-	// RecoveryMs is the failover detection→resume latency of the
-	// best-throughput rep, present only on -chaos runs that killed a
-	// machine.
+	// RecoveryMs is the median failover detection→resume latency
+	// across the measured reps (accumulated in a benchenv.Histogram,
+	// the same latency machinery nomad-loadgen reports with), present
+	// only on -chaos runs that killed a machine.
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`
 }
 
@@ -129,6 +130,7 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 		}
 		for _, machines := range machineList {
 			pts := make([]distPoint, len(distWireSides))
+			recovery := make([]benchenv.Histogram, len(distWireSides))
 			for i, side := range distWireSides {
 				pts[i] = distPoint{Dataset: prof.name, Machines: machines, Wire: side.name}
 			}
@@ -147,6 +149,9 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 					pt := &pts[i]
 					ups := float64(res.Updates) / res.Seconds
 					pt.MeanUPS += ups / float64(reps)
+					if recoveryMs > 0 {
+						recovery[i].Record(time.Duration(recoveryMs * float64(time.Millisecond)))
+					}
 					if ups > pt.BestUPS {
 						pt.BestUPS = ups
 						pt.FinalRMSE = res.TestRMSE
@@ -154,8 +159,12 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 						pt.BytesSent = res.BytesSent
 						pt.MessagesSent = res.MessagesSent
 						pt.TokensPerSec = approxWireTokens(res.BytesSent, res.MessagesSent, k) / res.Seconds
-						pt.RecoveryMs = recoveryMs
 					}
+				}
+			}
+			for i := range pts {
+				if recovery[i].Count() > 0 {
+					pts[i].RecoveryMs = float64(recovery[i].Quantile(0.5).Nanoseconds()) / 1e6
 				}
 			}
 			for i := range pts {

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nomad"
+	"nomad/internal/benchenv"
+	"nomad/internal/cluster"
+	"nomad/internal/netlink"
+	"nomad/internal/partition"
+	"nomad/internal/serve"
+)
+
+// benchRecord is the BENCH_serve.json document: the committed
+// serving-latency record (see EXPERIMENTS.md for the protocol).
+type benchRecord struct {
+	Env         benchenv.Env `json:"env"`
+	Dataset     string       `json:"dataset"`
+	Scale       float64      `json:"scale"`
+	Users       int          `json:"users"`
+	Items       int          `json:"items"`
+	Rank        int          `json:"rank"`
+	TopN        int          `json:"topn"`
+	TargetQPS   float64      `json:"target_qps"`
+	DurationSec float64      `json:"duration_s"`
+	Workers     int          `json:"workers"`
+	SingleShard benchPhase   `json:"single_shard"`
+	TwoShard    benchPhase   `json:"two_shard_loopback"`
+}
+
+// benchPhase is one serving topology's measurement.
+type benchPhase struct {
+	QPS    float64 `json:"qps"`
+	Sent   int64   `json:"sent"`
+	Non200 int64   `json:"non200"`
+	Errors int64   `json:"errors"`
+	// ScannedPerQuery is the mean number of items actually scored per
+	// query; with the norm-bound pre-filter it should be a small
+	// fraction of the catalog.
+	ScannedPerQuery float64                 `json:"scanned_per_query"`
+	PrunedPerQuery  float64                 `json:"pruned_per_query"`
+	Latency         benchenv.LatencySummary `json:"latency"`
+}
+
+// runBench self-hosts the full serving benchmark: train a model on
+// the longtail profile (80K users × 600K items at scale 1), then
+// measure request latency against a single-shard server and a 2-shard
+// loopback mesh over real HTTP.
+func runBench(scale, qps float64, duration time.Duration, topN, workers int, out string) error {
+	if out == "" {
+		out = "BENCH_serve.json"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fmt.Printf("synthesizing longtail @%g...\n", scale)
+	ds, err := nomad.Synthesize("longtail", scale, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d users × %d items, %d ratings; training 1 epoch...\n",
+		ds.Users(), ds.Items(), ds.TrainSize())
+	trainWorkers := runtime.NumCPU()
+	if trainWorkers > 8 {
+		trainWorkers = 8
+	}
+	s, err := nomad.NewSession(ds,
+		nomad.WithAlgorithm("nomad"),
+		nomad.WithRank(16),
+		nomad.WithWorkers(trainWorkers),
+		nomad.WithSeed(42),
+		nomad.WithStopConditions(nomad.MaxEpochs(1)),
+	)
+	if err != nil {
+		return err
+	}
+	trained, err := s.Run(ctx)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "nomad-serve-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model-1.bin")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	if err := trained.Model.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	rated := func(user int32) []int32 { return ds.RatedItems(int(user)) }
+	rec := benchRecord{
+		Env:         benchenv.Capture(),
+		Dataset:     "longtail",
+		Scale:       scale,
+		Users:       ds.Users(),
+		Items:       ds.Items(),
+		Rank:        16,
+		TopN:        topN,
+		TargetQPS:   qps,
+		DurationSec: duration.Seconds(),
+		Workers:     workers,
+	}
+
+	fmt.Println("benchmarking single-shard serving...")
+	rec.SingleShard, err = benchPhaseRun(ctx, modelPath, nil, rated, qps, duration, topN, workers, ds.Users())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  p99 %.3fms at %.0f qps (%.0f of %d items scanned/query)\n",
+		rec.SingleShard.Latency.P99Us/1e3, rec.SingleShard.QPS, rec.SingleShard.ScannedPerQuery, ds.Items())
+
+	fmt.Println("benchmarking 2-shard loopback serving...")
+	shards := 2
+	ep0, err := serve.LoadEpoch(modelPath, 1, nil)
+	if err != nil {
+		return err
+	}
+	md := ep0.Model
+	owner := make([]int32, md.N)
+	pt := partition.EqualRanges(md.N, shards)
+	for j := range owner {
+		owner[j] = int32(pt.Owner(j))
+	}
+	sum := serve.ConfigDigest(md.M, md.N, md.K, md.Precision(), shards)
+	links, err := netlink.Loopback(ctx, shards, sum, owner, nil, netlink.Options{K: md.K})
+	if err != nil {
+		return err
+	}
+	shardStore := serve.NewStore()
+	shardStore.Promote(&serve.Epoch{Seq: 1, Model: md, Index: serve.BuildIndex(md, pt.Part(1))})
+	go serve.ServeShard(ctx, links[1], shardStore) //nolint:errcheck // torn down by cancel
+	rec.TwoShard, err = benchPhaseRun(ctx, modelPath, &gatewayWiring{link: links[0], part: pt.Part(0)}, rated, qps, duration, topN, workers, ds.Users())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  p99 %.3fms at %.0f qps\n", rec.TwoShard.Latency.P99Us/1e3, rec.TwoShard.QPS)
+
+	if err := writeJSON(out, rec); err != nil {
+		return err
+	}
+	fmt.Printf("record written to %s\n", out)
+	return nil
+}
+
+// gatewayWiring selects sharded serving inside benchPhaseRun.
+type gatewayWiring struct {
+	link cluster.Link
+	part []int32 // gateway-local item shard
+}
+
+// benchPhaseRun boots one serving topology over a real HTTP listener
+// and measures it with the shared open-loop generator.
+func benchPhaseRun(ctx context.Context, modelPath string, gwWiring *gatewayWiring, rated func(int32) []int32, qps float64, duration time.Duration, topN, workers, users int) (benchPhase, error) {
+	var phase benchPhase
+	var owned []int32
+	if gwWiring != nil {
+		owned = gwWiring.part
+	}
+	ep, err := serve.LoadEpoch(modelPath, 1, owned)
+	if err != nil {
+		return phase, err
+	}
+	store := serve.NewStore()
+	store.Promote(ep)
+	cfg := serve.Config{Store: store, Rated: rated}
+	if gwWiring != nil {
+		gw := serve.NewGateway(gwWiring.link, store, 0)
+		go gw.Dispatch()
+		cfg.Gateway = gw
+	}
+	srv := serve.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return phase, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "nomad-loadgen: bench server:", err)
+		}
+	}()
+	defer hs.Close()
+
+	res := runLoad(loadCfg{
+		URL:      "http://" + ln.Addr().String(),
+		QPS:      qps,
+		Duration: duration,
+		N:        topN,
+		Workers:  workers,
+		Users:    users,
+		Seed:     1,
+	})
+	stats := srv.Snapshot()
+	phase = benchPhase{
+		QPS:     res.QPS(),
+		Sent:    res.Sent,
+		Non200:  res.Non200,
+		Errors:  res.Errors,
+		Latency: res.Hist.Summary(),
+	}
+	if stats.Requests > 0 {
+		phase.ScannedPerQuery = float64(stats.Scanned) / float64(stats.Requests)
+		phase.PrunedPerQuery = float64(stats.Pruned) / float64(stats.Requests)
+	}
+	return phase, nil
+}

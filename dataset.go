@@ -101,6 +101,14 @@ func (d *Dataset) UserRatings(user int) []Rating {
 	return out
 }
 
+// RatedItems returns the ascending-sorted item ids the user rated in
+// the training set — the serving layer's exclusion list shape. The
+// slice aliases internal storage and must not be modified.
+func (d *Dataset) RatedItems(user int) []int32 {
+	cols, _ := d.inner.Train.Row(user)
+	return cols
+}
+
 // Rated reports whether the training set contains (user, item).
 func (d *Dataset) Rated(user, item int) bool {
 	_, ok := d.inner.Train.At(user, item)

@@ -1,0 +1,117 @@
+package benchenv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileWithinBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades: exercises many bucket groups.
+		v := int64(1) << uint(rng.Intn(31))
+		v += rng.Int63n(v + 1)
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q).Nanoseconds()
+		relErr := float64(got-want) / float64(want)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 1.0/32+1e-9 {
+			t.Fatalf("q=%v: got %d want %d (rel err %.4f > 1/32)", q, got, want, relErr)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max().Nanoseconds() != vals[len(vals)-1] {
+		t.Fatalf("max = %d want %d", h.Max().Nanoseconds(), vals[len(vals)-1])
+	}
+	if h.Min().Nanoseconds() != vals[0] {
+		t.Fatalf("min = %d want %d", h.Min().Nanoseconds(), vals[0])
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := 0; v < 64; v++ {
+		h.Record(time.Duration(v))
+	}
+	// Values below 64ns are bucketed exactly, so every quantile must be
+	// the true order statistic.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		want := int64(q * 63)
+		if got := h.Quantile(q).Nanoseconds(); got != want {
+			t.Fatalf("q=%v: got %d want %d", q, got, want)
+		}
+	}
+	if h.Mean() != time.Duration(63/2) {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramMergeEqualsCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a, b, all Histogram
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(1e9))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() || a.Mean() != all.Mean() {
+		t.Fatal("merged scalars differ from combined recording")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(-5 * time.Second) // clamps to zero
+	if h.Quantile(1) != 0 || h.Count() != 1 {
+		t.Fatalf("negative record mishandled: %v", h.Summary())
+	}
+	var one Histogram
+	one.Record(123 * time.Microsecond)
+	s := one.Summary()
+	if s.P50Us != 123 || s.P99Us != 123 || s.MaxUs != 123 || s.Count != 1 {
+		t.Fatalf("single-sample summary %+v", s)
+	}
+}
+
+func TestBucketRoundTripMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			// Indices must be non-decreasing in v (spot-checked sequence).
+			t.Fatalf("bucketIndex(%d) = %d below previous %d", v, idx, prev)
+		}
+		prev = idx
+		mid := bucketMid(idx)
+		// The midpoint must sit in the same bucket.
+		if bucketIndex(mid) != idx {
+			t.Fatalf("bucketMid(%d) = %d maps to bucket %d", idx, mid, bucketIndex(mid))
+		}
+	}
+}

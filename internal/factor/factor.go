@@ -306,6 +306,42 @@ func (md *Model) SetUserRowFrom64(i int, src []float64) {
 	copy(md.UserRow(i), src)
 }
 
+// UserNorm returns the Euclidean norm ‖wᵢ‖ of user i's factor row,
+// accumulated in float64 at either precision. The serving layer's
+// norm-bounded candidate pruning multiplies it against item norms for
+// an admissible score upper bound (|⟨wᵢ,hⱼ⟩| ≤ ‖wᵢ‖·‖hⱼ‖).
+func (md *Model) UserNorm(i int) float64 {
+	if md.prec == Float32 {
+		return norm32(md.UserRow32(i))
+	}
+	return norm64(md.UserRow(i))
+}
+
+// ItemNorm returns the Euclidean norm ‖hⱼ‖ of item j's factor row,
+// accumulated in float64 at either precision.
+func (md *Model) ItemNorm(j int) float64 {
+	if md.prec == Float32 {
+		return norm32(md.ItemRow32(j))
+	}
+	return norm64(md.ItemRow(j))
+}
+
+func norm64(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func norm32(row []float32) float64 {
+	var s float64
+	for _, v := range row {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
 const modelMagic uint32 = 0x4e4d444d // "NMDM"
 
 // binHeader is the on-disk model header. Prec occupies what was a

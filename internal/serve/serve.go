@@ -1,0 +1,112 @@
+// Package serve is the recommendation serving layer: it answers
+// top-N queries over a trained factor model at request latency, while
+// training keeps producing newer models in the background.
+//
+// The design (DESIGN.md §12) has four load-bearing pieces:
+//
+//   - Store: an RCU-style epoch holder. Requests Acquire the current
+//     Epoch (model + candidate index) with a refcount, a background
+//     promotion atomically swaps in a new epoch, and the old epoch is
+//     drained — kept alive until its last in-flight request Releases —
+//     so a hot model swap drops zero requests.
+//
+//   - Watcher: a directory poller that turns checkpoint files written
+//     by training into promotions. Files are validated (magic, shape,
+//     precision) before they are promoted; a truncated or mismatched
+//     file is rejected and remembered, never served.
+//
+//   - Index: a norm-ordered candidate pre-filter. Items are scanned in
+//     descending ‖hⱼ‖ order, so once the top-N heap is full and
+//     ‖w_u‖·‖hⱼ‖ falls below the heap's admission threshold no
+//     remaining item can enter the result — an admissible (exact)
+//     early exit that prunes the bulk of a long-tail catalog.
+//
+//   - Gateway/ServeShard: scatter/gather over cluster.Link. Item
+//     factors are sharded by the same ownership-map machinery the
+//     trainer uses (partition.EqualRanges broadcast via the netlink
+//     rendezvous); each shard answers its local top-N and the gateway
+//     merges with the shared internal/topn heap. Disjoint parts make
+//     the merge exact.
+//
+// The result is bit-compatible with Model.Recommend: same dispatched
+// dot kernels, same heap, same tie-breaking — asserted by tests and by
+// the serve-smoke CI job's equality check.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"nomad/internal/factor"
+)
+
+// Source locates the model(s) a serving stack reads. Exactly one of
+// Path (a static model or checkpoint file) and WatchDir (a directory
+// of epoch-numbered files, hot-swapped as they appear) must be set.
+type Source struct {
+	// Path is a single model/checkpoint file, loaded once.
+	Path string
+	// WatchDir is a directory polled for epoch-numbered model or
+	// checkpoint files ("model-7.bin"); the highest epoch wins and new
+	// epochs are promoted live.
+	WatchDir string
+	// Poll is the watch interval (default 200ms).
+	Poll time.Duration
+}
+
+func (src Source) poll() time.Duration {
+	if src.Poll <= 0 {
+		return 200 * time.Millisecond
+	}
+	return src.Poll
+}
+
+// Open builds a Store (and, for WatchDir sources, a running Watcher)
+// over the source. owned restricts the candidate index to an item
+// shard (nil = all items). validate, when non-nil, vets the first
+// loaded model (e.g. against the exclusion dataset's shape). For
+// WatchDir sources an empty directory is not an error: the store
+// starts empty (requests 503) and fills on the first valid file.
+func (src Source) Open(owned []int32, validate func(md *factor.Model) error) (*Store, *Watcher, error) {
+	switch {
+	case src.Path != "" && src.WatchDir != "":
+		return nil, nil, fmt.Errorf("serve: source has both a static path and a watch directory")
+	case src.Path == "" && src.WatchDir == "":
+		return nil, nil, fmt.Errorf("serve: source has neither a static path nor a watch directory")
+	}
+	store := NewStore()
+	if src.Path != "" {
+		ep, err := LoadEpoch(src.Path, 1, owned)
+		if err != nil {
+			return nil, nil, err
+		}
+		if validate != nil {
+			if err := validate(ep.Model); err != nil {
+				return nil, nil, err
+			}
+		}
+		store.Promote(ep)
+		return store, nil, nil
+	}
+	w := NewWatcher(store, src.WatchDir, owned, src.poll(), validate)
+	if _, err := w.ScanOnce(); err != nil {
+		return nil, nil, err
+	}
+	return store, w, nil
+}
+
+// ConfigDigest summarizes the serving configuration for the
+// rendezvous handshake, so a shard joining with a different model
+// shape or shard count is refused before any traffic flows. FNV-1a
+// over the shape tuple.
+func ConfigDigest(m, n, k int, prec factor.Precision, shards int) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range []uint64{uint64(m), uint64(n), uint64(k), uint64(prec), uint64(shards), 0x73657276} { // "serv"
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nomad/internal/factor"
+)
+
+// Epoch is one immutable, servable model generation: the loaded factor
+// model (user rows for query vectors), the candidate index over this
+// process's item shard, and a reference count that keeps the epoch
+// alive while requests are in flight.
+type Epoch struct {
+	// Seq is the epoch's monotone sequence number (parsed from the
+	// checkpoint filename, or assigned by the promoter).
+	Seq uint64
+	// Path is the file the epoch was loaded from ("" for in-memory
+	// epochs built by tests or benchmarks).
+	Path string
+	// Model holds the full factor model. Only the user rows are read on
+	// the request path — item scoring goes through Index's compact
+	// copies — but the model is kept for shape validation of successor
+	// epochs and diagnostics.
+	Model *factor.Model
+	// Index is the norm-ordered candidate pre-filter over the epoch's
+	// owned items.
+	Index *Index
+	// Loaded is when the epoch was promoted-ready.
+	Loaded time.Time
+
+	// refs counts the store's own reference (1 while current) plus one
+	// per in-flight request. It can only reach zero after the epoch has
+	// been retired by a swap; the request that drops the last reference
+	// observes retiredNs and records the drain.
+	refs      atomic.Int64
+	retiredNs atomic.Int64
+	store     *Store
+}
+
+// acquire takes a reference unless the epoch is already drained.
+func (e *Epoch) acquire() bool {
+	for {
+		r := e.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The caller must not touch the epoch
+// afterwards. The last release of a retired epoch records the drain
+// (swap→quiescence latency) on the owning store.
+func (e *Epoch) Release() {
+	if e.refs.Add(-1) != 0 {
+		return
+	}
+	if s := e.store; s != nil {
+		s.drains.Add(1)
+		if t := e.retiredNs.Load(); t > 0 {
+			s.lastDrainNs.Store(time.Now().UnixNano() - t)
+		}
+	}
+}
+
+// Store is the RCU epoch holder: a lock-free pointer to the current
+// Epoch. Requests Acquire/Release; Promote swaps atomically. No
+// request ever observes a half-installed epoch, and a swap never
+// invalidates an epoch a request is still reading — the two halves of
+// "hot swap drops zero requests".
+type Store struct {
+	cur atomic.Pointer[Epoch]
+
+	swaps       atomic.Int64
+	drains      atomic.Int64
+	lastDrainNs atomic.Int64
+}
+
+// NewStore returns an empty store; Acquire returns nil until the
+// first Promote.
+func NewStore() *Store { return &Store{} }
+
+// Acquire returns the current epoch with a reference taken, or nil
+// when no epoch is loaded yet. The caller must Release it.
+func (s *Store) Acquire() *Epoch {
+	for {
+		e := s.cur.Load()
+		if e == nil {
+			return nil
+		}
+		if e.acquire() {
+			return e
+		}
+		// The epoch drained between the load and the acquire — the swap
+		// that retired it has already installed its successor.
+	}
+}
+
+// Promote atomically installs e as the current epoch. The previous
+// epoch is retired: new requests no longer see it, and it is released
+// once its in-flight requests drain.
+func (s *Store) Promote(e *Epoch) {
+	e.store = s
+	e.refs.Store(1) // the store's own reference
+	if e.Loaded.IsZero() {
+		e.Loaded = time.Now()
+	}
+	old := s.cur.Swap(e)
+	s.swaps.Add(1)
+	if old != nil {
+		old.retiredNs.Store(time.Now().UnixNano())
+		old.Release()
+	}
+}
+
+// Seq returns the current epoch's sequence number (0 when empty)
+// without taking a reference.
+func (s *Store) Seq() uint64 {
+	if e := s.cur.Load(); e != nil {
+		return e.Seq
+	}
+	return 0
+}
+
+// StoreStats is the swap/drain accounting snapshot.
+type StoreStats struct {
+	Swaps       int64   `json:"swaps"`
+	Drains      int64   `json:"drains"`
+	LastDrainMs float64 `json:"last_drain_ms"`
+}
+
+// Stats snapshots the store's swap/drain counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Swaps:       s.swaps.Load(),
+		Drains:      s.drains.Load(),
+		LastDrainMs: float64(s.lastDrainNs.Load()) / 1e6,
+	}
+}

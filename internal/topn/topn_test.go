@@ -1,0 +1,134 @@
+package topn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refTopN is the obviously-correct oracle: full sort, take n.
+func refTopN(recs []Rec, n int) []Rec {
+	s := append([]Rec(nil), recs...)
+	sort.Slice(s, func(a, b int) bool { return Worse(s[b], s[a]) })
+	if len(s) > n {
+		s = s[:n]
+	}
+	return s
+}
+
+func equalRecs(a, b []Rec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHeapMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		total := rng.Intn(400)
+		n := 1 + rng.Intn(20)
+		recs := make([]Rec, total)
+		for i := range recs {
+			// Coarse scores force plenty of ties, exercising the
+			// item-index tie-break.
+			recs[i] = Rec{Item: int32(i), Score: float64(rng.Intn(7))}
+		}
+		rng.Shuffle(total, func(a, b int) { recs[a], recs[b] = recs[b], recs[a] })
+		h := NewHeap(n)
+		for _, r := range recs {
+			h.Offer(r)
+		}
+		got := h.Sorted()
+		want := refTopN(recs, n)
+		if !equalRecs(got, want) {
+			t.Fatalf("trial %d (total=%d n=%d): heap %v != sort %v", trial, total, n, got, want)
+		}
+	}
+}
+
+func TestMergeDisjointPartsEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		total := 1 + rng.Intn(500)
+		n := 1 + rng.Intn(15)
+		parts := 1 + rng.Intn(5)
+		all := make([]Rec, total)
+		lists := make([][]Rec, parts)
+		heaps := make([]*Heap, parts)
+		for p := range heaps {
+			heaps[p] = NewHeap(n)
+		}
+		for i := range all {
+			all[i] = Rec{Item: int32(i), Score: float64(rng.Intn(9))}
+			heaps[rng.Intn(parts)].Offer(all[i])
+		}
+		for p := range heaps {
+			lists[p] = heaps[p].Sorted()
+		}
+		got := Merge(n, lists...)
+		want := refTopN(all, n)
+		if !equalRecs(got, want) {
+			t.Fatalf("trial %d: merge %v != global %v", trial, got, want)
+		}
+	}
+}
+
+func TestWorstIsAdmissionThreshold(t *testing.T) {
+	h := NewHeap(2)
+	if _, ok := h.Worst(); ok {
+		t.Fatal("empty heap reported a worst record")
+	}
+	h.Offer(Rec{Item: 1, Score: 5})
+	if h.Full() {
+		t.Fatal("heap full after one offer of two")
+	}
+	h.Offer(Rec{Item: 2, Score: 3})
+	if !h.Full() {
+		t.Fatal("heap not full at capacity")
+	}
+	w, ok := h.Worst()
+	if !ok || w != (Rec{Item: 2, Score: 3}) {
+		t.Fatalf("worst = %v, want item 2 score 3", w)
+	}
+	// A record worse than the threshold must not displace anything.
+	h.Offer(Rec{Item: 3, Score: 2})
+	if w2, _ := h.Worst(); w2 != w {
+		t.Fatalf("threshold moved on a losing offer: %v", w2)
+	}
+	// An equal-score, higher-index record is worse too.
+	h.Offer(Rec{Item: 9, Score: 3})
+	if w2, _ := h.Worst(); w2 != w {
+		t.Fatalf("threshold moved on an equal-score higher-index offer: %v", w2)
+	}
+	// An equal-score, lower-index record displaces.
+	h.Offer(Rec{Item: 0, Score: 3})
+	if w2, _ := h.Worst(); w2 != (Rec{Item: 0, Score: 3}) {
+		t.Fatalf("worst = %v, want item 0 score 3", w2)
+	}
+}
+
+func TestZeroAndResetBehaviour(t *testing.T) {
+	h := NewHeap(0)
+	h.Offer(Rec{Item: 1, Score: 1})
+	if h.Len() != 0 || len(h.Sorted()) != 0 {
+		t.Fatal("n=0 heap kept records")
+	}
+	h = NewHeap(3)
+	for i := 0; i < 5; i++ {
+		h.Offer(Rec{Item: int32(i), Score: float64(i)})
+	}
+	if got := h.Sorted(); len(got) != 3 || got[0].Item != 4 {
+		t.Fatalf("sorted = %v", got)
+	}
+	h.Reset(2)
+	h.Offer(Rec{Item: 7, Score: 1})
+	if got := h.Sorted(); len(got) != 1 || got[0].Item != 7 {
+		t.Fatalf("after reset: %v", got)
+	}
+}

@@ -5,75 +5,8 @@ import (
 	"io"
 
 	"nomad/internal/factor"
+	"nomad/internal/topn"
 )
-
-// recHeap is a bounded min-heap of recommendations ordered worst-first
-// (lowest score at the root; on equal scores the larger item index is
-// "worse", matching Recommend's deterministic tie-breaking). Keeping
-// only the current top-N makes Recommend O(N·log topN) over N items
-// instead of the O(N·log N) full sort.
-type recHeap []Recommendation
-
-// worse reports whether a ranks below b in the final ordering.
-func worse(a, b Recommendation) bool {
-	if a.Score != b.Score {
-		return a.Score < b.Score
-	}
-	return a.Item > b.Item
-}
-
-func (h recHeap) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !worse(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h recHeap) siftDown(i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < len(h) && worse(h[l], h[min]) {
-			min = l
-		}
-		if r < len(h) && worse(h[r], h[min]) {
-			min = r
-		}
-		if min == i {
-			return
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-}
-
-// offer inserts rec if the heap is below capacity topN, or replaces
-// the current worst if rec outranks it.
-func (h *recHeap) offer(rec Recommendation, topN int) {
-	if len(*h) < topN {
-		*h = append(*h, rec)
-		h.siftUp(len(*h) - 1)
-		return
-	}
-	if worse(rec, (*h)[0]) {
-		return
-	}
-	(*h)[0] = rec
-	h.siftDown(0)
-}
-
-// sorted pops the heap into best-first order, consuming it.
-func (h recHeap) sorted() []Recommendation {
-	for n := len(h) - 1; n > 0; n-- {
-		h[0], h[n] = h[n], h[0]
-		h[:n].siftDown(0)
-	}
-	return h
-}
 
 // Model is a trained low-rank factorization: the predicted rating of
 // (user, item) is the inner product of their latent factor rows.
@@ -108,21 +41,28 @@ type Recommendation struct {
 // nil dataset to rank over all items. Ties rank the lower item index
 // first.
 //
-// Scores are streamed through a bounded min-heap of size topN, so the
-// cost is O(N·log topN) with no per-call N-sized allocation — the
-// serving-path shape, where the catalog N is large and topN is 10.
+// Scores are streamed through a bounded min-heap of size topN
+// (internal/topn — the same heap and ordering the nomad-serve
+// scatter/gather path uses), so the cost is O(N·log topN) with no
+// per-call N-sized allocation — the serving-path shape, where the
+// catalog N is large and topN is 10.
 func (m *Model) Recommend(d *Dataset, user, topN int) []Recommendation {
 	if topN <= 0 {
 		return nil
 	}
-	h := make(recHeap, 0, topN)
+	h := topn.NewHeap(topN)
 	for j := 0; j < m.inner.N; j++ {
 		if d != nil && d.Rated(user, j) {
 			continue
 		}
-		h.offer(Recommendation{Item: j, Score: m.Predict(user, j)}, topN)
+		h.Offer(topn.Rec{Item: int32(j), Score: m.Predict(user, j)})
 	}
-	return h.sorted()
+	recs := h.Sorted()
+	out := make([]Recommendation, len(recs))
+	for i, r := range recs {
+		out[i] = Recommendation{Item: int(r.Item), Score: r.Score}
+	}
+	return out
 }
 
 // Save serializes the model in the repository's binary format.

@@ -1,0 +1,114 @@
+package nomad_test
+
+// End-to-end equality gate for the serving layer: a nomad-serve HTTP
+// response must match Model.Recommend exactly — same items, same
+// scores, same order — including training-set exclusion. This is the
+// in-repo version of the CI serve-smoke job's -verify-model check,
+// living in package nomad_test so it can see both the public API and
+// the serving internals.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nomad"
+	"nomad/internal/factor"
+	"nomad/internal/serve"
+)
+
+func TestServeMatchesRecommend(t *testing.T) {
+	ds, err := nomad.Synthesize("netflix", 0.002, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prec := range []factor.Precision{factor.Float64, factor.Float32} {
+		md := factor.NewInitP(ds.Users(), ds.Items(), 8, 17, prec)
+
+		// The public-API oracle sees the same bytes a served model file
+		// would hold.
+		var buf bytes.Buffer
+		if err := md.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := nomad.LoadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		store := serve.NewStore()
+		store.Promote(&serve.Epoch{Seq: 1, Model: md, Index: serve.BuildIndex(md, nil)})
+		srv := serve.NewServer(serve.Config{
+			Store: store,
+			Rated: func(user int32) []int32 { return ds.RatedItems(int(user)) },
+		})
+		ts := httptest.NewServer(srv.Handler())
+
+		var resp struct {
+			Epoch uint64 `json:"epoch"`
+			Items []struct {
+				Item  int32   `json:"item"`
+				Score float64 `json:"score"`
+			} `json:"items"`
+		}
+		get := func(path string) int {
+			t.Helper()
+			r, err := ts.Client().Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return r.StatusCode
+		}
+
+		for user := 0; user < 30; user++ {
+			if code := get(fmt.Sprintf("/v1/recommend?user=%d&n=10", user*31)); code != http.StatusOK {
+				t.Fatalf("user %d: HTTP %d", user*31, code)
+			}
+			want := oracle.Recommend(ds, user*31, 10)
+			if len(resp.Items) != len(want) {
+				t.Fatalf("user %d: %d items, want %d", user*31, len(resp.Items), len(want))
+			}
+			for i, it := range resp.Items {
+				if int(it.Item) != want[i].Item || it.Score != want[i].Score {
+					t.Fatalf("prec %v user %d rec %d: served (%d, %v), Recommend (%d, %v)",
+						prec, user*31, i, it.Item, it.Score, want[i].Item, want[i].Score)
+				}
+			}
+		}
+
+		// Error surface: out-of-range user and bad parameters.
+		if code := get(fmt.Sprintf("/v1/recommend?user=%d&n=5", ds.Users())); code != http.StatusNotFound {
+			t.Fatalf("out-of-range user: HTTP %d", code)
+		}
+		if code := get("/v1/recommend?user=abc"); code != http.StatusBadRequest {
+			t.Fatalf("bad user: HTTP %d", code)
+		}
+		if code := get("/v1/recommend?user=0&n=99999"); code != http.StatusBadRequest {
+			t.Fatalf("oversized n: HTTP %d", code)
+		}
+		ts.Close()
+	}
+
+	// An empty store (watch mode before the first checkpoint) serves
+	// 503, not garbage.
+	srv := serve.NewServer(serve.Config{Store: serve.NewStore()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	r, err := ts.Client().Get(ts.URL + "/v1/recommend?user=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty store: HTTP %d", r.StatusCode)
+	}
+}
