@@ -80,6 +80,11 @@ type distPoint struct {
 	// the same latency machinery nomad-loadgen reports with), present
 	// only on -chaos runs that killed a machine.
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	// ResizeJoinMs / ResizeDrainMs are the median request→resume
+	// latencies of elastic membership changes, present only on -chaos
+	// runs whose schedule joins or drains a machine.
+	ResizeJoinMs  float64 `json:"resize_join_ms,omitempty"`
+	ResizeDrainMs float64 `json:"resize_drain_ms,omitempty"`
 }
 
 // codecPoint is one isolated codec measurement: a §3.5-sized token
@@ -131,6 +136,8 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 		for _, machines := range machineList {
 			pts := make([]distPoint, len(distWireSides))
 			recovery := make([]benchenv.Histogram, len(distWireSides))
+			resizeJoin := make([]benchenv.Histogram, len(distWireSides))
+			resizeDrain := make([]benchenv.Histogram, len(distWireSides))
 			for i, side := range distWireSides {
 				pts[i] = distPoint{Dataset: prof.name, Machines: machines, Wire: side.name}
 			}
@@ -139,7 +146,7 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 			for rep := 0; rep < reps+1; rep++ {
 				for i, side := range distWireSides {
 					cluster.SetReferenceWire(side.ref)
-					res, recoveryMs, err := runDistTraining(ds, machines, seed, epochs, chaos)
+					res, recoveryMs, resizeMs, err := runDistTraining(ds, machines, seed, epochs, chaos)
 					if err != nil {
 						return fmt.Errorf("%s p=%d %s wire: %w", prof.name, machines, side.name, err)
 					}
@@ -151,6 +158,12 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 					pt.MeanUPS += ups / float64(reps)
 					if recoveryMs > 0 {
 						recovery[i].Record(time.Duration(recoveryMs * float64(time.Millisecond)))
+					}
+					for _, ms := range resizeMs["join"] {
+						resizeJoin[i].Record(time.Duration(ms * float64(time.Millisecond)))
+					}
+					for _, ms := range resizeMs["drain"] {
+						resizeDrain[i].Record(time.Duration(ms * float64(time.Millisecond)))
 					}
 					if ups > pt.BestUPS {
 						pt.BestUPS = ups
@@ -165,6 +178,12 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 			for i := range pts {
 				if recovery[i].Count() > 0 {
 					pts[i].RecoveryMs = float64(recovery[i].Quantile(0.5).Nanoseconds()) / 1e6
+				}
+				if resizeJoin[i].Count() > 0 {
+					pts[i].ResizeJoinMs = float64(resizeJoin[i].Quantile(0.5).Nanoseconds()) / 1e6
+				}
+				if resizeDrain[i].Count() > 0 {
+					pts[i].ResizeDrainMs = float64(resizeDrain[i].Quantile(0.5).Nanoseconds()) / 1e6
 				}
 			}
 			for i := range pts {
@@ -190,8 +209,9 @@ func runDist(path string, machineList []int, reps int, chaos string) error {
 // runDistTraining is one end-to-end NOMAD run over a TCP loopback
 // cluster: real sockets, one worker per machine, the async runner.
 // With a chaos spec, failover is enabled and the recovery latency (ms,
-// 0 when no failover happened) is returned alongside the result.
-func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, chaos string) (*nomad.Result, float64, error) {
+// 0 when no failover happened) plus the per-kind elastic resize
+// latencies (ms) are returned alongside the result.
+func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, chaos string) (*nomad.Result, float64, map[string][]float64, error) {
 	opts := []nomad.Option{
 		nomad.WithWorkers(1),
 		nomad.WithSeed(seed),
@@ -203,9 +223,10 @@ func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, c
 	}
 	s, err := nomad.NewSession(ds, opts...)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	recoveryMs := 0.0
+	resizeMs := map[string][]float64{}
 	done := make(chan struct{})
 	cancelSub := func() {}
 	if chaos != "" {
@@ -214,8 +235,11 @@ func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, c
 		go func() {
 			defer close(done)
 			for e := range events {
-				if ev, ok := e.(nomad.PeerRecoveredEvent); ok {
+				switch ev := e.(type) {
+				case nomad.PeerRecoveredEvent:
 					recoveryMs = ev.RecoverySeconds * 1e3
+				case nomad.ResizeEvent:
+					resizeMs[ev.Kind] = append(resizeMs[ev.Kind], ev.Seconds*1e3)
 				}
 			}
 		}()
@@ -225,7 +249,7 @@ func runDistTraining(ds *nomad.Dataset, machines int, seed uint64, epochs int, c
 	res, err := s.Run(context.Background())
 	cancelSub()
 	<-done
-	return res, recoveryMs, err
+	return res, recoveryMs, resizeMs, err
 }
 
 // approxWireTokens estimates how many tokens crossed the wire from

@@ -49,6 +49,7 @@ func main() {
 		users    = flag.Int("users", 0, "user id range [0,users) to sample (0 = discover from /v1/stats)")
 		seed     = flag.Uint64("seed", 1, "user sampling seed")
 		out      = flag.String("out", "", "write the run record as JSON to this file")
+		wait     = flag.Duration("wait", 10*time.Second, "wait up to this long for the server to accept connections before loading (0 = fail fast)")
 
 		assertP99 = flag.Duration("assert-p99", 0, "exit 1 when p99 exceeds this (0 = no assertion)")
 		assertOK  = flag.Bool("assert-ok", false, "exit 1 on any non-200 response or transport error")
@@ -71,6 +72,11 @@ func main() {
 		return
 	}
 
+	if *wait > 0 {
+		if err := awaitServer(*url, *wait); err != nil {
+			fatal(err)
+		}
+	}
 	nUsers := *users
 	if nUsers == 0 {
 		var err error
@@ -253,7 +259,10 @@ func runLoad(cfg loadCfg) loadResult {
 
 	// Warm the connection pool and the server's code paths before the
 	// clock starts, so the measured distribution is steady-state
-	// serving latency rather than TCP and allocator cold starts.
+	// serving latency rather than TCP and allocator cold starts. CI
+	// launches the server and the generator together, so a refused
+	// connection here is a boot race, not a measurement — it is retried
+	// with capped backoff instead of leaking into the error counts.
 	var warm sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		warm.Add(1)
@@ -261,7 +270,12 @@ func runLoad(cfg loadCfg) loadResult {
 			defer warm.Done()
 			url := fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", cfg.URL, w%cfg.Users, cfg.N)
 			for i := 0; i < 3; i++ {
-				if resp, err := client.Get(url); err == nil {
+				resp, err := client.Get(url)
+				for b := 10 * time.Millisecond; err != nil && b <= time.Second; b *= 2 {
+					time.Sleep(b)
+					resp, err = client.Get(url)
+				}
+				if err == nil {
 					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
 					resp.Body.Close()
 				}
@@ -337,6 +351,32 @@ func runLoad(cfg loadCfg) loadResult {
 		}
 	}
 	return res
+}
+
+// awaitServer polls the server with capped exponential backoff until
+// it accepts a connection or the wait budget runs out. Any HTTP
+// response — even an error status — proves the listener is up; only
+// transport failures (connection refused during the server's boot)
+// are retried.
+func awaitServer(url string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	backoff := 10 * time.Millisecond
+	const backoffCap = 500 * time.Millisecond
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not reachable after %v: %w", url, wait, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
 }
 
 // discoverUsers reads the served model's user count from /v1/stats.

@@ -64,6 +64,7 @@ func main() {
 		join     = flag.String("join", "", "gateway rendezvous address a shard joins")
 		machines = flag.Int("machines", 0, "cluster size including the gateway (gateway role)")
 		maxN     = flag.Int("topn-max", 1000, "largest accepted n query parameter")
+		partial  = flag.Bool("allow-partial", false, "serve partial results (X-Nomad-Partial: true) when a shard peer is down instead of failing with 503")
 	)
 	flag.Parse()
 
@@ -98,12 +99,12 @@ func main() {
 	case *role == "" && *shards <= 1:
 		runLocal(ctx, src, *addr, rated, validate, *maxN)
 	case *role == "":
-		runLoopback(ctx, src, *addr, rated, validate, *maxN, *shards)
+		runLoopback(ctx, src, *addr, rated, validate, *maxN, *shards, *partial)
 	case *role == "gateway":
 		if *listen == "" || *machines < 2 {
 			fatal(fmt.Errorf("-role=gateway needs -listen and -machines ≥ 2"))
 		}
-		runGatewayProc(ctx, src, *addr, rated, validate, *maxN, *listen, *machines)
+		runGatewayProc(ctx, src, *addr, rated, validate, *maxN, *listen, *machines, *partial)
 	case *role == "shard":
 		if *join == "" {
 			fatal(fmt.Errorf("-role=shard needs -join"))
@@ -168,7 +169,7 @@ func shardShape(src serve.Source, validate func(*factor.Model) error) (m, n, k i
 // runLoopback serves shards item shards from one process over a real
 // TCP loopback mesh — the same rendezvous and ownership-map broadcast
 // a multi-process cluster uses, collapsed into one binary.
-func runLoopback(ctx context.Context, src serve.Source, addr string, rated func(int32) []int32, validate func(*factor.Model) error, maxN, shards int) {
+func runLoopback(ctx context.Context, src serve.Source, addr string, rated func(int32) []int32, validate func(*factor.Model) error, maxN, shards int, allowPartial bool) {
 	m, n, k, prec := shardShape(src, validate)
 	owner := ownerMap(n, shards)
 	sum := serve.ConfigDigest(m, n, k, prec, shards)
@@ -195,6 +196,7 @@ func runLoopback(ctx context.Context, src serve.Source, addr string, rated func(
 		go watcher.Run(ctx)
 	}
 	gw := serve.NewGateway(links[0], store, 0)
+	gw.SetAllowPartial(allowPartial)
 	go gw.Dispatch()
 	srv := serve.NewServer(serve.Config{Store: store, Gateway: gw, Rated: rated, Watcher: watcher, MaxN: maxN})
 	fmt.Printf("serving %d item shards over loopback mesh\n", shards)
@@ -204,7 +206,7 @@ func runLoopback(ctx context.Context, src serve.Source, addr string, rated func(
 // runGatewayProc is the multi-process gateway: machine 0 of a netlink
 // mesh, broadcasting the item ownership map at rendezvous exactly as
 // the trainer's coordinator does.
-func runGatewayProc(ctx context.Context, src serve.Source, addr string, rated func(int32) []int32, validate func(*factor.Model) error, maxN int, listen string, machines int) {
+func runGatewayProc(ctx context.Context, src serve.Source, addr string, rated func(int32) []int32, validate func(*factor.Model) error, maxN int, listen string, machines int, allowPartial bool) {
 	m, n, k, prec := shardShape(src, validate)
 	owner := ownerMap(n, machines)
 	sum := serve.ConfigDigest(m, n, k, prec, machines)
@@ -223,6 +225,7 @@ func runGatewayProc(ctx context.Context, src serve.Source, addr string, rated fu
 		go watcher.Run(ctx)
 	}
 	gw := serve.NewGateway(link, store, 0)
+	gw.SetAllowPartial(allowPartial)
 	go gw.Dispatch()
 	srv := serve.NewServer(serve.Config{Store: store, Gateway: gw, Rated: rated, Watcher: watcher, MaxN: maxN})
 	serveHTTP(ctx, addr, srv, store)

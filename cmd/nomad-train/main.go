@@ -26,13 +26,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"nomad"
+	"nomad/internal/netlink"
 )
 
 func main() {
@@ -48,13 +51,16 @@ func main() {
 		workers    = flag.Int("workers", 4, "worker threads per machine")
 		machines   = flag.Int("machines", 1, "machines (simulated, loopback, or real cluster size)")
 		network    = flag.String("network", "instant", "network backend: instant, hpc, commodity (simulated) or tcp (real sockets)")
-		role       = flag.String("role", "", "multi-process cluster role: coordinator or worker (implies -network tcp)")
+		role       = flag.String("role", "", "multi-process cluster role: coordinator, worker, or join (dial a running cluster's elastic gate)")
 		listen     = flag.String("listen", "", "address this process listens on (coordinator: required; worker: default :0)")
 		join       = flag.String("join", "", "coordinator address a worker joins")
 		lockstep   = flag.Bool("lockstep", false, "deterministic round-based distributed runner (bitwise-reproducible across backends)")
 		balance    = flag.Bool("balance", false, "enable §3.3 dynamic load balancing")
 		failover   = flag.Bool("failover", false, "survive a machine death: buddy replication + token-ownership failover")
-		chaos      = flag.String("chaos", "", "fault injection, e.g. kill:rank=2,at=mid-epoch (kill/partition/delay/drop; implies -failover for kill)")
+		elastic    = flag.Int("elastic", 0, "provision this many spare machine slots for mid-run scale-out (implies -failover)")
+		drain      = flag.Bool("drain", false, "first Ctrl-C/SIGTERM drains one machine gracefully instead of stopping the run; a second signal stops")
+		gateAddr   = flag.String("elastic-gate", "", "with -elastic: listen on this address for mid-run -role=join dialers")
+		chaos      = flag.String("chaos", "", "fault injection, e.g. kill:rank=2,at=mid-epoch or join@+2s;drain@+5s (kill/partition/delay/drop/join/drain; implies -failover)")
 		hbEvery    = flag.Duration("heartbeat-interval", 0, "tcp liveness probe interval (0 = default 500ms)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "declare a silent tcp peer dead after this long (0 = default 10s)")
 		epochs     = flag.Int("epochs", 10, "training epochs (cumulative across -resume segments)")
@@ -67,6 +73,25 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the live event stream")
 	)
 	flag.Parse()
+
+	// The join-gate digest covers every flag that shapes training, the
+	// same rule the rendezvous enforces: mismatched invocations are
+	// refused before any state moves.
+	digest := cliDigest(*input, *profile, *scale, *algo, *k, *lambda, *alpha, *beta,
+		*workers, *machines, *epochs, *seed)
+
+	if *role == "join" {
+		// Scale-out, from the outside: dial a running cluster's elastic
+		// gate with the same training flags it was launched with and ask
+		// for admission. The admission itself activates a provisioned
+		// spare in the running cluster (fence → carve → stream → resume);
+		// this process carries away the ticket.
+		if *join == "" {
+			fatal(fmt.Errorf("-role=join needs -join (the running coordinator's -elastic-gate address)"))
+		}
+		runJoinRole(*join, digest, *k)
+		return
+	}
 
 	ds, err := loadDataset(*input, *profile, *scale, *testFrac, *seed)
 	if err != nil {
@@ -101,7 +126,7 @@ func main() {
 		}
 		opts = append(opts, nomad.WithCluster(0, "tcp", workerListen, *join))
 	default:
-		fatal(fmt.Errorf("unknown -role %q (coordinator, worker)", *role))
+		fatal(fmt.Errorf("unknown -role %q (coordinator, worker, join)", *role))
 	}
 	if *lockstep {
 		opts = append(opts, nomad.WithLockstep())
@@ -111,6 +136,11 @@ func main() {
 	}
 	if *failover {
 		opts = append(opts, nomad.WithFailover())
+	}
+	if *elastic > 0 || *drain {
+		// -drain needs the elastic runtime even with zero spares: a
+		// graceful leave is a membership change like any other.
+		opts = append(opts, nomad.WithElastic(*elastic))
 	}
 	if *chaos != "" {
 		opts = append(opts, nomad.WithChaos(*chaos))
@@ -145,7 +175,8 @@ func main() {
 	// boundaries, network accounting for distributed runs.
 	done := make(chan struct{})
 	cancelSub := func() {}
-	recoveryMs := -1.0 // set by the printer goroutine, read after <-done
+	recoveryMs := -1.0                 // set by the printer goroutine, read after <-done
+	resizeMs := map[string][]float64{} // per-kind commit latencies, same discipline
 	if *quiet {
 		close(done)
 	} else {
@@ -166,15 +197,64 @@ func main() {
 					fmt.Printf("          [machine %d recovered by failover in %.1fms]\n",
 						ev.Rank, ev.RecoverySeconds*1e3)
 					recoveryMs = ev.RecoverySeconds * 1e3
+				case nomad.ResizeEvent:
+					verb := "joined"
+					if ev.Kind == "drain" {
+						verb = "drained"
+					}
+					fmt.Printf("          [machine %d %s in %.1fms; %d machines active]\n",
+						ev.Rank, verb, ev.Seconds*1e3, ev.Machines)
+					resizeMs[ev.Kind] = append(resizeMs[ev.Kind], ev.Seconds*1e3)
 				}
 			}
 		}()
 	}
 
 	// Ctrl-C (or SIGTERM) cancels the run's context; every solver
-	// stops promptly and hands back its partial state.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// stops promptly and hands back its partial state. With -drain the
+	// first signal instead asks the run to shed one machine gracefully
+	// — its tokens stream to a ring buddy, nothing is lost — and only a
+	// second signal stops the run.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		drainFirst := *drain
+		for range sigc {
+			if drainFirst {
+				drainFirst = false
+				fmt.Println("          [signal: draining one machine; signal again to stop]")
+				go func() {
+					if err := s.Resize().Drain(-1); err != nil {
+						fmt.Fprintln(os.Stderr, "nomad-train: drain:", err)
+						cancel()
+					}
+				}()
+				continue
+			}
+			cancel()
+			return
+		}
+	}()
+
+	// With -elastic-gate the run admits external -role=join dialers: a
+	// matching-digest Hello triggers a live scale-out (the next idle
+	// spare activates) and the dialer receives its admission ticket
+	// once the membership change commits.
+	if *gateAddr != "" {
+		if *elastic <= 0 {
+			fatal(fmt.Errorf("-elastic-gate needs -elastic spare slots to admit joiners into"))
+		}
+		gate, err := netlink.OpenJoinGate(*gateAddr, digest, admitJoiner(s), netlink.Options{K: *k})
+		if err != nil {
+			fatal(err)
+		}
+		defer gate.Close()
+		fmt.Printf("elastic join gate on %s\n", gate.Addr())
+		go gate.Serve(ctx) //nolint:errcheck // ends with the run context
+	}
 
 	res, err := s.Run(ctx)
 	interrupted := errors.Is(err, context.Canceled)
@@ -218,6 +298,17 @@ func main() {
 		if recoveryMs >= 0 {
 			fmt.Printf("recovery_ms: %.3f\n", recoveryMs)
 		}
+		if len(resizeMs) > 0 {
+			// One line per run: the median request→resume latency of each
+			// membership-change kind that happened (CI asserts on it).
+			line := "resize_ms:"
+			for _, kind := range []string{"join", "drain"} {
+				if ms := resizeMs[kind]; len(ms) > 0 {
+					line += fmt.Sprintf(" %s=%.3f", kind, median(ms))
+				}
+			}
+			fmt.Println(line)
+		}
 		if *algo == "nomad" && (*machines > 1 || *role == "coordinator") {
 			// Every distributed teardown verifies the ownership
 			// invariant — each of the n item tokens recovered exactly
@@ -243,6 +334,79 @@ func main() {
 		}
 		fmt.Printf("model written to %s\n", *modelOut)
 	}
+}
+
+// cliDigest summarizes the training invocation for the join-gate
+// handshake — FNV-1a over the flag tuple, mirroring the rendezvous
+// rule that every process must run the same dataset, seed and
+// hyper-parameters.
+func cliDigest(vals ...any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nomad-train|%v", vals)
+	return h.Sum64()
+}
+
+// admitJoiner builds the gate's admission decision for a running
+// session: trigger a live scale-out on the next idle spare and report
+// the committed rank and cluster size back to the dialer.
+func admitJoiner(s *nomad.Session) netlink.AdmitFunc {
+	return func(addr string) (netlink.Admission, error) {
+		events, cancelSub := s.Subscribe(128)
+		defer cancelSub()
+		if err := s.Resize().Join(-1); err != nil {
+			return netlink.Admission{}, err
+		}
+		timeout := time.After(time.Minute)
+		for {
+			select {
+			case e, ok := <-events:
+				if !ok {
+					return netlink.Admission{}, fmt.Errorf("run ended before the join committed")
+				}
+				if ev, ok := e.(nomad.ResizeEvent); ok && ev.Kind == "join" {
+					return netlink.Admission{Rank: ev.Rank, Machines: ev.Machines}, nil
+				}
+			case <-timeout:
+				return netlink.Admission{}, fmt.Errorf("join did not commit within a minute")
+			}
+		}
+	}
+}
+
+// runJoinRole is the whole life of a -role=join process: dial the
+// gate, get admitted (or refused), print the ticket.
+func runJoinRole(gate string, digest uint64, k int) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	tk, err := netlink.DialJoin(ctx, gate, "", digest, netlink.Options{K: k})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("admitted: machine %d of %d (k=%d); the cluster carved an ownership share and resumed\n",
+		tk.Rank, tk.Machines, tk.K)
+	if n := len(tk.Owner); n > 0 {
+		owned := 0
+		for _, o := range tk.Owner {
+			if int(o) == tk.Rank {
+				owned++
+			}
+		}
+		fmt.Printf("ownership map: %d of %d item tokens assigned here\n", owned, n)
+	}
+	if tk.State != nil {
+		fmt.Printf("resume state received: %d cluster updates so far\n", tk.State.Updates)
+	}
+}
+
+// median reports the middle value of xs (mean of the middle two for
+// even counts). xs must be non-empty; it is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // writeFile creates path and streams write(f) into it.

@@ -78,9 +78,24 @@ type PeerRecoveredEvent struct {
 	RecoverySeconds float64
 }
 
+// ResizeEvent reports a committed elastic-membership change on a run
+// with provisioned spares (WithElastic): a spare machine was activated
+// ("join") or a member left gracefully ("drain"), with every item
+// token conserved across the change. Machines is the active working
+// set after the change; Seconds is the request→resume reconfiguration
+// latency (a joiner keeps receiving its donated token share on the
+// data plane after resume).
+type ResizeEvent struct {
+	Kind     string // "join" or "drain"
+	Rank     int
+	Machines int
+	Seconds  float64
+}
+
 func (TraceEvent) event()         {}
 func (EpochEvent) event()         {}
 func (BalanceEvent) event()       {}
 func (NetworkEvent) event()       {}
 func (PeerDownEvent) event()      {}
 func (PeerRecoveredEvent) event() {}
+func (ResizeEvent) event()        {}

@@ -1,13 +1,21 @@
 package cluster
 
 // Chaos injection: a deterministic, seeded fault harness that wraps
-// cluster links and perturbs one machine (the victim) at a named
-// protocol point — the failure half of the failover test matrix. The
-// harness is driven by a ChaosSpec (parsed from the `-chaos=...`
-// flag syntax) and a ChaosController shared by every endpoint of the
-// run: the controller counts the victim's protocol events (data
-// sends, replication snapshots, barrier entries) and fires the
-// configured fault exactly once when the trigger point is reached.
+// cluster links and perturbs machines at named protocol points — the
+// failure half of the failover test matrix. The harness is driven by a
+// ChaosSpec (parsed from the `-chaos=...` flag syntax) and a
+// ChaosController shared by every endpoint of the run: the controller
+// counts protocol events (data sends, replication snapshots, barrier
+// entries, wall-clock delays) and fires each configured fault exactly
+// once when its trigger point is reached.
+//
+// A spec is a *schedule*: one or more events separated by `;`, fired
+// strictly in order. Each event waits for its own trigger, which for
+// the relative form (`@+duration`) is measured from the moment the
+// previous event fired (or from arming, for the first event):
+//
+//	kill:rank=2,at=mid-epoch              one fault, longhand
+//	kill@mid-epoch;join@+2s;drain@+1s     a schedule, shorthand
 //
 // Faults:
 //
@@ -24,6 +32,14 @@ package cluster
 //     with probability P (seeded, deterministic). Only the lossy-
 //     tolerant replication plane may be dropped: dropping token
 //     frames would silently break conservation rather than test it.
+//   - join: a provisioned spare machine is activated mid-run (the
+//     registered join function runs the elastic scale-out protocol).
+//   - drain: a machine leaves gracefully mid-run (the registered
+//     drain function runs the elastic scale-in protocol).
+//
+// A rank of -1 (shorthand events default to it) means "auto": the
+// runner's registered callback resolves the subject deterministically
+// from the live membership at fire time.
 
 import (
 	"fmt"
@@ -48,6 +64,10 @@ const (
 	OpDelay
 	// OpDrop drops victim replication snapshots with probability P.
 	OpDrop
+	// OpJoin activates a provisioned spare machine mid-run.
+	OpJoin
+	// OpDrain gracefully removes a machine mid-run.
+	OpDrain
 )
 
 func (o ChaosOp) String() string {
@@ -60,6 +80,10 @@ func (o ChaosOp) String() string {
 		return "delay"
 	case OpDrop:
 		return "drop"
+	case OpJoin:
+		return "join"
+	case OpDrain:
+		return "drain"
 	}
 	return fmt.Sprintf("ChaosOp(%d)", uint8(o))
 }
@@ -79,6 +103,10 @@ const (
 	// PointSnapshot triggers on the victim's After-th replication
 	// snapshot send (the control kind registered by the runner).
 	PointSnapshot
+	// PointAfter triggers Delay after the previous event fired (or
+	// after arming, for a schedule's first event) — the `@+duration`
+	// shorthand.
+	PointAfter
 )
 
 func (p ChaosPoint) String() string {
@@ -91,14 +119,17 @@ func (p ChaosPoint) String() string {
 		return "barrier"
 	case PointSnapshot:
 		return "snapshot"
+	case PointAfter:
+		return "after-delay"
 	}
 	return fmt.Sprintf("ChaosPoint(%d)", uint8(p))
 }
 
-// ChaosSpec describes one injected fault.
+// ChaosSpec describes one injected fault, optionally chained to the
+// next event of a schedule.
 type ChaosSpec struct {
 	Op   ChaosOp
-	Rank int        // victim machine
+	Rank int        // subject machine; -1 = resolved by the runner at fire time
 	At   ChaosPoint // trigger point
 	// After is how many occurrences of the trigger point happen before
 	// the fault fires (default 1; mid-epoch defaults to 5 so some
@@ -111,61 +142,162 @@ type ChaosSpec struct {
 	Window time.Duration
 	// Seed drives the deterministic drop decisions (default 1).
 	Seed uint64
+	// Delay is the PointAfter trigger offset, measured from the
+	// previous event's firing (or from arming for the first event).
+	Delay time.Duration
+	// Next is the schedule's following event, nil at the end.
+	Next *ChaosSpec
 }
 
 func (s *ChaosSpec) String() string {
-	return fmt.Sprintf("%s:rank=%d,at=%s,after=%d", s.Op, s.Rank, s.At, s.After)
+	one := fmt.Sprintf("%s:rank=%d,at=%s,after=%d", s.Op, s.Rank, s.At, s.After)
+	if s.Next != nil {
+		return one + ";" + s.Next.String()
+	}
+	return one
 }
 
-// normalize fills spec defaults in place.
+// Events flattens the schedule chain into a slice, head first.
+func (s *ChaosSpec) Events() []*ChaosSpec {
+	var out []*ChaosSpec
+	for ev := s; ev != nil; ev = ev.Next {
+		out = append(out, ev)
+	}
+	return out
+}
+
+// normalize fills spec defaults in place (the whole chain).
 func (s *ChaosSpec) normalize() {
-	if s.After <= 0 {
-		if s.At == PointMidEpoch {
-			s.After = 5
-		} else {
-			s.After = 1
+	for ev := s; ev != nil; ev = ev.Next {
+		if ev.After <= 0 {
+			if ev.At == PointMidEpoch {
+				ev.After = 5
+			} else {
+				ev.After = 1
+			}
+		}
+		if ev.P <= 0 || ev.P > 1 {
+			ev.P = 0.5
+		}
+		if ev.Window <= 0 {
+			ev.Window = 50 * time.Millisecond
+		}
+		if ev.Seed == 0 {
+			ev.Seed = 1
+		}
+		if ev.At == PointAfter && ev.Delay <= 0 {
+			ev.Delay = time.Second
 		}
 	}
-	if s.P <= 0 || s.P > 1 {
-		s.P = 0.5
-	}
-	if s.Window <= 0 {
-		s.Window = 50 * time.Millisecond
-	}
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
 }
 
-// ParseChaos parses the -chaos flag syntax:
+// ParseChaos parses the -chaos flag syntax: one or more events
+// separated by `;`, fired in order. Each event is either longhand
 //
 //	op:key=value,key=value,...
 //
 // e.g. "kill:rank=2,at=mid-epoch", "drop:rank=1,at=snapshot,p=0.5",
-// "partition:rank=2,at=mid-epoch,window=100ms". Keys: rank (victim
-// machine, required), at (trigger point, required), after (trigger
-// occurrence count), p (drop probability), window (duration), seed.
+// "partition:rank=2,at=mid-epoch,window=100ms" — keys: rank (subject
+// machine; required for kill/partition/delay/drop, -1 = auto for
+// join/drain), at (trigger point, required unless delay is given),
+// after (trigger occurrence count), p (drop probability), window
+// (duration), delay (fires this long after the previous event; sets
+// at=after-delay), seed — or shorthand
+//
+//	op@point        e.g. kill@mid-epoch   (rank auto-resolved)
+//	op@+duration    e.g. join@+2s         (relative-time trigger)
 func ParseChaos(s string) (*ChaosSpec, error) {
 	if s == "" {
 		return nil, nil
 	}
+	var head, tail *ChaosSpec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cluster: chaos schedule %q: empty event", s)
+		}
+		ev, err := parseChaosEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		if head == nil {
+			head = ev
+		} else {
+			tail.Next = ev
+		}
+		tail = ev
+	}
+	head.normalize()
+	return head, nil
+}
+
+func chaosOpByName(name string) (ChaosOp, error) {
+	switch name {
+	case "kill":
+		return OpKill, nil
+	case "partition":
+		return OpPartition, nil
+	case "delay":
+		return OpDelay, nil
+	case "drop":
+		return OpDrop, nil
+	case "join":
+		return OpJoin, nil
+	case "drain":
+		return OpDrain, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown chaos op %q (kill, partition, delay, drop, join, drain)", name)
+}
+
+func chaosPointByName(name string) (ChaosPoint, bool) {
+	switch name {
+	case "rendezvous":
+		return PointRendezvous, true
+	case "mid-epoch":
+		return PointMidEpoch, true
+	case "barrier":
+		return PointBarrier, true
+	case "snapshot":
+		return PointSnapshot, true
+	}
+	return 0, false
+}
+
+// parseChaosEvent parses one event of a schedule: the `op@point` /
+// `op@+dur` shorthand or the longhand `op:key=value,...` form.
+func parseChaosEvent(s string) (*ChaosSpec, error) {
+	if opName, at, found := strings.Cut(s, "@"); found {
+		op, err := chaosOpByName(opName)
+		if err != nil {
+			return nil, err
+		}
+		spec := &ChaosSpec{Op: op, Rank: -1}
+		if strings.HasPrefix(at, "+") {
+			d, err := time.ParseDuration(at[1:])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("cluster: chaos event %q: bad delay %q", s, at)
+			}
+			spec.At, spec.Delay = PointAfter, d
+			return spec, nil
+		}
+		pt, ok := chaosPointByName(at)
+		if !ok {
+			return nil, fmt.Errorf("cluster: chaos event %q: unknown point %q (rendezvous, mid-epoch, barrier, snapshot, +duration)", s, at)
+		}
+		spec.At = pt
+		return spec, nil
+	}
+
 	opName, rest, found := strings.Cut(s, ":")
 	if !found {
-		return nil, fmt.Errorf("cluster: chaos spec %q: want op:key=value,...", s)
+		return nil, fmt.Errorf("cluster: chaos spec %q: want op:key=value,... or op@point", s)
 	}
-	spec := &ChaosSpec{Rank: -1}
-	switch opName {
-	case "kill":
-		spec.Op = OpKill
-	case "partition":
-		spec.Op = OpPartition
-	case "delay":
-		spec.Op = OpDelay
-	case "drop":
-		spec.Op = OpDrop
-	default:
-		return nil, fmt.Errorf("cluster: unknown chaos op %q (kill, partition, delay, drop)", opName)
+	op, err := chaosOpByName(opName)
+	if err != nil {
+		return nil, err
 	}
+	spec := &ChaosSpec{Op: op, Rank: -1}
+	rankSet := false
 	for _, kv := range strings.Split(rest, ",") {
 		key, val, found := strings.Cut(kv, "=")
 		if !found {
@@ -175,17 +307,10 @@ func ParseChaos(s string) (*ChaosSpec, error) {
 		switch key {
 		case "rank":
 			spec.Rank, err = strconv.Atoi(val)
+			rankSet = err == nil
 		case "at":
-			switch val {
-			case "rendezvous":
-				spec.At = PointRendezvous
-			case "mid-epoch":
-				spec.At = PointMidEpoch
-			case "barrier":
-				spec.At = PointBarrier
-			case "snapshot":
-				spec.At = PointSnapshot
-			default:
+			var ok bool
+			if spec.At, ok = chaosPointByName(val); !ok {
 				err = fmt.Errorf("unknown point %q (rendezvous, mid-epoch, barrier, snapshot)", val)
 			}
 		case "after":
@@ -194,6 +319,9 @@ func ParseChaos(s string) (*ChaosSpec, error) {
 			spec.P, err = strconv.ParseFloat(val, 64)
 		case "window":
 			spec.Window, err = time.ParseDuration(val)
+		case "delay":
+			spec.Delay, err = time.ParseDuration(val)
+			spec.At = PointAfter
 		case "seed":
 			var u uint64
 			u, err = strconv.ParseUint(val, 10, 64)
@@ -205,47 +333,72 @@ func ParseChaos(s string) (*ChaosSpec, error) {
 			return nil, fmt.Errorf("cluster: chaos spec %q: %s: %v", s, key, err)
 		}
 	}
-	if spec.Rank < 0 {
+	// Join/drain subjects are resolvable from the live membership at
+	// fire time; the classic faults target a specific machine.
+	if !rankSet && spec.Op != OpJoin && spec.Op != OpDrain {
 		return nil, fmt.Errorf("cluster: chaos spec %q: rank is required", s)
 	}
 	if spec.At == 0 {
-		return nil, fmt.Errorf("cluster: chaos spec %q: at is required", s)
+		return nil, fmt.Errorf("cluster: chaos spec %q: at (or delay) is required", s)
 	}
-	spec.normalize()
 	return spec, nil
 }
 
-// ChaosController is the shared state of one injected fault: it
-// counts the victim's trigger-point occurrences and fires the fault
-// exactly once. One controller wraps every endpoint of a run.
+// ChaosController is the shared state of one fault schedule: it counts
+// trigger-point occurrences for the current event and fires each event
+// exactly once, in order. One controller wraps every endpoint of a run.
 type ChaosController struct {
-	spec  ChaosSpec
-	fired atomic.Bool
+	events []*ChaosSpec
+	idx    atomic.Int32 // current event index; len(events) = schedule done
+	fired  atomic.Bool  // at least one event has fired
 
-	sends    atomic.Int64 // victim outbound token batches
-	snaps    atomic.Int64 // victim replication snapshot sends
-	barriers atomic.Int64 // victim Barrier entries
+	sends    atomic.Int64 // outbound token batches observed for the current trigger
+	snaps    atomic.Int64 // replication snapshot sends observed
+	barriers atomic.Int64 // Barrier entries observed
+
+	// Per-event counter baselines, snapped when an event is armed so a
+	// later event's After counts occurrences after the previous fire.
+	baseSends    atomic.Int64
+	baseSnaps    atomic.Int64
+	baseBarriers atomic.Int64
 
 	snapKind atomic.Uint32 // 1+kind of the replication ctl frames, 0 = unset
 
-	// until is the partition heal deadline (unix nanos), 0 while the
-	// partition has not triggered.
-	until atomic.Int64
+	// Fired-effect state (persists as the schedule advances).
+	partRank  atomic.Int32 // partitioned machine, -2 none
+	until     atomic.Int64 // partition heal deadline (unix nanos)
+	delayRank atomic.Int32 // delayed machine, -2 none
+	delayWin  atomic.Int64 // per-send delay (nanos)
+	dropRank  atomic.Int32 // snapshot-dropping machine, -2 none
 
-	mu   sync.Mutex
-	kill func(victim int) // installed by the runner
-	rnd  *rng.Source      // deterministic drop decisions
+	mu      sync.Mutex
+	kill    func(victim int) // installed by the runner; rank -1 = auto
+	join    func(rank int)   // elastic scale-out, installed by the runner
+	drain   func(rank int)   // elastic scale-in, installed by the runner
+	rnd     *rng.Source      // deterministic drop decisions
+	dropP   float64
+	timer   *time.Timer // pending PointAfter trigger
+	links   []Link      // armed endpoints (kill fallback)
+	stopped bool
 }
 
-// NewChaosController builds a controller for the spec. The spec is
+// NewChaosController builds a controller for the schedule. The spec is
 // normalized (defaults filled) in place.
 func NewChaosController(spec *ChaosSpec) *ChaosController {
 	spec.normalize()
-	return &ChaosController{spec: *spec, rnd: rng.New(spec.Seed)}
+	c := &ChaosController{events: spec.Events(), rnd: rng.New(spec.Seed)}
+	c.partRank.Store(-2)
+	c.delayRank.Store(-2)
+	c.dropRank.Store(-2)
+	return c
 }
 
-// Spec returns the (normalized) fault description.
-func (c *ChaosController) Spec() ChaosSpec { return c.spec }
+// Spec returns the (normalized) description of the schedule's first
+// event.
+func (c *ChaosController) Spec() ChaosSpec { return *c.events[0] }
+
+// Len returns the number of events in the schedule.
+func (c *ChaosController) Len() int { return len(c.events) }
 
 // OnKill installs the kill function the runner uses to stop the
 // victim machine in-process. Without one, a fired kill falls back to
@@ -256,6 +409,22 @@ func (c *ChaosController) OnKill(fn func(victim int)) {
 	c.mu.Unlock()
 }
 
+// OnJoin installs the elastic scale-out function (rank -1 = runner
+// picks the spare deterministically).
+func (c *ChaosController) OnJoin(fn func(rank int)) {
+	c.mu.Lock()
+	c.join = fn
+	c.mu.Unlock()
+}
+
+// OnDrain installs the elastic scale-in function (rank -1 = runner
+// picks the leaver deterministically).
+func (c *ChaosController) OnDrain(fn func(rank int)) {
+	c.mu.Lock()
+	c.drain = fn
+	c.mu.Unlock()
+}
+
 // SetSnapshotKind registers the control-frame kind that carries
 // replication snapshots, so PointSnapshot and OpDrop can recognize
 // them.
@@ -263,32 +432,87 @@ func (c *ChaosController) SetSnapshotKind(kind uint8) {
 	c.snapKind.Store(1 + uint32(kind))
 }
 
-// WrapAll wraps every link of a run; the victim's wrapper observes
-// and injects, the others only forward (a uniform wrapper keeps the
-// teardown paths identical across ranks).
+// WrapAll wraps every link of a run; every wrapper observes for the
+// controller (a uniform wrapper keeps the teardown paths identical
+// across ranks).
 func (c *ChaosController) WrapAll(links []Link) []Link {
 	out := make([]Link, len(links))
 	for i, l := range links {
-		out[i] = &ChaosLink{Link: l, ctrl: c, victim: l != nil && l.Rank() == c.spec.Rank}
+		rank := -1
+		if l != nil {
+			rank = l.Rank()
+		}
+		out[i] = &ChaosLink{Link: l, ctrl: c, rank: rank}
 	}
 	return out
 }
 
 // Wrap wraps a single link.
 func (c *ChaosController) Wrap(l Link) Link {
-	return &ChaosLink{Link: l, ctrl: c, victim: l.Rank() == c.spec.Rank}
+	return &ChaosLink{Link: l, ctrl: c, rank: l.Rank()}
 }
 
-// Arm fires rendezvous-point faults: the run is assembled and about
-// to start. Called by the runner after links are built.
-func (c *ChaosController) Arm(victimLink Link) {
-	if c.spec.At == PointRendezvous {
-		c.trigger(victimLink)
+// Arm starts the schedule: rendezvous-point first events fire
+// immediately, relative-time ones start their timer. Called by the
+// runner after links are built (pass the run's wrapped links; the kill
+// fallback and effect routing use them).
+func (c *ChaosController) Arm(links []Link) {
+	c.mu.Lock()
+	c.links = links
+	c.mu.Unlock()
+	c.armCurrent()
+}
+
+// Stop cancels any pending relative-time trigger; remaining events
+// never fire. Called at teardown.
+func (c *ChaosController) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
 	}
 }
 
-// Fired reports whether the fault has triggered.
+// Fired reports whether any event of the schedule has triggered.
 func (c *ChaosController) Fired() bool { return c.fired.Load() }
+
+// Done reports whether every event of the schedule has triggered.
+func (c *ChaosController) Done() bool { return int(c.idx.Load()) >= len(c.events) }
+
+// current returns the awaiting event and its index, or nil when the
+// schedule is exhausted.
+func (c *ChaosController) current() (*ChaosSpec, int32) {
+	i := c.idx.Load()
+	if int(i) >= len(c.events) {
+		return nil, i
+	}
+	return c.events[i], i
+}
+
+// armCurrent prepares the awaiting event: counter baselines are
+// snapped, immediate (rendezvous) events fire now, relative-time
+// events start their timer.
+func (c *ChaosController) armCurrent() {
+	ev, i := c.current()
+	if ev == nil {
+		return
+	}
+	c.baseSends.Store(c.sends.Load())
+	c.baseSnaps.Store(c.snaps.Load())
+	c.baseBarriers.Store(c.barriers.Load())
+	switch ev.At {
+	case PointRendezvous:
+		c.fire(i)
+	case PointAfter:
+		c.mu.Lock()
+		if !c.stopped {
+			c.timer = time.AfterFunc(ev.Delay, func() { c.fire(i) })
+		}
+		c.mu.Unlock()
+	}
+}
 
 // isSnapshot reports whether a ctl kind is the registered
 // replication-snapshot kind.
@@ -302,42 +526,111 @@ func (c *ChaosController) isSnapshot(kind uint8) bool {
 func (c *ChaosController) dropSnapshot() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.rnd.Float64() < c.spec.P
+	return c.rnd.Float64() < c.dropP
 }
 
-// trigger fires the fault once. victimLink is the victim's own link
-// (used by the kill fallback and by partition/delay windows).
-func (c *ChaosController) trigger(victimLink Link) {
-	if !c.fired.CompareAndSwap(false, true) {
+// observes reports whether the current event's trigger watches frames
+// from rank (rank -1 on the event = any machine).
+func chaosObserves(ev *ChaosSpec, rank int) bool {
+	return ev.Rank < 0 || ev.Rank == rank
+}
+
+// onSend counts an outbound token batch from rank toward a mid-epoch
+// trigger.
+func (c *ChaosController) onSend(rank int) {
+	ev, i := c.current()
+	if ev == nil || ev.At != PointMidEpoch || !chaosObserves(ev, rank) {
 		return
 	}
-	switch c.spec.Op {
+	if c.sends.Add(1) == c.baseSends.Load()+int64(ev.After) {
+		c.fire(i)
+	}
+}
+
+// onSnap counts a replication snapshot from rank toward a snapshot
+// trigger.
+func (c *ChaosController) onSnap(rank int) {
+	ev, i := c.current()
+	if ev == nil || ev.At != PointSnapshot || !chaosObserves(ev, rank) {
+		return
+	}
+	if c.snaps.Add(1) == c.baseSnaps.Load()+int64(ev.After) {
+		c.fire(i)
+	}
+}
+
+// onBarrier counts a barrier entry from rank toward a barrier trigger.
+func (c *ChaosController) onBarrier(rank int) {
+	ev, i := c.current()
+	if ev == nil || ev.At != PointBarrier || !chaosObserves(ev, rank) {
+		return
+	}
+	if c.barriers.Add(1) == c.baseBarriers.Load()+int64(ev.After) {
+		c.fire(i)
+	}
+}
+
+// fire triggers event i exactly once (the idx CAS is the exactly-once
+// guarantee), applies its op, and arms the schedule's next event.
+func (c *ChaosController) fire(i int32) {
+	if !c.idx.CompareAndSwap(i, i+1) {
+		return
+	}
+	ev := c.events[i]
+	c.fired.Store(true)
+	switch ev.Op {
 	case OpKill:
 		c.mu.Lock()
 		kill := c.kill
 		c.mu.Unlock()
 		if kill != nil {
-			kill(c.spec.Rank)
-			return
+			kill(ev.Rank)
+		} else if ev.Rank >= 0 {
+			// Netlink-level fallback: sever the victim's connections.
+			c.mu.Lock()
+			links := c.links
+			c.mu.Unlock()
+			if ev.Rank < len(links) {
+				if a, ok := links[ev.Rank].(interface{ Abort() }); ok {
+					a.Abort()
+				}
+			}
 		}
-		// Netlink-level fallback: sever the victim's connections.
-		if a, ok := victimLink.(interface{ Abort() }); ok {
-			a.Abort()
-		}
-	case OpPartition, OpDelay:
-		c.until.Store(time.Now().Add(c.spec.Window).UnixNano())
+	case OpPartition:
+		c.until.Store(time.Now().Add(ev.Window).UnixNano())
+		c.partRank.Store(int32(ev.Rank))
+	case OpDelay:
+		c.delayWin.Store(int64(ev.Window))
+		c.delayRank.Store(int32(ev.Rank))
 	case OpDrop:
-		// Nothing to do at trigger time: dropSnapshot consults the
-		// fired flag per frame.
+		c.mu.Lock()
+		c.dropP = ev.P
+		c.mu.Unlock()
+		c.dropRank.Store(int32(ev.Rank))
+	case OpJoin:
+		c.mu.Lock()
+		join := c.join
+		c.mu.Unlock()
+		if join != nil {
+			join(ev.Rank)
+		}
+	case OpDrain:
+		c.mu.Lock()
+		drain := c.drain
+		c.mu.Unlock()
+		if drain != nil {
+			drain(ev.Rank)
+		}
 	}
+	c.armCurrent()
 }
 
-// ChaosLink wraps one endpoint. Non-victim wrappers forward
-// everything unchanged.
+// ChaosLink wraps one endpoint, feeding the controller's trigger
+// counters and applying fired stall/drop effects to its own rank.
 type ChaosLink struct {
 	Link
-	ctrl   *ChaosController
-	victim bool
+	ctrl *ChaosController
+	rank int
 }
 
 // Unwrap exposes the wrapped endpoint (e.g. for Abort on a TCP link).
@@ -351,66 +644,47 @@ func (c *ChaosLink) Abort() {
 	}
 }
 
-// stall applies a pending partition/delay window to a victim send.
+// stall applies a fired partition/delay window to this rank's send.
 func (c *ChaosLink) stall() {
-	spec := &c.ctrl.spec
-	switch spec.Op {
-	case OpPartition:
-		until := c.ctrl.until.Load()
-		if until == 0 {
-			return
+	if int(c.ctrl.partRank.Load()) == c.rank {
+		if until := c.ctrl.until.Load(); until != 0 {
+			if d := time.Until(time.Unix(0, until)); d > 0 {
+				time.Sleep(d)
+			}
 		}
-		if d := time.Until(time.Unix(0, until)); d > 0 {
-			time.Sleep(d)
-		}
-	case OpDelay:
-		if c.ctrl.until.Load() != 0 {
-			time.Sleep(spec.Window)
+	}
+	if int(c.ctrl.delayRank.Load()) == c.rank {
+		if w := c.ctrl.delayWin.Load(); w > 0 {
+			time.Sleep(time.Duration(w))
 		}
 	}
 }
 
-// Send implements cluster.Link, counting the victim's outbound token
-// batches toward a mid-epoch trigger and applying stall windows.
+// Send implements cluster.Link, counting outbound token batches toward
+// a mid-epoch trigger and applying stall windows.
 func (c *ChaosLink) Send(dst int, batch TokenBatch) error {
-	if c.victim && !c.ctrl.fired.Load() && c.ctrl.spec.At == PointMidEpoch {
-		if c.ctrl.sends.Add(1) == int64(c.ctrl.spec.After) {
-			c.ctrl.trigger(c)
-		}
-	}
-	if c.victim {
-		c.stall()
-	}
+	c.ctrl.onSend(c.rank)
+	c.stall()
 	return c.Link.Send(dst, batch)
 }
 
-// SendCtl implements cluster.Link, counting the victim's replication
-// snapshots toward a snapshot trigger and dropping them under OpDrop.
+// SendCtl implements cluster.Link, counting replication snapshots
+// toward a snapshot trigger and dropping them under a fired OpDrop.
 func (c *ChaosLink) SendCtl(dst int, kind uint8, payload []byte) error {
-	if c.victim && c.ctrl.isSnapshot(kind) {
-		if !c.ctrl.fired.Load() && c.ctrl.spec.At == PointSnapshot {
-			if c.ctrl.snaps.Add(1) == int64(c.ctrl.spec.After) {
-				c.ctrl.trigger(c)
-			}
-		}
-		if c.ctrl.spec.Op == OpDrop && c.ctrl.fired.Load() && c.ctrl.dropSnapshot() {
+	if c.ctrl.isSnapshot(kind) {
+		c.ctrl.onSnap(c.rank)
+		if int(c.ctrl.dropRank.Load()) == c.rank && c.ctrl.dropSnapshot() {
 			return nil // dropped on the wire
 		}
 	}
-	if c.victim {
-		c.stall()
-	}
+	c.stall()
 	return c.Link.SendCtl(dst, kind, payload)
 }
 
-// Barrier implements cluster.Link, counting the victim's barrier
-// entries toward a barrier trigger — the victim dies inside the
-// barrier, after peers have started waiting on it.
+// Barrier implements cluster.Link, counting barrier entries toward a
+// barrier trigger — the victim dies inside the barrier, after peers
+// have started waiting on it.
 func (c *ChaosLink) Barrier() error {
-	if c.victim && !c.ctrl.fired.Load() && c.ctrl.spec.At == PointBarrier {
-		if c.ctrl.barriers.Add(1) == int64(c.ctrl.spec.After) {
-			c.ctrl.trigger(c)
-		}
-	}
+	c.ctrl.onBarrier(c.rank)
 	return c.Link.Barrier()
 }

@@ -119,8 +119,12 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	if cfg.QueueKind.Resolve() == queue.KindSPSC {
 		return trainDistributedMesh(ctx, ds, cfg, hooks)
 	}
+	// M counts the initial members; Mtot adds the provisioned elastic
+	// spares, which run their communication threads from the start but
+	// stay latent (no tokens, gossip-poisoned) until a join round.
 	M, W := cfg.Machines, cfg.Workers
-	p := M * W
+	Mtot := cfg.TotalMachines()
+	p := Mtot * W
 	m, n := ds.Rows(), ds.Cols()
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
@@ -135,6 +139,16 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		chaos = cluster.NewChaosController(cfg.Chaos)
 		chaos.SetSnapshotKind(ctlFoReplToks)
 		chaos.OnKill(func(victim int) { fo.killMachine(victim) })
+		chaos.OnJoin(func(rank int) {
+			if err := fo.requestJoin(rank); err != nil {
+				fo.fail(err)
+			}
+		})
+		chaos.OnDrain(func(rank int) {
+			if err := fo.requestDrain(rank); err != nil {
+				fo.fail(err)
+			}
+		})
 		links = chaos.WrapAll(links)
 	}
 	root := rng.New(cfg.Seed)
@@ -152,18 +166,23 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		}
 	}
 
-	machines := make([]*machine, M)
-	for mcID := 0; mcID < M; mcID++ {
+	machines := make([]*machine, Mtot)
+	for mcID := 0; mcID < Mtot; mcID++ {
 		mc := &machine{
 			id:        mcID,
 			workers:   W,
 			queues:    make([]queue.Queue[*distToken], W),
 			out:       make(chan *distToken, 4*cfg.BatchSize),
 			pool:      newTokenPool(4 * cfg.BatchSize),
-			lastKnown: make([]atomic.Int64, M),
+			lastKnown: make([]atomic.Int64, Mtot),
 		}
 		for w := 0; w < W; w++ {
 			mc.queues[w] = queue.New[*distToken](cfg.QueueKind, 2*n/p+4)
+		}
+		// Latent spares lose every least-loaded comparison until a join
+		// activates them (and clears the poison).
+		for r := M; r < Mtot; r++ {
+			mc.lastKnown[r].Store(poisonedQueueLen)
 		}
 		machines[mcID] = mc
 	}
@@ -198,15 +217,24 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		for _, mc := range machines {
 			mc.lastKnown[victim].Store(poisonedQueueLen)
 		}
+	}, func(rank int) {
+		// A spare just activated: clear the poison so pickers can route
+		// to it.
+		for _, mc := range machines {
+			mc.lastKnown[rank].Store(0)
+		}
 	}, &stop, cancelRun)
 	fo.startAgents()
+	if cfg.Elastic != nil && fo != nil {
+		cfg.Elastic.Bind(fo.requestJoin, fo.requestDrain)
+	}
 	if chaos != nil {
-		chaos.Arm(links[chaos.Spec().Rank])
+		chaos.Arm(links)
 	}
 
 	// Compute workers.
 	var workerWG sync.WaitGroup
-	for mcID := 0; mcID < M; mcID++ {
+	for mcID := 0; mcID < Mtot; mcID++ {
 		for w := 0; w < W; w++ {
 			workerWG.Add(1)
 			go func(mc *machine, w int) {
@@ -221,7 +249,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	// streams are split off the root before the goroutines start —
 	// Split advances the parent stream and is not safe concurrently.
 	var senderWG, receiverWG sync.WaitGroup
-	for mcID := 0; mcID < M; mcID++ {
+	for mcID := 0; mcID < Mtot; mcID++ {
 		senderRNG := root.Split(uint64(1000 + mcID))
 		receiverRNG := root.Split(uint64(2000 + mcID))
 		senderWG.Add(1)
@@ -233,7 +261,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 		go func(mc *machine) {
 			defer receiverWG.Done()
 			runReceiver(mc, links[mc.id], cfg, receiverRNG, fo)
-			if links[mc.id].Err() != nil && !fo.machineDead(mc.id) {
+			if links[mc.id].Err() != nil && !fo.machineGone(mc.id) {
 				cancelRun()
 			}
 		}(machines[mcID])
@@ -246,6 +274,9 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	// drains the previous one so no token is lost. The failover runtime
 	// is released first so parked senders and mid-protocol agents never
 	// block the stages behind them.
+	if chaos != nil {
+		chaos.Stop()
+	}
 	fo.shutdown()
 	workerWG.Wait()
 	for _, mc := range machines {
@@ -274,7 +305,7 @@ func trainDistributed(ctx context.Context, ds *dataset.Dataset, cfg train.Config
 	// were regenerated on the buddy during failover).
 	collected := 0
 	for _, mc := range machines {
-		if fo.machineDead(mc.id) {
+		if fo.machineGone(mc.id) {
 			continue
 		}
 		for _, q := range mc.queues {
@@ -359,9 +390,25 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 	straggler := gw == 0 && cfg.Straggle > 1
 	var idle idleBackoff
 	var batch int64
-	var adoptSeen uint64
-	var adopted *localRatings // dead buddy's rating shard, once remapped here
-	for !stop.Load() && !fo.machineDead(mc.id) {
+	var respSeen uint64
+	var extras []*localRatings // fostered shards this worker trains beyond its own
+	for !stop.Load() && !fo.machineGone(mc.id) {
+		if fo.drainingMachine(mc.id) {
+			// Graceful leave: stop training and flush this queue forward to
+			// the sender, visit plan cancelled — the drain streams every
+			// token to the ring buddy. The idle flag is published only
+			// after the hand-off, so the sender's quiesce check cannot see
+			// "all idle" while a token is still between queue and channel.
+			fo.setDrainIdle(mc.id, w, false)
+			if tok, ok := mc.queues[w].TryPop(); ok {
+				tok.visits = tok.visits[:0]
+				mc.out <- tok
+				continue
+			}
+			fo.setDrainIdle(mc.id, w, true)
+			idle.wait()
+			continue
+		}
 		tok, ok := mc.queues[w].TryPop()
 		if !ok {
 			idle.wait()
@@ -385,14 +432,16 @@ func runDistWorker(mc *machine, w int, md *factor.Model, lr *localRatings,
 		}
 		batch += int64(len(usersJ))
 		if fo != nil {
-			// After a failover remapped a dead machine's users here, this
-			// worker also trains the adopted shard's ratings of item j.
-			if g := fo.adoptGen.Load(); g != adoptSeen {
-				adoptSeen = g
-				adopted = fo.adoptedShard(gw)
+			// The responsibility table may name this worker for shards
+			// beyond its own: a latent spare's fostered users, or a dead
+			// machine's users remapped here by failover. Train those
+			// shards' ratings of item j too.
+			if g := fo.respGeneration(); g != respSeen {
+				respSeen = g
+				extras = fo.extraShards(gw, extras)
 			}
-			if adopted != nil {
-				au, av, ac := adopted.itemRatings(j)
+			for _, ex := range extras {
+				au, av, ac := ex.itemRatings(j)
 				if len(au) > 0 {
 					hp.itemSGDVec(j, au, av, ac, tok.tok.Vec)
 					batch += int64(len(au))
@@ -431,7 +480,12 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 	pick := fo.wrapPick(machinePicker(mc.id, link.Machines(), cfg.LoadBalance, mc.lastKnown, r, hooks))
 	cmds := fo.sendCmds(mc.id) // nil (never ready) without failover
 	add := func(tok *distToken) {
-		d := pick()
+		// A scale-out rebalance takes priority: while this machine owes
+		// the latest joiner tokens, route them there instead of picking.
+		d := fo.donationDest(mc.id)
+		if d < 0 {
+			d = pick()
+		}
 		if fo != nil {
 			// The token is leaving this machine: clear its ownership bit
 			// before it becomes observable anywhere else.
@@ -439,6 +493,42 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 		}
 		s.Add(d, tok.tok) // copies the vector into the batch arena
 		mc.pool.put(tok)
+	}
+	// drainAll is the scale-in hand-off: stream every token still on
+	// this machine to dest (the ring buddy) — the workers are flushing
+	// their queues into mc.out — until the machine is demonstrably
+	// empty. The quiesce check reads the stations in token-flow order —
+	// worker queues, worker idle flags, then the out channel — so a
+	// token in flight downstream of one read is always caught by a
+	// later one (tokens only move downstream; no new ones arrive, the
+	// peers are parked).
+	drainAll := func(dest int) {
+		fwd := func(tok *distToken) {
+			fo.noteSent(mc.id, dest, tok.tok.Item)
+			s.Add(dest, tok.tok)
+			mc.pool.put(tok)
+		}
+		for {
+			if fo.isStopping() || fo.dead[mc.id].Load() {
+				return // killed or torn down mid-drain: hand over to evict/teardown
+			}
+			select {
+			case tok, ok := <-mc.out:
+				if !ok {
+					return
+				}
+				fwd(tok)
+			default:
+				qn := 0
+				for _, q := range mc.queues {
+					qn += q.Len()
+				}
+				if qn == 0 && fo.drainIdleAll(mc.id) && len(mc.out) == 0 {
+					return
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
 	}
 	// die winds down a killed machine's sender like a crashed process:
 	// nothing pending is flushed (those tokens are exactly what failover
@@ -451,16 +541,16 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 		}
 	}
 	for {
-		if fo.machineDead(mc.id) {
+		if fo.machineGone(mc.id) {
 			die()
 			return
 		}
 		select {
 		case cmd := <-cmds:
-			fo.runSenderCmd(mc.id, cmd, s, pick)
+			fo.runSenderCmd(mc.id, cmd, s, pick, drainAll)
 		case tok, ok := <-mc.out:
 			if !ok {
-				if fo.machineDead(mc.id) {
+				if fo.machineGone(mc.id) {
 					link.CloseSend() //nolint:errcheck
 				} else {
 					s.Close() //nolint:errcheck // link failure surfaces via link.Err
@@ -473,10 +563,10 @@ func runSender(mc *machine, link cluster.Link, cfg train.Config, r *rng.Source, 
 			s.FlushAll() //nolint:errcheck
 			select {
 			case cmd := <-cmds:
-				fo.runSenderCmd(mc.id, cmd, s, pick)
+				fo.runSenderCmd(mc.id, cmd, s, pick, drainAll)
 			case tok, ok := <-mc.out:
 				if !ok {
-					if fo.machineDead(mc.id) {
+					if fo.machineGone(mc.id) {
 						link.CloseSend() //nolint:errcheck
 					} else {
 						s.Close() //nolint:errcheck

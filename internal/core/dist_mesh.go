@@ -35,8 +35,11 @@ type meshMachine struct {
 
 	// pending holds receiver-delivered tokens whose worker lane was
 	// momentarily full; retried on the next inbound message and folded
-	// into the final collection at teardown.
-	pending [][]*distToken
+	// into the final collection at teardown. pendingN mirrors the total
+	// held (visible-in-lane before decrement), so a drain's quiesce
+	// check can account for tokens parked here.
+	pending  [][]*distToken
+	pendingN atomic.Int64
 
 	// lastKnown[r] is the most recent queue-length gossip received
 	// from machine r (§3.3).
@@ -70,6 +73,10 @@ func (mc *meshMachine) retryPending() {
 				toks[i] = nil // release for GC
 			}
 			mc.pending[d] = toks[:rest]
+			// After SendBatch: the tokens are visible in the lane before
+			// the pending count drops, so the two never read zero while a
+			// token is between stations.
+			mc.pendingN.Add(-int64(acc))
 		}
 	}
 }
@@ -114,8 +121,12 @@ func machinePicker(id, M int, loadBalance bool, lastKnown []atomic.Int64, r *rng
 
 // trainDistributedMesh is trainDistributed on the batched transport.
 func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks) (*train.Result, error) {
+	// M counts the initial members; Mtot adds the provisioned elastic
+	// spares, which run their communication threads from the start but
+	// stay latent (no tokens, gossip-poisoned) until a join round.
 	M, W := cfg.Machines, cfg.Workers
-	p := M * W
+	Mtot := cfg.TotalMachines()
+	p := Mtot * W
 	m, n := ds.Rows(), ds.Cols()
 	users := partitionUsers(ds, cfg, p) // global worker id = machine*W + worker
 	local := buildLocalRatings(ds.Train, users)
@@ -130,6 +141,16 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		chaos = cluster.NewChaosController(cfg.Chaos)
 		chaos.SetSnapshotKind(ctlFoReplToks)
 		chaos.OnKill(func(victim int) { fo.killMachine(victim) })
+		chaos.OnJoin(func(rank int) {
+			if err := fo.requestJoin(rank); err != nil {
+				fo.fail(err)
+			}
+		})
+		chaos.OnDrain(func(rank int) {
+			if err := fo.requestDrain(rank); err != nil {
+				fo.fail(err)
+			}
+		})
 		links = chaos.WrapAll(links)
 	}
 	root := rng.New(cfg.Seed)
@@ -147,16 +168,22 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		}
 	}
 
-	machines := make([]*meshMachine, M)
-	for mcID := 0; mcID < M; mcID++ {
+	machines := make([]*meshMachine, Mtot)
+	for mcID := 0; mcID < Mtot; mcID++ {
 		mc := &meshMachine{
 			id:        mcID,
 			workers:   W,
 			mesh:      queue.NewMesh[*distToken](W+1, meshRingCap(n, M*W)),
 			pool:      newTokenPool(4 * cfg.BatchSize),
 			pending:   make([][]*distToken, W+1),
-			lastKnown: make([]atomic.Int64, M),
+			lastKnown: make([]atomic.Int64, Mtot),
 		}
+		// Latent spares lose every least-loaded comparison until a join
+		// activates them (and clears the poison).
+		for r := M; r < Mtot; r++ {
+			mc.lastKnown[r].Store(poisonedQueueLen)
+		}
+		fo.setRetryFn(mcID, mc.retryPending)
 		machines[mcID] = mc
 	}
 
@@ -189,17 +216,26 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		for _, mc := range machines {
 			mc.lastKnown[victim].Store(poisonedQueueLen)
 		}
+	}, func(rank int) {
+		// A spare just activated: clear the poison so pickers can route
+		// to it.
+		for _, mc := range machines {
+			mc.lastKnown[rank].Store(0)
+		}
 	}, &stop, cancelRun)
 	fo.startAgents()
+	if cfg.Elastic != nil && fo != nil {
+		cfg.Elastic.Bind(fo.requestJoin, fo.requestDrain)
+	}
 	if chaos != nil {
-		chaos.Arm(links[chaos.Spec().Rank])
+		chaos.Arm(links)
 	}
 
 	// Compute workers. residual[mc][w] keeps each worker's unflushed
 	// out-buffers for the final collection.
-	residual := make([][][][]*distToken, M)
+	residual := make([][][][]*distToken, Mtot)
 	var workerWG sync.WaitGroup
-	for mcID := 0; mcID < M; mcID++ {
+	for mcID := 0; mcID < Mtot; mcID++ {
 		residual[mcID] = make([][][]*distToken, W)
 		for w := 0; w < W; w++ {
 			workerWG.Add(1)
@@ -215,7 +251,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	// exit once workersDone is raised and their port row is dry.
 	var workersDone atomic.Bool
 	var senderWG, receiverWG sync.WaitGroup
-	for mcID := 0; mcID < M; mcID++ {
+	for mcID := 0; mcID < Mtot; mcID++ {
 		// Split before the goroutines start: Split advances the parent
 		// stream and is not safe concurrently.
 		senderRNG := root.Split(uint64(1000 + mcID))
@@ -229,7 +265,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		go func(mc *meshMachine) {
 			defer receiverWG.Done()
 			runMeshReceiver(mc, links[mc.id], cfg, receiverRNG, fo)
-			if links[mc.id].Err() != nil && !fo.machineDead(mc.id) {
+			if links[mc.id].Err() != nil && !fo.machineGone(mc.id) {
 				cancelRun()
 			}
 		}(machines[mcID])
@@ -241,6 +277,9 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 	// receivers (drain until every peer's stream has ended). The
 	// workers' exit flushes are published by workerWG.Wait, so a sender
 	// observing workersDone drains a complete port row.
+	if chaos != nil {
+		chaos.Stop()
+	}
 	fo.shutdown()
 	workerWG.Wait()
 	workersDone.Store(true)
@@ -270,7 +309,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		collected++
 	}
 	for _, mc := range machines {
-		if fo.machineDead(mc.id) {
+		if fo.machineGone(mc.id) {
 			continue
 		}
 		for d := 0; d <= mc.workers; d++ {
@@ -281,7 +320,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 		}
 	}
 	for mcID, perWorker := range residual {
-		if fo.machineDead(mcID) {
+		if fo.machineGone(mcID) {
 			continue
 		}
 		for _, outs := range perWorker {
@@ -327,6 +366,7 @@ func trainDistributedMesh(ctx context.Context, ds *dataset.Dataset, cfg train.Co
 func deliverMeshLocal(mc *meshMachine, tok *distToken, circulate int, r *rng.Source, scratch []int) {
 	first := planVisits(tok, mc.workers, circulate, r, scratch)
 	if !mc.mesh.Send(mc.port(), first, tok) {
+		mc.pendingN.Add(1)
 		mc.pending[first] = append(mc.pending[first], tok)
 	}
 }
@@ -368,9 +408,39 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 
 	var idle idleBackoff
 	var batch int64
-	var adoptSeen uint64
-	var adopted *localRatings // dead buddy's rating shard, once remapped here
-	for !stop.Load() && !fo.machineDead(mc.id) {
+	var respSeen uint64
+	var extras []*localRatings // fostered shards this worker trains beyond its own
+	for !stop.Load() && !fo.machineGone(mc.id) {
+		if fo.drainingMachine(mc.id) {
+			// Graceful leave: stop training and forward everything this
+			// worker holds — inbound lane tokens and unflushed hand-off
+			// buffers alike — to the port, visit plans cancelled. The idle
+			// flag is published only after the buffers are demonstrably
+			// empty, so the sender's quiesce check cannot miss a token
+			// between stations.
+			fo.setDrainIdle(mc.id, w, false)
+			k := mc.mesh.RecvBatch(w, in[:])
+			for i := 0; i < k; i++ {
+				tok := in[i]
+				in[i] = nil
+				tok.visits = tok.visits[:0]
+				out[port] = append(out[port], tok)
+			}
+			for d := 0; d < port; d++ {
+				for i, tok := range out[d] {
+					tok.visits = tok.visits[:0]
+					out[port] = append(out[port], tok)
+					out[d][i] = nil
+				}
+				out[d] = out[d][:0]
+			}
+			flush(port)
+			if k == 0 && len(out[port]) == 0 {
+				fo.setDrainIdle(mc.id, w, true)
+				idle.wait()
+			}
+			continue
+		}
 		k := mc.mesh.RecvBatch(w, in[:])
 		if k == 0 {
 			moved := false
@@ -406,14 +476,16 @@ func runDistWorkerMesh(mc *meshMachine, w int, md *factor.Model, lr *localRating
 			}
 			batch += int64(len(usersJ))
 			if fo != nil {
-				// After a failover remapped a dead machine's users here,
-				// this worker also trains the adopted shard's ratings of j.
-				if g := fo.adoptGen.Load(); g != adoptSeen {
-					adoptSeen = g
-					adopted = fo.adoptedShard(gw)
+				// The responsibility table may name this worker for shards
+				// beyond its own: a latent spare's fostered users, or a
+				// dead machine's users remapped here by failover. Train
+				// those shards' ratings of item j too.
+				if g := fo.respGeneration(); g != respSeen {
+					respSeen = g
+					extras = fo.extraShards(gw, extras)
 				}
-				if adopted != nil {
-					au, av, ac := adopted.itemRatings(j)
+				for _, ex := range extras {
+					au, av, ac := ex.itemRatings(j)
 					if len(au) > 0 {
 						hp.itemSGDVec(j, au, av, ac, tok.tok.Vec)
 						batch += int64(len(au))
@@ -461,7 +533,12 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 	cmds := fo.sendCmds(mc.id) // nil (never ready) without failover
 	port := mc.port()
 	add := func(tok *distToken) {
-		d := pick()
+		// A scale-out rebalance takes priority: while this machine owes
+		// the latest joiner tokens, route them there instead of picking.
+		d := fo.donationDest(mc.id)
+		if d < 0 {
+			d = pick()
+		}
 		if fo != nil {
 			// The token is leaving this machine: clear its ownership bit
 			// before it becomes observable anywhere else.
@@ -473,18 +550,57 @@ func runMeshSender(mc *meshMachine, link cluster.Link, cfg train.Config, r *rng.
 		mc.pool.put(tok)
 	}
 	var buf [meshBlock]*distToken
+	// drainAll is the scale-in hand-off: stream every token still on
+	// this machine to dest (the ring buddy) until it is demonstrably
+	// empty. The quiesce check reads the stations in token-flow order —
+	// receiver pending, mesh lanes, worker idle flags, then one final
+	// port sweep — so a token in flight downstream of one read is
+	// always caught by a later one (tokens only move downstream; no new
+	// ones arrive, the peers are parked).
+	drainAll := func(dest int) {
+		fwd := func(tok *distToken) {
+			fo.noteSent(mc.id, dest, tok.tok.Item)
+			s.Add(dest, tok.tok)
+			mc.pool.put(tok)
+		}
+		for {
+			if fo.isStopping() || fo.dead[mc.id].Load() {
+				return // killed or torn down mid-drain: hand over to evict/teardown
+			}
+			k := mc.mesh.RecvBatch(port, buf[:])
+			for i := 0; i < k; i++ {
+				fwd(buf[i])
+				buf[i] = nil
+			}
+			if k > 0 {
+				continue
+			}
+			if mc.pendingN.Load() == 0 && mc.queueLen() == 0 && fo.drainIdleAll(mc.id) {
+				if k := mc.mesh.RecvBatch(port, buf[:]); k > 0 {
+					for i := 0; i < k; i++ {
+						fwd(buf[i])
+						buf[i] = nil
+					}
+					continue
+				}
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
 	var idle idleBackoff
 	for {
-		if fo.machineDead(mc.id) {
-			// A killed machine's sender winds down like a crashed process:
-			// nothing pending is flushed (those tokens are exactly what
-			// failover regenerates) and the outbound stream just ends.
+		if fo.machineGone(mc.id) {
+			// A killed (or fully drained) machine's sender winds down like
+			// a crashed process: nothing pending is flushed (a victim's
+			// tokens are exactly what failover regenerates; a leaver's are
+			// already streamed out) and the outbound stream just ends.
 			link.CloseSend() //nolint:errcheck // aborted transport: best-effort
 			return
 		}
 		select {
 		case cmd := <-cmds:
-			fo.runSenderCmd(mc.id, cmd, s, pick)
+			fo.runSenderCmd(mc.id, cmd, s, pick, drainAll)
 			continue
 		default:
 		}

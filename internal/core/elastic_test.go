@@ -1,0 +1,221 @@
+package core
+
+// The elasticity matrix: a 4-machine asynchronous run (one provisioned
+// spare) survives a chaos schedule that kills one machine, joins the
+// spare and drains a member — on both link backends and both token
+// transports — conserving all n item tokens across every resize and
+// converging to the undisturbed noise floor. Plus arbiter succession
+// (the coordinator itself dies) and the fence-timeout abort path.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nomad/internal/cluster"
+	"nomad/internal/queue"
+	"nomad/internal/train"
+)
+
+// elasticConfig is the shared 4-machine + 1-spare elastic run.
+func elasticConfig(backend string, kind queue.Kind) train.Config {
+	cfg := failoverConfig(backend, kind)
+	cfg.ElasticSpares = 1
+	return cfg
+}
+
+// runElastic is runFailover plus typed resize-event capture.
+func runElastic(t *testing.T, cfg train.Config, chaos string) (*train.Result, []train.PeerRecoveredEvent, []train.ResizeEvent) {
+	t.Helper()
+	spec, err := cluster.ParseChaos(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = spec
+	var recovs []train.PeerRecoveredEvent
+	var resizes []train.ResizeEvent
+	hooks := &train.Hooks{
+		PeerRecovered: func(e train.PeerRecoveredEvent) { recovs = append(recovs, e) },
+		Resize:        func(e train.ResizeEvent) { resizes = append(resizes, e) },
+	}
+	res, err := New().Train(t.Context(), testData(t), cfg, hooks)
+	if err != nil {
+		t.Fatalf("elastic run failed: %v", err)
+	}
+	return res, recovs, resizes
+}
+
+// requireResized asserts one committed resize of the given kind and
+// subject rank, with a plausible request→commit latency.
+func requireResized(t *testing.T, resizes []train.ResizeEvent, kind string, rank int) train.ResizeEvent {
+	t.Helper()
+	for _, e := range resizes {
+		if e.Kind != kind {
+			continue
+		}
+		if e.Rank != rank {
+			t.Fatalf("%s resize names rank %d, want %d", kind, e.Rank, rank)
+		}
+		if e.Seconds < 0 || e.Seconds > 30 {
+			t.Fatalf("implausible %s latency %v s", kind, e.Seconds)
+		}
+		return e
+	}
+	t.Fatalf("no %q ResizeEvent emitted (got %v)", kind, resizes)
+	return train.ResizeEvent{}
+}
+
+// TestElasticKillJoinDrain runs the full multi-fault schedule — kill a
+// machine mid-epoch, activate the provisioned spare, then drain a
+// member — on every (backend × transport) combination. The run must
+// survive all three membership changes, conserve every item token
+// (checked by the runner's teardown) and converge to within 1e-2 of
+// the undisturbed run's final RMSE.
+func TestElasticKillJoinDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second elasticity matrix")
+	}
+	// The undisturbed reference: same provisioned topology, no faults.
+	base, _, _ := runFailover(t, elasticConfig("sim", queue.KindSPSC), "")
+	baseline := base.Trace.Final().RMSE
+	for _, backend := range []string{"sim", "tcp"} {
+		for _, kind := range []queue.Kind{queue.KindSPSC, queue.KindMutex} {
+			t.Run(fmt.Sprintf("%s_%s", backend, kind), func(t *testing.T) {
+				// Auto-resolved subjects: kill the highest selectable rank
+				// (3), join the lowest unclaimed spare (4), drain the
+				// highest selectable member that did not just join (2).
+				res, recovs, resizes := runElastic(t, elasticConfig(backend, kind),
+					"kill@mid-epoch;join@mid-epoch;drain@mid-epoch")
+				if len(recovs) != 1 || recovs[0].Rank != 3 {
+					t.Fatalf("want one recovery of rank 3, got %v", recovs)
+				}
+				j := requireResized(t, resizes, "join", 4)
+				if j.Machines != 4 {
+					t.Errorf("post-join working set %d, want 4", j.Machines)
+				}
+				d := requireResized(t, resizes, "drain", 2)
+				if d.Machines != 3 {
+					t.Errorf("post-drain working set %d, want 3", d.Machines)
+				}
+				requireConverged(t, res)
+				if drift := math.Abs(res.Trace.Final().RMSE - baseline); drift > 1e-2 {
+					t.Errorf("final RMSE %.4f drifted %.4f from undisturbed %.4f (> 1e-2)",
+						res.Trace.Final().RMSE, drift, baseline)
+				}
+			})
+		}
+	}
+}
+
+// TestElasticArbiterSuccession kills rank 0 — the arbiter — and then
+// requests a join: the next-lowest live rank must take over as
+// coordinator and drive both rounds to completion without restarting
+// the epoch (a restart would lose the budget and show as divergence).
+func TestElasticArbiterSuccession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second elasticity run")
+	}
+	res, recovs, resizes := runElastic(t, elasticConfig("sim", queue.KindSPSC),
+		"kill:rank=0,at=mid-epoch;join@mid-epoch")
+	if len(recovs) != 1 || recovs[0].Rank != 0 {
+		t.Fatalf("want one recovery of rank 0 (the arbiter), got %v", recovs)
+	}
+	requireResized(t, resizes, "join", 4)
+	requireConverged(t, res)
+}
+
+// TestElasticDrainOnly: a lone graceful leave loses zero updates — the
+// leaver's state is moved, not reconstructed — so no PeerDown or
+// recovery events may appear at all.
+func TestElasticDrainOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second elasticity run")
+	}
+	cfg := failoverConfig("sim", queue.KindMutex)
+	res, recovs, resizes := runElastic(t, cfg, "drain@mid-epoch")
+	if len(recovs) != 0 {
+		t.Fatalf("a graceful drain produced %d recovery events", len(recovs))
+	}
+	requireResized(t, resizes, "drain", 3)
+	requireConverged(t, res)
+}
+
+// TestElasticFenceTimeout: a peer whose outbound control plane stalls
+// past the fence deadline must abort the round with the typed fence
+// error instead of hanging the run.
+func TestElasticFenceTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second timeout run")
+	}
+	orig := foFenceTimeout
+	foFenceTimeout = 150 * time.Millisecond
+	defer func() { foFenceTimeout = orig }()
+
+	cfg := elasticConfig("sim", queue.KindSPSC)
+	// Rank 2's sends (data and control alike) stall for far longer than
+	// the fence timeout; the join round that starts mid-stall can never
+	// quiesce.
+	spec, err := cluster.ParseChaos("partition:rank=2,at=mid-epoch,window=1200ms;join@+30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = spec
+	_, err = New().Train(t.Context(), testData(t), cfg, nil)
+	if err == nil {
+		t.Fatal("stalled fence did not abort the run")
+	}
+	if !strings.Contains(err.Error(), "fence timed out") {
+		t.Fatalf("want typed fence-timeout error, got: %v", err)
+	}
+}
+
+// TestElasticRequestValidation: bad membership requests are rejected
+// with typed errors, at config time and at run time.
+func TestElasticRequestValidation(t *testing.T) {
+	ds := testData(t)
+
+	neg := elasticConfig("sim", queue.KindSPSC)
+	neg.ElasticSpares = -1
+	if _, err := neg.Normalize(ds); err == nil {
+		t.Error("negative ElasticSpares accepted")
+	}
+
+	// A chaos join naming an initial member is rejected up front.
+	member := failoverConfig("sim", queue.KindSPSC)
+	spec, err := cluster.ParseChaos("join:rank=1,at=mid-epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	member.Chaos = spec
+	if _, err := member.Normalize(ds); err == nil {
+		t.Error("chaos join naming an initial member accepted")
+	}
+
+	// A shorthand join implies one provisioned spare and failover.
+	implied := baseConfig()
+	implied.Machines, implied.Workers = 4, 2
+	spec, err = cluster.ParseChaos("join@+1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied.Chaos = spec
+	norm, err := implied.Normalize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.ElasticSpares != 1 || !norm.Failover {
+		t.Errorf("join chaos implied spares=%d failover=%t, want 1 true",
+			norm.ElasticSpares, norm.Failover)
+	}
+
+	// An unbound ElasticControl reports that no run is active.
+	var ec train.ElasticControl
+	if err := ec.Join(-1); err == nil {
+		t.Error("unbound ElasticControl.Join returned nil")
+	}
+	if err := ec.Drain(-1); err == nil {
+		t.Error("unbound ElasticControl.Drain returned nil")
+	}
+}

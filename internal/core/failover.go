@@ -1,48 +1,67 @@
 package core
 
-// Failover: surviving the mid-epoch death of a machine in the
-// asynchronous distributed runners. NOMAD's ownership discipline makes
-// this tractable — at any instant each item token (j, hⱼ) is owned by
-// exactly one machine — so recovering from a death is a bookkeeping
-// problem: figure out which tokens died with the machine, regenerate
-// them once, and re-home the dead machine's user rows.
+// Failover and elastic membership: surviving the mid-epoch death of a
+// machine, activating provisioned spares mid-run (scale-out) and
+// retiring members gracefully (scale-in) in the asynchronous
+// distributed runners. NOMAD's ownership discipline makes all three
+// tractable — at any instant each item token (j, hⱼ) is owned by
+// exactly one machine — so every membership change is a bookkeeping
+// problem: quiesce the network, account for every token, move or
+// regenerate what must move, and resume.
 //
-// The protocol is coordinator-driven over the links' control plane
-// (frame kinds ≥ 16; the lockstep runner owns 1..6) and runs in a
-// per-machine "agent" goroutine alongside the sender/receiver pair:
+// The protocol is arbiter-driven over the links' control plane (frame
+// kinds ≥ 16; the lockstep runner owns 1..6) and runs in a per-machine
+// "agent" goroutine alongside the sender/receiver pair. All three
+// reconfiguration rounds share one skeleton:
 //
-//	detect     a survivor's transport notices the death (TCP read
-//	           error, heartbeat timeout, or the chaos controller
-//	           acting as netsim's failure detector)
-//	suspect    the survivor reports the victim to the arbiter — the
-//	           lowest live rank
-//	evict      the arbiter broadcasts the eviction; every survivor
-//	           stops accepting the victim's frames (receiver), drains
-//	           the victim's pending batch over live peers and parks
-//	           its sender — token circulation pauses
-//	fence      each survivor announces its cumulative per-peer send
-//	           counts; a peer's fence is satisfied when its receive
-//	           counter catches up, i.e. nothing is in flight
-//	report     with senders parked and flights drained, each survivor
-//	           snapshots its token-ownership bitmap and reports it
-//	remap      the arbiter unions the reports (a duplicate bit is a
-//	           conservation violation and aborts), computes the missing
-//	           items, and remaps them to the victim's ring buddy
-//	regen      the buddy regenerates each missing token from its
-//	           replica of the victim's state (falling back to the
-//	           model's last owner write-back), installs the victim's
-//	           replicated user rows, and its workers adopt the
-//	           victim's rating shards
+//	start      the arbiter — the lowest live rank — bumps the
+//	           membership epoch and broadcasts the round (evict /
+//	           join / drain, with its subject rank)
+//	fence      senders park (an eviction first redirects the victim's
+//	           pending batch; a drain's leaver instead flushes forward,
+//	           see below) and each machine announces its cumulative
+//	           per-peer send counts; a peer's fence is satisfied when
+//	           the local receive counter catches up — nothing in flight
+//	report     with the network quiescent, each machine snapshots its
+//	           token-ownership bitmap and reports it to the arbiter
+//	commit     the arbiter unions the reports (a duplicate bit is a
+//	           conservation violation and aborts) and commits the
+//	           round: evict → remap missing tokens to the victim's ring
+//	           buddy for regeneration; join → activate the spare,
+//	           compute per-donor token quotas (CarveShare) that drain
+//	           to the joiner over the data plane; drain → re-home the
+//	           leaver's rating shards to its buddy
 //	resume     the arbiter broadcasts resume; senders unpark and
-//	           circulation continues with M-1 machines — the epoch is
-//	           never restarted
+//	           circulation continues with the new membership — the
+//	           epoch is never restarted
 //
-// Exactly one failure per run is survivable; a second death during or
-// after reconfiguration aborts with a typed error. Buddy replication
-// is receiver-driven and lossy-tolerant: every machine streams the
-// tokens it delivers (and rotating chunks of its user-factor rows) to
-// its ring successor as control frames; what was updated since the
-// last replicated snapshot is lost on failure, conservation is not.
+// A drain differs in one step: the leaver's workers stop training and
+// flush their queues forward, and its sender streams every remaining
+// token to the leaver's ring buddy (zero lost updates — state is
+// moved, not reconstructed) before it announces its fence.
+//
+// Sequential faults are survivable while at least two machines remain:
+// a death detected mid-round is queued and handled in its own round
+// after resume, and if the arbiter itself dies mid-round the next
+// lowest live rank takes over — survivors re-aim their buffered
+// reports at the successor, so the round completes without restarting.
+// Every control frame carries the membership epoch it was sealed
+// under; stale-epoch frames (from rounds already finished) are
+// dropped, with suspect and resume exempt so late detections and late
+// resumes are never lost.
+//
+// Elastic spares are provisioned up front: links, partitions and
+// worker/sender/receiver/agent goroutines exist for Machines +
+// ElasticSpares ranks from the start, but a spare is latent — gossip
+// poison keeps every picker away from it, it owns no tokens, and its
+// user-rating shards are fostered by active workers through the
+// responsibility table — until a join round activates it.
+//
+// Buddy replication is receiver-driven and lossy-tolerant: every
+// machine streams the tokens it delivers (and rotating chunks of its
+// user-factor rows) to its ring successor as control frames; what was
+// updated since the last replicated snapshot is lost on a crash,
+// conservation is not.
 
 import (
 	"encoding/binary"
@@ -63,20 +82,25 @@ import (
 // everything here lives at 16+ so the planes can never collide.
 const (
 	ctlFoSuspect   = uint8(16) + iota // survivor → arbiter: victim rank
-	ctlFoEvict                        // arbiter broadcast: victim rank
-	ctlFoFence                        // survivor → survivor: victim, cumulative send count
-	ctlFoReport                       // survivor → arbiter: victim, ownership bitmap
+	ctlFoEvict                        // arbiter broadcast: victim rank (round start)
+	ctlFoFence                        // peer → peer: subject, cumulative send count
+	ctlFoReport                       // peer → arbiter: subject, ownership bitmap
 	ctlFoRemap                        // arbiter → buddy: victim, missing item list
 	ctlFoRegenDone                    // buddy → arbiter: victim
-	ctlFoResume                       // arbiter broadcast: victim
+	ctlFoResume                       // arbiter broadcast: subject (round end)
 	ctlFoReplToks                     // replication: delivered-token snapshot (AppendTokenBatch payload)
 	ctlFoReplRows                     // replication: user-factor row chunk
+	ctlFoJoin                         // arbiter broadcast: joining spare rank (round start)
+	ctlFoDrain                        // arbiter broadcast: leaving rank (round start)
 )
 
+// foFenceTimeout bounds the quiesce wait; a fence that cannot be
+// satisfied (a peer that never parks, or frames lost forever) aborts
+// the run with a typed error instead of hanging. A variable so the
+// fence-timeout test can shrink it.
+var foFenceTimeout = 5 * time.Second
+
 const (
-	// foFenceTimeout bounds the quiesce wait; a fence that cannot be
-	// satisfied (e.g. a second machine died mid-protocol) aborts the run.
-	foFenceTimeout = 5 * time.Second
 	// foFencePoll is the agent's receive-counter polling cadence while
 	// fencing.
 	foFencePoll = 200 * time.Microsecond
@@ -86,8 +110,8 @@ const (
 	// replRowChunk is how many user-factor rows ride along with each
 	// token snapshot (rotating cursor over the machine's users).
 	replRowChunk = 128
-	// poisonedQueueLen makes a dead machine lose every §3.3 least-loaded
-	// comparison without disturbing the gossip table's type.
+	// poisonedQueueLen makes a dead or latent machine lose every §3.3
+	// least-loaded comparison without disturbing the gossip table's type.
 	poisonedQueueLen = int64(1) << 60
 )
 
@@ -98,22 +122,36 @@ const (
 	foAwaitResume
 )
 
-// foEvent kinds (runner/transport → agent notifications).
+// Reconfiguration round kinds.
+const (
+	roundNone = iota
+	roundEvict
+	roundJoin
+	roundDrain
+)
+
+// foEvent kinds (runner/transport/elastic requests → agent
+// notifications).
 const (
 	evDetect = iota // a peer died (victim, cause)
-	evFenced        // own sender redirected, flushed and parked
+	evFenced        // own sender flushed and parked
+	evJoin          // activate spare (victim = spare rank)
+	evDrain         // graceful leave (victim = leaver rank)
 )
 
 type foEvent struct {
 	kind   int
 	victim int
 	cause  string
+	ep     uint64 // round epoch for re-queued broadcast-origin events; 0 = initiator
 }
 
 // foSendCmd kinds (agent → sender goroutine).
 const (
-	sendEvict = iota
+	sendEvict = iota // redirect victim's pending batch, flush, park
 	sendResume
+	sendPark  // flush and park (join/drain rounds on non-leavers)
+	sendDrain // stream every local token to the ring buddy, then park
 )
 
 type foSendCmd struct {
@@ -130,6 +168,7 @@ const (
 	recvMarkDead = iota
 	recvSnapshot
 	recvInject
+	recvRetry // re-attempt pending SPSC deliveries (mesh drain quiesce)
 )
 
 type foRecvCmd struct {
@@ -152,6 +191,10 @@ type foMachine struct {
 	sendCmd chan foSendCmd
 	recvCmd chan foRecvCmd
 
+	// retry, when set (mesh runner), re-attempts the receiver's pending
+	// SPSC deliveries; invoked on the receiver goroutine via recvRetry.
+	retry func()
+
 	// Receiver-goroutine-owned state (no locks needed).
 	dropFrom []bool            // evicted sources
 	repl     *cluster.BatchBuf // pending replication snapshot
@@ -161,13 +204,14 @@ type foMachine struct {
 }
 
 // failoverRuntime is the shared state of one failover-enabled run: the
-// ownership bitmaps, fence counters and mailboxes of every simulated
-// machine, plus the global death/recovery record. A nil receiver is
-// valid everywhere and means "failover disabled" — the runners call
-// straight through without guards on their hot paths beyond a nil
-// check and, on the data planes, one atomic op per token.
+// ownership bitmaps, fence counters, membership flags and mailboxes of
+// every provisioned machine, plus the global death/recovery record. A
+// nil receiver is valid everywhere and means "failover disabled" — the
+// runners call straight through without guards on their hot paths
+// beyond a nil check and, on the data planes, one atomic op per token.
 type failoverRuntime struct {
-	M, W, K, n int
+	M, W, K, n int // M counts every provisioned slot, spares included
+	activeN    int // initial member count (ranks < activeN start active)
 	backendTCP bool
 
 	hooks *train.Hooks
@@ -179,36 +223,59 @@ type failoverRuntime struct {
 
 	m []*foMachine
 
-	dead  []atomic.Bool     // machine-level death (global: shared-process detector)
+	dead   []atomic.Bool // crashed (kill / transport failure)
+	parted []atomic.Bool // left gracefully via a drain round
+	active []atomic.Bool // member of the working set (false = latent spare)
+
 	owned [][]atomic.Uint64 // [machine][word]: token-ownership bitmaps
 	sent  [][]atomic.Int64  // [src][dst] cumulative tokens handed to the sender
 	rcvd  [][]atomic.Int64  // [dst][src] cumulative tokens delivered
 
-	paused atomic.Bool // replication paused during reconfiguration
+	epoch  atomic.Uint64 // membership epoch, bumped at each round start
+	paused atomic.Bool   // replication paused during reconfiguration
+
+	// resp is the published responsibility table: shard → global worker
+	// currently training it. Identity for active members' own shards;
+	// latent spares' shards are fostered, and evictions/drains move
+	// entries wholesale. Workers watch respGen and rebuild their extras.
+	resp    atomic.Pointer[[]int32]
+	respGen atomic.Uint64
+	respMu  sync.Mutex
+
+	// donate[r] is how many tokens machine r still owes the latest
+	// joiner (donateTo); decremented by r's sender as it redirects
+	// tokens there, so scale-out rebalances on the data plane.
+	donate   []atomic.Int64
+	donateTo atomic.Int64
+
+	drainTarget atomic.Int64    // rank mid-drain, -1 otherwise
+	widle       [][]atomic.Bool // [machine][worker]: drain-forward idle flags
+
+	deaths     atomic.Int64
+	evictDone  atomic.Int64
+	deathMu    sync.Mutex
+	deathAt    map[int]int64 // victim → detection nanos (cleared on recovery)
+	lastVictim atomic.Int64
+
+	elasticMu   sync.Mutex
+	claimed     []bool // spare ranks with a join requested
+	drainReq    []bool // ranks with a drain requested
+	resizeStart atomic.Int64
+	lastJoined  atomic.Int64
 
 	stopping chan struct{}
 	stopOnce sync.Once
 
-	detectNanos atomic.Int64
-	victimRank  atomic.Int64 // first victim, -1 while none
-	recovered   atomic.Bool
-
-	fatal  atomic.Pointer[foFatal]
-	stop   *atomic.Bool
-	cancel func()
-	poison func(victim int) // poisons gossip tables so pickers shun the victim
-
-	adoption atomic.Pointer[foAdoption]
-	adoptGen atomic.Uint64
+	fatal    atomic.Pointer[foFatal]
+	stop     *atomic.Bool
+	cancel   func()
+	poison   func(victim int) // poisons gossip tables so pickers shun the rank
+	unpoison func(rank int)   // clears the poison when a spare activates
 
 	agentWG sync.WaitGroup
 }
 
 type foFatal struct{ err error }
-
-// foAdoption maps the victim's per-worker rating shards onto the
-// buddy's workers: buddy worker w adopts local[victim*W+w].
-type foAdoption struct{ victim, buddy int }
 
 // newFailoverRuntime allocates the runtime, or returns nil when the
 // config does not enable failover. Allocation is split from bind so
@@ -217,20 +284,31 @@ func newFailoverRuntime(cfg train.Config, hooks *train.Hooks, n int) *failoverRu
 	if !cfg.Failover {
 		return nil
 	}
-	M, W := cfg.Machines, cfg.Workers
+	M, W := cfg.TotalMachines(), cfg.Workers
 	words := (n + 63) / 64
 	fo := &failoverRuntime{
 		M: M, W: W, K: cfg.K, n: n,
+		activeN:    cfg.Machines,
 		backendTCP: cfg.Backend == "tcp",
 		hooks:      hooks,
 		m:          make([]*foMachine, M),
 		dead:       make([]atomic.Bool, M),
+		parted:     make([]atomic.Bool, M),
+		active:     make([]atomic.Bool, M),
 		owned:      make([][]atomic.Uint64, M),
 		sent:       make([][]atomic.Int64, M),
 		rcvd:       make([][]atomic.Int64, M),
+		donate:     make([]atomic.Int64, M),
+		widle:      make([][]atomic.Bool, M),
+		claimed:    make([]bool, M),
+		drainReq:   make([]bool, M),
+		deathAt:    map[int]int64{},
 		stopping:   make(chan struct{}),
 	}
-	fo.victimRank.Store(-1)
+	fo.donateTo.Store(-1)
+	fo.drainTarget.Store(-1)
+	fo.lastVictim.Store(-1)
+	fo.lastJoined.Store(-1)
 	for i := 0; i < M; i++ {
 		fo.m[i] = &foMachine{
 			notify:   make(chan foEvent, 4*M+16),
@@ -243,21 +321,37 @@ func newFailoverRuntime(cfg train.Config, hooks *train.Hooks, n int) *failoverRu
 		fo.owned[i] = make([]atomic.Uint64, words)
 		fo.sent[i] = make([]atomic.Int64, M)
 		fo.rcvd[i] = make([]atomic.Int64, M)
+		fo.widle[i] = make([]atomic.Bool, W)
+		fo.active[i].Store(i < fo.activeN)
 	}
+	// Initial responsibility table: identity for active members, latent
+	// spare L's shard (L, w) fostered by active worker ((L mod active)·W
+	// + w) so every user partition is trained from the first update.
+	resp := make([]int32, M*W)
+	for s := range resp {
+		resp[s] = int32(s)
+	}
+	for L := fo.activeN; L < M; L++ {
+		for w := 0; w < W; w++ {
+			resp[L*W+w] = int32((L%fo.activeN)*W + w)
+		}
+	}
+	fo.resp.Store(&resp)
+	fo.respGen.Store(1)
 	return fo
 }
 
 // bind attaches the run's shared objects once they exist: the (possibly
 // chaos-wrapped) links, the model, the per-worker rating shards, the
 // user partition (p = M·W parts, machine i owns parts i·W..(i+1)·W-1)
-// and the teardown levers.
+// and the teardown/gossip levers.
 func (fo *failoverRuntime) bind(links []cluster.Link, md *factor.Model, local []*localRatings,
-	users *partition.Partition, poison func(victim int), stop *atomic.Bool, cancel func()) {
+	users *partition.Partition, poison, unpoison func(rank int), stop *atomic.Bool, cancel func()) {
 	if fo == nil {
 		return
 	}
 	fo.links, fo.md, fo.local = links, md, local
-	fo.poison, fo.stop, fo.cancel = poison, stop, cancel
+	fo.poison, fo.unpoison, fo.stop, fo.cancel = poison, unpoison, stop, cancel
 	fo.userLists = make([][]int32, fo.M)
 	for mc := 0; mc < fo.M; mc++ {
 		var list []int32
@@ -267,6 +361,86 @@ func (fo *failoverRuntime) bind(links []cluster.Link, md *factor.Model, local []
 		fo.userLists[mc] = list
 	}
 }
+
+// ---- membership predicates ----
+
+// gone reports whether rank i has left the cluster for good, by crash
+// or by graceful drain.
+func (fo *failoverRuntime) gone(i int) bool {
+	return fo.dead[i].Load() || fo.parted[i].Load()
+}
+
+// machineGone is the runners' nil-safe view of gone.
+func (fo *failoverRuntime) machineGone(i int) bool { return fo != nil && fo.gone(i) }
+
+// selectable reports whether rank i may receive tokens: an active
+// member that has not left.
+func (fo *failoverRuntime) selectable(i int) bool {
+	return fo.active[i].Load() && !fo.gone(i)
+}
+
+// activeCount is the current working-set size.
+func (fo *failoverRuntime) activeCount() int {
+	nAct := 0
+	for r := 0; r < fo.M; r++ {
+		if fo.selectable(r) {
+			nAct++
+		}
+	}
+	return nAct
+}
+
+// buddyOf returns i's ring successor among the selectable machines, or
+// -1. The buddy is the replication target, the evict-regeneration site
+// and the drain hand-off destination.
+func (fo *failoverRuntime) buddyOf(i int) int {
+	for d := 1; d < fo.M; d++ {
+		if c := (i + d) % fo.M; fo.selectable(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// arbiter is the reconfiguration coordinator: the lowest rank still in
+// the cluster. Recomputed on demand, which is what makes succession
+// work — when the arbiter dies, every survivor's next send lands at
+// the same successor.
+func (fo *failoverRuntime) arbiter() int {
+	for r := 0; r < fo.M; r++ {
+		if !fo.gone(r) {
+			return r
+		}
+	}
+	return 0
+}
+
+// drainingMachine reports whether machine i is the current drain
+// leaver; its workers flush forward instead of training.
+func (fo *failoverRuntime) drainingMachine(i int) bool {
+	return fo != nil && fo.drainTarget.Load() == int64(i)
+}
+
+// setDrainIdle publishes worker w of machine i's drain-forward idle
+// flag (true = its queue was empty on the last pass).
+func (fo *failoverRuntime) setDrainIdle(i, w int, idle bool) {
+	if fo != nil {
+		fo.widle[i][w].Store(idle)
+	}
+}
+
+// drainIdleAll reports whether every worker of machine i is idle in
+// drain-forward mode.
+func (fo *failoverRuntime) drainIdleAll(i int) bool {
+	for w := range fo.widle[i] {
+		if !fo.widle[i][w].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- detection and death accounting ----
 
 // detectFunc returns the OnPeerDown sink wired into the TCP links, or
 // nil when failover is disabled.
@@ -280,7 +454,7 @@ func (fo *failoverRuntime) detectFunc() func(self, rank int, err error) {
 // detect is the failure-detection entry point: transport callbacks and
 // the chaos controller land here. self is the observing machine.
 func (fo *failoverRuntime) detect(self, rank int, err error) {
-	if fo == nil || fo.dead[self].Load() {
+	if fo == nil || fo.gone(self) {
 		return // a dying machine's own link sees every peer vanish; ignore it
 	}
 	cause := "peer down"
@@ -296,34 +470,59 @@ func (fo *failoverRuntime) detect(self, rank int, err error) {
 
 // noteDeath records a machine death exactly once: the global dead flag
 // (the in-process failure detector every picker consults), the gossip
-// poison, the detection timestamp and the PeerDown event. A second
-// distinct victim is fatal — the protocol survives one failure per run.
+// poison, the detection timestamp and the PeerDown event.
 func (fo *failoverRuntime) noteDeath(rank int, cause string) {
 	if !fo.dead[rank].CompareAndSwap(false, true) {
 		return
 	}
-	if !fo.victimRank.CompareAndSwap(-1, int64(rank)) {
-		fo.fail(fmt.Errorf("core: machine %d died after machine %d; only one failure per run is survivable",
-			rank, fo.victimRank.Load()))
-		return
-	}
-	fo.detectNanos.CompareAndSwap(0, time.Now().UnixNano())
+	fo.deaths.Add(1)
+	fo.lastVictim.Store(int64(rank))
+	fo.deathMu.Lock()
+	fo.deathAt[rank] = time.Now().UnixNano()
+	fo.deathMu.Unlock()
 	if fo.poison != nil {
 		fo.poison(rank)
 	}
 	fo.hooks.EmitPeer(train.PeerEvent{Rank: rank, Reason: cause})
 }
 
+// noteRecovered records a completed eviction round (once per victim)
+// and emits the recovery event with the detection→resume latency.
+func (fo *failoverRuntime) noteRecovered(victim int) {
+	fo.deathMu.Lock()
+	t0, ok := fo.deathAt[victim]
+	if ok {
+		delete(fo.deathAt, victim)
+	}
+	fo.deathMu.Unlock()
+	if !ok {
+		return // duplicate
+	}
+	fo.evictDone.Add(1)
+	d := time.Duration(time.Now().UnixNano() - t0)
+	fo.hooks.EmitPeerRecovered(train.PeerRecoveredEvent{Rank: victim, Recovery: d.Seconds()})
+}
+
 // killMachine is the chaos controller's kill function: machine victim
-// dies in-process. Its workers, sender and receiver observe the dead
-// flag and wind down like a crashed process would (workers stop, the
-// sender drops its pending batch and stops transmitting, the receiver
-// discards); on TCP the victim's link is additionally severed so the
-// survivors' transports see a real failure. The direct notifications
-// double as netsim's failure detector — the simulated network has no
-// failure semantics of its own.
+// (-1 = highest selectable rank) dies in-process. Its workers, sender
+// and receiver observe the dead flag and wind down like a crashed
+// process would; on TCP the victim's link is additionally severed so
+// the survivors' transports see a real failure. The direct
+// notifications double as netsim's failure detector — the simulated
+// network has no failure semantics of its own.
 func (fo *failoverRuntime) killMachine(victim int) {
 	if fo == nil {
+		return
+	}
+	if victim < 0 {
+		for r := fo.M - 1; r >= 0; r-- {
+			if fo.selectable(r) {
+				victim = r
+				break
+			}
+		}
+	}
+	if victim < 0 {
 		return
 	}
 	fo.noteDeath(victim, "chaos kill")
@@ -333,7 +532,7 @@ func (fo *failoverRuntime) killMachine(victim int) {
 		}
 	}
 	for s := 0; s < fo.M; s++ {
-		if s == victim || fo.dead[s].Load() {
+		if s == victim || fo.gone(s) {
 			continue
 		}
 		select {
@@ -343,23 +542,142 @@ func (fo *failoverRuntime) killMachine(victim int) {
 	}
 }
 
-// machineDead reports whether machine i has died this run.
-func (fo *failoverRuntime) machineDead(i int) bool { return fo != nil && fo.dead[i].Load() }
+// ---- elastic membership requests ----
 
-// wrapPick makes a destination picker failover-aware: dead machines
-// are re-drawn (the gossip poison makes the least-loaded picker avoid
-// them on its own; the uniform picker needs the retry).
+// requestJoin asks the arbiter to activate a provisioned spare (rank
+// -1 = lowest unclaimed spare). It returns once the round is enqueued;
+// completion is observable through Hooks.Resize.
+func (fo *failoverRuntime) requestJoin(rank int) error {
+	if fo == nil {
+		return fmt.Errorf("core: join requested but failover is disabled")
+	}
+	fo.elasticMu.Lock()
+	if rank < 0 {
+		for r := 0; r < fo.M; r++ {
+			if !fo.active[r].Load() && !fo.gone(r) && !fo.claimed[r] {
+				rank = r
+				break
+			}
+		}
+		if rank < 0 {
+			fo.elasticMu.Unlock()
+			return fmt.Errorf("core: no provisioned spare available to join")
+		}
+	} else {
+		if rank >= fo.M || fo.active[rank].Load() || fo.gone(rank) || fo.claimed[rank] {
+			fo.elasticMu.Unlock()
+			return fmt.Errorf("core: rank %d is not a joinable spare", rank)
+		}
+	}
+	fo.claimed[rank] = true
+	fo.elasticMu.Unlock()
+	fo.resizeStart.Store(time.Now().UnixNano())
+	return fo.enqueueArbiter(foEvent{kind: evJoin, victim: rank})
+}
+
+// requestDrain asks the arbiter to retire a member gracefully (rank
+// -1 = highest selectable rank, preferring one that did not just
+// join). The leaver's state streams to its ring buddy before it exits.
+func (fo *failoverRuntime) requestDrain(rank int) error {
+	if fo == nil {
+		return fmt.Errorf("core: drain requested but failover is disabled")
+	}
+	fo.elasticMu.Lock()
+	if rank < 0 {
+		lastJ := int(fo.lastJoined.Load())
+		for r := fo.M - 1; r >= 0; r-- {
+			if fo.selectable(r) && !fo.drainReq[r] {
+				if rank < 0 {
+					rank = r
+				}
+				if r != lastJ {
+					rank = r
+					break
+				}
+			}
+		}
+		if rank < 0 {
+			fo.elasticMu.Unlock()
+			return fmt.Errorf("core: no drainable machine available")
+		}
+	} else {
+		if rank >= fo.M || !fo.selectable(rank) || fo.drainReq[rank] {
+			fo.elasticMu.Unlock()
+			return fmt.Errorf("core: rank %d is not a drainable member", rank)
+		}
+	}
+	pending := 0
+	for r := 0; r < fo.M; r++ {
+		if fo.drainReq[r] {
+			pending++
+		}
+	}
+	if fo.activeCount()-pending-1 < 2 {
+		fo.elasticMu.Unlock()
+		return fmt.Errorf("core: draining rank %d would leave fewer than 2 machines", rank)
+	}
+	fo.drainReq[rank] = true
+	fo.elasticMu.Unlock()
+	fo.resizeStart.Store(time.Now().UnixNano())
+	return fo.enqueueArbiter(foEvent{kind: evDrain, victim: rank})
+}
+
+// enqueueArbiter delivers a membership request to the current
+// arbiter's agent, blocking until accepted or the run stops.
+func (fo *failoverRuntime) enqueueArbiter(ev foEvent) error {
+	select {
+	case fo.m[fo.arbiter()].notify <- ev:
+		return nil
+	case <-fo.stopping:
+		return fmt.Errorf("core: run stopped before the membership change was accepted")
+	}
+}
+
+// noteResized emits the resize event for a committed membership change.
+func (fo *failoverRuntime) noteResized(kind string, rank int) {
+	secs := 0.0
+	if start := fo.resizeStart.Swap(0); start > 0 {
+		secs = time.Duration(time.Now().UnixNano() - start).Seconds()
+	}
+	fo.hooks.EmitResize(train.ResizeEvent{Kind: kind, Rank: rank, Machines: fo.activeCount(), Seconds: secs})
+}
+
+// ---- hot-path hooks (pickers, ownership, donation) ----
+
+// wrapPick makes a destination picker membership-aware: dead, drained
+// and latent machines are re-drawn (the gossip poison makes the
+// least-loaded picker avoid them on its own; the uniform picker needs
+// the retry).
 func (fo *failoverRuntime) wrapPick(pick func() int) func() int {
 	if fo == nil {
 		return pick
 	}
 	return func() int {
 		for {
-			if d := pick(); !fo.dead[d].Load() {
+			if d := pick(); fo.selectable(d) {
 				return d
 			}
 		}
 	}
+}
+
+// donationDest returns the machine sender i should hand its next token
+// to in service of a scale-out rebalance, or -1 to route normally. The
+// quota is decremented here; the sender goroutine is its only writer
+// after publication.
+func (fo *failoverRuntime) donationDest(i int) int {
+	if fo == nil {
+		return -1
+	}
+	to := int(fo.donateTo.Load())
+	if to < 0 || !fo.selectable(to) {
+		return -1
+	}
+	if q := fo.donate[i].Load(); q > 0 {
+		fo.donate[i].Store(q - 1)
+		return to
+	}
+	return -1
 }
 
 // sendCmds returns machine i's sender mailbox (nil channel — never
@@ -377,6 +695,13 @@ func (fo *failoverRuntime) recvCmds(i int) chan foRecvCmd {
 		return nil
 	}
 	return fo.m[i].recvCmd
+}
+
+// setRetryFn installs the mesh receiver's pending-delivery retry hook.
+func (fo *failoverRuntime) setRetryFn(i int, fn func()) {
+	if fo != nil {
+		fo.m[i].retry = fn
+	}
 }
 
 // noteOwned sets item's ownership bit for machine i: called at initial
@@ -400,14 +725,14 @@ func (fo *failoverRuntime) noteSent(i, dst int, item int32) {
 }
 
 // acceptBatch reports whether machine i's receiver should deliver a
-// batch from src: a dead machine discards everything (it must keep
-// draining — the netsim courier stalls network-wide otherwise), and
-// survivors drop frames from evicted peers.
+// batch from src: a dead or drained machine discards everything (it
+// must keep draining — the netsim courier stalls network-wide
+// otherwise), and survivors drop frames from evicted peers.
 func (fo *failoverRuntime) acceptBatch(i, src int) bool {
 	if fo == nil {
 		return true
 	}
-	if fo.dead[i].Load() {
+	if fo.gone(i) {
 		return false
 	}
 	return !fo.m[i].dropFrom[src]
@@ -441,8 +766,9 @@ func (fo *failoverRuntime) afterDeliver(i, src int, toks []cluster.Token, link c
 
 // flushReplication streams the pending delta snapshot — delivered
 // tokens plus a rotating chunk of user-factor rows — to the machine's
-// ring buddy. Replication is lossy-tolerant: a failed or dropped
-// frame only widens the window of updates lost if this machine dies.
+// ring buddy, sealed under the current membership epoch. Replication
+// is lossy-tolerant: a failed or dropped frame only widens the window
+// of updates lost if this machine dies.
 func (fo *failoverRuntime) flushReplication(i int, link cluster.Link) {
 	m := fo.m[i]
 	buddy := fo.buddyOf(i)
@@ -451,7 +777,10 @@ func (fo *failoverRuntime) flushReplication(i int, link cluster.Link) {
 		m.replN = 0
 		return
 	}
-	payload, err := netlink.AppendTokenBatch(nil, m.repl.Batch(0), fo.K)
+	ep := fo.epoch.Load()
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(ep))
+	payload, err := netlink.AppendTokenBatch(hdr, m.repl.Batch(0), fo.K)
 	if err == nil {
 		link.SendCtl(buddy, ctlFoReplToks, payload) //nolint:errcheck // lossy-tolerant plane
 	}
@@ -466,9 +795,10 @@ func (fo *failoverRuntime) flushReplication(i int, link cluster.Link) {
 	if count > len(users) {
 		count = len(users)
 	}
-	rows := make([]byte, 4+count*(4+8*fo.K))
-	binary.LittleEndian.PutUint32(rows, uint32(count))
-	pos := 4
+	rows := make([]byte, 8+count*(4+8*fo.K))
+	binary.LittleEndian.PutUint32(rows, uint32(ep))
+	binary.LittleEndian.PutUint32(rows[4:], uint32(count))
+	pos := 8
 	for c := 0; c < count; c++ {
 		u := users[m.rowCur]
 		m.rowCur++
@@ -489,6 +819,67 @@ func (fo *failoverRuntime) flushReplication(i int, link cluster.Link) {
 	link.SendCtl(buddy, ctlFoReplRows, rows) //nolint:errcheck // lossy-tolerant plane
 }
 
+// ---- responsibility table ----
+
+// respGeneration is the workers' cheap "did responsibility move?"
+// check; 0 without failover.
+func (fo *failoverRuntime) respGeneration() uint64 {
+	if fo == nil {
+		return 0
+	}
+	return fo.respGen.Load()
+}
+
+// extraShards rebuilds, into buf, the rating shards global worker gw
+// is responsible for beyond its own, per the published table.
+func (fo *failoverRuntime) extraShards(gw int, buf []*localRatings) []*localRatings {
+	buf = buf[:0]
+	if fo == nil {
+		return buf
+	}
+	t := *fo.resp.Load()
+	for s, o := range t {
+		if int(o) == gw && s != gw {
+			buf = append(buf, fo.local[s])
+		}
+	}
+	return buf
+}
+
+// respMove reassigns every shard currently trained by a worker of
+// machine from to the matching worker of machine to, and republishes.
+func (fo *failoverRuntime) respMove(from, to int) {
+	fo.respMu.Lock()
+	defer fo.respMu.Unlock()
+	t := *fo.resp.Load()
+	nt := make([]int32, len(t))
+	copy(nt, t)
+	for s, o := range nt {
+		if int(o)/fo.W == from {
+			nt[s] = int32(to*fo.W + s%fo.W)
+		}
+	}
+	fo.resp.Store(&nt)
+	fo.respGen.Add(1)
+}
+
+// respActivate returns a joining spare's own shards to it: identity
+// for shards J·W..(J+1)·W-1, ending their fostering.
+func (fo *failoverRuntime) respActivate(J int) {
+	fo.respMu.Lock()
+	defer fo.respMu.Unlock()
+	t := *fo.resp.Load()
+	nt := make([]int32, len(t))
+	copy(nt, t)
+	for s := J * fo.W; s < (J+1)*fo.W; s++ {
+		nt[s] = int32(s)
+	}
+	fo.resp.Store(&nt)
+	fo.respGen.Add(1)
+}
+
+// ---- goroutine command execution ----
+
 // handleRecvCmd executes an agent command on the receiver goroutine.
 // deliver is the runner's delivery closure (shared with the normal
 // inbound path so injection uses the same visit planning).
@@ -506,6 +897,10 @@ func (fo *failoverRuntime) handleRecvCmd(i int, cmd foRecvCmd, deliver func(clus
 		for _, t := range cmd.toks {
 			fo.noteOwned(i, t.Item)
 			deliver(t)
+		}
+	case recvRetry:
+		if fo.m[i].retry != nil {
+			fo.m[i].retry()
 		}
 	}
 }
@@ -527,21 +922,30 @@ func (fo *failoverRuntime) drainRecvCmds(i int, deliver func(cluster.Token)) {
 }
 
 // runSenderCmd executes a failover command on the sender goroutine.
-// An eviction redirects the victim's pending batch over the survivors,
-// flushes everything (making the fence counters final), acknowledges
-// to the local agent and parks until resume — this machine's share of
-// token circulation pauses, which is what lets the snapshot see a
-// quiescent network.
-func (fo *failoverRuntime) runSenderCmd(i int, cmd foSendCmd, s *cluster.Sender, pick func() int) {
-	if cmd.kind != sendEvict {
+// Every round variant ends the same way: flush (making the fence
+// counters final), notify the local agent, and park until resume —
+// this machine's share of token circulation pauses, which is what lets
+// the snapshot see a quiescent network. drainAll is the runner's
+// flush-forward closure: stream every token still on this machine to
+// dest (nil on runners that never drain).
+func (fo *failoverRuntime) runSenderCmd(i int, cmd foSendCmd, s *cluster.Sender, pick func() int, drainAll func(dest int)) {
+	switch cmd.kind {
+	case sendEvict:
+		counting := func() int {
+			d := pick()
+			fo.sent[i][d].Add(1)
+			return d
+		}
+		s.Redirect(cmd.victim, counting)
+	case sendPark:
+		// Nothing to redirect: just flush and park.
+	case sendDrain:
+		if dest := fo.buddyOf(i); dest >= 0 && drainAll != nil {
+			drainAll(dest)
+		}
+	default:
 		return // stray resume from an abandoned protocol
 	}
-	counting := func() int {
-		d := pick()
-		fo.sent[i][d].Add(1)
-		return d
-	}
-	s.Redirect(cmd.victim, counting)
 	s.FlushAll() //nolint:errcheck // a real failure surfaces via link.Err
 	select {
 	case fo.m[i].notify <- foEvent{kind: evFenced}:
@@ -560,45 +964,7 @@ func (fo *failoverRuntime) runSenderCmd(i int, cmd foSendCmd, s *cluster.Sender,
 	}
 }
 
-// adoptedShard returns the victim rating shard global worker gw has
-// adopted, or nil. Workers re-check only when adoptGen moves.
-func (fo *failoverRuntime) adoptedShard(gw int) *localRatings {
-	a := fo.adoption.Load()
-	if a == nil || gw/fo.W != a.buddy {
-		return nil
-	}
-	return fo.local[a.victim*fo.W+gw%fo.W]
-}
-
-// buddyOf returns i's ring successor among the live machines, or -1.
-func (fo *failoverRuntime) buddyOf(i int) int {
-	for d := 1; d < fo.M; d++ {
-		if c := (i + d) % fo.M; !fo.dead[c].Load() {
-			return c
-		}
-	}
-	return -1
-}
-
-// arbiter is the reconfiguration coordinator: the lowest live rank.
-func (fo *failoverRuntime) arbiter() int {
-	for r := 0; r < fo.M; r++ {
-		if !fo.dead[r].Load() {
-			return r
-		}
-	}
-	return 0
-}
-
-// noteRecovered records the completed failover (once) and emits the
-// recovery event with the detection→resume latency.
-func (fo *failoverRuntime) noteRecovered(victim int) {
-	if !fo.recovered.CompareAndSwap(false, true) {
-		return
-	}
-	d := time.Duration(time.Now().UnixNano() - fo.detectNanos.Load())
-	fo.hooks.EmitPeerRecovered(train.PeerRecoveredEvent{Rank: victim, Recovery: d.Seconds()})
-}
+// ---- teardown plumbing ----
 
 // fail aborts the run with a failover-level error: stop the workers,
 // cancel the monitor and release everything parked on the protocol.
@@ -649,14 +1015,14 @@ func (fo *failoverRuntime) wait() {
 	fo.agentWG.Wait()
 }
 
-// liveLinkErr is firstLinkErr restricted to live machines: a killed
-// victim's endpoint legitimately reports a failure.
+// liveLinkErr is firstLinkErr restricted to machines still in the
+// cluster: a killed victim's endpoint legitimately reports a failure.
 func (fo *failoverRuntime) liveLinkErr(links []cluster.Link) error {
 	if fo == nil {
 		return firstLinkErr(links)
 	}
 	for i, l := range links {
-		if fo.dead[i].Load() {
+		if fo.gone(i) {
 			continue
 		}
 		if err := l.Err(); err != nil {
@@ -676,422 +1042,30 @@ func (fo *failoverRuntime) failErr() error {
 	if f := fo.fatal.Load(); f != nil {
 		return f.err
 	}
-	if v := int(fo.victimRank.Load()); v >= 0 && !fo.recovered.Load() {
-		return &cluster.PeerDownError{Rank: v, Cause: fmt.Errorf("run ended before failover completed")}
+	if fo.deaths.Load() > fo.evictDone.Load() {
+		return &cluster.PeerDownError{Rank: int(fo.lastVictim.Load()), Cause: fmt.Errorf("run ended before failover completed")}
 	}
 	return nil
 }
 
-// startAgents launches one protocol agent per machine.
-func (fo *failoverRuntime) startAgents() {
-	if fo == nil {
-		return
-	}
-	for i := 0; i < fo.M; i++ {
-		fo.agentWG.Add(1)
-		go fo.runAgent(i)
-	}
-}
-
-// foAgent is one machine's protocol state machine, driven by its ctl
-// channel and notify mailbox. All fields are agent-goroutine-owned.
-type foAgent struct {
-	fo   *failoverRuntime
-	i    int
-	link cluster.Link
-
-	phase       int
-	victim      int
-	senderAcked bool
-	fenceStart  time.Time
-	suspected   map[int]bool
-	done        map[int]bool
-	fences      map[int]int64    // live peer → announced cumulative send count
-	reports     map[int][]uint64 // arbiter: live machine → ownership bitmap
-	replicas    map[int]*replicaStore
-}
-
-func (fo *failoverRuntime) runAgent(i int) {
-	defer fo.agentWG.Done()
-	a := &foAgent{
-		fo: fo, i: i, link: fo.links[i],
-		victim:    -1,
-		suspected: map[int]bool{},
-		done:      map[int]bool{},
-		fences:    map[int]int64{},
-		reports:   map[int][]uint64{},
-		replicas:  map[int]*replicaStore{},
-	}
-	notify := fo.m[i].notify
-	ctl := a.link.Ctl()
-	var tick *time.Ticker
-	var tickC <-chan time.Time
-	stopTick := func() {
-		if tick != nil {
-			tick.Stop()
-			tick, tickC = nil, nil
-		}
-	}
-	defer stopTick()
-	for {
-		select {
-		case ev := <-notify:
-			a.handleEvent(ev)
-		case ct, ok := <-ctl:
-			if !ok {
-				return
-			}
-			a.handleCtl(ct)
-		case <-tickC:
-			a.checkFences()
-		case <-fo.stopping:
-			// Abandon the protocol but keep the ctl channel draining: a
-			// blocked channel would wedge the transport (the netsim
-			// courier and the TCP readers both block on it) and deadlock
-			// the teardown this shutdown is part of.
-			for range ctl { //nolint:revive // drain until closed
-			}
-			return
-		}
-		if a.phase == foFencing && tickC == nil {
-			tick = time.NewTicker(foFencePoll)
-			tickC = tick.C
-		} else if a.phase != foFencing {
-			stopTick()
-		}
-	}
-}
-
-func (a *foAgent) handleEvent(ev foEvent) {
-	fo := a.fo
-	if fo.dead[a.i].Load() {
-		return
-	}
-	switch ev.kind {
-	case evDetect:
-		v := ev.victim
-		if a.done[v] || a.suspected[v] {
-			return
-		}
-		if a.phase != foIdle && v != a.victim {
-			fo.fail(fmt.Errorf("core: machine %d died while reconfiguring for machine %d", v, a.victim))
-			return
-		}
-		a.suspected[v] = true
-		if arb := fo.arbiter(); arb == a.i {
-			a.onSuspect(v)
-		} else {
-			a.link.SendCtl(arb, ctlFoSuspect, foEncodeVictim(v)) //nolint:errcheck // loss → fence timeout → typed abort
-		}
-	case evFenced:
-		if a.phase != foFencing {
-			return
-		}
-		a.senderAcked = true
-		// The sender is parked and flushed: the per-peer counts are
-		// final. Announce them so every survivor can quiesce.
-		for p := 0; p < fo.M; p++ {
-			if p == a.i || fo.dead[p].Load() {
-				continue
-			}
-			a.link.SendCtl(p, ctlFoFence, foEncodeFence(a.victim, fo.sent[a.i][p].Load())) //nolint:errcheck
-		}
-		a.checkFences()
-	}
-}
-
-func (a *foAgent) handleCtl(ct cluster.Ctl) {
-	fo := a.fo
-	if fo.dead[a.i].Load() {
-		return // dead machine: drain and ignore
-	}
-	switch ct.Kind {
-	case ctlFoSuspect:
-		if v, ok := foDecodeVictim(ct.Payload); ok && a.i == fo.arbiter() {
-			a.onSuspect(v)
-		}
-	case ctlFoEvict:
-		if v, ok := foDecodeVictim(ct.Payload); ok {
-			a.onEvict(v, "evicted by arbiter")
-		}
-	case ctlFoFence:
-		if _, count, ok := foDecodeFence(ct.Payload); ok {
-			a.fences[ct.From] = count
-			a.checkFences()
-		}
-	case ctlFoReport:
-		if _, bm, ok := foDecodeReport(ct.Payload); ok {
-			a.onReport(ct.From, bm)
-		}
-	case ctlFoRemap:
-		if v, items, ok := foDecodeRemap(ct.Payload); ok && v == a.victim {
-			a.onRemap(items)
-		}
-	case ctlFoRegenDone:
-		if _, ok := foDecodeVictim(ct.Payload); ok && a.i == fo.arbiter() {
-			a.onRegenDone()
-		}
-	case ctlFoResume:
-		a.onResume()
-	case ctlFoReplToks:
-		if b, err := netlink.DecodeTokenBatch(ct.Payload, fo.K); err == nil {
-			rs := a.replica(ct.From)
-			for _, t := range b.Tokens {
-				rs.items[t.Item] = t.Vec // freshly allocated by the decode
-			}
-		}
-	case ctlFoReplRows:
-		a.storeReplRows(ct.From, ct.Payload)
-	}
-}
-
-// onSuspect (arbiter only): broadcast the eviction and enter it locally.
-func (a *foAgent) onSuspect(v int) {
-	if a.done[v] || a.phase != foIdle {
-		if a.phase != foIdle && v != a.victim {
-			a.fo.fail(fmt.Errorf("core: machine %d suspected while reconfiguring for machine %d", v, a.victim))
-		}
-		return
-	}
-	a.link.SendCtl(-1, ctlFoEvict, foEncodeVictim(v)) //nolint:errcheck // dead peers are skipped/harmless
-	a.onEvict(v, "evicted by arbiter")
-}
-
-// onEvict starts this machine's reconfiguration: receiver stops
-// accepting the victim, sender redirects + parks, fencing begins.
-func (a *foAgent) onEvict(v int, cause string) {
-	fo := a.fo
-	if a.done[v] || a.phase != foIdle {
-		if a.phase != foIdle && v != a.victim {
-			fo.fail(fmt.Errorf("core: machine %d evicted while reconfiguring for machine %d", v, a.victim))
-		}
-		return
-	}
-	fo.noteDeath(v, cause) // machines that never detected locally learn here
-	a.victim, a.phase, a.fenceStart = v, foFencing, time.Now()
-	a.senderAcked = false
-	fo.paused.Store(true)
-	if !a.sendRecvCmd(foRecvCmd{kind: recvMarkDead, victim: v}) {
-		return
-	}
-	a.sendSendCmd(foSendCmd{kind: sendEvict, victim: v})
-}
-
-// checkFences advances from fencing to reporting once the network is
-// quiescent from this machine's point of view: its own sender is
-// parked, and every live peer's announced send count has been matched
-// by the local receive counter (nothing in flight toward us).
-func (a *foAgent) checkFences() {
-	fo := a.fo
-	if a.phase != foFencing {
-		return
-	}
-	complete := a.senderAcked
-	if complete {
-		for p := 0; p < fo.M; p++ {
-			if p == a.i || fo.dead[p].Load() {
-				continue
-			}
-			c, ok := a.fences[p]
-			if !ok || fo.rcvd[a.i][p].Load() < c {
-				complete = false
-				break
-			}
-		}
-	}
-	if !complete {
-		if time.Since(a.fenceStart) > foFenceTimeout {
-			fo.fail(fmt.Errorf("core: failover fence timed out after %v on machine %d", foFenceTimeout, a.i))
-		}
-		return
-	}
-	// Quiesced: the ownership bitmap is stable. Snapshot it through the
-	// receiver (FIFO after markDead) and report to the arbiter.
-	reply := make(chan []uint64, 1)
-	if !a.sendRecvCmd(foRecvCmd{kind: recvSnapshot, reply: reply}) {
-		return
-	}
-	var bm []uint64
-	select {
-	case bm = <-reply:
-	case <-fo.stopping:
-		return
-	}
-	a.phase = foAwaitResume
-	if arb := fo.arbiter(); arb == a.i {
-		a.onReport(a.i, bm)
-	} else {
-		a.link.SendCtl(arb, ctlFoReport, foEncodeReport(a.victim, bm)) //nolint:errcheck
-	}
-}
-
-// onReport (arbiter only): once every live machine has reported, union
-// the bitmaps — a duplicate is a conservation violation — and remap
-// the missing items to the victim's buddy.
-func (a *foAgent) onReport(from int, bm []uint64) {
-	fo := a.fo
-	a.reports[from] = bm
-	live := 0
-	for r := 0; r < fo.M; r++ {
-		if !fo.dead[r].Load() {
-			live++
-		}
-	}
-	if len(a.reports) < live {
-		return
-	}
-	words := (fo.n + 63) / 64
-	union := make([]uint64, words)
-	for _, rep := range a.reports {
-		for w := 0; w < words && w < len(rep); w++ {
-			if union[w]&rep[w] != 0 {
-				fo.fail(fmt.Errorf("core: failover conservation broken: an item token is owned by two machines"))
-				return
-			}
-			union[w] |= rep[w]
-		}
-	}
-	missing := make([]int32, 0, 64)
-	for j := 0; j < fo.n; j++ {
-		if union[j>>6]&(1<<uint(j&63)) == 0 {
-			missing = append(missing, int32(j))
-		}
-	}
-	buddy := fo.buddyOf(a.victim)
-	if buddy < 0 {
-		fo.fail(fmt.Errorf("core: no live buddy for dead machine %d", a.victim))
-		return
-	}
-	if buddy == a.i {
-		a.onRemap(missing)
-	} else {
-		a.link.SendCtl(buddy, ctlFoRemap, foEncodeRemap(a.victim, missing)) //nolint:errcheck
-	}
-}
-
-// onRemap (buddy only): regenerate the missing tokens — replica first,
-// model row (the victim's last owner write-back) as fallback — install
-// the victim's replicated user rows, adopt its rating shards, report
-// regeneration done.
-func (a *foAgent) onRemap(missing []int32) {
-	fo := a.fo
-	rs := a.replicas[a.victim]
-	toks := make([]cluster.Token, 0, len(missing))
-	for _, j := range missing {
-		var vec []float64
-		if rs != nil {
-			if rv, ok := rs.items[j]; ok {
-				vec = make([]float64, len(rv))
-				copy(vec, rv)
-			}
-		}
-		if vec == nil {
-			vec = make([]float64, fo.K)
-			fo.md.CopyItemRowTo64(int(j), vec)
-		}
-		toks = append(toks, cluster.Token{Item: j, Vec: vec})
-	}
-	if rs != nil {
-		// The victim's workers are dead and its shards not yet adopted:
-		// nobody else writes these rows, so the install is race-free.
-		for u, row := range rs.users {
-			fo.md.SetUserRowFrom64(int(u), row)
-		}
-	}
-	if len(toks) > 0 {
-		if !a.sendRecvCmd(foRecvCmd{kind: recvInject, toks: toks}) {
-			return
-		}
-	}
-	// Publish the adoption: buddy worker w takes over the victim's
-	// worker-w rating shard. The atomic gen is the workers' cheap
-	// "anything changed?" check.
-	fo.adoption.Store(&foAdoption{victim: a.victim, buddy: a.i})
-	fo.adoptGen.Add(1)
-	if arb := fo.arbiter(); arb == a.i {
-		a.onRegenDone()
-	} else {
-		a.link.SendCtl(arb, ctlFoRegenDone, foEncodeVictim(a.victim)) //nolint:errcheck
-	}
-}
-
-// onRegenDone (arbiter only): the cluster state is whole again —
-// record the recovery and broadcast resume.
-func (a *foAgent) onRegenDone() {
-	if a.phase == foIdle {
-		return
-	}
-	a.fo.noteRecovered(a.victim)
-	a.link.SendCtl(-1, ctlFoResume, foEncodeVictim(a.victim)) //nolint:errcheck
-	a.onResume()
-}
-
-// onResume unparks the local sender and re-enables replication.
-func (a *foAgent) onResume() {
-	if a.phase == foIdle {
-		return
-	}
-	a.done[a.victim] = true
-	a.phase = foIdle
-	a.fo.paused.Store(false)
-	a.sendSendCmd(foSendCmd{kind: sendResume})
-}
-
-func (a *foAgent) sendRecvCmd(cmd foRecvCmd) bool {
-	select {
-	case a.fo.m[a.i].recvCmd <- cmd:
-		return true
-	case <-a.fo.stopping:
-		return false
-	}
-}
-
-func (a *foAgent) sendSendCmd(cmd foSendCmd) bool {
-	select {
-	case a.fo.m[a.i].sendCmd <- cmd:
-		return true
-	case <-a.fo.stopping:
-		return false
-	}
-}
-
-func (a *foAgent) replica(from int) *replicaStore {
-	rs := a.replicas[from]
-	if rs == nil {
-		rs = &replicaStore{items: map[int32][]float64{}, users: map[int32][]float64{}}
-		a.replicas[from] = rs
-	}
-	return rs
-}
-
-// storeReplRows decodes a ctlFoReplRows chunk into the sender's replica.
-func (a *foAgent) storeReplRows(from int, payload []byte) {
-	if len(payload) < 4 {
-		return
-	}
-	count := int(binary.LittleEndian.Uint32(payload))
-	per := 4 + 8*a.fo.K
-	if count < 0 || len(payload)-4 != count*per {
-		return
-	}
-	rs := a.replica(from)
-	pos := 4
-	for c := 0; c < count; c++ {
-		u := int32(binary.LittleEndian.Uint32(payload[pos:]))
-		pos += 4
-		row := rs.users[u]
-		if row == nil {
-			row = make([]float64, a.fo.K)
-			rs.users[u] = row
-		}
-		for x := range row {
-			row[x] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
-			pos += 8
-		}
-	}
-}
-
 // ---- frame codecs ----
+
+// seal prepends the membership epoch to a control payload; foOpen
+// strips and returns it. Every fo-plane frame is sealed so receivers
+// can reject frames from rounds already finished.
+func foSeal(ep uint64, payload []byte) []byte {
+	b := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(b, uint32(ep))
+	copy(b[4:], payload)
+	return b
+}
+
+func foOpen(p []byte) (uint64, []byte, bool) {
+	if len(p) < 4 {
+		return 0, nil, false
+	}
+	return uint64(binary.LittleEndian.Uint32(p)), p[4:], true
+}
 
 func foEncodeVictim(v int) []byte {
 	b := make([]byte, 4)
@@ -1103,7 +1077,7 @@ func foDecodeVictim(p []byte) (int, bool) {
 	if len(p) < 4 {
 		return 0, false
 	}
-	return int(binary.LittleEndian.Uint32(p)), true
+	return int(int32(binary.LittleEndian.Uint32(p))), true
 }
 
 func foEncodeFence(v int, count int64) []byte {

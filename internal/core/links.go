@@ -63,9 +63,11 @@ func netlinkOptions(cfg train.Config, hooks *train.Hooks, onPeerDown func(self, 
 func buildLinks(ctx context.Context, ds *dataset.Dataset, cfg train.Config, hooks *train.Hooks, onPeerDown func(self, rank int, err error)) ([]cluster.Link, error) {
 	switch cfg.Backend {
 	case "", "sim":
-		return cluster.NewSimCluster(cfg.Machines, cfg.Profile, cfg.K).Links(), nil
+		// Elastic spares are provisioned up front: the mesh is built for
+		// every slot that could ever join, latent ranks included.
+		return cluster.NewSimCluster(cfg.TotalMachines(), cfg.Profile, cfg.K).Links(), nil
 	case "tcp":
-		return netlink.Loopback(ctx, cfg.Machines, configDigest(ds, cfg), nil, nil, netlinkOptions(cfg, hooks, onPeerDown))
+		return netlink.Loopback(ctx, cfg.TotalMachines(), configDigest(ds, cfg), nil, nil, netlinkOptions(cfg, hooks, onPeerDown))
 	}
 	return nil, fmt.Errorf("core: unknown distributed backend %q (sim, tcp)", cfg.Backend)
 }

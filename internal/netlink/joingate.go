@@ -1,0 +1,211 @@
+package netlink
+
+// Late dial-in: how a machine joins a cluster that is ALREADY running.
+//
+//	joiner                               join gate (coordinator side)
+//	  │── Hello{digest,addr} ─────────────►│  digest check, admit()
+//	  │◄─ Welcome{rank,machines,owner,…} ──│  or Error{reason}
+//	  │── Ready ──────────────────────────►│  membership change committed
+//
+// The rendezvous in rendezvous.go freezes the member set once training
+// starts; the JoinGate is the listener that stays open afterwards so a
+// fresh machine can request admission mid-run. The wire protocol is
+// the same Hello/Welcome/Ready exchange a rendezvous worker performs —
+// same frames, same codecs, same config-digest refusal — so a joiner
+// needs no second protocol. What differs is who decides: an AdmitFunc
+// supplied by the running cluster activates a provisioned spare (the
+// reverse remap: fence, carve ownership off each survivor, stream the
+// moving state, resume) and reports the rank and ownership the joiner
+// was granted. The gate replies Welcome only after that commit, so a
+// Ready-acknowledged ticket means the data plane is already feeding
+// the new member's token share.
+//
+// The gate is the control-plane half of elastic scale-out. Out-of-
+// process data-plane attach (the joiner meshing into the survivors'
+// token circulation over these addresses) rides on the gossip
+// membership item in the ROADMAP.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"nomad/internal/train"
+)
+
+// Admission is what the running cluster grants a late joiner: the rank
+// it now occupies, the post-join cluster size, the item-ownership map
+// at admission time (empty when the admitting runtime streams
+// ownership over the data plane instead), the mesh addresses of the
+// active members, and optional resume state.
+type Admission struct {
+	Rank     int
+	Machines int
+	Owner    []int32
+	Addrs    []string
+	State    *train.State
+}
+
+// AdmitFunc decides one join request. addr is the joiner's advertised
+// mesh address (may be empty). It runs the membership change — it must
+// return only once the join has committed — and describes the result;
+// returning an error refuses the joiner with that text.
+type AdmitFunc func(addr string) (Admission, error)
+
+// JoinGate is a persistent coordinator-side listener admitting late
+// joiners into a running cluster. Open it before training starts,
+// Serve it for the life of the run, Close it (or cancel the context)
+// to stop accepting.
+type JoinGate struct {
+	ln        net.Listener
+	configSum uint64
+	admit     AdmitFunc
+	opts      Options
+}
+
+// OpenJoinGate listens on listen for mid-run join requests, checking
+// each against configSum and deciding it with admit.
+func OpenJoinGate(listen string, configSum uint64, admit AdmitFunc, opts Options) (*JoinGate, error) {
+	if admit == nil {
+		return nil, errors.New("netlink: join gate needs an admit function")
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: join gate listen: %w", err)
+	}
+	return &JoinGate{ln: ln, configSum: configSum, admit: admit, opts: opts}, nil
+}
+
+// Addr returns the gate's bound address (useful with ":0").
+func (g *JoinGate) Addr() string { return g.ln.Addr().String() }
+
+// Close stops the gate; a blocked Serve returns.
+func (g *JoinGate) Close() error { return g.ln.Close() }
+
+// Serve accepts and handles join requests until the context ends or
+// the gate is closed, then returns nil. Each request is handled in its
+// own goroutine so a stalled dialer cannot block admission of the
+// next.
+func (g *JoinGate) Serve(ctx context.Context) error {
+	stop := watch(ctx, func() { g.ln.Close() })
+	defer stop()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return nil // closed by ctx, Close, or teardown: the gate's normal end
+		}
+		go g.handle(conn)
+	}
+}
+
+// handle runs one admission exchange. Protocol errors just drop the
+// connection: the joiner sees the close and reports its own failure.
+func (g *JoinGate) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(g.opts.rendezvousTimeout())) //nolint:errcheck
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != FrameHello {
+		return
+	}
+	sum, addr, err := decodeHello(f.Payload)
+	if err != nil {
+		return
+	}
+	if sum != g.configSum {
+		WriteFrame(conn, FrameError, 0, []byte("config digest mismatch: a joiner must run the same dataset, seed and hyper-parameters as the cluster")) //nolint:errcheck
+		return
+	}
+	a, err := g.admit(addr)
+	if err != nil {
+		WriteFrame(conn, FrameError, 0, []byte(err.Error())) //nolint:errcheck
+		return
+	}
+	// The Welcome codec requires one address slot per machine; fill the
+	// joiner's own slot with what it advertised so the map it receives
+	// is complete.
+	if len(a.Addrs) < a.Machines {
+		addrs := make([]string, a.Machines)
+		copy(addrs, a.Addrs)
+		a.Addrs = addrs
+	}
+	if a.Rank >= 0 && a.Rank < len(a.Addrs) && a.Addrs[a.Rank] == "" {
+		a.Addrs[a.Rank] = addr
+	}
+	if err := WriteFrame(conn, FrameWelcome, 0, encodeWelcome(a.Rank, a.Machines, g.opts.K, g.configSum, a.Owner, a.Addrs, a.State)); err != nil {
+		return
+	}
+	ReadFrame(conn) //nolint:errcheck // the joiner's Ready; best-effort
+}
+
+// JoinTicket is everything a late joiner learns from the gate: its
+// granted rank in the grown cluster, the new size, the latent
+// dimension, the member address map, and the Handshake's ownership map
+// and optional resume state.
+type JoinTicket struct {
+	Rank     int
+	Machines int
+	K        int
+	Addrs    []string
+	Handshake
+}
+
+// DialJoin asks a running cluster's join gate for admission: dial
+// (retrying with capped backoff until the rendezvous deadline, since
+// the gate may still be coming up), present the config digest and our
+// advertised mesh address, and return the granted ticket. A refusal —
+// digest mismatch, no spare capacity — surfaces as a *RejectedError.
+func DialJoin(ctx context.Context, gate, advertise string, configSum uint64, opts Options) (*JoinTicket, error) {
+	deadline := time.Now().Add(opts.rendezvousTimeout())
+	d := net.Dialer{Deadline: deadline}
+	var conn net.Conn
+	for attempt := 0; ; attempt++ {
+		var derr error
+		conn, derr = d.DialContext(ctx, "tcp", gate)
+		if derr == nil {
+			break
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return nil, fmt.Errorf("netlink: dial join gate %s: %w", gate, derr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("netlink: dial join gate %s: %w", gate, context.Cause(ctx))
+		case <-time.After(dialBackoff(attempt, time.Now().UnixNano())):
+		}
+	}
+	defer conn.Close()
+	stop := watch(ctx, func() { conn.Close() })
+	defer stop()
+	conn.SetDeadline(deadline) //nolint:errcheck
+
+	if err := WriteFrame(conn, FrameHello, -1, helloPayload(configSum, advertise)); err != nil {
+		return nil, fmt.Errorf("netlink: send join hello: %w", err)
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("netlink: read join welcome: %w", err)
+	}
+	switch f.Type {
+	case FrameError:
+		return nil, &RejectedError{Reason: string(f.Payload)}
+	case FrameWelcome:
+	default:
+		return nil, fmt.Errorf("netlink: expected Welcome, got frame type %d", f.Type)
+	}
+	rank, machines, k, sum, owner, addrs, st, err := decodeWelcome(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if sum != configSum {
+		return nil, ErrConfigMismatch
+	}
+	if err := WriteFrame(conn, FrameReady, rank, nil); err != nil {
+		return nil, fmt.Errorf("netlink: send join ready: %w", err)
+	}
+	return &JoinTicket{Rank: rank, Machines: machines, K: k, Addrs: addrs, Handshake: Handshake{Owner: owner, State: st}}, nil
+}

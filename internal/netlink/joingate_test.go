@@ -1,0 +1,147 @@
+package netlink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nomad/internal/factor"
+	"nomad/internal/train"
+)
+
+// testGate opens a gate on an ephemeral port with a 5s handshake
+// budget and serves it for the life of the test.
+func testGate(t *testing.T, configSum uint64, admit AdmitFunc) *JoinGate {
+	t.Helper()
+	g, err := OpenJoinGate("127.0.0.1:0", configSum, admit, Options{K: 2, RendezvousTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	go g.Serve(context.Background()) //nolint:errcheck
+	return g
+}
+
+// TestJoinGateAdmits: a matching-digest dialer receives the full
+// ticket — rank, grown cluster size, ownership map, member addresses
+// (its own slot filled with what it advertised) and resume state —
+// bit-for-bit what the admit function granted.
+func TestJoinGateAdmits(t *testing.T) {
+	owner := []int32{0, 1, 2, 3, 0}
+	st := &train.State{
+		Algorithm: "nomad",
+		Seed:      7,
+		Updates:   4242,
+		Model:     factor.NewInit(3, 5, 2, 7),
+		Counts:    []int32{4, 5},
+		RNG:       [][4]uint64{{9, 8, 7, 6}},
+	}
+	g := testGate(t, 55, func(addr string) (Admission, error) {
+		return Admission{
+			Rank:     3,
+			Machines: 4,
+			Owner:    owner,
+			Addrs:    []string{"h0:1", "h1:1", "h2:1"},
+			State:    st,
+		}, nil
+	})
+	tk, err := DialJoin(context.Background(), g.Addr(), "joiner:9", 55, Options{K: 2, RendezvousTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("DialJoin: %v", err)
+	}
+	if tk.Rank != 3 || tk.Machines != 4 || tk.K != 2 {
+		t.Fatalf("ticket rank/machines/k = %d/%d/%d, want 3/4/2", tk.Rank, tk.Machines, tk.K)
+	}
+	if len(tk.Owner) != len(owner) {
+		t.Fatalf("ticket owner = %v", tk.Owner)
+	}
+	for i := range owner {
+		if tk.Owner[i] != owner[i] {
+			t.Fatalf("owner[%d] = %d, want %d", i, tk.Owner[i], owner[i])
+		}
+	}
+	if want := []string{"h0:1", "h1:1", "h2:1", "joiner:9"}; len(tk.Addrs) != 4 ||
+		tk.Addrs[0] != want[0] || tk.Addrs[1] != want[1] || tk.Addrs[2] != want[2] || tk.Addrs[3] != want[3] {
+		t.Fatalf("ticket addrs = %v, want %v", tk.Addrs, want)
+	}
+	if tk.State == nil || tk.State.Updates != 4242 || tk.State.Seed != 7 {
+		t.Fatalf("ticket state = %+v", tk.State)
+	}
+	if tk.State.Model.M != 3 || tk.State.Model.N != 5 || tk.State.Model.K != 2 {
+		t.Fatalf("ticket model shape = %d×%d×%d", tk.State.Model.M, tk.State.Model.N, tk.State.Model.K)
+	}
+}
+
+// TestJoinGateDigestMismatch: a joiner built from different flags is
+// refused before the admit function ever runs, and the gate survives
+// to admit the next, correct dialer.
+func TestJoinGateDigestMismatch(t *testing.T) {
+	var admitted atomic.Int64
+	g := testGate(t, 100, func(addr string) (Admission, error) {
+		admitted.Add(1)
+		return Admission{Rank: 2, Machines: 3}, nil
+	})
+	_, err := DialJoin(context.Background(), g.Addr(), "", 999, Options{K: 2, RendezvousTimeout: 5 * time.Second})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || !strings.Contains(rej.Reason, "config digest mismatch") {
+		t.Fatalf("mismatched DialJoin err = %v, want *RejectedError about the digest", err)
+	}
+	if admitted.Load() != 0 {
+		t.Fatal("admit ran for a digest-mismatched joiner")
+	}
+	tk, err := DialJoin(context.Background(), g.Addr(), "", 100, Options{K: 2, RendezvousTimeout: 5 * time.Second})
+	if err != nil || tk.Rank != 2 || tk.Machines != 3 {
+		t.Fatalf("follow-up DialJoin = %+v, %v", tk, err)
+	}
+	if admitted.Load() != 1 {
+		t.Fatalf("admit ran %d times, want 1", admitted.Load())
+	}
+}
+
+// TestJoinGateRefusal: the cluster saying no — no spare capacity, say
+// — reaches the joiner as a typed rejection carrying the reason.
+func TestJoinGateRefusal(t *testing.T) {
+	g := testGate(t, 5, func(addr string) (Admission, error) {
+		return Admission{}, fmt.Errorf("no spare machine slots provisioned")
+	})
+	_, err := DialJoin(context.Background(), g.Addr(), "", 5, Options{K: 2, RendezvousTimeout: 5 * time.Second})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || !strings.Contains(rej.Reason, "no spare machine slots") {
+		t.Fatalf("refused DialJoin err = %v, want *RejectedError with the reason", err)
+	}
+}
+
+// TestJoinGateRetriesDial: DialJoin backs off and retries while the
+// gate is still coming up, the same courtesy the rendezvous extends
+// to a slow coordinator.
+func TestJoinGateRetriesDial(t *testing.T) {
+	g, err := OpenJoinGate("127.0.0.1:0", 11, func(addr string) (Admission, error) {
+		return Admission{Rank: 1, Machines: 2}, nil
+	}, Options{K: 1, RendezvousTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := g.Addr()
+	g.Close() // nobody listening yet: first dials must be refused
+	time.AfterFunc(150*time.Millisecond, func() {
+		g2, err := OpenJoinGate(addr, 11, func(string) (Admission, error) {
+			return Admission{Rank: 1, Machines: 2}, nil
+		}, Options{K: 1, RendezvousTimeout: 5 * time.Second})
+		if err != nil {
+			return // port raced away; the dialer will time out and fail the test
+		}
+		t.Cleanup(func() { g2.Close() })
+		go g2.Serve(context.Background()) //nolint:errcheck
+	})
+	tk, err := DialJoin(context.Background(), addr, "", 11, Options{K: 1, RendezvousTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("DialJoin through boot race: %v", err)
+	}
+	if tk.Rank != 1 || tk.Machines != 2 {
+		t.Fatalf("ticket = %+v", tk)
+	}
+}

@@ -196,26 +196,33 @@ func (c *Coordinator) Run(ctx context.Context) (*TCP, error) {
 
 // welcomePayload encodes the Welcome for one worker.
 func (c *Coordinator) welcomePayload(rank int, addrs []string) []byte {
+	return encodeWelcome(rank, c.machines, c.opts.K, c.configSum, c.owner, addrs, c.state)
+}
+
+// encodeWelcome encodes a Welcome payload — shared by the rendezvous
+// coordinator and the mid-run JoinGate, so a late joiner speaks the
+// exact codec a rendezvous worker does.
+func encodeWelcome(rank, machines, k int, configSum uint64, owner []int32, addrs []string, st *train.State) []byte {
 	var buf bytes.Buffer
 	le := binary.LittleEndian
 	var w [8]byte
 	le.PutUint32(w[:4], uint32(int32(rank)))
 	buf.Write(w[:4])
-	le.PutUint32(w[:4], uint32(int32(c.machines)))
+	le.PutUint32(w[:4], uint32(int32(machines)))
 	buf.Write(w[:4])
-	le.PutUint32(w[:4], uint32(int32(c.opts.K)))
+	le.PutUint32(w[:4], uint32(int32(k)))
 	buf.Write(w[:4])
 	flags := uint32(0)
-	if c.state != nil {
+	if st != nil {
 		flags |= 1
 	}
 	le.PutUint32(w[:4], flags)
 	buf.Write(w[:4])
-	le.PutUint64(w[:], c.configSum)
+	le.PutUint64(w[:], configSum)
 	buf.Write(w[:])
-	le.PutUint64(w[:], uint64(len(c.owner)))
+	le.PutUint64(w[:], uint64(len(owner)))
 	buf.Write(w[:])
-	for _, o := range c.owner {
+	for _, o := range owner {
 		le.PutUint32(w[:4], uint32(o))
 		buf.Write(w[:4])
 	}
@@ -226,10 +233,10 @@ func (c *Coordinator) welcomePayload(rank int, addrs []string) []byte {
 		buf.Write(w[:2])
 		buf.WriteString(a)
 	}
-	if c.state != nil {
+	if st != nil {
 		// The resume state travels in train.State's own versioned binary
 		// encoding — the exact bytes a checkpoint file holds.
-		if err := c.state.WriteBinary(&buf); err != nil {
+		if err := st.WriteBinary(&buf); err != nil {
 			panic(fmt.Sprintf("netlink: encode resume state: %v", err)) // state was validated by the caller
 		}
 	}

@@ -1,0 +1,106 @@
+package partition
+
+import "fmt"
+
+// Assignment is the mutable side of partitioning: a shard → owner map
+// that reconfigures incrementally as the owner set changes, instead of
+// being rebuilt from scratch with EqualRanges. The elastic runtime
+// keeps one for the rating-shard responsibility table — shards are the
+// fixed per-worker rating stores, owners are the live global workers —
+// and republishes a snapshot after each membership change, so a resize
+// moves only the shards that must move.
+type Assignment struct {
+	owner []int32
+}
+
+// Identity returns the assignment where shard s is owned by owner s —
+// every worker responsible for exactly its own shard.
+func Identity(p int) *Assignment {
+	if p < 0 {
+		panic(fmt.Sprintf("partition: invalid assignment size %d", p))
+	}
+	a := &Assignment{owner: make([]int32, p)}
+	for s := range a.owner {
+		a.owner[s] = int32(s)
+	}
+	return a
+}
+
+// P returns the number of shards.
+func (a *Assignment) P() int { return len(a.owner) }
+
+// Owner returns the owner of shard s.
+func (a *Assignment) Owner(s int) int { return int(a.owner[s]) }
+
+// Assign moves shard s to owner o.
+func (a *Assignment) Assign(s, o int) { a.owner[s] = int32(o) }
+
+// Owned returns the shards owned by o, ascending.
+func (a *Assignment) Owned(o int) []int32 {
+	var out []int32
+	for s, w := range a.owner {
+		if int(w) == o {
+			out = append(out, int32(s))
+		}
+	}
+	return out
+}
+
+// MoveOwner reassigns every shard owned by from to to — the scale-in
+// hand-off (a leaver's shards to its buddy) — and returns how many
+// shards moved.
+func (a *Assignment) MoveOwner(from, to int) int {
+	moved := 0
+	for s, w := range a.owner {
+		if int(w) == from {
+			a.owner[s] = int32(to)
+			moved++
+		}
+	}
+	return moved
+}
+
+// Snapshot returns a copy of the owner map, suitable for atomic
+// publication to readers.
+func (a *Assignment) Snapshot() []int32 {
+	out := make([]int32, len(a.owner))
+	copy(out, a.owner)
+	return out
+}
+
+// Validate checks every shard is owned by an owner in [0, owners).
+func (a *Assignment) Validate(owners int) error {
+	for s, w := range a.owner {
+		if int(w) < 0 || int(w) >= owners {
+			return fmt.Errorf("partition: shard %d assigned to invalid owner %d (have %d owners)", s, w, owners)
+		}
+	}
+	return nil
+}
+
+// CarveShare computes the scale-out donation quotas: counts[i] is how
+// many items owner i currently holds, and the returned quota[i] is how
+// many it should hand to a new member so that the newcomer ends up
+// with ≈ 1/(len(counts)+1) of the total, carved off each donor
+// proportionally to its load (§3.3's balance goal applied to a
+// resize). Donors with nothing to give donate nothing; rounding keeps
+// every quota within each donor's holdings.
+func CarveShare(counts []int64) []int64 {
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	quota := make([]int64, len(counts))
+	if total == 0 {
+		return quota
+	}
+	target := total / int64(len(counts)+1)
+	for i, c := range counts {
+		q := target * c / total
+		if q > c {
+			q = c
+		}
+		quota[i] = q
+	}
+	return quota
+}

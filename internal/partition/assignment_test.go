@@ -1,0 +1,93 @@
+package partition
+
+import "testing"
+
+func TestIdentityAssignment(t *testing.T) {
+	a := Identity(4)
+	if a.P() != 4 {
+		t.Fatalf("P = %d, want 4", a.P())
+	}
+	for s := 0; s < 4; s++ {
+		if a.Owner(s) != s {
+			t.Fatalf("Owner(%d) = %d, want %d", s, a.Owner(s), s)
+		}
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentMoveOwner(t *testing.T) {
+	a := Identity(5)
+	a.Assign(4, 2) // shard 4 also lives on owner 2
+	if moved := a.MoveOwner(2, 0); moved != 2 {
+		t.Fatalf("MoveOwner moved %d shards, want 2", moved)
+	}
+	if owned := a.Owned(2); owned != nil {
+		t.Fatalf("owner 2 still owns %v after MoveOwner", owned)
+	}
+	if owned := a.Owned(0); len(owned) != 3 || owned[0] != 0 || owned[1] != 2 || owned[2] != 4 {
+		t.Fatalf("owner 0 owns %v, want [0 2 4]", owned)
+	}
+	// The leaver gone, the remaining owner set [0,1,3] of size 4 is
+	// invalid only if a shard still points at an out-of-range owner.
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(3); err == nil {
+		t.Fatal("Validate(3) accepted shard owned by rank 3")
+	}
+}
+
+func TestAssignmentSnapshotIsolated(t *testing.T) {
+	a := Identity(3)
+	snap := a.Snapshot()
+	a.Assign(0, 2)
+	if snap[0] != 0 {
+		t.Fatal("Snapshot aliases the live owner map")
+	}
+	if a.Owner(0) != 2 {
+		t.Fatal("Assign after Snapshot lost")
+	}
+}
+
+func TestCarveShareProportional(t *testing.T) {
+	counts := []int64{600, 300, 100}
+	quota := CarveShare(counts)
+	// The newcomer should end up with ≈ 1000/4 = 250, carved off each
+	// donor proportionally to its holdings: 150/75/25.
+	if quota[0] != 150 || quota[1] != 75 || quota[2] != 25 {
+		t.Fatalf("quota = %v, want [150 75 25]", quota)
+	}
+	var donated int64
+	for i, q := range quota {
+		if q > counts[i] {
+			t.Fatalf("donor %d asked for %d of its %d items", i, q, counts[i])
+		}
+		donated += q
+	}
+	if target := int64(1000 / 4); donated > target {
+		t.Fatalf("donated %d, more than the newcomer's %d share", donated, target)
+	}
+}
+
+func TestCarveShareEdges(t *testing.T) {
+	for _, q := range CarveShare([]int64{0, 0}) {
+		if q != 0 {
+			t.Fatal("empty donors asked to donate")
+		}
+	}
+	// One donor with everything: the newcomer gets ≈ half.
+	quota := CarveShare([]int64{10})
+	if quota[0] != 5 {
+		t.Fatalf("single-donor quota = %v, want [5]", quota)
+	}
+	// Rounding must never exceed holdings even for tiny counts.
+	for _, counts := range [][]int64{{1, 1, 1}, {2, 0, 1}, {1}} {
+		for i, q := range CarveShare(counts) {
+			if q < 0 || q > counts[i] {
+				t.Fatalf("counts %v: quota %d for donor %d outside [0,%d]", counts, q, i, counts[i])
+			}
+		}
+	}
+}

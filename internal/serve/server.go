@@ -2,11 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 
+	"nomad/internal/cluster"
 	"nomad/internal/factor"
 	"nomad/internal/topn"
 )
@@ -129,8 +131,21 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ep.Release()
 		res, err := s.cfg.Gateway.Gather(user, n, row, rated)
 		if err != nil {
+			var pd *cluster.PeerDownError
+			if errors.As(err, &pd) {
+				// A shard machine is down, not the query: tell the client
+				// when to come back instead of letting it hammer a
+				// degraded cluster.
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("shard machine %d is down; retry shortly", pd.Rank))
+				return
+			}
 			s.fail(w, http.StatusServiceUnavailable, err.Error())
 			return
+		}
+		if res.Partial {
+			w.Header().Set("X-Nomad-Partial", "true")
 		}
 		resp.Epoch = res.Epoch
 		resp.Shards = res.Shards
@@ -209,6 +224,11 @@ type Stats struct {
 	WatchLastReject string `json:"watch_last_reject,omitempty"`
 	// GatherTimeouts counts sharded queries that missed the deadline.
 	GatherTimeouts int64 `json:"gather_timeouts,omitempty"`
+	// PeerDown counts sharded queries that hit a dead shard peer;
+	// PartialResults counts those answered with a degraded partial
+	// merge (gateway -allow-partial) instead of an error.
+	PeerDown       int64 `json:"peer_down,omitempty"`
+	PartialResults int64 `json:"partial_results,omitempty"`
 }
 
 // Snapshot collects the server's counters (also used by tests and the
@@ -235,6 +255,7 @@ func (s *Server) Snapshot() Stats {
 	}
 	if s.cfg.Gateway != nil {
 		st.GatherTimeouts = s.cfg.Gateway.Timeouts()
+		st.PeerDown, st.PartialResults = s.cfg.Gateway.Degraded()
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -153,6 +154,10 @@ type GatherResult struct {
 	// Shards is how many shard parts (including the gateway's own local
 	// part, when it serves one) went into the merge.
 	Shards int
+	// Partial reports that one or more shard parts are missing because a
+	// peer is down and the gateway was configured to degrade gracefully
+	// (SetAllowPartial) instead of failing the query.
+	Partial bool
 	// Stats sums the candidate-scan accounting across shards.
 	Stats ScanStats
 }
@@ -174,12 +179,19 @@ type Gateway struct {
 	local   *Store // gateway's own shard (nil when it serves none)
 	timeout time.Duration
 
+	// allowPartial degrades instead of failing when a shard peer is
+	// down: queries merge the parts that did answer and are flagged
+	// Partial. Set before traffic flows (SetAllowPartial).
+	allowPartial bool
+
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint64]chan shardResp
 
 	timeouts atomic.Int64
+	peerDown atomic.Int64
+	partials atomic.Int64
 }
 
 // NewGateway builds a gateway over link. local, when non-nil, is the
@@ -199,6 +211,17 @@ func NewGateway(link cluster.Link, local *Store, timeout time.Duration) *Gateway
 
 // Timeouts returns how many gathers have missed the deadline.
 func (g *Gateway) Timeouts() int64 { return g.timeouts.Load() }
+
+// SetAllowPartial selects the degraded-serving policy for dead shard
+// peers: merge and flag the parts that answered rather than failing
+// the query. Call before traffic flows.
+func (g *Gateway) SetAllowPartial(v bool) { g.allowPartial = v }
+
+// Degraded returns the peer-failure accounting: queries that saw a
+// dead shard peer, and queries answered with a partial merge.
+func (g *Gateway) Degraded() (peerDown, partial int64) {
+	return g.peerDown.Load(), g.partials.Load()
+}
 
 // Dispatch routes inbound shard responses to their waiting gathers
 // until the link's control channel closes. Run it in one goroutine.
@@ -240,7 +263,21 @@ func (g *Gateway) Gather(user int32, n int, row []float64, rated []int32) (Gathe
 	req := shardReq{id: id, user: user, n: int32(n), row: row, rated: rated}
 	if peers > 0 {
 		if err := g.link.SendCtl(-1, ctlServeReq, encodeShardReq(nil, req)); err != nil {
-			return res, fmt.Errorf("serve: scatter: %w", err)
+			var pd *cluster.PeerDownError
+			if !errors.As(err, &pd) {
+				return res, fmt.Errorf("serve: scatter: %w", err)
+			}
+			// A shard machine is down. Without the degraded policy the
+			// typed error propagates (the HTTP layer maps it to 503 +
+			// Retry-After); with it, the query is answered from whatever
+			// parts remain — only the gateway's own shard here, since a
+			// failed whole-link scatter reached no peer.
+			g.peerDown.Add(1)
+			if !g.allowPartial || g.local == nil {
+				return res, err
+			}
+			peers = 0
+			res.Partial = true
 		}
 	}
 
@@ -261,6 +298,7 @@ func (g *Gateway) Gather(user int32, n int, row []float64, rated []int32) (Gathe
 
 	deadline := time.NewTimer(g.timeout)
 	defer deadline.Stop()
+gather:
 	for got := 0; got < peers; got++ {
 		select {
 		case resp := <-ch:
@@ -280,8 +318,23 @@ func (g *Gateway) Gather(user int32, n int, row []float64, rated []int32) (Gathe
 			}
 		case <-deadline.C:
 			g.timeouts.Add(1)
+			var pd *cluster.PeerDownError
+			if lerr := g.link.Err(); errors.As(lerr, &pd) {
+				// The deadline exposed a peer death the failure detector
+				// had already confirmed: degrade or fail typed, never
+				// report a bare timeout for a known-dead shard.
+				g.peerDown.Add(1)
+				if !g.allowPartial || len(parts) == 0 {
+					return res, lerr
+				}
+				res.Partial = true
+				break gather
+			}
 			return res, ErrGatherTimeout
 		}
+	}
+	if res.Partial {
+		g.partials.Add(1)
 	}
 	res.Recs = topn.Merge(n, parts...)
 	return res, nil

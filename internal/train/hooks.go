@@ -62,6 +62,18 @@ type PeerRecoveredEvent struct {
 	Recovery float64
 }
 
+// ResizeEvent reports a completed elastic-membership change: a
+// provisioned spare was activated ("join") or a member left gracefully
+// ("drain"). Machines is the active-machine count after the change;
+// Seconds is the request→resume reconfiguration latency (token
+// rebalancing to a joiner continues on the data plane after resume).
+type ResizeEvent struct {
+	Kind     string // "join" or "drain"
+	Rank     int
+	Machines int
+	Seconds  float64
+}
+
 // Hooks carries the event callbacks a training run reports through.
 // A nil *Hooks, or any nil callback, disables that event — solvers
 // always emit through the nil-safe Emit helpers. Callbacks are invoked
@@ -75,6 +87,15 @@ type Hooks struct {
 	Network       func(NetworkEvent)
 	Peer          func(PeerEvent)
 	PeerRecovered func(PeerRecoveredEvent)
+	Resize        func(ResizeEvent)
+}
+
+// EmitResize reports a completed membership change; safe on a nil
+// receiver.
+func (h *Hooks) EmitResize(e ResizeEvent) {
+	if h != nil && h.Resize != nil {
+		h.Resize(e)
+	}
 }
 
 // EmitPeer reports a peer failure; safe on a nil receiver.

@@ -125,10 +125,21 @@ type Config struct {
 	// runners support it; lockstep and multi-process runs reject it.
 	Failover bool
 
-	// Chaos injects one deterministic fault into the run (kill,
-	// partition, delay or drop a machine at a named protocol point) —
-	// the failure half of the failover test matrix. Kill and partition
-	// imply Failover.
+	// ElasticSpares provisions this many extra machine slots beyond
+	// Machines for mid-run scale-out: spares run their communication
+	// threads from the start but own no tokens and attract no traffic
+	// until a join activates them (DESIGN.md §11). Implies Failover.
+	// Normalize grows it to cover any join events in the Chaos schedule.
+	ElasticSpares int
+
+	// Elastic, when non-nil, receives the run's join/drain trigger
+	// handlers so the caller can resize the cluster mid-run.
+	Elastic *ElasticControl
+
+	// Chaos injects a deterministic fault schedule into the run (kill,
+	// partition, delay, drop, join or drain machines at named protocol
+	// points) — the failure half of the failover test matrix. Kill,
+	// partition, join and drain imply Failover.
 	Chaos *cluster.ChaosSpec
 
 	// HeartbeatInterval and HeartbeatTimeout tune the tcp backend's
@@ -244,9 +255,36 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 			return c, fmt.Errorf("train: the tcp backend needs at least 2 machines, got %d", c.Machines)
 		}
 	}
-	if c.Chaos != nil && (c.Chaos.Op == cluster.OpKill || c.Chaos.Op == cluster.OpPartition) {
-		// A killed (or long-partitioned) machine takes tokens with it;
-		// only a failover run can restore conservation and finish.
+	if c.ElasticSpares < 0 {
+		return c, fmt.Errorf("train: negative elastic spares %d", c.ElasticSpares)
+	}
+	if c.Chaos != nil {
+		joins := 0
+		for _, ev := range c.Chaos.Events() {
+			switch ev.Op {
+			case cluster.OpKill, cluster.OpPartition:
+				// A killed (or long-partitioned) machine takes tokens
+				// with it; only a failover run can restore conservation
+				// and finish.
+				c.Failover = true
+			case cluster.OpJoin:
+				c.Failover = true
+				joins++
+				if ev.Rank >= 0 && ev.Rank < c.Machines {
+					return c, fmt.Errorf("train: chaos join rank %d must name a provisioned spare (machines %d)", ev.Rank, c.Machines)
+				}
+			case cluster.OpDrain:
+				c.Failover = true
+			}
+		}
+		if joins > c.ElasticSpares {
+			// Every scheduled join needs a provisioned slot to activate.
+			c.ElasticSpares = joins
+		}
+	}
+	if c.ElasticSpares > 0 {
+		// Spares only make sense on a runtime that can reconfigure
+		// ownership mid-run.
 		c.Failover = true
 	}
 	if c.Failover {
@@ -260,8 +298,14 @@ func (c Config) Normalize(ds *dataset.Dataset) (Config, error) {
 			return c, fmt.Errorf("train: failover needs at least 3 machines, got %d", c.Machines)
 		}
 	}
-	if c.Chaos != nil && (c.Chaos.Rank < 0 || c.Chaos.Rank >= c.Machines) {
-		return c, fmt.Errorf("train: chaos victim rank %d out of range for %d machines", c.Chaos.Rank, c.Machines)
+	if c.Chaos != nil {
+		for _, ev := range c.Chaos.Events() {
+			// Rank -1 is the "pick for me" shorthand, resolved at fire
+			// time against the live membership.
+			if ev.Rank < -1 || ev.Rank >= c.TotalMachines() {
+				return c, fmt.Errorf("train: chaos victim rank %d out of range for %d machines", ev.Rank, c.TotalMachines())
+			}
+		}
 	}
 	return c, nil
 }
@@ -287,6 +331,10 @@ func (c Config) Schedule() sched.Schedule {
 
 // TotalWorkers returns machines × workers-per-machine.
 func (c Config) TotalWorkers() int { return c.Machines * c.Workers }
+
+// TotalMachines returns the provisioned machine-slot count: the initial
+// members plus any elastic spares held latent for mid-run joins.
+func (c Config) TotalMachines() int { return c.Machines + c.ElasticSpares }
 
 // RequireFloat64 is the guard every solver without a float32 hot path
 // places after Normalize: it rejects any non-default precision with an

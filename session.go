@@ -51,6 +51,7 @@ type Session struct {
 	algorithm string
 	algo      train.Algorithm
 	base      train.Config
+	elastic   *train.ElasticControl
 
 	mu      sync.Mutex
 	running bool
@@ -97,6 +98,7 @@ type settings struct {
 	maxDuration  *time.Duration
 	maxUpdates   *int64
 	failover     bool
+	elastic      *int
 	chaos        string
 	hbInterval   *time.Duration
 	hbTimeout    *time.Duration
@@ -344,6 +346,28 @@ func WithStraggler(factor float64) Option {
 	}
 }
 
+// WithElastic provisions spares extra machine slots for mid-run
+// scale-out: the cluster's links and partition are built for
+// Machines+spares slots, but the spares stay latent — they run their
+// communication threads, own no tokens and attract no traffic — until
+// a join activates one (Session.Resize().Join, a chaos "join" event,
+// or nomad-train's join trigger). Members can also leave gracefully
+// mid-run (Resize().Drain), streaming their tokens and state to a ring
+// buddy with zero lost updates. Every membership change conserves all
+// n item tokens exactly, which the run's teardown asserts. Implies
+// WithFailover, with the same constraints: at least 3 machines and the
+// asynchronous distributed runners (not lockstep or multi-process
+// roles). spares may be 0 for a run that only ever shrinks.
+func WithElastic(spares int) Option {
+	return func(st *settings) error {
+		if spares < 0 {
+			return fmt.Errorf("nomad: elastic spares must be non-negative, got %d", spares)
+		}
+		st.elastic = &spares
+		return nil
+	}
+}
+
 // WithFailover lets a multi-machine asynchronous run survive the death
 // of one worker machine: survivors detect the failure, pause token
 // circulation, re-assign the dead machine's item tokens and user rows
@@ -460,6 +484,9 @@ func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 		// the baselines would silently train independent local runs.
 		return nil, fmt.Errorf("nomad: the tcp backend, cluster roles and lockstep are only implemented by the %q solver (got %q)", "nomad", st.algorithm)
 	}
+	if st.elastic != nil && (st.algorithm != "nomad" || st.lockstep || st.role != "") {
+		return nil, fmt.Errorf("nomad: elastic membership is only implemented by the %q solver's asynchronous runners (not lockstep or multi-process roles)", "nomad")
+	}
 	if st.precision != nil && *st.precision == Float32 {
 		if st.algorithm != "nomad" && st.algorithm != "hogwild" {
 			return nil, fmt.Errorf("nomad: float32 precision is only implemented by the SGD solvers %q and %q (got %q)", "nomad", "hogwild", st.algorithm)
@@ -472,11 +499,17 @@ func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every session owns a membership-control endpoint; the asynchronous
+	// runners bind its handlers while an elastic run is live, so Resize
+	// triggers fail with a typed error outside one instead of blocking.
+	ec := &train.ElasticControl{}
+	cfg.Elastic = ec
 	return &Session{
 		ds:        ds,
 		algorithm: st.algorithm,
 		algo:      registry()[st.algorithm],
 		base:      cfg,
+		elastic:   ec,
 		subs:      make(map[int]chan Event),
 	}, nil
 }
@@ -554,6 +587,10 @@ func (st *settings) trainConfig() (train.Config, error) {
 		cfg.MaxUpdates = *st.maxUpdates
 	}
 	cfg.Failover = st.failover
+	if st.elastic != nil {
+		cfg.ElasticSpares = *st.elastic
+		cfg.Failover = true
+	}
 	if st.chaos != "" {
 		spec, err := cluster.ParseChaos(st.chaos)
 		if err != nil {
@@ -616,6 +653,32 @@ func (s *Session) Result() *Result {
 	defer s.mu.Unlock()
 	return s.result
 }
+
+// Resize is the live membership-control handle of an elastic session
+// (WithElastic): it asks the in-flight Run to grow or shrink the
+// cluster. Obtained from Session.Resize; safe for concurrent use.
+type Resize struct{ ec *train.ElasticControl }
+
+// Join activates a provisioned spare machine mid-run (rank -1 picks
+// the lowest idle spare). The call returns once the join round is
+// enqueued; a ResizeEvent reports the committed change. It fails with
+// a typed error when no elastic run is in flight, the rank is not an
+// idle spare, or no spare remains.
+func (r *Resize) Join(rank int) error { return r.ec.Join(rank) }
+
+// Drain removes a machine gracefully mid-run: the leaver fences,
+// streams its item tokens, user responsibilities and replicas to its
+// ring buddy with zero lost updates, and leaves the working set (rank
+// -1 picks the leaver deterministically). Fails with a typed error
+// when no elastic run is in flight or the cluster would shrink below
+// the 2-machine floor.
+func (r *Resize) Drain(rank int) error { return r.ec.Drain(rank) }
+
+// Resize returns the session's membership controls. The handle is
+// always valid; its Join and Drain only succeed while an elastic Run
+// (WithElastic, or a chaos schedule with join/drain events) is in
+// flight.
+func (s *Session) Resize() *Resize { return &Resize{ec: s.elastic} }
 
 // Subscribe registers an event channel with the given buffer (minimum
 // 16). Events stream while Run is in flight; a slow subscriber loses
@@ -683,6 +746,9 @@ func (s *Session) hooks() *train.Hooks {
 		},
 		PeerRecovered: func(e train.PeerRecoveredEvent) {
 			s.publish(PeerRecoveredEvent{Rank: e.Rank, RecoverySeconds: e.Recovery})
+		},
+		Resize: func(e train.ResizeEvent) {
+			s.publish(ResizeEvent{Kind: e.Kind, Rank: e.Rank, Machines: e.Machines, Seconds: e.Seconds})
 		},
 	}
 }
